@@ -1,0 +1,561 @@
+//! The core AIG graph.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::lit::Lit;
+
+/// One AND node: two fanin literals. Constant and input nodes store
+/// `(FALSE, FALSE)` as a sentinel and are distinguished by index.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) struct Node {
+    pub f0: Lit,
+    pub f1: Lit,
+}
+
+/// An And-Inverter Graph with structural hashing and constant folding.
+///
+/// Node indices are laid out AIGER-style: node 0 is the constant-false node,
+/// nodes `1..=num_inputs` are the primary inputs, and every later node is a
+/// two-input AND. Edges ([`Lit`]) may be complemented. The graph grows
+/// append-only; [`Aig::cleanup`] compacts away logic unreachable from the
+/// outputs.
+///
+/// # Examples
+///
+/// ```
+/// use lsml_aig::Aig;
+///
+/// let mut aig = Aig::new(2);
+/// let (a, b) = (aig.input(0), aig.input(1));
+/// let f = aig.or(a, b);
+/// aig.add_output(f);
+/// assert_eq!(aig.eval(&[false, true]), vec![true]);
+/// assert_eq!(aig.num_ands(), 1); // OR = complemented AND of complements
+/// ```
+#[derive(Clone)]
+pub struct Aig {
+    num_inputs: usize,
+    pub(crate) nodes: Vec<Node>,
+    outputs: Vec<Lit>,
+    strash: HashMap<(Lit, Lit), u32>,
+}
+
+impl Aig {
+    /// Creates an AIG with `num_inputs` primary inputs and no outputs.
+    pub fn new(num_inputs: usize) -> Self {
+        let sentinel = Node {
+            f0: Lit::FALSE,
+            f1: Lit::FALSE,
+        };
+        Aig {
+            num_inputs,
+            nodes: vec![sentinel; num_inputs + 1],
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of AND nodes (the contest's size metric).
+    #[inline]
+    pub fn num_ands(&self) -> usize {
+        self.nodes.len() - 1 - self.num_inputs
+    }
+
+    /// Total node count including the constant and the inputs.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The literal of primary input `i` (uncomplemented).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_inputs()`.
+    #[inline]
+    pub fn input(&self, i: usize) -> Lit {
+        assert!(i < self.num_inputs, "input index {i} out of range");
+        Lit::new((i + 1) as u32, false)
+    }
+
+    /// All primary-input literals in order.
+    pub fn inputs(&self) -> Vec<Lit> {
+        (0..self.num_inputs).map(|i| self.input(i)).collect()
+    }
+
+    /// Whether node `n` is a primary input.
+    #[inline]
+    pub fn is_input(&self, n: u32) -> bool {
+        n >= 1 && (n as usize) <= self.num_inputs
+    }
+
+    /// Whether node `n` is an AND gate.
+    #[inline]
+    pub fn is_and(&self, n: u32) -> bool {
+        (n as usize) > self.num_inputs && (n as usize) < self.nodes.len()
+    }
+
+    /// The fanins of AND node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not an AND node.
+    #[inline]
+    pub fn fanins(&self, n: u32) -> (Lit, Lit) {
+        assert!(self.is_and(n), "node {n} is not an AND");
+        let node = &self.nodes[n as usize];
+        (node.f0, node.f1)
+    }
+
+    /// AND of two literals, with constant folding, trivial-case rewriting and
+    /// structural hashing (an existing identical node is reused).
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let (a, b) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        // Constant folding and unit rules.
+        if a == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if a == b {
+            return a;
+        }
+        if let Some(&n) = self.strash.get(&(a, b)) {
+            return Lit::new(n, false);
+        }
+        let n = self.nodes.len() as u32;
+        self.nodes.push(Node { f0: a, f1: b });
+        self.strash.insert((a, b), n);
+        Lit::new(n, false)
+    }
+
+    /// OR of two literals (De Morgan on [`Aig::and`]).
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// XOR of two literals (three AND nodes).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let n0 = self.and(a, !b);
+        let n1 = self.and(!a, b);
+        self.or(n0, n1)
+    }
+
+    /// XNOR of two literals.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// If-then-else: `sel ? t : e` (three AND nodes).
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let a = self.and(sel, t);
+        let b = self.and(!sel, e);
+        self.or(a, b)
+    }
+
+    /// AND over a slice of literals, combined as a balanced tree.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => Lit::TRUE,
+            [l] => *l,
+            _ => {
+                let mid = lits.len() / 2;
+                let (left, right) = lits.split_at(mid);
+                let l = self.and_many(left);
+                let r = self.and_many(right);
+                self.and(l, r)
+            }
+        }
+    }
+
+    /// OR over a slice of literals, combined as a balanced tree.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => Lit::FALSE,
+            [l] => *l,
+            _ => {
+                let mid = lits.len() / 2;
+                let (left, right) = lits.split_at(mid);
+                let l = self.or_many(left);
+                let r = self.or_many(right);
+                self.or(l, r)
+            }
+        }
+    }
+
+    /// XOR over a slice of literals, combined as a balanced tree.
+    pub fn xor_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => Lit::FALSE,
+            [l] => *l,
+            _ => {
+                let mid = lits.len() / 2;
+                let (left, right) = lits.split_at(mid);
+                let l = self.xor_many(left);
+                let r = self.xor_many(right);
+                self.xor(l, r)
+            }
+        }
+    }
+
+    /// Registers a primary output and returns its index.
+    pub fn add_output(&mut self, lit: Lit) -> usize {
+        self.outputs.push(lit);
+        self.outputs.len() - 1
+    }
+
+    /// The primary-output literals.
+    #[inline]
+    pub fn outputs(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// Replaces output `i` with a new literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_output(&mut self, i: usize, lit: Lit) {
+        self.outputs[i] = lit;
+    }
+
+    /// Removes all outputs (logic stays; call [`Aig::cleanup`] to drop it).
+    pub fn clear_outputs(&mut self) {
+        self.outputs.clear();
+    }
+
+    /// Evaluates all outputs on one input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_inputs()`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "input arity mismatch");
+        let mut values = vec![false; self.nodes.len()];
+        for (i, &v) in inputs.iter().enumerate() {
+            values[i + 1] = v;
+        }
+        for n in (self.num_inputs + 1)..self.nodes.len() {
+            let Node { f0, f1 } = self.nodes[n];
+            let v0 = values[f0.node() as usize] ^ f0.is_complemented();
+            let v1 = values[f1.node() as usize] ^ f1.is_complemented();
+            values[n] = v0 && v1;
+        }
+        self.outputs
+            .iter()
+            .map(|o| values[o.node() as usize] ^ o.is_complemented())
+            .collect()
+    }
+
+    /// The level (depth in AND gates) of every node; constants and inputs are
+    /// level 0, an AND is one more than its deepest fanin.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut level = vec![0u32; self.nodes.len()];
+        for n in (self.num_inputs + 1)..self.nodes.len() {
+            let Node { f0, f1 } = self.nodes[n];
+            level[n] = 1 + level[f0.node() as usize].max(level[f1.node() as usize]);
+        }
+        level
+    }
+
+    /// The circuit depth: the maximum level over all outputs.
+    pub fn depth(&self) -> u32 {
+        let levels = self.levels();
+        self.outputs
+            .iter()
+            .map(|o| levels[o.node() as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Compacts the graph, keeping only logic reachable from the outputs.
+    /// Input count and output order are preserved; structural hashing is
+    /// rebuilt. Returns the number of AND nodes removed.
+    pub fn cleanup(&mut self) -> usize {
+        let before = self.num_ands();
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = self.outputs.iter().map(|o| o.node()).collect();
+        while let Some(n) = stack.pop() {
+            if reachable[n as usize] {
+                continue;
+            }
+            reachable[n as usize] = true;
+            if self.is_and(n) {
+                let Node { f0, f1 } = self.nodes[n as usize];
+                stack.push(f0.node());
+                stack.push(f1.node());
+            }
+        }
+        let mut fresh = Aig::new(self.num_inputs);
+        let mut map = vec![Lit::FALSE; self.nodes.len()];
+        for (i, slot) in map.iter_mut().enumerate().take(self.num_inputs + 1) {
+            *slot = Lit::new(i as u32, false);
+        }
+        for n in (self.num_inputs + 1)..self.nodes.len() {
+            if !reachable[n] {
+                continue;
+            }
+            let Node { f0, f1 } = self.nodes[n];
+            let a = map[f0.node() as usize].complement_if(f0.is_complemented());
+            let b = map[f1.node() as usize].complement_if(f1.is_complemented());
+            map[n] = fresh.and(a, b);
+        }
+        for o in &self.outputs {
+            let l = map[o.node() as usize].complement_if(o.is_complemented());
+            fresh.outputs.push(l);
+        }
+        *self = fresh;
+        before - self.num_ands()
+    }
+
+    /// Copies another AIG's logic into this one, mapping the other graph's
+    /// input `i` to `input_map[i]`. Returns the other graph's output literals
+    /// re-expressed in this graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_map.len() != other.num_inputs()`.
+    pub fn append(&mut self, other: &Aig, input_map: &[Lit]) -> Vec<Lit> {
+        assert_eq!(
+            input_map.len(),
+            other.num_inputs,
+            "input map arity mismatch"
+        );
+        let mut map = vec![Lit::FALSE; other.nodes.len()];
+        for (i, &l) in input_map.iter().enumerate() {
+            map[i + 1] = l;
+        }
+        for n in (other.num_inputs + 1)..other.nodes.len() {
+            let Node { f0, f1 } = other.nodes[n];
+            let a = map[f0.node() as usize].complement_if(f0.is_complemented());
+            let b = map[f1.node() as usize].complement_if(f1.is_complemented());
+            map[n] = self.and(a, b);
+        }
+        other
+            .outputs
+            .iter()
+            .map(|o| map[o.node() as usize].complement_if(o.is_complemented()))
+            .collect()
+    }
+
+    /// Rebuilds this graph substituting some nodes by constants:
+    /// `substitutions[n] = Some(v)` forces node `n` to the constant `v`.
+    /// Constant folding then propagates through the cone. Outputs and input
+    /// count are preserved.
+    pub fn substitute_constants(&self, substitutions: &HashMap<u32, bool>) -> Aig {
+        let mut fresh = Aig::new(self.num_inputs);
+        let mut map = vec![Lit::FALSE; self.nodes.len()];
+        for (i, slot) in map.iter_mut().enumerate().take(self.num_inputs + 1) {
+            *slot = Lit::new(i as u32, false);
+        }
+        for n in (self.num_inputs + 1)..self.nodes.len() {
+            if let Some(&v) = substitutions.get(&(n as u32)) {
+                map[n] = Lit::constant(v);
+                continue;
+            }
+            let Node { f0, f1 } = self.nodes[n];
+            let a = map[f0.node() as usize].complement_if(f0.is_complemented());
+            let b = map[f1.node() as usize].complement_if(f1.is_complemented());
+            map[n] = fresh.and(a, b);
+        }
+        for o in &self.outputs {
+            let l = map[o.node() as usize].complement_if(o.is_complemented());
+            fresh.outputs.push(l);
+        }
+        fresh.cleanup();
+        fresh
+    }
+
+    /// A constant-output AIG (useful as a fallback model).
+    pub fn constant(num_inputs: usize, value: bool) -> Aig {
+        let mut aig = Aig::new(num_inputs);
+        aig.add_output(Lit::constant(value));
+        aig
+    }
+}
+
+impl fmt::Debug for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Aig({} inputs, {} ands, {} outputs, depth {})",
+            self.num_inputs,
+            self.num_ands(),
+            self.outputs.len(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_rules_fold() {
+        let mut g = Aig::new(2);
+        let a = g.input(0);
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(a, Lit::TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), Lit::FALSE);
+        assert_eq!(g.num_ands(), 0);
+    }
+
+    #[test]
+    fn strash_reuses_nodes() {
+        let mut g = Aig::new(2);
+        let (a, b) = (g.input(0), g.input(1));
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(g.num_ands(), 1);
+        let z = g.and(!a, b);
+        assert_ne!(x, z);
+        assert_eq!(g.num_ands(), 2);
+    }
+
+    #[test]
+    fn eval_gates() {
+        let mut g = Aig::new(2);
+        let (a, b) = (g.input(0), g.input(1));
+        let and = g.and(a, b);
+        let or = g.or(a, b);
+        let xor = g.xor(a, b);
+        g.add_output(and);
+        g.add_output(or);
+        g.add_output(xor);
+        for (ia, ib) in [(false, false), (false, true), (true, false), (true, true)] {
+            let v = g.eval(&[ia, ib]);
+            assert_eq!(v, vec![ia && ib, ia || ib, ia ^ ib]);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut g = Aig::new(3);
+        let (s, t, e) = (g.input(0), g.input(1), g.input(2));
+        let m = g.mux(s, t, e);
+        g.add_output(m);
+        assert_eq!(g.eval(&[true, true, false]), vec![true]);
+        assert_eq!(g.eval(&[false, true, false]), vec![false]);
+        assert_eq!(g.eval(&[false, false, true]), vec![true]);
+    }
+
+    #[test]
+    fn many_helpers() {
+        let mut g = Aig::new(4);
+        let ins = g.inputs();
+        let all = g.and_many(&ins);
+        let any = g.or_many(&ins);
+        let parity = g.xor_many(&ins);
+        g.add_output(all);
+        g.add_output(any);
+        g.add_output(parity);
+        assert_eq!(
+            g.eval(&[true, true, true, true]),
+            vec![true, true, false]
+        );
+        assert_eq!(
+            g.eval(&[false, true, false, false]),
+            vec![false, true, true]
+        );
+        assert_eq!(
+            g.eval(&[false, false, false, false]),
+            vec![false, false, false]
+        );
+    }
+
+    #[test]
+    fn empty_many_are_constants() {
+        let mut g = Aig::new(1);
+        assert_eq!(g.and_many(&[]), Lit::TRUE);
+        assert_eq!(g.or_many(&[]), Lit::FALSE);
+        assert_eq!(g.xor_many(&[]), Lit::FALSE);
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let mut g = Aig::new(3);
+        let (a, b, c) = (g.input(0), g.input(1), g.input(2));
+        let x = g.and(a, b);
+        let y = g.and(x, c);
+        g.add_output(y);
+        assert_eq!(g.depth(), 2);
+        let levels = g.levels();
+        assert_eq!(levels[x.node() as usize], 1);
+        assert_eq!(levels[y.node() as usize], 2);
+    }
+
+    #[test]
+    fn cleanup_drops_dangling() {
+        let mut g = Aig::new(2);
+        let (a, b) = (g.input(0), g.input(1));
+        let _dead = g.xor(a, b); // 3 ANDs, never used
+        let live = g.and(a, b);
+        g.add_output(live);
+        assert_eq!(g.num_ands(), 4);
+        let removed = g.cleanup();
+        assert_eq!(removed, 3);
+        assert_eq!(g.num_ands(), 1);
+        assert_eq!(g.eval(&[true, true]), vec![true]);
+        assert_eq!(g.eval(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn cleanup_preserves_constant_outputs() {
+        let mut g = Aig::new(2);
+        g.add_output(Lit::TRUE);
+        g.cleanup();
+        assert_eq!(g.eval(&[false, false]), vec![true]);
+    }
+
+    #[test]
+    fn append_composes_graphs() {
+        let mut inner = Aig::new(2);
+        let (a, b) = (inner.input(0), inner.input(1));
+        let x = inner.xor(a, b);
+        inner.add_output(x);
+
+        let mut outer = Aig::new(3);
+        let (p, q, r) = (outer.input(0), outer.input(1), outer.input(2));
+        let pq = outer.and(p, q);
+        let outs = outer.append(&inner, &[pq, r]);
+        outer.add_output(outs[0]);
+        // f = (p AND q) XOR r
+        assert_eq!(outer.eval(&[true, true, false]), vec![true]);
+        assert_eq!(outer.eval(&[true, true, true]), vec![false]);
+        assert_eq!(outer.eval(&[false, true, true]), vec![true]);
+    }
+
+    #[test]
+    fn substitute_constants_rewires() {
+        let mut g = Aig::new(2);
+        let (a, b) = (g.input(0), g.input(1));
+        let x = g.xor(a, b);
+        g.add_output(x);
+        // Force the XOR's top node to constant true: output becomes constant.
+        let n = x.node();
+        let mut subs = HashMap::new();
+        subs.insert(n, !x.is_complemented());
+        let forced = g.substitute_constants(&subs);
+        assert_eq!(forced.eval(&[false, false]), vec![true]);
+        assert_eq!(forced.eval(&[true, false]), vec![true]);
+        assert_eq!(forced.num_ands(), 0);
+    }
+
+    #[test]
+    fn constant_aig() {
+        let g = Aig::constant(3, true);
+        assert_eq!(g.eval(&[false, true, false]), vec![true]);
+        assert_eq!(g.num_ands(), 0);
+    }
+}

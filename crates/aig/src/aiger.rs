@@ -1,0 +1,233 @@
+//! ASCII AIGER (`.aag`) serialization.
+//!
+//! The contest exchanged circuits in AIGER, Biere's standard AIG format. We
+//! support the combinational subset (no latches) of the ASCII variant, which
+//! is what `aigtoaig` converts to and from the binary form.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use lsml_pla::ParseError;
+
+use crate::aig::Aig;
+use crate::lit::Lit;
+
+/// Writes the AIG in ASCII AIGER format. Pass `&mut writer` to retain
+/// ownership.
+///
+/// Node indices map directly onto AIGER variables (input `i` is literal
+/// `2*(i+1)`), so the output is canonical with respect to the in-memory
+/// graph.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_aag<W: Write>(aig: &Aig, mut writer: W) -> std::io::Result<()> {
+    let m = aig.num_nodes() - 1; // maximum variable index
+    let i = aig.num_inputs();
+    let o = aig.outputs().len();
+    let a = aig.num_ands();
+    writeln!(writer, "aag {m} {i} 0 {o} {a}")?;
+    for idx in 0..i {
+        writeln!(writer, "{}", aig.input(idx).raw())?;
+    }
+    for out in aig.outputs() {
+        writeln!(writer, "{}", out.raw())?;
+    }
+    for n in (i + 1)..aig.num_nodes() {
+        let (f0, f1) = aig.fanins(n as u32);
+        // AIGER wants lhs > rhs0 >= rhs1.
+        let (hi, lo) = if f0.raw() >= f1.raw() {
+            (f0, f1)
+        } else {
+            (f1, f0)
+        };
+        writeln!(writer, "{} {} {}", 2 * n, hi.raw(), lo.raw())?;
+    }
+    Ok(())
+}
+
+/// Reads an ASCII AIGER file (combinational subset: zero latches).
+/// Pass `&mut reader` to retain ownership.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed headers, latch sections, or dangling
+/// literal references.
+pub fn read_aag<R: Read>(reader: R) -> Result<Aig, ParseError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ParseError::new("empty AIGER file"))?
+        .map_err(ParseError::from)?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aag" {
+        return Err(ParseError::new(format!("bad AIGER header `{header}`")));
+    }
+    let parse = |s: &str| -> Result<usize, ParseError> {
+        s.parse()
+            .map_err(|_| ParseError::new(format!("bad AIGER header field `{s}`")))
+    };
+    let m = parse(fields[1])?;
+    let i = parse(fields[2])?;
+    let l = parse(fields[3])?;
+    let o = parse(fields[4])?;
+    let a = parse(fields[5])?;
+    if l != 0 {
+        return Err(ParseError::new("latches are not supported"));
+    }
+    if m < i + a {
+        return Err(ParseError::new("inconsistent AIGER header counts"));
+    }
+
+    let mut next = || -> Result<String, ParseError> {
+        lines
+            .next()
+            .ok_or_else(|| ParseError::new("unexpected end of AIGER file"))?
+            .map_err(ParseError::from)
+    };
+
+    for k in 0..i {
+        let line = next()?;
+        let lit: u32 = line
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::new(format!("bad input literal `{line}`")))?;
+        if lit != 2 * (k as u32 + 1) {
+            return Err(ParseError::new(format!(
+                "non-canonical input literal {lit}, expected {}",
+                2 * (k + 1)
+            )));
+        }
+    }
+    let mut output_lits = Vec::with_capacity(o);
+    for _ in 0..o {
+        let line = next()?;
+        let lit: u32 = line
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::new(format!("bad output literal `{line}`")))?;
+        output_lits.push(lit);
+    }
+
+    // AND definitions: lhs is 2 * node index; nodes appear in ascending order
+    // in files we produce, but we tolerate any topological order by indexing.
+    let mut defs: Vec<Option<(u32, u32)>> = vec![None; m + 1];
+    for _ in 0..a {
+        let line = next()?;
+        let nums: Vec<u32> = line
+            .split_whitespace()
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| ParseError::new(format!("bad AND line `{line}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        if nums.len() != 3 {
+            return Err(ParseError::new(format!("bad AND line `{line}`")));
+        }
+        let lhs = nums[0];
+        if !lhs.is_multiple_of(2) || (lhs / 2) as usize > m {
+            return Err(ParseError::new(format!("bad AND lhs `{lhs}`")));
+        }
+        defs[(lhs / 2) as usize] = Some((nums[1], nums[2]));
+    }
+
+    // Rebuild with structural hashing, resolving definitions recursively.
+    let mut aig = Aig::new(i);
+    let mut map: Vec<Option<Lit>> = vec![None; m + 1];
+    map[0] = Some(Lit::FALSE);
+    for k in 0..i {
+        map[k + 1] = Some(Lit::new(k as u32 + 1, false));
+    }
+
+    fn resolve(
+        var: usize,
+        defs: &[Option<(u32, u32)>],
+        map: &mut [Option<Lit>],
+        aig: &mut Aig,
+    ) -> Result<Lit, ParseError> {
+        if let Some(l) = map[var] {
+            return Ok(l);
+        }
+        let (r0, r1) = defs[var]
+            .ok_or_else(|| ParseError::new(format!("undefined AIGER variable {var}")))?;
+        let a0 = resolve((r0 / 2) as usize, defs, map, aig)?.complement_if(r0 % 2 == 1);
+        let a1 = resolve((r1 / 2) as usize, defs, map, aig)?.complement_if(r1 % 2 == 1);
+        let l = aig.and(a0, a1);
+        map[var] = Some(l);
+        Ok(l)
+    }
+
+    for lit in output_lits {
+        let var = (lit / 2) as usize;
+        if var > m {
+            return Err(ParseError::new(format!("output literal {lit} out of range")));
+        }
+        let l = resolve(var, &defs, &mut map, &mut aig)?.complement_if(lit % 2 == 1);
+        aig.add_output(l);
+    }
+    Ok(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aig() -> Aig {
+        let mut g = Aig::new(3);
+        let (a, b, c) = (g.input(0), g.input(1), g.input(2));
+        let x = g.xor(a, b);
+        let f = g.mux(c, x, !a);
+        g.add_output(f);
+        g.add_output(!x);
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let g = sample_aig();
+        let mut buf = Vec::new();
+        write_aag(&g, &mut buf).expect("write");
+        let h = read_aag(buf.as_slice()).expect("read");
+        assert_eq!(h.num_inputs(), 3);
+        assert_eq!(h.outputs().len(), 2);
+        for m in 0..8u32 {
+            let bits = [(m & 1) != 0, (m & 2) != 0, (m & 4) != 0];
+            assert_eq!(g.eval(&bits), h.eval(&bits), "mismatch on {m:03b}");
+        }
+    }
+
+    #[test]
+    fn header_shape() {
+        let g = sample_aig();
+        let mut buf = Vec::new();
+        write_aag(&g, &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let header = text.lines().next().expect("header");
+        let f: Vec<&str> = header.split_whitespace().collect();
+        assert_eq!(f[0], "aag");
+        assert_eq!(f[2], "3"); // inputs
+        assert_eq!(f[3], "0"); // latches
+        assert_eq!(f[4], "2"); // outputs
+    }
+
+    #[test]
+    fn constant_output_roundtrip() {
+        let g = Aig::constant(2, true);
+        let mut buf = Vec::new();
+        write_aag(&g, &mut buf).expect("write");
+        let h = read_aag(buf.as_slice()).expect("read");
+        assert_eq!(h.eval(&[false, false]), vec![true]);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let err = read_aag("aag 1 0 1 0 0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("latches"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_aag("not an aiger".as_bytes()).is_err());
+        assert!(read_aag("".as_bytes()).is_err());
+    }
+}

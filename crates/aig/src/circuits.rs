@@ -1,0 +1,416 @@
+//! Bit-vector circuit builders.
+//!
+//! These constructors emit word-level datapath structures (adders,
+//! comparators, multipliers, population counts, symmetric functions) into an
+//! existing [`Aig`]. They serve two roles in the reproduction:
+//!
+//! 1. ground-truth circuits for the arithmetic benchmark categories, and
+//! 2. the "custom AIG of the identified function" that Teams 1 and 7 emit
+//!    when standard-function matching succeeds.
+//!
+//! All vectors are little-endian: index 0 is the least significant bit.
+
+use lsml_pla::TruthTable;
+
+use crate::aig::Aig;
+use crate::lit::Lit;
+
+/// Builds the cone computing `table` over the given source literals by
+/// recursive Shannon expansion (top variable becomes a multiplexer);
+/// structural hashing shares identical cofactors, so the cone is closer to a
+/// BDD than to a sum of minterms. This is how LUT contents and quantized
+/// neurons become logic.
+///
+/// # Panics
+///
+/// Panics if `srcs.len() != table.num_vars()`.
+pub fn truth_table_cone(aig: &mut Aig, table: &TruthTable, srcs: &[Lit]) -> Lit {
+    assert_eq!(
+        srcs.len(),
+        table.num_vars(),
+        "source literal count must match table arity"
+    );
+    if table.is_zero() {
+        return Lit::FALSE;
+    }
+    if table.is_one() {
+        return Lit::TRUE;
+    }
+    let var = table.num_vars() - 1;
+    let (neg, pos) = table.cofactors(var);
+    if neg == pos {
+        return truth_table_cone(aig, &neg, &srcs[..var]);
+    }
+    let lo = truth_table_cone(aig, &neg, &srcs[..var]);
+    let hi = truth_table_cone(aig, &pos, &srcs[..var]);
+    aig.mux(srcs[var], hi, lo)
+}
+
+/// Full adder: returns `(sum, carry)` of three bits.
+pub fn full_adder(aig: &mut Aig, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+    let axb = aig.xor(a, b);
+    let sum = aig.xor(axb, cin);
+    let t0 = aig.and(a, b);
+    let t1 = aig.and(axb, cin);
+    let carry = aig.or(t0, t1);
+    (sum, carry)
+}
+
+/// Ripple-carry addition of two equal-width vectors; returns `(sum, carry)`.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn ripple_add(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), b.len(), "operand width mismatch");
+    let mut carry = Lit::FALSE;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let (s, c) = full_adder(aig, x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Unsigned comparison `a < b` over equal-width vectors.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn less_than(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    assert_eq!(a.len(), b.len(), "operand width mismatch");
+    // From LSB to MSB: lt = (!a_i & b_i) | (equal_i & lt_so_far).
+    let mut lt = Lit::FALSE;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let xeqy = aig.xnor(x, y);
+        let xlty = aig.and(!x, y);
+        let keep = aig.and(xeqy, lt);
+        lt = aig.or(xlty, keep);
+    }
+    lt
+}
+
+/// Equality comparison of two equal-width vectors.
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn equals(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    assert_eq!(a.len(), b.len(), "operand width mismatch");
+    let bits: Vec<Lit> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| aig.xnor(x, y))
+        .collect();
+    aig.and_many(&bits)
+}
+
+/// Equality of a vector with a constant.
+pub fn equals_const(aig: &mut Aig, a: &[Lit], value: u64) -> Lit {
+    let bits: Vec<Lit> = a
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| x.complement_if((value >> i) & 1 == 0))
+        .collect();
+    aig.and_many(&bits)
+}
+
+/// Shift-and-add unsigned multiplier; the product has `a.len() + b.len()`
+/// bits.
+pub fn multiply(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let width = a.len() + b.len();
+    let mut acc = vec![Lit::FALSE; width];
+    for (j, &bj) in b.iter().enumerate() {
+        // Partial product row shifted by j, padded to full width.
+        let mut row = vec![Lit::FALSE; width];
+        for (i, &ai) in a.iter().enumerate() {
+            if i + j < width {
+                row[i + j] = aig.and(ai, bj);
+            }
+        }
+        let (sum, _carry) = ripple_add(aig, &acc, &row);
+        acc = sum;
+    }
+    acc
+}
+
+/// Population count: the binary count of ones among `xs`, built as a tree of
+/// ripple adders; the result has `ceil(log2(n+1))` bits.
+pub fn popcount(aig: &mut Aig, xs: &[Lit]) -> Vec<Lit> {
+    if xs.is_empty() {
+        return vec![];
+    }
+    // Start with 1-bit "numbers" and repeatedly add pairs.
+    let mut layer: Vec<Vec<Lit>> = xs.iter().map(|&l| vec![l]).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.chunks(2);
+        for pair in &mut it {
+            match pair {
+                [a, b] => {
+                    let w = a.len().max(b.len());
+                    let mut av = a.clone();
+                    let mut bv = b.clone();
+                    av.resize(w, Lit::FALSE);
+                    bv.resize(w, Lit::FALSE);
+                    let (mut sum, carry) = ripple_add(aig, &av, &bv);
+                    sum.push(carry);
+                    next.push(sum);
+                }
+                [a] => next.push(a.clone()),
+                _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+            }
+        }
+        layer = next;
+    }
+    let mut out = layer.pop().expect("non-empty");
+    let need = usize::BITS as usize - xs.len().leading_zeros() as usize; // ceil(log2(n+1))
+    out.truncate(need.max(1));
+    out
+}
+
+/// A fully symmetric function of `xs`, described by its signature:
+/// `signature[k]` is the output when exactly `k` inputs are one.
+///
+/// This mirrors ABC's `symfun` command used to create benchmarks ex75–ex79.
+///
+/// # Panics
+///
+/// Panics if `signature.len() != xs.len() + 1`.
+pub fn symmetric(aig: &mut Aig, xs: &[Lit], signature: &[bool]) -> Lit {
+    assert_eq!(
+        signature.len(),
+        xs.len() + 1,
+        "signature must have n+1 entries"
+    );
+    let count = popcount(aig, xs);
+    let mut terms = Vec::new();
+    for (k, &on) in signature.iter().enumerate() {
+        if on {
+            terms.push(equals_const(aig, &count, k as u64));
+        }
+    }
+    aig.or_many(&terms)
+}
+
+/// Odd parity (XOR) of all inputs.
+pub fn parity(aig: &mut Aig, xs: &[Lit]) -> Lit {
+    aig.xor_many(xs)
+}
+
+/// Majority vote: one iff more than half of `xs` are one. For even `n`, ties
+/// (exactly `n/2` ones) vote zero.
+pub fn majority(aig: &mut Aig, xs: &[Lit]) -> Lit {
+    at_least(aig, xs, xs.len() / 2 + 1)
+}
+
+/// Threshold function: one iff at least `k` of `xs` are one.
+pub fn at_least(aig: &mut Aig, xs: &[Lit], k: usize) -> Lit {
+    if k == 0 {
+        return Lit::TRUE;
+    }
+    if k > xs.len() {
+        return Lit::FALSE;
+    }
+    let count = popcount(aig, xs);
+    // count >= k  <=>  !(count < k)
+    let width = count.len();
+    let konst: Vec<Lit> = (0..width)
+        .map(|i| Lit::constant((k as u64 >> i) & 1 == 1))
+        .collect();
+    let lt = less_than(aig, &count, &konst);
+    !lt
+}
+
+/// The two's-complement negation helper: returns `!a + 1` (same width,
+/// dropping the final carry).
+pub fn negate(aig: &mut Aig, a: &[Lit]) -> Vec<Lit> {
+    let inverted: Vec<Lit> = a.iter().map(|&l| !l).collect();
+    let mut one = vec![Lit::FALSE; a.len()];
+    if !one.is_empty() {
+        one[0] = Lit::TRUE;
+    }
+    ripple_add(aig, &inverted, &one).0
+}
+
+/// Builds a complete `k`-bit adder AIG whose outputs are the `k` sum bits
+/// followed by the carry — the ground truth behind benchmarks ex00–ex09.
+pub fn adder_aig(k: usize) -> Aig {
+    let mut aig = Aig::new(2 * k);
+    let a: Vec<Lit> = (0..k).map(|i| aig.input(i)).collect();
+    let b: Vec<Lit> = (0..k).map(|i| aig.input(k + i)).collect();
+    let (sum, carry) = ripple_add(&mut aig, &a, &b);
+    for s in sum {
+        aig.add_output(s);
+    }
+    aig.add_output(carry);
+    aig
+}
+
+/// Builds a `k`-bit unsigned comparator AIG (`a < b`), the ground truth
+/// behind benchmarks ex30–ex39.
+pub fn comparator_aig(k: usize) -> Aig {
+    let mut aig = Aig::new(2 * k);
+    let a: Vec<Lit> = (0..k).map(|i| aig.input(i)).collect();
+    let b: Vec<Lit> = (0..k).map(|i| aig.input(k + i)).collect();
+    let lt = less_than(&mut aig, &a, &b);
+    aig.add_output(lt);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_of(v: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn value_of(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn adder_matches_arithmetic() {
+        let k = 6;
+        let g = adder_aig(k);
+        for a in [0u64, 1, 7, 13, 63] {
+            for b in [0u64, 1, 5, 62, 63] {
+                let mut input = bits_of(a, k);
+                input.extend(bits_of(b, k));
+                let out = g.eval(&input);
+                assert_eq!(value_of(&out), a + b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_matches_arithmetic() {
+        let k = 5;
+        let g = comparator_aig(k);
+        for a in 0..32u64 {
+            for b in [0u64, 3, 15, 31] {
+                let mut input = bits_of(a, k);
+                input.extend(bits_of(b, k));
+                assert_eq!(g.eval(&input)[0], a < b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_matches_arithmetic() {
+        let mut g = Aig::new(8);
+        let a: Vec<Lit> = (0..4).map(|i| g.input(i)).collect();
+        let b: Vec<Lit> = (0..4).map(|i| g.input(4 + i)).collect();
+        let prod = multiply(&mut g, &a, &b);
+        for p in prod {
+            g.add_output(p);
+        }
+        for x in 0..16u64 {
+            for y in [0u64, 1, 3, 7, 15] {
+                let mut input = bits_of(x, 4);
+                input.extend(bits_of(y, 4));
+                let out = g.eval(&input);
+                assert_eq!(value_of(&out), x * y, "x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_counts() {
+        let mut g = Aig::new(7);
+        let ins = g.inputs();
+        let cnt = popcount(&mut g, &ins);
+        for c in cnt {
+            g.add_output(c);
+        }
+        for v in 0..128u64 {
+            let out = g.eval(&bits_of(v, 7));
+            assert_eq!(value_of(&out), v.count_ones() as u64, "v={v:07b}");
+        }
+    }
+
+    #[test]
+    fn symmetric_signature() {
+        // One iff exactly 1 or 3 of 4 inputs are set (odd parity of 4).
+        let mut g = Aig::new(4);
+        let ins = g.inputs();
+        let f = symmetric(&mut g, &ins, &[false, true, false, true, false]);
+        g.add_output(f);
+        for v in 0..16u64 {
+            let expect = v.count_ones() % 2 == 1;
+            assert_eq!(g.eval(&bits_of(v, 4))[0], expect, "v={v:04b}");
+        }
+    }
+
+    #[test]
+    fn parity_and_majority() {
+        let mut g = Aig::new(5);
+        let ins = g.inputs();
+        let p = parity(&mut g, &ins);
+        let m = majority(&mut g, &ins);
+        g.add_output(p);
+        g.add_output(m);
+        for v in 0..32u64 {
+            let out = g.eval(&bits_of(v, 5));
+            assert_eq!(out[0], v.count_ones() % 2 == 1);
+            assert_eq!(out[1], v.count_ones() >= 3);
+        }
+    }
+
+    #[test]
+    fn at_least_edges() {
+        let mut g = Aig::new(3);
+        let ins = g.inputs();
+        let all = at_least(&mut g, &ins, 0);
+        assert_eq!(all, Lit::TRUE);
+        let none = at_least(&mut g, &ins, 4);
+        assert_eq!(none, Lit::FALSE);
+        let two = at_least(&mut g, &ins, 2);
+        g.add_output(two);
+        for v in 0..8u64 {
+            assert_eq!(g.eval(&bits_of(v, 3))[0], v.count_ones() >= 2);
+        }
+    }
+
+    #[test]
+    fn negate_is_twos_complement() {
+        let mut g = Aig::new(4);
+        let a = g.inputs();
+        let n = negate(&mut g, &a);
+        for bit in n {
+            g.add_output(bit);
+        }
+        for v in 0..16u64 {
+            let out = g.eval(&bits_of(v, 4));
+            assert_eq!(value_of(&out), v.wrapping_neg() & 0xF, "v={v}");
+        }
+    }
+
+    #[test]
+    fn truth_table_cone_exhaustive() {
+        let mut g = Aig::new(4);
+        let srcs = g.inputs();
+        let table = TruthTable::from_fn(4, |m| (m * 5) % 3 == 1);
+        let lit = truth_table_cone(&mut g, &table, &srcs);
+        g.add_output(lit);
+        for m in 0..16u32 {
+            let bits: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(g.eval(&bits)[0], table.get(m), "at {m:04b}");
+        }
+    }
+
+    #[test]
+    fn equals_const_works() {
+        let mut g = Aig::new(4);
+        let a = g.inputs();
+        let f = equals_const(&mut g, &a, 0b1010);
+        g.add_output(f);
+        for v in 0..16u64 {
+            assert_eq!(g.eval(&bits_of(v, 4))[0], v == 0b1010);
+        }
+    }
+}

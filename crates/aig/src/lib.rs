@@ -1,0 +1,47 @@
+//! And-Inverter Graph (AIG) package.
+//!
+//! An AIG represents Boolean functions as a DAG of two-input AND gates whose
+//! edges may be complemented — the standard logic-synthesis data structure
+//! (Biere's AIGER, Berkeley ABC). The IWLS 2020 contest required every learnt
+//! function to be delivered as an AIG with at most 5000 AND nodes.
+//!
+//! This crate provides:
+//!
+//! * [`Aig`] — the graph itself, with structural hashing, constant folding,
+//!   levels and dangling-node cleanup.
+//! * [`sim`] — word-parallel (64 patterns per word) simulation.
+//! * [`aiger`] — ASCII AIGER (`.aag`) reader/writer.
+//! * [`circuits`] — bit-vector circuit builders (adders, comparators,
+//!   multipliers, popcount, symmetric functions, majority).
+//! * [`approx`] — the random-simulation approximation pass Team 1 used to
+//!   push oversized AIGs under the contest's node limit.
+//! * [`opt`] — light restructuring (balance) for depth reduction.
+//!
+//! # Examples
+//!
+//! ```
+//! use lsml_aig::Aig;
+//!
+//! // f = (a XOR b) AND c
+//! let mut aig = Aig::new(3);
+//! let (a, b, c) = (aig.input(0), aig.input(1), aig.input(2));
+//! let x = aig.xor(a, b);
+//! let f = aig.and(x, c);
+//! aig.add_output(f);
+//!
+//! assert_eq!(aig.eval(&[true, false, true]), vec![true]);
+//! assert_eq!(aig.eval(&[true, true, true]), vec![false]);
+//! assert_eq!(aig.num_ands(), 4); // XOR costs 3 ANDs, plus the final AND
+//! ```
+
+pub mod aig;
+pub mod aiger;
+pub mod approx;
+pub mod circuits;
+pub mod lit;
+pub mod opt;
+pub mod sim;
+
+pub use aig::Aig;
+pub use approx::{approximate, ApproxConfig};
+pub use lit::Lit;

@@ -1,0 +1,177 @@
+//! Light AIG restructuring.
+//!
+//! The contest teams post-processed their AIGs with ABC (`resyn2`,
+//! `compress2rs`, …). We provide the pass that matters most for the reported
+//! metrics: **balance**, which rebuilds maximal AND-trees as depth-minimal
+//! trees with fanins combined in level order (ABC's `balance`), plus a
+//! convenience [`compress`] that alternates balancing and cleanup.
+
+use std::collections::HashMap;
+
+use crate::aig::Aig;
+use crate::lit::Lit;
+
+/// Rebuilds the AIG with every maximal conjunction restructured as a balanced
+/// tree (deepest operands combined last). Functionality is preserved; depth
+/// typically drops, node count never grows beyond the original cone sizes
+/// (structural hashing dedups shared sub-terms).
+pub fn balance(aig: &Aig) -> Aig {
+    let mut fresh = Aig::new(aig.num_inputs());
+    let mut memo: HashMap<u32, Lit> = HashMap::new();
+    let outputs: Vec<Lit> = aig.outputs().to_vec();
+    let mut result = Vec::with_capacity(outputs.len());
+    for o in outputs {
+        let l = build(aig, o.node(), &mut fresh, &mut memo).complement_if(o.is_complemented());
+        result.push(l);
+    }
+    for l in result {
+        fresh.add_output(l);
+    }
+    fresh
+}
+
+/// Recursively rebuilds node `n` of `old` inside `fresh`.
+fn build(old: &Aig, n: u32, fresh: &mut Aig, memo: &mut HashMap<u32, Lit>) -> Lit {
+    if let Some(&l) = memo.get(&n) {
+        return l;
+    }
+    let l = if !old.is_and(n) {
+        Lit::new(n, false) // constant or input: same index in `fresh`
+    } else {
+        // Collect the maximal AND-tree rooted here: leaves are edges that are
+        // complemented, non-AND, or AND nodes referenced through complements.
+        let mut leaves: Vec<Lit> = Vec::new();
+        collect_conjunction(old, Lit::new(n, false), &mut leaves);
+        // Rebuild each leaf, then combine from shallowest to deepest.
+        let mut built: Vec<Lit> = leaves
+            .iter()
+            .map(|&leaf| build(old, leaf.node(), fresh, memo).complement_if(leaf.is_complemented()))
+            .collect();
+        let levels = fresh.levels();
+        built.sort_by_key(|l| std::cmp::Reverse(levels[l.node() as usize]));
+        // Repeatedly AND the two shallowest operands (at the end after the
+        // descending sort). Recompute levels lazily: popping from the sorted
+        // tail plus pushing the fresh AND keeps the heap property well enough
+        // for a near-optimal tree, matching ABC's greedy balance.
+        while built.len() > 1 {
+            let a = built.pop().expect("len > 1");
+            let b = built.pop().expect("len > 1");
+            let ab = fresh.and(a, b);
+            // Insert keeping descending level order.
+            let lv = fresh.levels()[ab.node() as usize];
+            let pos = built
+                .iter()
+                .position(|l| fresh.levels()[l.node() as usize] <= lv)
+                .unwrap_or(built.len());
+            built.insert(pos, ab);
+        }
+        built.pop().unwrap_or(Lit::TRUE)
+    };
+    memo.insert(n, l);
+    l
+}
+
+/// Collects the leaves of the maximal conjunction reachable from `root`
+/// through uncomplemented AND edges.
+fn collect_conjunction(aig: &Aig, root: Lit, leaves: &mut Vec<Lit>) {
+    if root.is_complemented() || !aig.is_and(root.node()) {
+        leaves.push(root);
+        return;
+    }
+    let (f0, f1) = aig.fanins(root.node());
+    collect_conjunction(aig, f0, leaves);
+    collect_conjunction(aig, f1, leaves);
+}
+
+/// Balance + cleanup until the size stops improving (at most `rounds`
+/// iterations). A cheap stand-in for ABC's `compress2rs` script.
+pub fn compress(aig: &Aig, rounds: usize) -> Aig {
+    let mut best = aig.clone();
+    best.cleanup();
+    for _ in 0..rounds {
+        let mut next = balance(&best);
+        next.cleanup();
+        let smaller = next.num_ands() < best.num_ands();
+        let same_size_shallower =
+            next.num_ands() == best.num_ands() && next.depth() < best.depth();
+        if !(smaller || same_size_shallower) {
+            break;
+        }
+        best = next;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn equivalent_exhaustive(a: &Aig, b: &Aig) {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        assert!(a.num_inputs() <= 12, "exhaustive check limited");
+        for m in 0..(1u64 << a.num_inputs()) {
+            let bits: Vec<bool> = (0..a.num_inputs()).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(a.eval(&bits), b.eval(&bits), "mismatch at {m:b}");
+        }
+    }
+
+    #[test]
+    fn balance_flattens_chains() {
+        // Left-deep AND chain over 8 inputs: depth 7 -> balanced depth 3.
+        let mut g = Aig::new(8);
+        let mut acc = g.input(0);
+        for i in 1..8 {
+            let x = g.input(i);
+            acc = g.and(acc, x);
+        }
+        g.add_output(acc);
+        assert_eq!(g.depth(), 7);
+        let h = balance(&g);
+        assert_eq!(h.depth(), 3);
+        equivalent_exhaustive(&g, &h);
+    }
+
+    #[test]
+    fn balance_preserves_xor_logic() {
+        let mut g = Aig::new(6);
+        let ins = g.inputs();
+        let mut acc = ins[0];
+        for &x in &ins[1..] {
+            acc = g.xor(acc, x);
+        }
+        let chain = g.and_many(&ins[..3]);
+        let f = g.and(acc, !chain);
+        g.add_output(f);
+        let h = balance(&g);
+        equivalent_exhaustive(&g, &h);
+    }
+
+    #[test]
+    fn balance_handles_constants_and_multi_outputs() {
+        let mut g = Aig::new(3);
+        let (a, b, c) = (g.input(0), g.input(1), g.input(2));
+        let x = g.and(a, b);
+        g.add_output(Lit::TRUE);
+        g.add_output(!x);
+        g.add_output(c);
+        let h = balance(&g);
+        equivalent_exhaustive(&g, &h);
+    }
+
+    #[test]
+    fn compress_never_grows() {
+        let mut g = Aig::new(10);
+        let ins = g.inputs();
+        let mut acc = ins[0];
+        for &x in &ins[1..] {
+            acc = g.and(acc, x);
+        }
+        let p = g.xor_many(&ins);
+        let f = g.or(acc, p);
+        g.add_output(f);
+        let before = g.num_ands();
+        let h = compress(&g, 3);
+        assert!(h.num_ands() <= before);
+        equivalent_exhaustive(&g, &h);
+    }
+}

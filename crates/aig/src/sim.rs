@@ -1,0 +1,211 @@
+//! Word-parallel AIG simulation (64 patterns per machine word).
+
+use lsml_pla::Pattern;
+use rand::Rng;
+
+use crate::aig::Aig;
+
+/// Simulates the AIG on up to 64 patterns at once. `input_words[i]` packs the
+/// value of primary input `i` across the patterns (bit `k` = pattern `k`).
+/// Returns one packed word per output.
+///
+/// # Panics
+///
+/// Panics if `input_words.len() != aig.num_inputs()`.
+pub fn simulate_words(aig: &Aig, input_words: &[u64]) -> Vec<u64> {
+    let values = node_values_words(aig, input_words);
+    aig.outputs()
+        .iter()
+        .map(|o| {
+            let v = values[o.node() as usize];
+            if o.is_complemented() {
+                !v
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// Simulates and returns the packed value word of *every node* (indexed by
+/// node id), used by passes that inspect internal signal statistics.
+///
+/// # Panics
+///
+/// Panics if `input_words.len() != aig.num_inputs()`.
+pub fn node_values_words(aig: &Aig, input_words: &[u64]) -> Vec<u64> {
+    assert_eq!(
+        input_words.len(),
+        aig.num_inputs(),
+        "input word count mismatch"
+    );
+    let mut values = vec![0u64; aig.num_nodes()];
+    for (i, &w) in input_words.iter().enumerate() {
+        values[i + 1] = w;
+    }
+    for n in (aig.num_inputs() + 1)..aig.num_nodes() {
+        let (f0, f1) = aig.fanins(n as u32);
+        let v0 = values[f0.node() as usize] ^ if f0.is_complemented() { u64::MAX } else { 0 };
+        let v1 = values[f1.node() as usize] ^ if f1.is_complemented() { u64::MAX } else { 0 };
+        values[n] = v0 & v1;
+    }
+    values
+}
+
+/// Evaluates a single-output AIG on a batch of patterns, 64 at a time.
+/// Returns one prediction per pattern.
+///
+/// # Panics
+///
+/// Panics if the AIG does not have exactly one output or a pattern's arity
+/// differs from the AIG's input count.
+pub fn eval_patterns(aig: &Aig, patterns: &[Pattern]) -> Vec<bool> {
+    assert_eq!(aig.outputs().len(), 1, "eval_patterns needs 1 output");
+    let mut out = Vec::with_capacity(patterns.len());
+    let mut input_words = vec![0u64; aig.num_inputs()];
+    for chunk in patterns.chunks(64) {
+        for w in input_words.iter_mut() {
+            *w = 0;
+        }
+        for (k, p) in chunk.iter().enumerate() {
+            assert_eq!(p.len(), aig.num_inputs(), "pattern arity mismatch");
+            for (i, word) in input_words.iter_mut().enumerate() {
+                if p.get(i) {
+                    *word |= 1u64 << k;
+                }
+            }
+        }
+        let res = simulate_words(aig, &input_words)[0];
+        for k in 0..chunk.len() {
+            out.push((res >> k) & 1 == 1);
+        }
+    }
+    out
+}
+
+/// Counts, for every node, how many of the given patterns drive it to one.
+/// Returns `(counts, total_patterns)`.
+///
+/// # Panics
+///
+/// Panics if a pattern's arity differs from the AIG's input count.
+pub fn pattern_one_counts(aig: &Aig, patterns: &[Pattern]) -> (Vec<u64>, u64) {
+    let mut counts = vec![0u64; aig.num_nodes()];
+    let mut input_words = vec![0u64; aig.num_inputs()];
+    for chunk in patterns.chunks(64) {
+        for w in input_words.iter_mut() {
+            *w = 0;
+        }
+        for (k, p) in chunk.iter().enumerate() {
+            assert_eq!(p.len(), aig.num_inputs(), "pattern arity mismatch");
+            for (i, word) in input_words.iter_mut().enumerate() {
+                if p.get(i) {
+                    *word |= 1u64 << k;
+                }
+            }
+        }
+        let mask = if chunk.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        let values = node_values_words(aig, &input_words);
+        for (c, v) in counts.iter_mut().zip(values.iter()) {
+            *c += (v & mask).count_ones() as u64;
+        }
+    }
+    (counts, patterns.len() as u64)
+}
+
+/// Counts, for every node, how many of `rounds * 64` random patterns drive it
+/// to one. Returns `(counts, total_patterns)`.
+pub fn random_one_counts<R: Rng + ?Sized>(
+    aig: &Aig,
+    rounds: usize,
+    rng: &mut R,
+) -> (Vec<u64>, u64) {
+    let mut counts = vec![0u64; aig.num_nodes()];
+    let mut input_words = vec![0u64; aig.num_inputs()];
+    for _ in 0..rounds {
+        for w in input_words.iter_mut() {
+            *w = rng.gen();
+        }
+        let values = node_values_words(aig, &input_words);
+        for (c, v) in counts.iter_mut().zip(values.iter()) {
+            *c += v.count_ones() as u64;
+        }
+    }
+    (counts, rounds as u64 * 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_aig() -> Aig {
+        let mut g = Aig::new(2);
+        let (a, b) = (g.input(0), g.input(1));
+        let x = g.xor(a, b);
+        g.add_output(x);
+        g
+    }
+
+    #[test]
+    fn words_match_scalar_eval() {
+        let g = xor_aig();
+        // Patterns 0..4 in one word: a = 0101, b = 0011.
+        let res = simulate_words(&g, &[0b0101, 0b0011]);
+        assert_eq!(res[0] & 0xF, 0b0110);
+    }
+
+    #[test]
+    fn eval_patterns_agrees_with_eval() {
+        let mut g = Aig::new(5);
+        let ins = g.inputs();
+        let x = g.xor_many(&ins);
+        let y = g.and(ins[0], x);
+        g.add_output(y);
+        let mut rng = StdRng::seed_from_u64(11);
+        let patterns: Vec<Pattern> = (0..200).map(|_| Pattern::random(&mut rng, 5)).collect();
+        let batch = eval_patterns(&g, &patterns);
+        for (p, &got) in patterns.iter().zip(batch.iter()) {
+            let bits: Vec<bool> = p.iter().collect();
+            assert_eq!(g.eval(&bits)[0], got);
+        }
+    }
+
+    #[test]
+    fn eval_patterns_handles_odd_chunks() {
+        let g = xor_aig();
+        let patterns: Vec<Pattern> = (0..67).map(|i| Pattern::from_index(i % 4, 2)).collect();
+        let preds = eval_patterns(&g, &patterns);
+        assert_eq!(preds.len(), 67);
+        for (i, p) in patterns.iter().enumerate() {
+            assert_eq!(preds[i], p.get(0) ^ p.get(1));
+        }
+    }
+
+    #[test]
+    fn one_counts_track_bias() {
+        // f = a AND b is one on ~25% of random patterns.
+        let mut g = Aig::new(2);
+        let (a, b) = (g.input(0), g.input(1));
+        let x = g.and(a, b);
+        g.add_output(x);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (counts, total) = random_one_counts(&g, 64, &mut rng);
+        let frac = counts[x.node() as usize] as f64 / total as f64;
+        assert!((frac - 0.25).abs() < 0.05, "frac = {frac}");
+    }
+
+    #[test]
+    fn complemented_output_counts() {
+        let mut g = Aig::new(1);
+        let a = g.input(0);
+        g.add_output(!a);
+        let res = simulate_words(&g, &[0b01]);
+        assert_eq!(res[0] & 0b11, 0b10);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: random AIGs behave like their reference evaluation under
+//! simulation, serialization, cleanup and balancing.
+
+use lsml_aig::aig::Aig;
+use lsml_aig::aiger::{read_aag, write_aag};
+use lsml_aig::opt::balance;
+use lsml_aig::sim::eval_patterns;
+use lsml_aig::Lit;
+use lsml_pla::Pattern;
+use proptest::prelude::*;
+
+/// A recipe for building a random AIG: a list of gate ops over existing lits.
+#[derive(Clone, Debug)]
+enum Op {
+    And(u8, bool, u8, bool),
+    Xor(u8, bool, u8, bool),
+    Mux(u8, u8, u8),
+}
+
+fn arb_ops(n: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<bool>(), any::<u8>(), any::<bool>())
+                .prop_map(|(a, ca, b, cb)| Op::And(a, ca, b, cb)),
+            (any::<u8>(), any::<bool>(), any::<u8>(), any::<bool>())
+                .prop_map(|(a, ca, b, cb)| Op::Xor(a, ca, b, cb)),
+            (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(s, t, e)| Op::Mux(s, t, e)),
+        ],
+        1..n,
+    )
+}
+
+const NI: usize = 6;
+
+fn build(ops: &[Op]) -> Aig {
+    let mut g = Aig::new(NI);
+    let mut lits: Vec<Lit> = g.inputs();
+    for op in ops {
+        let pick = |i: u8, lits: &[Lit]| lits[i as usize % lits.len()];
+        let l = match *op {
+            Op::And(a, ca, b, cb) => {
+                let x = pick(a, &lits).complement_if(ca);
+                let y = pick(b, &lits).complement_if(cb);
+                g.and(x, y)
+            }
+            Op::Xor(a, ca, b, cb) => {
+                let x = pick(a, &lits).complement_if(ca);
+                let y = pick(b, &lits).complement_if(cb);
+                g.xor(x, y)
+            }
+            Op::Mux(s, t, e) => {
+                let sv = pick(s, &lits);
+                let tv = pick(t, &lits);
+                let ev = pick(e, &lits);
+                g.mux(sv, tv, ev)
+            }
+        };
+        lits.push(l);
+    }
+    let out = *lits.last().expect("at least one literal");
+    g.add_output(out);
+    g
+}
+
+fn truth_vector(g: &Aig) -> Vec<bool> {
+    (0..(1u64 << NI))
+        .map(|m| {
+            let bits: Vec<bool> = (0..NI).map(|i| (m >> i) & 1 == 1).collect();
+            g.eval(&bits)[0]
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn word_simulation_matches_eval(ops in arb_ops(30)) {
+        let g = build(&ops);
+        let patterns: Vec<Pattern> =
+            (0..(1u64 << NI)).map(|m| Pattern::from_index(m, NI)).collect();
+        let preds = eval_patterns(&g, &patterns);
+        prop_assert_eq!(preds, truth_vector(&g));
+    }
+
+    #[test]
+    fn cleanup_preserves_function(ops in arb_ops(30)) {
+        let g = build(&ops);
+        let before = truth_vector(&g);
+        let mut h = g.clone();
+        h.cleanup();
+        prop_assert!(h.num_ands() <= g.num_ands());
+        prop_assert_eq!(truth_vector(&h), before);
+    }
+
+    #[test]
+    fn aiger_roundtrip_preserves_function(ops in arb_ops(30)) {
+        let g = build(&ops);
+        let mut buf = Vec::new();
+        write_aag(&g, &mut buf).expect("write");
+        let h = read_aag(buf.as_slice()).expect("read");
+        prop_assert_eq!(truth_vector(&h), truth_vector(&g));
+    }
+
+    #[test]
+    fn balance_preserves_function_and_depth(ops in arb_ops(30)) {
+        let g = build(&ops);
+        let h = balance(&g);
+        prop_assert_eq!(truth_vector(&h), truth_vector(&g));
+        // Balance may reshape but must not blow the depth up.
+        prop_assert!(h.depth() <= g.depth().max(1) * 2);
+    }
+
+    #[test]
+    fn strash_keeps_graph_canonical(ops in arb_ops(30)) {
+        // Rebuilding the same ops twice yields identical node counts.
+        let g = build(&ops);
+        let h = build(&ops);
+        prop_assert_eq!(g.num_ands(), h.num_ands());
+        prop_assert_eq!(g.outputs()[0], h.outputs()[0]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the learner pipelines on one representative
+//! contest benchmark each (small sample scale to keep `cargo bench`
+//! bounded).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsml_benchgen::{suite, SampleConfig};
+use lsml_core::teams::{Team1, Team10, Team7};
+use lsml_core::{Learner, Problem};
+use lsml_dtree::{DecisionTree, GradientBoost, GradientBoostConfig, RandomForest,
+                 RandomForestConfig, TreeConfig};
+use lsml_neural::{Mlp, MlpConfig};
+
+fn problem(id: usize, samples: usize) -> Problem {
+    let bench = &suite()[id];
+    let data = bench.sample(&SampleConfig {
+        samples_per_split: samples,
+        seed: 0,
+    });
+    Problem::new(data.train, data.valid, 0)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let p = problem(30, 800); // 10-bit comparator
+
+    c.bench_function("models/dt_unlimited_cmp10_800ex", |b| {
+        b.iter(|| std::hint::black_box(DecisionTree::train(&p.train, &TreeConfig::default())))
+    });
+
+    c.bench_function("models/rf17_depth8_cmp10_800ex", |b| {
+        let cfg = RandomForestConfig {
+            n_trees: 17,
+            ..RandomForestConfig::default()
+        };
+        b.iter(|| std::hint::black_box(RandomForest::train(&p.train, &cfg)))
+    });
+
+    c.bench_function("models/xgb25_depth5_cmp10_800ex", |b| {
+        let cfg = GradientBoostConfig {
+            n_rounds: 25,
+            ..GradientBoostConfig::default()
+        };
+        b.iter(|| std::hint::black_box(GradientBoost::train(&p.train, &cfg)))
+    });
+
+    c.bench_function("models/mlp_20ep_cmp10_800ex", |b| {
+        let cfg = MlpConfig {
+            epochs: 20,
+            ..MlpConfig::default()
+        };
+        b.iter(|| std::hint::black_box(Mlp::train(&p.train, &cfg)))
+    });
+}
+
+fn bench_teams(c: &mut Criterion) {
+    let p = problem(75, 400); // 16-input symmetric function
+
+    c.bench_function("teams/team10_sym16_400ex", |b| {
+        let t = Team10::default();
+        b.iter(|| std::hint::black_box(t.learn(&p)))
+    });
+
+    c.bench_function("teams/team7_sym16_400ex", |b| {
+        let t = Team7 {
+            boost_rounds: 25,
+            ..Team7::default()
+        };
+        b.iter(|| std::hint::black_box(t.learn(&p)))
+    });
+
+    c.bench_function("teams/team1_sym16_400ex", |b| {
+        let t = Team1::default();
+        b.iter(|| std::hint::black_box(t.learn(&p)))
+    });
+}
+
+criterion_group! {
+    name = learners;
+    config = Criterion::default().sample_size(10);
+    targets = bench_models, bench_teams
+}
+criterion_main!(learners);

@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the substrate crates: AIG construction and
+//! simulation throughput, two-level minimization, BDD operations, LUT
+//! memorization and CGP generations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lsml_aig::{circuits, Aig};
+use lsml_bdd::{BddManager, MinimizeStyle};
+use lsml_cgp::{evolve, CgpConfig};
+use lsml_espresso::{minimize_dataset, EspressoConfig};
+use lsml_lutnet::{LutNetConfig, LutNetwork};
+use lsml_pla::{Dataset, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sampled_dataset(nv: usize, n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new(nv);
+    for _ in 0..n {
+        let p = Pattern::random(&mut rng, nv);
+        let label = p.count_ones().is_multiple_of(3);
+        ds.push(p, label);
+    }
+    ds
+}
+
+fn bench_aig(c: &mut Criterion) {
+    c.bench_function("aig/build_adder_64", |b| {
+        b.iter(|| std::hint::black_box(circuits::adder_aig(64)))
+    });
+
+    let adder = circuits::adder_aig(64);
+    let mut rng = StdRng::seed_from_u64(1);
+    let patterns: Vec<Pattern> = (0..6400).map(|_| Pattern::random(&mut rng, 128)).collect();
+    c.bench_function("aig/simulate_6400_patterns_adder64", |b| {
+        let mut single_out = adder.clone();
+        let out = *single_out.outputs().last().expect("outputs");
+        single_out.clear_outputs();
+        single_out.add_output(out);
+        b.iter(|| std::hint::black_box(lsml_aig::sim::eval_patterns(&single_out, &patterns)))
+    });
+
+    c.bench_function("aig/balance_chain_64", |b| {
+        let mut g = Aig::new(64);
+        let mut acc = g.input(0);
+        for i in 1..64 {
+            let x = g.input(i);
+            acc = g.and(acc, x);
+        }
+        g.add_output(acc);
+        b.iter(|| std::hint::black_box(lsml_aig::opt::balance(&g)))
+    });
+}
+
+fn bench_espresso(c: &mut Criterion) {
+    let ds = sampled_dataset(16, 400, 2);
+    c.bench_function("espresso/minimize_16in_400ex", |b| {
+        b.iter(|| std::hint::black_box(minimize_dataset(&ds, &EspressoConfig::default())))
+    });
+}
+
+fn bench_bdd(c: &mut Criterion) {
+    let ds = sampled_dataset(20, 300, 3);
+    c.bench_function("bdd/build_and_minimize_20in_300ex", |b| {
+        b.iter_batched(
+            || ds.clone(),
+            |ds| {
+                let mut mgr = BddManager::new(20);
+                let (onset, care) = mgr.from_dataset(&ds);
+                std::hint::black_box(mgr.minimize(onset, care, MinimizeStyle::TwoSided))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_lutnet(c: &mut Criterion) {
+    let ds = sampled_dataset(32, 2000, 4);
+    c.bench_function("lutnet/train_32in_2000ex", |b| {
+        b.iter(|| std::hint::black_box(LutNetwork::train(&ds, &LutNetConfig::default())))
+    });
+}
+
+fn bench_cgp(c: &mut Criterion) {
+    let ds = sampled_dataset(12, 500, 5);
+    let cfg = CgpConfig {
+        n_nodes: 100,
+        generations: 200,
+        ..CgpConfig::default()
+    };
+    c.bench_function("cgp/200_generations_12in_500ex", |b| {
+        b.iter(|| std::hint::black_box(evolve(&ds, &cfg)))
+    });
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(10);
+    targets = bench_aig, bench_espresso, bench_bdd, bench_lutnet, bench_cgp
+}
+criterion_main!(substrates);

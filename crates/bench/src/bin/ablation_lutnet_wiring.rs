@@ -1,0 +1,50 @@
+//! Ablation: Team 6's two LUT-network wiring schemes ("random set of
+//! inputs" vs "unique but random set of inputs") across network shapes, on
+//! a slice of the suite. The unique scheme guarantees every upstream signal
+//! is consumed, which should pay off when the layer width outstrips the
+//! input count.
+//!
+//! ```text
+//! cargo run -p lsml-bench --bin ablation_lutnet_wiring --release
+//! ```
+
+use lsml_bench::RunScale;
+use lsml_lutnet::{LutNetConfig, LutNetwork, Wiring};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let ids = [30usize, 50, 60, 74, 75, 81, 91];
+    println!("bench,width,depth,random_acc,unique_acc");
+    let suite = lsml_benchgen::suite();
+    let mut random_total = 0.0;
+    let mut unique_total = 0.0;
+    let mut rows = 0usize;
+    for &id in &ids {
+        let bench = &suite[id];
+        let data = scale.sample(bench);
+        for (width, depth) in [(16usize, 2usize), (64, 2), (64, 4)] {
+            let acc = |wiring: Wiring| {
+                let cfg = LutNetConfig {
+                    luts_per_layer: width,
+                    layers: depth,
+                    wiring,
+                    ..LutNetConfig::default()
+                };
+                let net = LutNetwork::train(&data.train, &cfg);
+                data.test.accuracy_of(|p| net.predict(p))
+            };
+            let r = acc(Wiring::Random);
+            let u = acc(Wiring::UniqueRandom);
+            random_total += r;
+            unique_total += u;
+            rows += 1;
+            println!("{},{width},{depth},{r:.4},{u:.4}", bench.name);
+        }
+    }
+    println!();
+    println!(
+        "mean accuracy: random {:.4}, unique-random {:.4} over {rows} configurations",
+        random_total / rows as f64,
+        unique_total / rows as f64
+    );
+}

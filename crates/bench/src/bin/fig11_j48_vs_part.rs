@@ -1,0 +1,70 @@
+//! Regenerates **Figs. 11 & 12** (Team 2): per-benchmark accuracy and AND
+//! count of the J48 (C4.5) tree versus the PART rule list, highlighting the
+//! ten benchmarks with the largest accuracy divergence — the paper's
+//! argument for classifier diversity.
+//!
+//! ```text
+//! cargo run -p lsml-bench --bin fig11_j48_vs_part --release
+//! ```
+
+use lsml_bench::RunScale;
+use lsml_dtree::prune::prune_c45;
+use lsml_dtree::{Criterion, DecisionTree, RuleList, RuleListConfig, TreeConfig};
+
+fn main() {
+    let scale = RunScale::from_env();
+    eprintln!(
+        "fig11/12: {} benchmarks x {} samples/split",
+        scale.count, scale.samples
+    );
+    let mut rows: Vec<(String, f64, f64, usize, usize)> = Vec::new();
+    for bench in scale.benchmarks() {
+        let data = scale.sample(&bench);
+        let merged = data.train.merged(&data.valid);
+
+        let mut j48 = DecisionTree::train(
+            &merged,
+            &TreeConfig {
+                criterion: Criterion::Entropy,
+                min_samples_leaf: 2,
+                ..TreeConfig::default()
+            },
+        );
+        prune_c45(&mut j48, 0.25);
+        let j48_aig = j48.to_aig();
+        let j48_acc = data.test.accuracy_of(|p| j48.predict(p));
+
+        let part = RuleList::train(&merged, &RuleListConfig::default());
+        let part_aig = part.to_aig();
+        let part_acc = data.test.accuracy_of(|p| part.predict(p));
+
+        println!(
+            "{},j48={:.4},part={:.4},j48_gates={},part_gates={}",
+            bench.name,
+            j48_acc,
+            part_acc,
+            j48_aig.num_ands(),
+            part_aig.num_ands()
+        );
+        rows.push((
+            bench.name.clone(),
+            j48_acc,
+            part_acc,
+            j48_aig.num_ands(),
+            part_aig.num_ands(),
+        ));
+    }
+
+    rows.sort_by(|a, b| {
+        (b.1 - b.2)
+            .abs()
+            .partial_cmp(&(a.1 - a.2).abs())
+            .expect("finite")
+    });
+    println!();
+    println!("== ten most divergent benchmarks (Fig. 11) ==");
+    println!("bench,j48_acc,part_acc,delta,j48_gates,part_gates");
+    for (name, j, p, jg, pg) in rows.iter().take(10) {
+        println!("{name},{j:.4},{p:.4},{:.4},{jg},{pg}", (j - p).abs());
+    }
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Fig. 2**: the accuracy-vs-size trade-off — each team's
+//! average point and the virtual-best Pareto curve, including the paper's
+//! headline observation that giving up ~2% accuracy halves the circuit
+//! size.
+//!
+//! ```text
+//! cargo run -p lsml-bench --bin fig2_pareto --release
+//! ```
+
+use lsml_bench::{run_teams, RunScale};
+use lsml_core::report::virtual_best_pareto;
+use lsml_core::teams::all_teams;
+
+fn main() {
+    let scale = RunScale::from_env();
+    eprintln!(
+        "fig2: {} benchmarks x {} samples/split",
+        scale.count, scale.samples
+    );
+    let results = run_teams(&all_teams(), &scale);
+
+    println!("== Fig. 2a: average (gates, accuracy) per team ==");
+    for r in &results {
+        let row = r.table_row();
+        println!(
+            "{:<8} gates {:>8.1}  accuracy {:>6.2}%",
+            r.team,
+            row.and_gates as f64,
+            100.0 * row.test_accuracy
+        );
+    }
+
+    // Candidates per benchmark: (accuracy, gates) across teams.
+    let n = results[0].scores.len();
+    let candidates: Vec<Vec<(f64, usize)>> = (0..n)
+        .map(|b| {
+            results
+                .iter()
+                .map(|r| (r.scores[b].test_accuracy, r.scores[b].and_gates))
+                .collect()
+        })
+        .collect();
+    let budgets: Vec<usize> = vec![
+        25, 50, 100, 200, 300, 400, 500, 750, 1000, 1500, 2000, 3000, 5000,
+    ];
+    let pareto = virtual_best_pareto(&candidates, &budgets);
+
+    println!();
+    println!("== Fig. 2b: virtual-best Pareto (budget -> avg gates, avg accuracy) ==");
+    for (budget, pt) in budgets.iter().zip(pareto.iter()) {
+        println!(
+            "budget {budget:>5}: avg gates {:>8.1}  avg accuracy {:>6.2}%",
+            pt.avg_gates, pt.avg_accuracy
+        );
+    }
+
+    // The paper's observation: compare the best-accuracy point with the
+    // point ~2% below it.
+    if let Some(top) = pareto.last() {
+        let relaxed = pareto
+            .iter()
+            .filter(|p| p.avg_accuracy >= top.avg_accuracy - 2.0)
+            .min_by(|a, b| a.avg_gates.partial_cmp(&b.avg_gates).expect("finite"));
+        if let Some(r) = relaxed {
+            println!();
+            println!(
+                "top accuracy {:.2}% at {:.0} gates; within 2%: {:.2}% at {:.0} gates ({}x smaller)",
+                top.avg_accuracy,
+                top.avg_gates,
+                r.avg_accuracy,
+                r.avg_gates,
+                (top.avg_gates / r.avg_gates.max(1.0)).round()
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Figs. 32 & 33** (Team 10): per-benchmark test accuracy and
+//! AIG size of the depth-8 decision-tree flow. The paper's claims to check:
+//! mean accuracy ≈84%, mean size ≈140 AND gates, no benchmark above 300.
+//!
+//! ```text
+//! cargo run -p lsml-bench --bin fig32_team10_dt --release
+//! ```
+
+use lsml_bench::{run_team, RunScale};
+use lsml_core::teams::Team10;
+
+fn main() {
+    let scale = RunScale::from_env();
+    eprintln!(
+        "fig32/33: {} benchmarks x {} samples/split",
+        scale.count, scale.samples
+    );
+    let results = run_team(&Team10::default(), &scale);
+    println!("bench,accuracy,gates");
+    let benches = scale.benchmarks();
+    for (bench, score) in benches.iter().zip(results.scores.iter()) {
+        println!(
+            "{},{:.4},{}",
+            bench.name, score.test_accuracy, score.and_gates
+        );
+    }
+    let row = results.table_row();
+    let max_gates = results.scores.iter().map(|s| s.and_gates).max().unwrap_or(0);
+    println!();
+    println!(
+        "mean accuracy {:.2}%  mean gates {}  max gates {}",
+        100.0 * row.test_accuracy,
+        row.and_gates,
+        max_gates
+    );
+}

@@ -1,0 +1,34 @@
+//! Regenerates **Fig. 3**: the maximum accuracy achieved on each benchmark
+//! by any team — which benchmarks are solved and which stay near 50%.
+//!
+//! ```text
+//! cargo run -p lsml-bench --bin fig3_max_accuracy --release
+//! ```
+
+use lsml_bench::{ascii_series, run_teams, RunScale};
+use lsml_core::report::max_accuracy_per_benchmark;
+use lsml_core::teams::all_teams;
+
+fn main() {
+    let scale = RunScale::from_env();
+    eprintln!(
+        "fig3: {} benchmarks x {} samples/split",
+        scale.count, scale.samples
+    );
+    let results = run_teams(&all_teams(), &scale);
+    let best = max_accuracy_per_benchmark(&results);
+    let benches = scale.benchmarks();
+    let labels: Vec<String> = benches.iter().map(|b| b.name.clone()).collect();
+    let values: Vec<f64> = best.iter().map(|a| 100.0 * a).collect();
+    print!(
+        "{}",
+        ascii_series("Fig. 3: max test accuracy per benchmark", &labels, &values, "%")
+    );
+    let solved = best.iter().filter(|&&a| a > 0.99).count();
+    let hard = best.iter().filter(|&&a| a < 0.6).count();
+    println!();
+    println!(
+        "{solved}/{} benchmarks reach >99% accuracy; {hard} stay below 60% (hard to generalize)",
+        best.len()
+    );
+}

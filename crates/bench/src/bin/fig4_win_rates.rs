@@ -1,0 +1,25 @@
+//! Regenerates **Fig. 4**: for each team, the number of benchmarks where it
+//! achieves the best accuracy and where it lands within 1% of the best.
+//!
+//! ```text
+//! cargo run -p lsml-bench --bin fig4_win_rates --release
+//! ```
+
+use lsml_bench::{run_teams, RunScale};
+use lsml_core::report::win_rates;
+use lsml_core::teams::all_teams;
+
+fn main() {
+    let scale = RunScale::from_env();
+    eprintln!(
+        "fig4: {} benchmarks x {} samples/split",
+        scale.count, scale.samples
+    );
+    let results = run_teams(&all_teams(), &scale);
+    let rates = win_rates(&results);
+    println!("== Fig. 4: win rates ==");
+    println!("team        best   within-top-1%");
+    for (team, (wins, top1)) in rates {
+        println!("{team:<10} {wins:>5}   {top1:>5}");
+    }
+}

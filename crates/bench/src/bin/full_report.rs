@@ -1,0 +1,101 @@
+//! Runs the complete contest once and regenerates every main-body artifact
+//! in a single pass: Table III, Fig. 1 (technique matrix), Fig. 2 (Pareto),
+//! Fig. 3 (max accuracy per benchmark) and Fig. 4 (win rates).
+//!
+//! ```text
+//! LSML_SAMPLES=6400 cargo run -p lsml-bench --bin full_report --release
+//! ```
+
+use lsml_bench::{run_teams, RunScale};
+use lsml_core::report::{
+    max_accuracy_per_benchmark, table3, technique_matrix, virtual_best_pareto, win_rates,
+};
+use lsml_core::teams::all_teams;
+
+fn main() {
+    let scale = RunScale::from_env();
+    eprintln!(
+        "full_report: {} benchmarks x {} samples/split (seed {})",
+        scale.count, scale.samples, scale.seed
+    );
+    let start = std::time::Instant::now();
+    let results = run_teams(&all_teams(), &scale);
+    eprintln!("contest finished in {:.1}s", start.elapsed().as_secs_f64());
+
+    println!("== Fig. 1: representation/technique per team ==");
+    for (team, techniques) in technique_matrix() {
+        println!("{team:<8} {}", techniques.join(", "));
+    }
+
+    println!();
+    println!(
+        "== Table III (ours, {} benchmarks x {} samples) ==",
+        scale.count, scale.samples
+    );
+    print!("{}", table3(&results));
+
+    println!();
+    println!("== Fig. 2: accuracy-size trade-off ==");
+    for r in &results {
+        let row = r.table_row();
+        println!(
+            "{:<8} avg gates {:>8.1}  avg accuracy {:>6.2}%",
+            r.team,
+            row.and_gates as f64,
+            100.0 * row.test_accuracy
+        );
+    }
+    let n = results[0].scores.len();
+    let candidates: Vec<Vec<(f64, usize)>> = (0..n)
+        .map(|b| {
+            results
+                .iter()
+                .map(|r| (r.scores[b].test_accuracy, r.scores[b].and_gates))
+                .collect()
+        })
+        .collect();
+    let budgets = vec![25, 50, 100, 200, 300, 500, 750, 1000, 1500, 2000, 3000, 5000];
+    println!("virtual-best Pareto:");
+    for (budget, pt) in budgets.iter().zip(virtual_best_pareto(&candidates, &budgets)) {
+        println!(
+            "  budget {budget:>5}: avg gates {:>8.1}  avg accuracy {:>6.2}%",
+            pt.avg_gates, pt.avg_accuracy
+        );
+    }
+
+    println!();
+    println!("== Fig. 3: max accuracy per benchmark ==");
+    let best = max_accuracy_per_benchmark(&results);
+    for (b, acc) in best.iter().enumerate() {
+        println!("ex{b:02} {:.2}", 100.0 * acc);
+    }
+    let solved = best.iter().filter(|&&a| a > 0.99).count();
+    let hard = best.iter().filter(|&&a| a < 0.6).count();
+    println!("(>99%: {solved} benchmarks; <60%: {hard} benchmarks)");
+
+    println!();
+    println!("== Fig. 4: win rates (best / within top-1%) ==");
+    for (team, (wins, top1)) in win_rates(&results) {
+        println!("{team:<10} {wins:>4} / {top1:>4}");
+    }
+
+    println!();
+    println!("== per-benchmark detail: test accuracy % (rows) x team (cols) ==");
+    print!("bench");
+    for r in &results {
+        print!(",{}", r.team);
+    }
+    println!(",gates_best");
+    for b in 0..n {
+        print!("ex{b:02}");
+        for r in &results {
+            print!(",{:.2}", 100.0 * r.scores[b].test_accuracy);
+        }
+        let best_gates = results
+            .iter()
+            .map(|r| r.scores[b].and_gates)
+            .min()
+            .unwrap_or(0);
+        println!(",{best_gates}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Tables I & II**: the benchmark taxonomy — category, input
+//! counts and onset balance of all 100 generated functions, plus the ML
+//! group comparisons.
+//!
+//! ```text
+//! cargo run -p lsml-bench --bin suite_summary --release
+//! ```
+
+use lsml_bench::RunScale;
+use lsml_benchgen::mlgen::GROUPS;
+use lsml_benchgen::suite;
+
+fn main() {
+    let scale = RunScale::from_env();
+    println!("== Table I (ours): benchmark overview ==");
+    println!("id    name                         category        inputs  onset%");
+    for bench in suite().into_iter().take(scale.count) {
+        let data = bench.sample(&lsml_benchgen::SampleConfig {
+            samples_per_split: scale.samples.min(1000),
+            seed: scale.seed,
+        });
+        println!(
+            "ex{:02}  {:<28} {:<14} {:>6}  {:>5.1}",
+            bench.id,
+            bench.name,
+            format!("{:?}", bench.category),
+            bench.num_inputs,
+            100.0 * data.train.positive_rate()
+        );
+    }
+    println!();
+    println!("== Table II: group comparisons for MNIST-sub and CIFAR-sub ==");
+    println!("row   group A          group B");
+    for (i, (a, b)) in GROUPS.iter().enumerate() {
+        println!("{i:<5} {a:<16?} {b:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table III**: per-team test accuracy, AND gates, levels and
+//! overfit over the benchmark suite — plus the Fig. 1 technique matrix.
+//!
+//! ```text
+//! LSML_SAMPLES=6400 LSML_BENCH_COUNT=100 cargo run -p lsml-bench --bin table3 --release
+//! ```
+
+use lsml_bench::{run_teams, RunScale};
+use lsml_core::report::{table3, technique_matrix};
+use lsml_core::teams::all_teams;
+
+fn main() {
+    let scale = RunScale::from_env();
+    eprintln!(
+        "table3: {} benchmarks x {} samples/split (seed {})",
+        scale.count, scale.samples, scale.seed
+    );
+    let results = run_teams(&all_teams(), &scale);
+
+    println!("== Fig. 1: representation/technique per team ==");
+    for (team, techniques) in technique_matrix() {
+        println!("{team:<8} {}", techniques.join(", "));
+    }
+    println!();
+    println!(
+        "== Table III (ours, {} benchmarks x {} samples) ==",
+        scale.count, scale.samples
+    );
+    print!("{}", table3(&results));
+
+    println!();
+    println!("== per-benchmark detail (test accuracy %) ==");
+    print!("bench,");
+    for r in &results {
+        print!("{},", r.team);
+    }
+    println!();
+    let n = results[0].scores.len();
+    for b in 0..n {
+        print!("ex{b:02},");
+        for r in &results {
+            print!("{:.2},", 100.0 * r.scores[b].test_accuracy);
+        }
+        println!();
+    }
+}

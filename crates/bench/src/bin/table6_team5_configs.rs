@@ -1,0 +1,77 @@
+//! Regenerates **Table VI** (Team 5): which configuration family produced
+//! the winning model per benchmark — decision tool (DT/RF/NN), feature
+//! selection, and training-set proportion.
+//!
+//! ```text
+//! cargo run -p lsml-bench --bin table6_team5_configs --release
+//! ```
+
+use std::collections::BTreeMap;
+
+use lsml_bench::RunScale;
+use lsml_core::teams::Team5;
+use lsml_core::{Learner, Problem};
+
+fn main() {
+    let scale = RunScale::from_env();
+    eprintln!(
+        "table6: {} benchmarks x {} samples/split",
+        scale.count, scale.samples
+    );
+    let team = Team5::default();
+    let mut tool: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut selection: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut ratio: BTreeMap<&'static str, usize> = BTreeMap::new();
+
+    for bench in scale.benchmarks() {
+        let data = scale.sample(&bench);
+        let problem = Problem::new(data.train.clone(), data.valid.clone(), scale.seed);
+        let c = team.learn(&problem);
+        eprintln!("{}: {}", bench.name, c.method);
+        let m = &c.method;
+        *tool.entry(if m.starts_with("dt(") {
+            "DT"
+        } else if m.starts_with("rf") {
+            "RF"
+        } else if m.starts_with("nn") {
+            "NN"
+        } else {
+            "fallback"
+        })
+        .or_insert(0) += 1;
+        *selection
+            .entry(if m.contains("sel=chi2") {
+                "chi2"
+            } else if m.contains("sel=mi") {
+                "mutual-info"
+            } else if m.contains("sel=none") {
+                "none"
+            } else {
+                "n/a"
+            })
+            .or_insert(0) += 1;
+        *ratio
+            .entry(if m.contains("r=40") {
+                "40%"
+            } else if m.contains("r=80") {
+                "80%"
+            } else {
+                "n/a"
+            })
+            .or_insert(0) += 1;
+    }
+
+    println!("== Table VI (ours) ==");
+    println!("-- decision tool --");
+    for (k, v) in &tool {
+        println!("{k:<14} {v}");
+    }
+    println!("-- feature selection --");
+    for (k, v) in &selection {
+        println!("{k:<14} {v}");
+    }
+    println!("-- training proportion --");
+    for (k, v) in &ratio {
+        println!("{k:<14} {v}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Multiword (bignum) arithmetic oracles.
+//!
+//! Little-endian `u64` word vectors model operands up to 256 bits — enough
+//! for every arithmetic benchmark in the suite. These are the *reference
+//! models* against which the AIG circuit builders are also property-tested.
+
+/// `a + b` with one word of headroom.
+pub fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let len = a.len().max(b.len()) + 1;
+    let mut out = vec![0u64; len];
+    let mut carry = 0u64;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        let (s1, c1) = x.overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *slot = s2;
+        carry = u64::from(c1) + u64::from(c2);
+    }
+    out
+}
+
+/// Unsigned comparison `a < b`.
+pub fn less_than(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len().max(b.len())).rev() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        if x != y {
+            return x < y;
+        }
+    }
+    false
+}
+
+/// Whether `a` is zero.
+pub fn is_zero(a: &[u64]) -> bool {
+    a.iter().all(|&w| w == 0)
+}
+
+/// `a - b`, assuming `a >= b` (two's-complement borrow chain).
+pub fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let len = a.len().max(b.len());
+    let mut out = vec![0u64; len];
+    let mut borrow = 0u64;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = x.overflowing_sub(y);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *slot = d2;
+        borrow = u64::from(b1) + u64::from(b2);
+    }
+    debug_assert_eq!(borrow, 0, "sub underflow: a < b");
+    out
+}
+
+/// Schoolbook multiplication.
+pub fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            let t = u128::from(x) * u128::from(y) + u128::from(out[i + j]) + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let t = u128::from(out[k]) + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Bit `bit` of a word vector.
+pub fn bit(a: &[u64], bit: usize) -> bool {
+    a.get(bit / 64).is_some_and(|w| (w >> (bit % 64)) & 1 == 1)
+}
+
+/// Sets bit `bit` of a word vector (which must be long enough).
+pub fn set_bit(a: &mut [u64], bit: usize) {
+    a[bit / 64] |= 1u64 << (bit % 64);
+}
+
+/// Restoring long division of `k`-bit operands: returns `(quotient,
+/// remainder)`. Division by zero follows the usual hardware convention:
+/// quotient = all ones, remainder = dividend.
+pub fn div_rem(a: &[u64], b: &[u64], k: usize) -> (Vec<u64>, Vec<u64>) {
+    let words = k.div_ceil(64).max(1);
+    if is_zero(b) {
+        let mut q = vec![u64::MAX; words];
+        let rem = k % 64;
+        if rem != 0 {
+            q[words - 1] = (1u64 << rem) - 1;
+        }
+        return (q, a[..words.min(a.len())].to_vec());
+    }
+    let mut q = vec![0u64; words];
+    let mut r = vec![0u64; words + 1];
+    for i in (0..k).rev() {
+        // r = (r << 1) | a[i]
+        for w in (1..r.len()).rev() {
+            r[w] = (r[w] << 1) | (r[w - 1] >> 63);
+        }
+        r[0] <<= 1;
+        if bit(a, i) {
+            r[0] |= 1;
+        }
+        if !less_than(&r, b) {
+            r = sub(&r, b);
+            set_bit(&mut q, i);
+        }
+    }
+    r.truncate(words);
+    (q, r)
+}
+
+/// Integer square root of a `k`-bit operand: the largest `root` with
+/// `root * root <= a`, returned with `k/2` bits of width.
+pub fn isqrt(a: &[u64], k: usize) -> Vec<u64> {
+    let half = k / 2;
+    let words = half.div_ceil(64).max(1);
+    let mut root = vec![0u64; words];
+    for i in (0..half).rev() {
+        let mut candidate = root.clone();
+        set_bit(&mut candidate, i);
+        let square = mul(&candidate, &candidate);
+        // square <= a  <=>  !(a < square)
+        if !less_than(a, &square) {
+            root = candidate;
+        }
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: u128) -> Vec<u64> {
+        vec![v as u64, (v >> 64) as u64]
+    }
+
+    fn v(a: &[u64]) -> u128 {
+        u128::from(a[0]) | (a.get(1).map_or(0, |&x| u128::from(x)) << 64)
+    }
+
+    #[test]
+    fn add_small_and_carry() {
+        assert_eq!(v(&add(&w(3), &w(4))), 7);
+        assert_eq!(v(&add(&w(u64::MAX as u128), &w(1))), 1u128 << 64);
+    }
+
+    #[test]
+    fn sub_matches_u128() {
+        for (a, b) in [(100u128, 37), (1u128 << 70, 1), (5, 5)] {
+            assert_eq!(v(&sub(&w(a), &w(b))), a - b);
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        for (a, b) in [(0u128, 7), (123, 456), (u64::MAX as u128, 3), (1 << 40, 1 << 23)] {
+            assert_eq!(v(&mul(&w(a), &w(b))[..2]), a * b);
+        }
+    }
+
+    #[test]
+    fn less_than_is_strict() {
+        assert!(less_than(&w(3), &w(4)));
+        assert!(!less_than(&w(4), &w(4)));
+        assert!(!less_than(&w(5), &w(4)));
+        assert!(less_than(&w(5), &w(1 << 80)));
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        for (a, b) in [(100u128, 7u128), (12345, 123), (1 << 90, 3), (42, 100)] {
+            let (q, r) = div_rem(&w(a), &w(b), 128);
+            assert_eq!(v(&q), a / b, "quotient of {a}/{b}");
+            assert_eq!(v(&r), a % b, "remainder of {a}/{b}");
+        }
+    }
+
+    #[test]
+    fn div_by_zero_convention() {
+        let (q, r) = div_rem(&w(99), &w(0), 16);
+        assert_eq!(q[0], 0xFFFF);
+        assert_eq!(r[0], 99);
+    }
+
+    #[test]
+    fn isqrt_matches_reference() {
+        for a in [0u128, 1, 2, 3, 4, 15, 16, 17, 99, 100, 1 << 50, (1 << 50) + 12345] {
+            let root = v(&isqrt(&w(a), 128));
+            assert!(root * root <= a, "a={a} root={root}");
+            assert!((root + 1) * (root + 1) > a, "a={a} root={root}");
+        }
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let mut x = vec![0u64; 4];
+        set_bit(&mut x, 0);
+        set_bit(&mut x, 77);
+        set_bit(&mut x, 255);
+        assert!(bit(&x, 0) && bit(&x, 77) && bit(&x, 255));
+        assert!(!bit(&x, 1) && !bit(&x, 78));
+    }
+}

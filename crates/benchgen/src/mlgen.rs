@@ -1,0 +1,176 @@
+//! Synthetic MNIST/CIFAR-10 substitutes.
+//!
+//! Benchmarks ex80–ex99 compare digit/class groups per the paper's Table II.
+//! We model each dataset as ten fixed class prototypes over a binary pixel
+//! grid; a sample is its class prototype with independent bit flips. The
+//! MNIST substitute uses well-separated prototypes and low noise (learnable
+//! to ~90%+, as in the paper); the CIFAR substitute shrinks the informative
+//! pixel subset and raises the noise so accuracies land in the paper's
+//! 50–75% band.
+
+use lsml_pla::{Dataset, Pattern};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Table II group comparisons: `(group A → label 0, group B → label 1)`.
+pub const GROUPS: [(&[u8], &[u8]); 10] = [
+    (&[0, 1, 2, 3, 4], &[5, 6, 7, 8, 9]),
+    (&[1, 3, 5, 7, 9], &[0, 2, 4, 6, 8]), // odd vs even
+    (&[0, 1, 2], &[3, 4, 5]),
+    (&[0, 1], &[2, 3]),
+    (&[4, 5], &[6, 7]),
+    (&[6, 7], &[8, 9]),
+    (&[1, 7], &[3, 8]),
+    (&[0, 9], &[3, 8]),
+    (&[1, 3], &[7, 8]),
+    (&[0, 3], &[8, 9]),
+];
+
+/// A ten-class binary-image generative model.
+#[derive(Clone, Debug)]
+pub struct ImageModel {
+    /// Pixels per image (= benchmark input count).
+    pub num_pixels: usize,
+    /// Per-class prototype patterns.
+    prototypes: Vec<Pattern>,
+    /// Per-pixel flip probability when sampling.
+    noise: f64,
+}
+
+impl ImageModel {
+    /// The MNIST substitute: 196 pixels (14×14), distinct prototypes, 8%
+    /// pixel noise.
+    pub fn mnist_like(seed: u64) -> Self {
+        ImageModel::new(196, 0.08, 1.0, seed)
+    }
+
+    /// The CIFAR substitute: 256 pixels, prototypes that differ on only a
+    /// quarter of the pixels, 30% noise — deliberately hard.
+    pub fn cifar_like(seed: u64) -> Self {
+        ImageModel::new(256, 0.30, 0.25, seed)
+    }
+
+    /// Builds a model where only `informative` fraction of pixels carry
+    /// class-specific values (the rest are shared background).
+    fn new(num_pixels: usize, noise: f64, informative: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let background = Pattern::random(&mut rng, num_pixels);
+        let n_info = ((num_pixels as f64) * informative).round() as usize;
+        let prototypes = (0..10)
+            .map(|_| {
+                let mut p = background.clone();
+                for pixel in 0..n_info {
+                    if rng.gen_bool(0.5) {
+                        p.set(pixel, !p.get(pixel));
+                    }
+                }
+                p
+            })
+            .collect();
+        ImageModel {
+            num_pixels,
+            prototypes,
+            noise,
+        }
+    }
+
+    /// Draws one image of class `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= 10`.
+    pub fn sample(&self, class: u8, rng: &mut StdRng) -> Pattern {
+        let mut p = self.prototypes[class as usize].clone();
+        for pixel in 0..self.num_pixels {
+            if rng.gen_bool(self.noise) {
+                p.flip(pixel);
+            }
+        }
+        p
+    }
+
+    /// Draws a labelled dataset for one Table II group comparison: classes
+    /// are drawn uniformly from `group_a ∪ group_b`, labelled 0 for A and 1
+    /// for B (as in the paper: "Group A results in value 0 at the output,
+    /// while Group B results in value 1").
+    pub fn group_dataset(
+        &self,
+        group_a: &[u8],
+        group_b: &[u8],
+        n: usize,
+        rng: &mut StdRng,
+    ) -> Dataset {
+        let mut ds = Dataset::new(self.num_pixels);
+        let all: Vec<(u8, bool)> = group_a
+            .iter()
+            .map(|&c| (c, false))
+            .chain(group_b.iter().map(|&c| (c, true)))
+            .collect();
+        for _ in 0..n {
+            let (class, label) = all[rng.gen_range(0..all.len())];
+            ds.push(self.sample(class, rng), label);
+        }
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_cover_table_ii() {
+        assert_eq!(GROUPS.len(), 10);
+        // Row 1 is odd vs even.
+        assert_eq!(GROUPS[1].0, &[1, 3, 5, 7, 9]);
+        // Row 7 compares {0,9} with {3,8}.
+        assert_eq!(GROUPS[7], (&[0u8, 9][..], &[3u8, 8][..]));
+    }
+
+    #[test]
+    fn mnist_like_is_learnable_by_nearest_prototype() {
+        let model = ImageModel::mnist_like(42);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = model.group_dataset(&[0, 1, 2, 3, 4], &[5, 6, 7, 8, 9], 400, &mut rng);
+        // Nearest-prototype classification should be nearly perfect at 8%
+        // noise.
+        let acc = ds.accuracy_of(|p| {
+            let best = (0..10u8)
+                .min_by_key(|&c| hamming(p, &model.prototypes[c as usize]))
+                .expect("ten classes");
+            best >= 5
+        });
+        assert!(acc > 0.95, "nearest-prototype accuracy {acc}");
+    }
+
+    #[test]
+    fn cifar_like_is_harder() {
+        let mnist = ImageModel::mnist_like(7);
+        let cifar = ImageModel::cifar_like(7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let acc = |model: &ImageModel, rng: &mut StdRng| {
+            let ds = model.group_dataset(&[0, 1, 2, 3, 4], &[5, 6, 7, 8, 9], 400, rng);
+            ds.accuracy_of(|p| {
+                let best = (0..10u8)
+                    .min_by_key(|&c| hamming(p, &model.prototypes[c as usize]))
+                    .expect("ten classes");
+                best >= 5
+            })
+        };
+        let m = acc(&mnist, &mut rng);
+        let c = acc(&cifar, &mut rng);
+        assert!(m > c, "mnist {m} should beat cifar {c}");
+    }
+
+    #[test]
+    fn sampling_is_seeded() {
+        let model = ImageModel::mnist_like(3);
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(model.sample(4, &mut r1), model.sample(4, &mut r2));
+    }
+
+    fn hamming(a: &Pattern, b: &Pattern) -> usize {
+        (0..a.len()).filter(|&i| a.get(i) != b.get(i)).count()
+    }
+}

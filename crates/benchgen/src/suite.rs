@@ -1,0 +1,607 @@
+//! The 100-benchmark suite (paper Tables I and II).
+
+use std::collections::HashSet;
+
+use lsml_aig::Aig;
+use lsml_pla::{Dataset, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::arith;
+use crate::cones::random_cone;
+use crate::mlgen::{ImageModel, GROUPS};
+
+/// The ten benchmark categories of Table I.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Category {
+    /// ex00–09: two MSBs of k-bit adders.
+    Adder,
+    /// ex10–19: MSB of k-bit dividers and remainder circuits.
+    Divider,
+    /// ex20–29: MSB and middle bit of k-bit multipliers.
+    Multiplier,
+    /// ex30–39: k-bit comparators.
+    Comparator,
+    /// ex40–49: LSB and middle bit of k-bit square-rooters.
+    SquareRooter,
+    /// ex50–59: PicoJava logic cones (random-cone substitute).
+    PicoJava,
+    /// ex60–69: MCNC i10 logic cones (random-cone substitute).
+    I10,
+    /// ex70–79: other MCNC cones + 16-input symmetric functions.
+    MiscSymmetric,
+    /// ex80–89: MNIST group comparisons (synthetic substitute).
+    Mnist,
+    /// ex90–99: CIFAR-10 group comparisons (synthetic substitute).
+    Cifar,
+}
+
+impl Category {
+    /// The category of benchmark `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= 100`.
+    pub fn of(id: usize) -> Category {
+        match id {
+            0..=9 => Category::Adder,
+            10..=19 => Category::Divider,
+            20..=29 => Category::Multiplier,
+            30..=39 => Category::Comparator,
+            40..=49 => Category::SquareRooter,
+            50..=59 => Category::PicoJava,
+            60..=69 => Category::I10,
+            70..=79 => Category::MiscSymmetric,
+            80..=89 => Category::Mnist,
+            90..=99 => Category::Cifar,
+            other => panic!("benchmark id {other} out of range"),
+        }
+    }
+}
+
+/// How a benchmark produces labelled examples.
+#[derive(Clone, Debug)]
+pub enum Generator {
+    /// A deterministic oracle: uniform random input patterns labelled by a
+    /// function evaluation.
+    Oracle(Oracle),
+    /// A generative class model (the ML benchmarks): `(model, group index)`.
+    ClassModel(ImageModel, usize),
+}
+
+/// Deterministic label oracles.
+#[derive(Clone, Debug)]
+pub enum Oracle {
+    /// Bit `bit` of the (k+1)-bit sum of two k-bit operands.
+    AdderBit {
+        /// Operand width.
+        k: usize,
+        /// Sum bit index (k = carry/MSB).
+        bit: usize,
+    },
+    /// MSB (bit k-1) of the k-bit quotient `a / b`.
+    DividerMsb {
+        /// Operand width.
+        k: usize,
+    },
+    /// MSB (bit k-1) of the k-bit remainder `a % b`.
+    RemainderMsb {
+        /// Operand width.
+        k: usize,
+    },
+    /// Bit `bit` of the 2k-bit product of two k-bit operands.
+    MultiplierBit {
+        /// Operand width.
+        k: usize,
+        /// Product bit index.
+        bit: usize,
+    },
+    /// Unsigned `a < b` over two k-bit operands.
+    LessThan {
+        /// Operand width.
+        k: usize,
+    },
+    /// Bit `bit` of the (k/2)-bit integer square root of a k-bit operand.
+    SqrtBit {
+        /// Operand width.
+        k: usize,
+        /// Root bit index.
+        bit: usize,
+    },
+    /// A fixed logic cone.
+    Cone(Aig),
+    /// A fully symmetric function of 16 inputs.
+    Symmetric {
+        /// `signature[c]` = output when `c` inputs are one.
+        signature: Vec<bool>,
+    },
+    /// Odd parity of all inputs.
+    Parity,
+}
+
+impl Oracle {
+    /// Number of input variables the oracle reads.
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            Oracle::AdderBit { k, .. }
+            | Oracle::DividerMsb { k }
+            | Oracle::RemainderMsb { k }
+            | Oracle::MultiplierBit { k, .. }
+            | Oracle::LessThan { k } => 2 * k,
+            Oracle::SqrtBit { k, .. } => *k,
+            Oracle::Cone(aig) => aig.num_inputs(),
+            Oracle::Symmetric { signature } => signature.len() - 1,
+            Oracle::Parity => 16,
+        }
+    }
+
+    /// Evaluates the oracle on a pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern arity differs from [`Oracle::num_inputs`].
+    pub fn eval(&self, p: &Pattern) -> bool {
+        assert_eq!(p.len(), self.num_inputs(), "pattern arity mismatch");
+        match self {
+            Oracle::AdderBit { k, bit } => {
+                let (a, b) = split_operands(p, *k);
+                arith::bit(&arith::add(&a, &b), *bit)
+            }
+            Oracle::DividerMsb { k } => {
+                let (a, b) = split_operands(p, *k);
+                let (q, _) = arith::div_rem(&a, &b, *k);
+                arith::bit(&q, k - 1)
+            }
+            Oracle::RemainderMsb { k } => {
+                let (a, b) = split_operands(p, *k);
+                let (_, r) = arith::div_rem(&a, &b, *k);
+                arith::bit(&r, k - 1)
+            }
+            Oracle::MultiplierBit { k, bit } => {
+                let (a, b) = split_operands(p, *k);
+                arith::bit(&arith::mul(&a, &b), *bit)
+            }
+            Oracle::LessThan { k } => {
+                let (a, b) = split_operands(p, *k);
+                arith::less_than(&a, &b)
+            }
+            Oracle::SqrtBit { k, bit } => {
+                let a: Vec<u64> = p.words().to_vec();
+                arith::bit(&arith::isqrt(&a, *k), *bit)
+            }
+            Oracle::Cone(aig) => {
+                let bits: Vec<bool> = p.iter().collect();
+                aig.eval(&bits)[0]
+            }
+            Oracle::Symmetric { signature } => signature[p.count_ones()],
+            Oracle::Parity => p.count_ones() % 2 == 1,
+        }
+    }
+}
+
+/// Splits a 2k-bit pattern into two k-bit little-endian operands (contest
+/// layout: each word's inputs run LSB to MSB).
+fn split_operands(p: &Pattern, k: usize) -> (Vec<u64>, Vec<u64>) {
+    let words = k.div_ceil(64).max(1);
+    let mut a = vec![0u64; words];
+    let mut b = vec![0u64; words];
+    for i in 0..k {
+        if p.get(i) {
+            arith::set_bit(&mut a, i);
+        }
+        if p.get(k + i) {
+            arith::set_bit(&mut b, i);
+        }
+    }
+    (a, b)
+}
+
+/// One of the 100 contest benchmarks.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Benchmark id, 0–99 (the paper's exNN numbering).
+    pub id: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// Table I category.
+    pub category: Category,
+    /// Number of input variables.
+    pub num_inputs: usize,
+    /// The example generator.
+    pub generator: Generator,
+}
+
+/// Sampling parameters for [`Benchmark::sample`].
+#[derive(Copy, Clone, Debug)]
+pub struct SampleConfig {
+    /// Examples per split (the contest used 6400).
+    pub samples_per_split: usize,
+    /// Seed for the sampling RNG.
+    pub seed: u64,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            samples_per_split: 6400,
+            seed: 0,
+        }
+    }
+}
+
+/// A benchmark's three splits.
+#[derive(Clone, Debug)]
+pub struct BenchData {
+    /// Training set (given to contestants).
+    pub train: Dataset,
+    /// Validation set (given to contestants).
+    pub valid: Dataset,
+    /// Test set (held back until scoring).
+    pub test: Dataset,
+}
+
+impl Benchmark {
+    /// Draws disjoint train/validation/test sets. Patterns never repeat
+    /// across the three splits, matching the contest protocol of sampling
+    /// from the function's input space without leaking the test set.
+    pub fn sample(&self, cfg: &SampleConfig) -> BenchData {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (self.id as u64) << 32);
+        let n = cfg.samples_per_split;
+        let mut seen: HashSet<Pattern> = HashSet::with_capacity(3 * n);
+        let mut splits: Vec<Dataset> = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let mut ds = Dataset::new(self.num_inputs);
+            let mut guard = 0usize;
+            while ds.len() < n {
+                guard += 1;
+                assert!(
+                    guard < 100 * n,
+                    "cannot draw {n} unique samples for benchmark {}",
+                    self.id
+                );
+                let (p, label) = match &self.generator {
+                    Generator::Oracle(oracle) => {
+                        let p = Pattern::random(&mut rng, self.num_inputs);
+                        let label = oracle.eval(&p);
+                        (p, label)
+                    }
+                    Generator::ClassModel(model, group) => {
+                        let (ga, gb) = GROUPS[*group];
+                        let one = model.group_dataset(ga, gb, 1, &mut rng);
+                        (one.pattern(0).clone(), one.output(0))
+                    }
+                };
+                if seen.insert(p.clone()) {
+                    ds.push(p, label);
+                }
+            }
+            splits.push(ds);
+        }
+        let test = splits.pop().expect("three splits");
+        let valid = splits.pop().expect("three splits");
+        let train = splits.pop().expect("three splits");
+        BenchData { train, valid, test }
+    }
+
+    /// Evaluates the ground-truth oracle, if the benchmark has one (the ML
+    /// class models do not — their labels are generative).
+    pub fn oracle_eval(&self, p: &Pattern) -> Option<bool> {
+        match &self.generator {
+            Generator::Oracle(o) => Some(o.eval(p)),
+            Generator::ClassModel(..) => None,
+        }
+    }
+}
+
+/// The five 16-input symmetric signatures of ex75–ex79 (ABC `symfun`
+/// signatures from the paper, MSB = all-ones count first).
+const SYMMETRIC_SIGNATURES: [&str; 5] = [
+    "00000000111111111",
+    "11111100000111111",
+    "00011110001111000",
+    "00001110101110000",
+    "00000011111000000",
+];
+
+/// Builds the complete 100-benchmark suite. Deterministic: every call
+/// produces identical benchmarks (cones and image models are seeded by
+/// benchmark id).
+pub fn suite() -> Vec<Benchmark> {
+    let mut out = Vec::with_capacity(100);
+    let adder_ks = [16usize, 32, 64, 128, 256];
+    // ex00-09: 2 MSBs of k-bit adders (carry = bit k, then bit k-1).
+    for (i, &k) in adder_ks.iter().enumerate() {
+        for (j, bit) in [k, k - 1].into_iter().enumerate() {
+            let id = 2 * i + j;
+            out.push(mk(
+                id,
+                format!("ex{id:02}-add{k}-bit{bit}"),
+                Generator::Oracle(Oracle::AdderBit { k, bit }),
+            ));
+        }
+    }
+    // ex10-19: divider MSB and remainder MSB.
+    for (i, &k) in adder_ks.iter().enumerate() {
+        let id = 10 + 2 * i;
+        out.push(mk(
+            id,
+            format!("ex{id:02}-div{k}-q-msb"),
+            Generator::Oracle(Oracle::DividerMsb { k }),
+        ));
+        let id = id + 1;
+        out.push(mk(
+            id,
+            format!("ex{id:02}-div{k}-r-msb"),
+            Generator::Oracle(Oracle::RemainderMsb { k }),
+        ));
+    }
+    // ex20-29: multiplier MSB and middle bit, k in {8,...,128}.
+    for (i, &k) in [8usize, 16, 32, 64, 128].iter().enumerate() {
+        for (j, bit) in [2 * k - 1, k - 1].into_iter().enumerate() {
+            let id = 20 + 2 * i + j;
+            out.push(mk(
+                id,
+                format!("ex{id:02}-mul{k}-bit{bit}"),
+                Generator::Oracle(Oracle::MultiplierBit { k, bit }),
+            ));
+        }
+    }
+    // ex30-39: comparators, k = 10..=100 step 10.
+    for i in 0..10usize {
+        let k = 10 * (i + 1);
+        let id = 30 + i;
+        out.push(mk(
+            id,
+            format!("ex{id:02}-cmp{k}"),
+            Generator::Oracle(Oracle::LessThan { k }),
+        ));
+    }
+    // ex40-49: square-rooter LSB and middle bit.
+    for (i, &k) in adder_ks.iter().enumerate() {
+        for (j, bit) in [0usize, k / 4].into_iter().enumerate() {
+            let id = 40 + 2 * i + j;
+            out.push(mk(
+                id,
+                format!("ex{id:02}-sqrt{k}-bit{bit}"),
+                Generator::Oracle(Oracle::SqrtBit { k, bit }),
+            ));
+        }
+    }
+    // ex50-59: PicoJava-style cones; ex60-69: i10-style cones.
+    let pico_inputs = [32usize, 47, 64, 85, 16, 120, 140, 100, 170, 200];
+    let i10_inputs = [18usize, 25, 40, 56, 73, 90, 110, 130, 155, 180];
+    for (i, &n) in pico_inputs.iter().enumerate() {
+        let id = 50 + i;
+        out.push(mk(
+            id,
+            format!("ex{id:02}-picojava-cone{n}"),
+            Generator::Oracle(Oracle::Cone(random_cone(n, 5000 + id as u64))),
+        ));
+    }
+    for (i, &n) in i10_inputs.iter().enumerate() {
+        let id = 60 + i;
+        out.push(mk(
+            id,
+            format!("ex{id:02}-i10-cone{n}"),
+            Generator::Oracle(Oracle::Cone(random_cone(n, 6000 + id as u64))),
+        ));
+    }
+    // ex70-74: cordic (x2), too_large, t481, parity.
+    for (i, (name, n)) in [
+        ("cordic0", 23usize),
+        ("cordic1", 23),
+        ("too_large", 38),
+        ("t481", 16),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let id = 70 + i;
+        out.push(mk(
+            id,
+            format!("ex{id:02}-{name}"),
+            Generator::Oracle(Oracle::Cone(random_cone(n, 7000 + id as u64))),
+        ));
+    }
+    out.push(mk(
+        74,
+        "ex74-parity16".to_owned(),
+        Generator::Oracle(Oracle::Parity),
+    ));
+    // ex75-79: the five symmetric functions.
+    for (i, sig) in SYMMETRIC_SIGNATURES.iter().enumerate() {
+        let id = 75 + i;
+        let signature: Vec<bool> = sig.chars().map(|c| c == '1').collect();
+        assert_eq!(signature.len(), 17, "16-input signature");
+        out.push(mk(
+            id,
+            format!("ex{id:02}-sym16-{sig}"),
+            Generator::Oracle(Oracle::Symmetric { signature }),
+        ));
+    }
+    // ex80-89 MNIST-sub; ex90-99 CIFAR-sub.
+    for g in 0..10usize {
+        let id = 80 + g;
+        out.push(mk(
+            id,
+            format!("ex{id:02}-mnist-g{g}"),
+            Generator::ClassModel(ImageModel::mnist_like(8000), g),
+        ));
+    }
+    for g in 0..10usize {
+        let id = 90 + g;
+        out.push(mk(
+            id,
+            format!("ex{id:02}-cifar-g{g}"),
+            Generator::ClassModel(ImageModel::cifar_like(9000), g),
+        ));
+    }
+    debug_assert_eq!(out.len(), 100);
+    out
+}
+
+fn mk(id: usize, name: String, generator: Generator) -> Benchmark {
+    let num_inputs = match &generator {
+        Generator::Oracle(o) => o.num_inputs(),
+        Generator::ClassModel(m, _) => m.num_pixels,
+    };
+    Benchmark {
+        id,
+        name,
+        category: Category::of(id),
+        num_inputs,
+        generator,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_100_benchmarks_in_order() {
+        let s = suite();
+        assert_eq!(s.len(), 100);
+        for (i, b) in s.iter().enumerate() {
+            assert_eq!(b.id, i, "id mismatch for {}", b.name);
+            assert_eq!(b.category, Category::of(i));
+        }
+    }
+
+    #[test]
+    fn input_counts_match_table_i() {
+        let s = suite();
+        assert_eq!(s[0].num_inputs, 32); // 16-bit adder: 2 operands
+        assert_eq!(s[9].num_inputs, 512); // 256-bit adder
+        assert_eq!(s[20].num_inputs, 16); // 8-bit multiplier
+        assert_eq!(s[30].num_inputs, 20); // 10-bit comparator
+        assert_eq!(s[39].num_inputs, 200); // 100-bit comparator
+        assert_eq!(s[40].num_inputs, 16); // 16-bit square rooter
+        assert_eq!(s[74].num_inputs, 16); // parity
+        assert_eq!(s[75].num_inputs, 16); // symmetric
+        assert_eq!(s[80].num_inputs, 196); // mnist-sub
+        assert_eq!(s[90].num_inputs, 256); // cifar-sub
+        for b in &s[50..70] {
+            assert!((16..=200).contains(&b.num_inputs), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_disjoint() {
+        let s = suite();
+        let cfg = SampleConfig {
+            samples_per_split: 100,
+            seed: 7,
+        };
+        let a = s[30].sample(&cfg);
+        let b = s[30].sample(&cfg);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        // Disjointness across splits.
+        let train: HashSet<_> = a.train.patterns().iter().cloned().collect();
+        for p in a.valid.patterns().iter().chain(a.test.patterns()) {
+            assert!(!train.contains(p));
+        }
+    }
+
+    #[test]
+    fn oracle_labels_are_consistent() {
+        let s = suite();
+        let cfg = SampleConfig {
+            samples_per_split: 50,
+            seed: 3,
+        };
+        for b in [&s[0], &s[12], &s[25], &s[33], &s[44], &s[55], &s[74], &s[77]] {
+            let data = b.sample(&cfg);
+            for (p, o) in data.train.iter() {
+                assert_eq!(b.oracle_eval(p), Some(o), "inconsistent {}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_oracle_matches_simple_cases() {
+        let oracle = Oracle::LessThan { k: 4 };
+        // a = 3 (0011), b = 5 (0101): 11000101... LSB-first per operand.
+        let mut p = Pattern::zeros(8);
+        p.set(0, true);
+        p.set(1, true); // a = 3
+        p.set(4, true);
+        p.set(6, true); // b = 5
+        assert!(oracle.eval(&p));
+        // a = 5, b = 3.
+        let mut q = Pattern::zeros(8);
+        q.set(0, true);
+        q.set(2, true);
+        q.set(4, true);
+        q.set(5, true);
+        assert!(!oracle.eval(&q));
+    }
+
+    #[test]
+    fn adder_oracle_carry_bit() {
+        let oracle = Oracle::AdderBit { k: 4, bit: 4 };
+        // a = 15, b = 1 -> sum = 16 -> carry set.
+        let mut p = Pattern::zeros(8);
+        for i in 0..4 {
+            p.set(i, true);
+        }
+        p.set(4, true);
+        assert!(oracle.eval(&p));
+        // a = 1, b = 1 -> no carry.
+        let mut q = Pattern::zeros(8);
+        q.set(0, true);
+        q.set(4, true);
+        assert!(!oracle.eval(&q));
+    }
+
+    #[test]
+    fn sqrt_oracle_middle_bit() {
+        let oracle = Oracle::SqrtBit { k: 16, bit: 4 };
+        // a = 400 -> isqrt = 20 = 0b10100 -> bit 4 set.
+        let p = Pattern::from_index(400, 16);
+        assert!(oracle.eval(&p));
+        // a = 225 -> isqrt = 15 = 0b1111 -> bit 4 clear.
+        let q = Pattern::from_index(225, 16);
+        assert!(!oracle.eval(&q));
+    }
+
+    #[test]
+    fn symmetric_signatures_parse() {
+        let s = suite();
+        for b in &s[75..80] {
+            if let Generator::Oracle(Oracle::Symmetric { signature }) = &b.generator {
+                assert_eq!(signature.len(), 17);
+            } else {
+                panic!("{} should be symmetric", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ml_benchmarks_have_both_labels() {
+        let s = suite();
+        let cfg = SampleConfig {
+            samples_per_split: 200,
+            seed: 1,
+        };
+        for b in [&s[80], &s[91]] {
+            let data = b.sample(&cfg);
+            let pos = data.train.count_positive();
+            assert!(pos > 40 && pos < 160, "{}: {pos}/200 positive", b.name);
+            assert!(b.oracle_eval(data.train.pattern(0)).is_none());
+        }
+    }
+
+    #[test]
+    fn arithmetic_benchmarks_roughly_balanced_where_expected() {
+        // Adder carry of a+b over random operands is ~50%.
+        let s = suite();
+        let data = s[0].sample(&SampleConfig {
+            samples_per_split: 500,
+            seed: 2,
+        });
+        let rate = data.train.positive_rate();
+        assert!((0.3..=0.7).contains(&rate), "carry rate {rate}");
+    }
+}

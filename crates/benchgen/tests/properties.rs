@@ -1,0 +1,95 @@
+//! Property tests: the AIG circuit builders agree with the bignum oracles,
+//! and suite sampling invariants hold.
+
+use lsml_aig::{circuits, Aig, Lit};
+use lsml_benchgen::arith;
+use lsml_benchgen::{suite, SampleConfig};
+use proptest::prelude::*;
+
+fn to_bits(v: u64, k: usize) -> Vec<bool> {
+    (0..k).map(|i| (v >> i) & 1 == 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adder_circuit_matches_bignum(a in any::<u64>(), b in any::<u64>()) {
+        let k = 24;
+        let a = a & ((1 << k) - 1);
+        let b = b & ((1 << k) - 1);
+        let aig = circuits::adder_aig(k);
+        let mut input = to_bits(a, k);
+        input.extend(to_bits(b, k));
+        let out = aig.eval(&input);
+        let sum = arith::add(&[a], &[b]);
+        for (bit, &o) in out.iter().enumerate() {
+            prop_assert_eq!(o, arith::bit(&sum, bit), "bit {}", bit);
+        }
+    }
+
+    #[test]
+    fn comparator_circuit_matches_bignum(a in any::<u64>(), b in any::<u64>()) {
+        let k = 20;
+        let a = a & ((1 << k) - 1);
+        let b = b & ((1 << k) - 1);
+        let aig = circuits::comparator_aig(k);
+        let mut input = to_bits(a, k);
+        input.extend(to_bits(b, k));
+        prop_assert_eq!(aig.eval(&input)[0], arith::less_than(&[a], &[b]));
+    }
+
+    #[test]
+    fn multiplier_circuit_matches_bignum(a in 0u64..256, b in 0u64..256) {
+        let k = 8;
+        let mut aig = Aig::new(2 * k);
+        let la: Vec<Lit> = (0..k).map(|i| aig.input(i)).collect();
+        let lb: Vec<Lit> = (0..k).map(|i| aig.input(k + i)).collect();
+        let prod = circuits::multiply(&mut aig, &la, &lb);
+        for p in prod {
+            aig.add_output(p);
+        }
+        let mut input = to_bits(a, k);
+        input.extend(to_bits(b, k));
+        let out = aig.eval(&input);
+        let reference = arith::mul(&[a], &[b]);
+        for (bit, &o) in out.iter().enumerate() {
+            prop_assert_eq!(o, arith::bit(&reference, bit), "bit {}", bit);
+        }
+    }
+
+    #[test]
+    fn div_rem_identity(a in any::<u64>(), b in 1u64..u64::MAX) {
+        // a = q*b + r with r < b (64-bit operands inside 128-bit words).
+        let (q, r) = arith::div_rem(&[a, 0], &[b, 0], 128);
+        let qb = arith::mul(&q, &[b, 0]);
+        let back = arith::add(&qb, &r);
+        prop_assert_eq!(back[0], a);
+        prop_assert!(arith::less_than(&r, &[b, 0]));
+    }
+
+    #[test]
+    fn isqrt_is_floor_sqrt(a in any::<u64>()) {
+        let root = arith::isqrt(&[a, 0], 128);
+        let sq = arith::mul(&root, &root);
+        prop_assert!(!arith::less_than(&[a, 0], &sq)); // root^2 <= a
+        let root1 = arith::add(&root, &[1]);
+        let sq1 = arith::mul(&root1, &root1);
+        prop_assert!(arith::less_than(&[a, 0, 0, 0], &sq1)); // (root+1)^2 > a
+    }
+}
+
+#[test]
+fn every_benchmark_samples_cleanly_at_small_scale() {
+    let cfg = SampleConfig {
+        samples_per_split: 64,
+        seed: 5,
+    };
+    for b in suite() {
+        let data = b.sample(&cfg);
+        assert_eq!(data.train.len(), 64, "{}", b.name);
+        assert_eq!(data.valid.len(), 64, "{}", b.name);
+        assert_eq!(data.test.len(), 64, "{}", b.name);
+        assert_eq!(data.train.num_inputs(), b.num_inputs, "{}", b.name);
+    }
+}

@@ -1,0 +1,121 @@
+//! Contest scoring.
+
+use lsml_benchgen::BenchData;
+use lsml_pla::Dataset;
+
+use crate::problem::LearnedCircuit;
+
+/// The metrics of Table III, per circuit: test accuracy, size, depth, and
+/// the generalization gap (validation minus test accuracy, the paper's
+/// "overfit" column).
+#[derive(Clone, Debug)]
+pub struct Score {
+    /// Accuracy on the hidden test set.
+    pub test_accuracy: f64,
+    /// Accuracy on the validation set.
+    pub valid_accuracy: f64,
+    /// Accuracy on the training set.
+    pub train_accuracy: f64,
+    /// AND-node count.
+    pub and_gates: usize,
+    /// Logic depth.
+    pub levels: u32,
+    /// `valid_accuracy - test_accuracy`.
+    pub overfit: f64,
+}
+
+/// Scores a circuit against a benchmark's three splits.
+pub fn evaluate(circuit: &LearnedCircuit, data: &BenchData) -> Score {
+    let test_accuracy = circuit.accuracy(&data.test);
+    let valid_accuracy = circuit.accuracy(&data.valid);
+    let train_accuracy = circuit.accuracy(&data.train);
+    Score {
+        test_accuracy,
+        valid_accuracy,
+        train_accuracy,
+        and_gates: circuit.and_gates(),
+        levels: circuit.aig.depth(),
+        overfit: valid_accuracy - test_accuracy,
+    }
+}
+
+/// Averages a slice of scores into one Table III row.
+pub fn average(scores: &[Score]) -> Score {
+    let n = scores.len().max(1) as f64;
+    Score {
+        test_accuracy: scores.iter().map(|s| s.test_accuracy).sum::<f64>() / n,
+        valid_accuracy: scores.iter().map(|s| s.valid_accuracy).sum::<f64>() / n,
+        train_accuracy: scores.iter().map(|s| s.train_accuracy).sum::<f64>() / n,
+        and_gates: (scores.iter().map(|s| s.and_gates).sum::<usize>() as f64 / n).round()
+            as usize,
+        levels: (scores.iter().map(|s| u64::from(s.levels)).sum::<u64>() as f64 / n).round()
+            as u32,
+        overfit: scores.iter().map(|s| s.overfit).sum::<f64>() / n,
+    }
+}
+
+/// Accuracy of a bare AIG over a dataset (convenience wrapper used by team
+/// pipelines when ranking internal candidates).
+pub fn aig_accuracy(aig: &lsml_aig::Aig, ds: &Dataset) -> f64 {
+    if ds.is_empty() {
+        return 1.0;
+    }
+    let preds = lsml_aig::sim::eval_patterns(aig, ds.patterns());
+    ds.accuracy_of_slice(&preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsml_aig::Aig;
+    use lsml_pla::Pattern;
+
+    fn and_data() -> BenchData {
+        let mut ds = Dataset::new(2);
+        for m in 0..4u64 {
+            ds.push(Pattern::from_index(m, 2), m == 3);
+        }
+        BenchData {
+            train: ds.clone(),
+            valid: ds.clone(),
+            test: ds,
+        }
+    }
+
+    #[test]
+    fn evaluate_perfect_circuit() {
+        let mut aig = Aig::new(2);
+        let (a, b) = (aig.input(0), aig.input(1));
+        let f = aig.and(a, b);
+        aig.add_output(f);
+        let score = evaluate(&LearnedCircuit::new(aig, "and"), &and_data());
+        assert!((score.test_accuracy - 1.0).abs() < 1e-12);
+        assert!(score.overfit.abs() < 1e-12);
+        assert_eq!(score.and_gates, 1);
+        assert_eq!(score.levels, 1);
+    }
+
+    #[test]
+    fn average_rounds_sizes() {
+        let a = Score {
+            test_accuracy: 0.8,
+            valid_accuracy: 0.9,
+            train_accuracy: 1.0,
+            and_gates: 100,
+            levels: 10,
+            overfit: 0.1,
+        };
+        let b = Score {
+            test_accuracy: 0.6,
+            valid_accuracy: 0.6,
+            train_accuracy: 0.7,
+            and_gates: 301,
+            levels: 21,
+            overfit: 0.0,
+        };
+        let avg = average(&[a, b]);
+        assert!((avg.test_accuracy - 0.7).abs() < 1e-12);
+        assert_eq!(avg.and_gates, 201);
+        assert_eq!(avg.levels, 16);
+    }
+}

@@ -1,0 +1,118 @@
+//! Portfolio selection.
+//!
+//! The paper's headline observation: "there is no approach which is
+//! consistently better across all the considered benchmarks. Thus, applying
+//! several approaches and deciding which one to use ... seems to be the best
+//! strategy." Every team with a top score ran a portfolio and selected by
+//! validation accuracy under the node limit; this module is that selector.
+
+use lsml_pla::Dataset;
+
+use crate::problem::LearnedCircuit;
+
+/// Picks the candidate with the best validation accuracy among those within
+/// `node_limit`, breaking ties towards fewer gates. When *no* candidate
+/// fits, returns the constant circuit matching the validation majority (the
+/// safe fallback every team kept in its pocket).
+pub fn select_best(
+    candidates: Vec<LearnedCircuit>,
+    valid: &Dataset,
+    node_limit: usize,
+) -> LearnedCircuit {
+    let mut best: Option<(f64, usize, LearnedCircuit)> = None;
+    for c in candidates {
+        if !c.fits(node_limit) {
+            continue;
+        }
+        let acc = c.accuracy(valid);
+        let size = c.and_gates();
+        let better = match &best {
+            None => true,
+            Some((bacc, bsize, _)) => {
+                acc > *bacc + 1e-12 || ((acc - *bacc).abs() <= 1e-12 && size < *bsize)
+            }
+        };
+        if better {
+            best = Some((acc, size, c));
+        }
+    }
+    match best {
+        Some((_, _, c)) => c,
+        None => {
+            let majority = valid.majority();
+            LearnedCircuit::new(
+                lsml_aig::Aig::constant(valid.num_inputs(), majority),
+                "constant-fallback",
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsml_aig::Aig;
+    use lsml_pla::Pattern;
+
+    fn target() -> Dataset {
+        let mut ds = Dataset::new(2);
+        for m in 0..4u64 {
+            ds.push(Pattern::from_index(m, 2), m == 3);
+        }
+        ds
+    }
+
+    fn and_circuit() -> LearnedCircuit {
+        let mut aig = Aig::new(2);
+        let (a, b) = (aig.input(0), aig.input(1));
+        let f = aig.and(a, b);
+        aig.add_output(f);
+        LearnedCircuit::new(aig, "and")
+    }
+
+    fn or_circuit() -> LearnedCircuit {
+        let mut aig = Aig::new(2);
+        let (a, b) = (aig.input(0), aig.input(1));
+        let f = aig.or(a, b);
+        aig.add_output(f);
+        LearnedCircuit::new(aig, "or")
+    }
+
+    #[test]
+    fn picks_highest_validation_accuracy() {
+        let best = select_best(vec![or_circuit(), and_circuit()], &target(), 5000);
+        assert_eq!(best.method, "and");
+    }
+
+    #[test]
+    fn respects_node_limit() {
+        // The perfect circuit is over budget; the weaker one fits.
+        let best = select_best(vec![and_circuit(), or_circuit()], &target(), 0);
+        assert_eq!(best.method, "constant-fallback");
+        let best = select_best(vec![and_circuit()], &target(), 1);
+        assert_eq!(best.method, "and");
+    }
+
+    #[test]
+    fn ties_break_to_smaller() {
+        // Two circuits with equal accuracy: constant-false (0 gates) and a
+        // false-ish bigger one.
+        let mut big = Aig::new(2);
+        let (a, b) = (big.input(0), big.input(1));
+        let x = big.and(a, b);
+        let y = big.and(x, !a); // constant false the long way
+        big.add_output(y);
+        let c_small = LearnedCircuit::new(Aig::constant(2, false), "small");
+        let c_big = LearnedCircuit::new(big, "big");
+        let best = select_best(vec![c_big, c_small], &target(), 5000);
+        assert_eq!(best.method, "small");
+    }
+
+    #[test]
+    fn empty_candidates_fall_back_to_majority() {
+        let best = select_best(vec![], &target(), 5000);
+        assert_eq!(best.method, "constant-fallback");
+        // Majority of AND truth table is false.
+        assert_eq!(best.aig.eval(&[true, true]), vec![false]);
+    }
+}

@@ -1,0 +1,149 @@
+//! The contest interface: problems, solutions, learners.
+
+use lsml_aig::Aig;
+use lsml_pla::Dataset;
+
+/// The contest's node budget.
+pub const NODE_LIMIT: usize = 5000;
+
+/// One learning problem: the two 6400-minterm sets handed to contestants
+/// plus the AIG size budget.
+#[derive(Clone, Debug)]
+pub struct Problem {
+    /// Training minterms.
+    pub train: Dataset,
+    /// Validation minterms (participants were "free to use these subsets as
+    /// they saw fit").
+    pub valid: Dataset,
+    /// Maximum AND-node count (5000 in the contest).
+    pub node_limit: usize,
+    /// Seed controlling every stochastic choice a learner makes.
+    pub seed: u64,
+}
+
+impl Problem {
+    /// Creates a problem with the contest's 5000-node limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets disagree on input arity.
+    pub fn new(train: Dataset, valid: Dataset, seed: u64) -> Self {
+        assert_eq!(
+            train.num_inputs(),
+            valid.num_inputs(),
+            "train/valid arity mismatch"
+        );
+        Problem {
+            train,
+            valid,
+            node_limit: NODE_LIMIT,
+            seed,
+        }
+    }
+
+    /// Number of input variables.
+    pub fn num_inputs(&self) -> usize {
+        self.train.num_inputs()
+    }
+
+    /// Training and validation sets merged (several teams retrained on the
+    /// union).
+    pub fn merged(&self) -> Dataset {
+        self.train.merged(&self.valid)
+    }
+}
+
+/// A candidate solution: the synthesized AIG plus provenance.
+#[derive(Clone, Debug)]
+pub struct LearnedCircuit {
+    /// The synthesized circuit (single output).
+    pub aig: Aig,
+    /// Which technique produced it (for the Fig. 1 style analyses).
+    pub method: String,
+}
+
+impl LearnedCircuit {
+    /// Wraps an AIG with its provenance label.
+    pub fn new(aig: Aig, method: impl Into<String>) -> Self {
+        LearnedCircuit {
+            aig,
+            method: method.into(),
+        }
+    }
+
+    /// Accuracy of the circuit over a dataset (word-parallel simulation).
+    pub fn accuracy(&self, ds: &Dataset) -> f64 {
+        if ds.is_empty() {
+            return 1.0;
+        }
+        let preds = lsml_aig::sim::eval_patterns(&self.aig, ds.patterns());
+        ds.accuracy_of_slice(&preds)
+    }
+
+    /// AND-node count (the contest size metric).
+    pub fn and_gates(&self) -> usize {
+        self.aig.num_ands()
+    }
+
+    /// Whether the circuit respects a node budget.
+    pub fn fits(&self, node_limit: usize) -> bool {
+        self.and_gates() <= node_limit
+    }
+}
+
+/// A contest participant: consumes a [`Problem`], returns a circuit.
+///
+/// Implementations must be deterministic given `problem.seed`.
+pub trait Learner: Send + Sync {
+    /// Short display name ("team1", "espresso", ...).
+    fn name(&self) -> &str;
+
+    /// Learns a circuit. Implementations should respect
+    /// `problem.node_limit`; the harness clamps oversized results by
+    /// substituting a constant circuit when they exceed the limit.
+    fn learn(&self, problem: &Problem) -> LearnedCircuit;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsml_pla::Pattern;
+
+    fn tiny() -> Dataset {
+        let mut ds = Dataset::new(2);
+        for m in 0..4u64 {
+            ds.push(Pattern::from_index(m, 2), m == 3);
+        }
+        ds
+    }
+
+    #[test]
+    fn problem_merges_sets() {
+        let p = Problem::new(tiny(), tiny(), 0);
+        assert_eq!(p.merged().len(), 8);
+        assert_eq!(p.node_limit, NODE_LIMIT);
+        assert_eq!(p.num_inputs(), 2);
+    }
+
+    #[test]
+    fn learned_circuit_accuracy() {
+        let mut aig = Aig::new(2);
+        let (a, b) = (aig.input(0), aig.input(1));
+        let f = aig.and(a, b);
+        aig.add_output(f);
+        let c = LearnedCircuit::new(aig, "and2");
+        let acc = c.accuracy(&tiny());
+        assert!((acc - 1.0).abs() < 1e-12);
+        assert_eq!(c.and_gates(), 1);
+        assert!(c.fits(1));
+        assert!(!c.fits(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn mismatched_sets_panic() {
+        let mut other = Dataset::new(3);
+        other.push(Pattern::from_index(0, 3), false);
+        Problem::new(tiny(), other, 0);
+    }
+}

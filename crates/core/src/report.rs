@@ -1,0 +1,224 @@
+//! Aggregate analyses: Table III rows, the Fig. 2 Pareto curve, Fig. 3 max
+//! accuracies and Fig. 4 win rates.
+
+use std::collections::BTreeMap;
+
+use crate::eval::{average, Score};
+
+/// One team's results over the whole suite.
+#[derive(Clone, Debug)]
+pub struct TeamResults {
+    /// Team name.
+    pub team: String,
+    /// Per-benchmark scores, indexed by benchmark id.
+    pub scores: Vec<Score>,
+}
+
+impl TeamResults {
+    /// The team's Table III row (averages over all benchmarks).
+    pub fn table_row(&self) -> Score {
+        average(&self.scores)
+    }
+}
+
+/// Renders Table III: one row per team, sorted by average test accuracy.
+pub fn table3(results: &[TeamResults]) -> String {
+    let mut rows: Vec<(String, Score)> = results
+        .iter()
+        .map(|r| (r.team.clone(), r.table_row()))
+        .collect();
+    rows.sort_by(|a, b| {
+        b.1.test_accuracy
+            .partial_cmp(&a.1.test_accuracy)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = String::new();
+    out.push_str("team        test_acc   and_gates   levels   overfit\n");
+    for (team, s) in rows {
+        out.push_str(&format!(
+            "{team:<10}  {:>7.2}   {:>9.2}   {:>6.2}   {:>7.2}\n",
+            s.test_accuracy * 100.0,
+            s.and_gates as f64,
+            s.levels as f64,
+            s.overfit * 100.0
+        ));
+    }
+    out
+}
+
+/// The best test accuracy per benchmark over all teams (Fig. 3).
+pub fn max_accuracy_per_benchmark(results: &[TeamResults]) -> Vec<f64> {
+    let n = results.first().map_or(0, |r| r.scores.len());
+    (0..n)
+        .map(|b| {
+            results
+                .iter()
+                .map(|r| r.scores[b].test_accuracy)
+                .fold(0.0, f64::max)
+        })
+        .collect()
+}
+
+/// Win-rate statistics (Fig. 4): for each team, on how many benchmarks it
+/// achieved the single best accuracy, and on how many it landed within 1% of
+/// the best.
+pub fn win_rates(results: &[TeamResults]) -> BTreeMap<String, (usize, usize)> {
+    let best = max_accuracy_per_benchmark(results);
+    let mut out = BTreeMap::new();
+    for r in results {
+        let mut wins = 0;
+        let mut top1 = 0;
+        for (b, score) in r.scores.iter().enumerate() {
+            if (score.test_accuracy - best[b]).abs() < 1e-12 {
+                wins += 1;
+            }
+            if score.test_accuracy >= best[b] - 0.01 {
+                top1 += 1;
+            }
+        }
+        out.insert(r.team.clone(), (wins, top1));
+    }
+    out
+}
+
+/// One point of the accuracy/size trade-off.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ParetoPoint {
+    /// Average AND-gate count of the selected circuits.
+    pub avg_gates: f64,
+    /// Average test accuracy of the selected circuits (percent).
+    pub avg_accuracy: f64,
+}
+
+/// The Fig. 2 virtual-best Pareto curve: for a sweep of per-benchmark size
+/// budgets, pick on every benchmark the most accurate circuit that fits and
+/// average. `candidates[b]` lists `(test_accuracy, and_gates)` pairs for
+/// benchmark `b` across all teams.
+pub fn virtual_best_pareto(
+    candidates: &[Vec<(f64, usize)>],
+    budgets: &[usize],
+) -> Vec<ParetoPoint> {
+    budgets
+        .iter()
+        .map(|&budget| {
+            let mut accs = 0.0;
+            let mut sizes = 0.0;
+            let mut count = 0usize;
+            for bench in candidates {
+                let best = bench
+                    .iter()
+                    .filter(|&&(_, g)| g <= budget)
+                    .max_by(|a, b| {
+                        a.0.partial_cmp(&b.0)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(b.1.cmp(&a.1).reverse())
+                    });
+                if let Some(&(acc, gates)) = best {
+                    accs += acc;
+                    sizes += gates as f64;
+                    count += 1;
+                }
+            }
+            let n = count.max(1) as f64;
+            ParetoPoint {
+                avg_gates: sizes / n,
+                avg_accuracy: 100.0 * accs / n,
+            }
+        })
+        .collect()
+}
+
+/// The technique matrix of Fig. 1: which representation/technique each team
+/// pipeline uses (static metadata, printed alongside Table III).
+pub fn technique_matrix() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        ("team1", vec!["espresso", "lut-network", "random-forest", "function-matching", "approximation"]),
+        ("team2", vec!["decision-tree(J48)", "rule-list(PART)"]),
+        ("team3", vec!["decision-tree", "fringe-features", "neural-net->lut", "ensemble"]),
+        ("team4", vec!["feature-selection", "neural-net", "subspace-expansion"]),
+        ("team5", vec!["decision-tree", "random-forest", "nn-feature-search"]),
+        ("team6", vec!["lut-network"]),
+        ("team7", vec!["decision-tree", "gradient-boosting", "function-matching"]),
+        ("team8", vec!["decision-tree(funcdec)", "random-forest", "mlp(sine)"]),
+        ("team9", vec!["cgp", "bootstrap(dt/espresso)"]),
+        ("team10", vec!["decision-tree(depth8)"]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(acc: f64, gates: usize) -> Score {
+        Score {
+            test_accuracy: acc,
+            valid_accuracy: acc,
+            train_accuracy: acc,
+            and_gates: gates,
+            levels: 5,
+            overfit: 0.0,
+        }
+    }
+
+    fn two_teams() -> Vec<TeamResults> {
+        vec![
+            TeamResults {
+                team: "alpha".into(),
+                scores: vec![score(0.9, 100), score(0.6, 50)],
+            },
+            TeamResults {
+                team: "beta".into(),
+                scores: vec![score(0.8, 10), score(0.7, 20)],
+            },
+        ]
+    }
+
+    #[test]
+    fn table3_sorts_by_accuracy() {
+        let t = table3(&two_teams());
+        let alpha_pos = t.find("alpha").expect("alpha row");
+        let beta_pos = t.find("beta").expect("beta row");
+        // alpha avg 0.75 = beta avg 0.75; stable order acceptable. Make a
+        // clearer case:
+        let mut teams = two_teams();
+        teams[1].scores = vec![score(0.95, 10), score(0.9, 20)];
+        let t = table3(&teams);
+        let alpha_pos2 = t.find("alpha").expect("alpha row");
+        let beta_pos2 = t.find("beta").expect("beta row");
+        assert!(beta_pos2 < alpha_pos2);
+        let _ = (alpha_pos, beta_pos);
+    }
+
+    #[test]
+    fn max_accuracy_is_elementwise() {
+        let m = max_accuracy_per_benchmark(&two_teams());
+        assert_eq!(m, vec![0.9, 0.7]);
+    }
+
+    #[test]
+    fn win_rates_count_best_and_top1() {
+        let w = win_rates(&two_teams());
+        assert_eq!(w["alpha"], (1, 1)); // wins bench 0
+        assert_eq!(w["beta"], (1, 1)); // wins bench 1
+    }
+
+    #[test]
+    fn pareto_trades_size_for_accuracy() {
+        // bench 0: (0.9, 100) or (0.8, 10); bench 1: (0.7, 20) or (0.6, 50).
+        let candidates = vec![
+            vec![(0.9, 100), (0.8, 10)],
+            vec![(0.7, 20), (0.6, 50)],
+        ];
+        let pts = virtual_best_pareto(&candidates, &[10, 20, 100]);
+        // Budget 10: only (0.8,10) fits on bench 0, nothing on bench 1 -> avg over 1.
+        assert!((pts[0].avg_accuracy - 80.0).abs() < 1e-9);
+        // Budget 100: picks 0.9 and 0.7.
+        assert!((pts[2].avg_accuracy - 80.0).abs() < 1e-9);
+        assert!(pts[2].avg_gates > pts[1].avg_gates);
+    }
+
+    #[test]
+    fn technique_matrix_covers_ten_teams() {
+        assert_eq!(technique_matrix().len(), 10);
+    }
+}

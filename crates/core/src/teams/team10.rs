@@ -1,0 +1,79 @@
+//! Team 10 (University of Utah): depth-8 decision trees with a validation
+//! gate.
+//!
+//! A Scikit-learn-style CART with `max_depth = 8`. If the validation
+//! accuracy is below 70% the validation set is merged into the training set
+//! and the tree retrained (the paper: "the training sets were not able to
+//! provide enough representative cases"); the tree is then annotated as a
+//! MUX netlist and optimized — which is exactly [`DecisionTree::to_aig`].
+//! The paper credits this pipeline with the smallest circuits of the
+//! contest (average 140 AND gates, none over 300).
+
+use lsml_dtree::{DecisionTree, TreeConfig};
+
+use crate::problem::{LearnedCircuit, Learner, Problem};
+
+/// Team 10's learner.
+#[derive(Clone, Debug)]
+pub struct Team10 {
+    /// Tree depth cap (8 in the paper).
+    pub max_depth: usize,
+    /// Validation accuracy below which train and validation merge (0.70).
+    pub augment_threshold: f64,
+}
+
+impl Default for Team10 {
+    fn default() -> Self {
+        Team10 {
+            max_depth: 8,
+            augment_threshold: 0.70,
+        }
+    }
+}
+
+impl Learner for Team10 {
+    fn name(&self) -> &str {
+        "team10"
+    }
+
+    fn learn(&self, problem: &Problem) -> LearnedCircuit {
+        let cfg = TreeConfig {
+            max_depth: Some(self.max_depth),
+            seed: problem.seed,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::train(&problem.train, &cfg);
+        let tree = if tree.accuracy(&problem.valid) < self.augment_threshold {
+            // Training augmentation: merge the validation set and retrain.
+            DecisionTree::train(&problem.merged(), &cfg)
+        } else {
+            tree
+        };
+        LearnedCircuit::new(tree.to_aig(), "dt-depth8")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::teams::testutil::problem_from;
+
+    #[test]
+    fn learns_conjunction_with_small_circuit() {
+        let (problem, test) = problem_from(8, 400, 1, |p| p.get(0) && p.get(3));
+        let c = Team10::default().learn(&problem);
+        assert!(c.accuracy(&test) > 0.95, "acc {}", c.accuracy(&test));
+        // Paper: no Team 10 AIG exceeded 300 nodes.
+        assert!(c.and_gates() <= 300, "gates {}", c.and_gates());
+    }
+
+    #[test]
+    fn depth_cap_bounds_circuit_size() {
+        // Random labels: the depth cap keeps the MUX tree below 2^8 muxes.
+        let (problem, _) = problem_from(16, 500, 2, |p| {
+            p.count_ones() % 3 == 0 // awkward function, tree will flounder
+        });
+        let c = Team10::default().learn(&problem);
+        assert!(c.and_gates() <= 3 * (1 << 8));
+    }
+}

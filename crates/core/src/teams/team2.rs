@@ -1,0 +1,157 @@
+//! Team 2 (UF Pelotas / UFRGS): J48 and PART via configuration sweeps.
+//!
+//! The pipeline mirrors the paper's flowchart: train J48 (C4.5) trees and
+//! PART rule lists at five confidence factors over the combined
+//! train+validation data, pick the better classifier family, then sweep the
+//! minimum-instances-per-leaf parameter (WEKA's `-M`) on the winner. WEKA's
+//! cross-validated selection is replaced by a held-out 80/20 split of the
+//! merged data (same purpose, cheaper); the winning configuration is
+//! retrained on everything, exactly as Team 2 submitted circuits built from
+//! the full data.
+
+use lsml_dtree::prune::prune_c45;
+use lsml_dtree::{Criterion, DecisionTree, RuleList, RuleListConfig, TreeConfig};
+use lsml_pla::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::problem::{LearnedCircuit, Learner, Problem};
+use crate::teams::stage_seed;
+
+/// Team 2's learner.
+#[derive(Clone, Debug)]
+pub struct Team2 {
+    /// The confidence factors swept for both classifiers (J48's `-C`).
+    pub confidence_factors: Vec<f64>,
+    /// The minimum-instances values swept on the winning classifier
+    /// (WEKA's `-M`).
+    pub min_instances: Vec<usize>,
+}
+
+impl Default for Team2 {
+    fn default() -> Self {
+        Team2 {
+            confidence_factors: vec![0.001, 0.01, 0.1, 0.25, 0.5],
+            min_instances: vec![1, 3, 4, 5, 10],
+        }
+    }
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Family {
+    J48,
+    Part,
+}
+
+impl Team2 {
+    fn j48(&self, train: &Dataset, cf: f64, min_leaf: usize, seed: u64) -> DecisionTree {
+        let cfg = TreeConfig {
+            criterion: Criterion::Entropy,
+            min_samples_leaf: min_leaf,
+            seed,
+            ..TreeConfig::default()
+        };
+        let mut tree = DecisionTree::train(train, &cfg);
+        prune_c45(&mut tree, cf.clamp(1e-4, 0.5));
+        tree
+    }
+
+    fn part(&self, train: &Dataset, cf: f64, min_leaf: usize, seed: u64) -> RuleList {
+        let cfg = RuleListConfig {
+            tree: TreeConfig {
+                criterion: Criterion::Entropy,
+                min_samples_leaf: min_leaf,
+                seed,
+                ..TreeConfig::default()
+            },
+            confidence: Some(cf.clamp(1e-4, 0.5)),
+            max_rules: 256,
+        };
+        RuleList::train(train, &cfg)
+    }
+}
+
+impl Learner for Team2 {
+    fn name(&self) -> &str {
+        "team2"
+    }
+
+    fn learn(&self, problem: &Problem) -> LearnedCircuit {
+        let merged = problem.merged();
+        let mut rng = StdRng::seed_from_u64(stage_seed(problem, 2));
+        let (fit, held) = merged.stratified_split(0.8, &mut rng);
+
+        // Stage 1: pick family and confidence factor on the held-out split.
+        let mut best: Option<(f64, Family, f64)> = None; // (acc, family, cf)
+        for &cf in &self.confidence_factors {
+            let j48_acc = self
+                .j48(&fit, cf, 2, problem.seed)
+                .accuracy(&held);
+            let part_acc = self.part(&fit, cf, 2, problem.seed).accuracy(&held);
+            for (family, acc) in [(Family::J48, j48_acc), (Family::Part, part_acc)] {
+                if best.is_none_or(|(bacc, _, _)| acc > bacc) {
+                    best = Some((acc, family, cf));
+                }
+            }
+        }
+        let (_, family, cf) = best.expect("non-empty sweep");
+
+        // Stage 2: sweep the minimum-instances parameter on the winner.
+        let mut best_m: Option<(f64, usize)> = None;
+        for &m in &self.min_instances {
+            let acc = match family {
+                Family::J48 => self.j48(&fit, cf, m, problem.seed).accuracy(&held),
+                Family::Part => self.part(&fit, cf, m, problem.seed).accuracy(&held),
+            };
+            if best_m.is_none_or(|(bacc, _)| acc > bacc) {
+                best_m = Some((acc, m));
+            }
+        }
+        let (_, m) = best_m.expect("non-empty sweep");
+
+        // Retrain the winning configuration on the full merged data.
+        let (aig, method) = match family {
+            Family::J48 => (
+                self.j48(&merged, cf, m, problem.seed).to_aig(),
+                format!("j48(cf={cf},m={m})"),
+            ),
+            Family::Part => (
+                self.part(&merged, cf, m, problem.seed).to_aig(),
+                format!("part(cf={cf},m={m})"),
+            ),
+        };
+        // The contest requires the size cap; J48 trees on noisy wide data
+        // can exceed it, in which case a harder-pruned fallback applies.
+        if aig.num_ands() > problem.node_limit {
+            let mut tree = self.j48(&merged, 0.001, 10, problem.seed);
+            prune_c45(&mut tree, 0.001);
+            return LearnedCircuit::new(tree.to_aig(), "j48-hard-pruned");
+        }
+        LearnedCircuit::new(aig, method)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::teams::testutil::problem_from;
+
+    #[test]
+    fn learns_disjunction() {
+        let (problem, test) = problem_from(6, 300, 3, |p| p.get(1) || p.get(4));
+        let c = Team2::default().learn(&problem);
+        assert!(c.accuracy(&test) > 0.9, "acc {}", c.accuracy(&test));
+        assert!(c.fits(5000));
+    }
+
+    #[test]
+    fn method_label_records_configuration() {
+        let (problem, _) = problem_from(5, 200, 4, |p| p.get(0));
+        let c = Team2::default().learn(&problem);
+        assert!(
+            c.method.starts_with("j48") || c.method.starts_with("part"),
+            "method {}",
+            c.method
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Team 3 (National Taiwan University): DT / Fr-DT / NN ensemble.
+//!
+//! The merged data is re-divided into three fold configurations; under each
+//! configuration a plain tree, a fringe tree and a pruned-and-LUT-ized MLP
+//! are trained, the best per configuration joins a three-model voting
+//! ensemble. Oversized ensembles drop their largest member, exactly as the
+//! paper describes.
+
+use lsml_aig::{circuits, Aig};
+use lsml_dtree::{train_fringe_tree, Criterion, DecisionTree, FringeConfig, TreeConfig};
+use lsml_neural::{prune_to_fanin, Mlp, MlpConfig};
+use lsml_pla::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::problem::{LearnedCircuit, Learner, Problem};
+use crate::teams::stage_seed;
+
+/// Team 3's learner.
+#[derive(Clone, Debug)]
+pub struct Team3 {
+    /// Tree depth cap for DT and Fr-DT members.
+    pub max_depth: usize,
+    /// MLP training epochs.
+    pub nn_epochs: usize,
+    /// Neuron fan-in budget after pruning (12 in the paper; smaller keeps
+    /// LUT enumeration cheap).
+    pub nn_max_fanin: usize,
+    /// Skip the NN member above this input count (NN training on very wide
+    /// benchmarks dominates runtime without circuit-size feasibility).
+    pub nn_max_inputs: usize,
+}
+
+impl Default for Team3 {
+    fn default() -> Self {
+        Team3 {
+            max_depth: 12,
+            nn_epochs: 30,
+            nn_max_fanin: 8,
+            nn_max_inputs: 256,
+        }
+    }
+}
+
+impl Team3 {
+    /// Trains the three member types on one fold configuration and returns
+    /// the best by held-out accuracy.
+    fn best_member(
+        &self,
+        train: &Dataset,
+        held: &Dataset,
+        seed: u64,
+    ) -> (Aig, &'static str, f64) {
+        let tree_cfg = TreeConfig {
+            criterion: Criterion::Entropy,
+            max_depth: Some(self.max_depth),
+            seed,
+            ..TreeConfig::default()
+        };
+        let dt = DecisionTree::train(train, &tree_cfg);
+        let mut best = (dt.to_aig(), "dt", dt.accuracy(held));
+
+        let fr = train_fringe_tree(
+            train,
+            &FringeConfig {
+                tree: tree_cfg.clone(),
+                max_iterations: 4,
+                max_features: train.num_inputs() + 128,
+            },
+        );
+        let fr_acc = fr.accuracy(held);
+        if fr_acc > best.2 {
+            best = (fr.to_aig(), "fringe-dt", fr_acc);
+        }
+
+        if train.num_inputs() <= self.nn_max_inputs {
+            let nn_cfg = MlpConfig {
+                hidden: vec![24, 12],
+                epochs: self.nn_epochs,
+                seed,
+                ..MlpConfig::default()
+            };
+            let mut mlp = Mlp::train(train, &nn_cfg);
+            prune_to_fanin(&mut mlp, train, &nn_cfg, self.nn_max_fanin);
+            let aig = mlp.to_aig_quantized(self.nn_max_fanin);
+            let acc = held.accuracy_of(|p| mlp.predict_quantized(p));
+            if acc > best.2 {
+                best = (aig, "nn-lut", acc);
+            }
+        }
+        best
+    }
+}
+
+impl Learner for Team3 {
+    fn name(&self) -> &str {
+        "team3"
+    }
+
+    fn learn(&self, problem: &Problem) -> LearnedCircuit {
+        let merged = problem.merged();
+        let mut rng = StdRng::seed_from_u64(stage_seed(problem, 3));
+        let folds = merged.folds(3, &mut rng);
+
+        // One member per fold configuration (two folds train, one selects).
+        let mut members: Vec<(Aig, &'static str, f64)> = Vec::new();
+        for i in 0..3 {
+            let held = &folds[i];
+            let mut train = Dataset::new(merged.num_inputs());
+            for (j, fold) in folds.iter().enumerate() {
+                if j != i {
+                    train.extend_from(fold);
+                }
+            }
+            members.push(self.best_member(&train, held, stage_seed(problem, 30 + i as u64)));
+        }
+
+        // Voting ensemble; drop the largest member while over budget.
+        loop {
+            let aig = ensemble_aig(problem.num_inputs(), &members);
+            if aig.num_ands() <= problem.node_limit || members.len() == 1 {
+                let tags: Vec<&str> = members.iter().map(|m| m.1).collect();
+                if aig.num_ands() <= problem.node_limit {
+                    return LearnedCircuit::new(aig, format!("ensemble[{}]", tags.join("+")));
+                }
+                // Single member still too large: fall back to a small tree.
+                let tree = DecisionTree::train(
+                    &merged,
+                    &TreeConfig {
+                        max_depth: Some(8),
+                        seed: problem.seed,
+                        ..TreeConfig::default()
+                    },
+                );
+                return LearnedCircuit::new(tree.to_aig(), "dt-fallback");
+            }
+            let largest = members
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, m)| m.0.num_ands())
+                .map(|(i, _)| i)
+                .expect("non-empty members");
+            members.remove(largest);
+        }
+    }
+}
+
+/// Majority vote over member AIGs (a single member passes through).
+fn ensemble_aig(num_inputs: usize, members: &[(Aig, &'static str, f64)]) -> Aig {
+    if members.len() == 1 {
+        return members[0].0.clone();
+    }
+    let mut aig = Aig::new(num_inputs);
+    let inputs = aig.inputs();
+    let votes: Vec<_> = members
+        .iter()
+        .map(|(m, _, _)| aig.append(m, &inputs)[0])
+        .collect();
+    let out = circuits::majority(&mut aig, &votes);
+    aig.add_output(out);
+    aig.cleanup();
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::teams::testutil::problem_from;
+
+    #[test]
+    fn ensemble_learns_mixed_function() {
+        let (problem, test) = problem_from(8, 400, 31, |p| p.get(0) ^ (p.get(2) && p.get(5)));
+        let c = Team3::default().learn(&problem);
+        assert!(c.accuracy(&test) > 0.85, "acc {}", c.accuracy(&test));
+        assert!(c.fits(5000));
+    }
+
+    #[test]
+    fn method_records_ensemble_members() {
+        let (problem, _) = problem_from(6, 250, 32, |p| p.get(1) || p.get(3));
+        let c = Team3::default().learn(&problem);
+        assert!(
+            c.method.starts_with("ensemble[") || c.method == "dt-fallback",
+            "method {}",
+            c.method
+        );
+    }
+
+    #[test]
+    fn fringe_member_handles_xor_pairs() {
+        let (problem, test) = problem_from(10, 500, 33, |p| p.get(0) ^ p.get(7));
+        let c = Team3::default().learn(&problem);
+        assert!(c.accuracy(&test) > 0.9, "acc {}", c.accuracy(&test));
+    }
+}

@@ -1,0 +1,149 @@
+//! Team 4 (UT Austin): feature selection + network + subspace expansion.
+//!
+//! The deep pipeline of the paper's Fig. 18: multi-level ensemble-based
+//! feature selection picks top-k inputs (k ∈ [10,16]) at two levels
+//! (tree-importance and a chi²/importance blend), an MLP stands in for the
+//! Adaptive Factorization Network as the Boolean approximator, the trained
+//! model predicts the *entire* 2^k subspace (everything else don't-care),
+//! and an accuracy–node joint search keeps the best PLA that synthesizes
+//! under the node budget.
+
+use lsml_aig::circuits::truth_table_cone;
+use lsml_aig::Aig;
+use lsml_dtree::select::{chi2_scores, forest_importance, select_k_best};
+use lsml_neural::{Mlp, MlpConfig};
+use lsml_pla::{Pattern, TruthTable};
+
+use crate::portfolio::select_best;
+use crate::problem::{LearnedCircuit, Learner, Problem};
+use crate::teams::stage_seed;
+
+/// Team 4's learner.
+#[derive(Clone, Debug)]
+pub struct Team4 {
+    /// Feature counts explored (paper: 10..=16; default sweeps a subset).
+    pub ks: Vec<usize>,
+    /// MLP epochs per candidate model.
+    pub epochs: usize,
+}
+
+impl Default for Team4 {
+    fn default() -> Self {
+        Team4 {
+            ks: vec![10, 12, 14, 16],
+            epochs: 40,
+        }
+    }
+}
+
+impl Learner for Team4 {
+    fn name(&self) -> &str {
+        "team4"
+    }
+
+    fn learn(&self, problem: &Problem) -> LearnedCircuit {
+        let n = problem.num_inputs();
+        // Benchmarks at or below 12 inputs skip reduction entirely
+        // ("we assume the training set is enough to recover the true
+        // functionality of circuits with less than log2(6400) = 12 inputs").
+        let importance = forest_importance(&problem.train, 8, stage_seed(problem, 4));
+        let chi2 = chi2_scores(&problem.train);
+        // Level-2 blend: normalized rank average of the two score vectors.
+        let blend: Vec<f64> = importance
+            .iter()
+            .zip(chi2.iter())
+            .map(|(&a, &b)| {
+                let maxc = chi2.iter().cloned().fold(1e-12, f64::max);
+                a + b / maxc
+            })
+            .collect();
+
+        let mut candidates = Vec::new();
+        for &k in &self.ks {
+            if k >= n {
+                // No reduction needed/possible; a single full-space model.
+                if n <= 16 {
+                    candidates.push(self.model_on(problem, &(0..n).collect::<Vec<_>>()));
+                }
+                break;
+            }
+            for (level, scores) in [(1usize, &importance), (2usize, &blend)] {
+                let vars = select_k_best(scores, k);
+                let mut c = self.model_on(problem, &vars);
+                c.method = format!("afn-sub(k={k},L{level})");
+                candidates.push(c);
+            }
+        }
+        select_best(candidates, &problem.valid, problem.node_limit)
+    }
+}
+
+impl Team4 {
+    /// Trains the approximator on the projected inputs and expands the full
+    /// 2^k subspace into a truth-table cone over the selected variables.
+    fn model_on(&self, problem: &Problem, vars: &[usize]) -> LearnedCircuit {
+        let projected = problem.train.project(vars);
+        let cfg = MlpConfig {
+            hidden: vec![32, 16],
+            epochs: self.epochs,
+            seed: stage_seed(problem, 40 + vars.len() as u64),
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::train(&projected, &cfg);
+        let k = vars.len();
+        // Subspace expansion: predict every vertex of the k-cube. Cells the
+        // training data actually covers take their majority label (the
+        // model must stay exact where it has evidence); only unseen
+        // vertices are left to the network's generalization.
+        let mut pos = vec![0u32; 1 << k];
+        let mut neg = vec![0u32; 1 << k];
+        for (p, o) in projected.iter() {
+            let cell = p.to_index() as usize;
+            if o {
+                pos[cell] += 1;
+            } else {
+                neg[cell] += 1;
+            }
+        }
+        let table = TruthTable::from_fn(k, |m| {
+            let cell = m as usize;
+            match pos[cell].cmp(&neg[cell]) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => {
+                    mlp.predict(&Pattern::from_index(u64::from(m), k))
+                }
+            }
+        });
+        let mut aig = Aig::new(problem.num_inputs());
+        let srcs: Vec<_> = vars.iter().map(|&v| aig.input(v)).collect();
+        let out = truth_table_cone(&mut aig, &table, &srcs);
+        aig.add_output(out);
+        aig.cleanup();
+        LearnedCircuit::new(aig, "afn-sub")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::teams::testutil::problem_from;
+
+    #[test]
+    fn selects_relevant_subspace() {
+        // 24 inputs, function depends on 3 of them.
+        let (problem, test) = problem_from(24, 500, 41, |p| {
+            p.get(20) && (p.get(3) || !p.get(11))
+        });
+        let c = Team4::default().learn(&problem);
+        assert!(c.accuracy(&test) > 0.85, "acc {}", c.accuracy(&test));
+        assert!(c.fits(5000));
+    }
+
+    #[test]
+    fn narrow_problem_uses_full_space() {
+        let (problem, test) = problem_from(8, 300, 42, |p| p.get(0) ^ p.get(5));
+        let c = Team4::default().learn(&problem);
+        assert!(c.accuracy(&test) > 0.8, "acc {}", c.accuracy(&test));
+    }
+}

@@ -1,0 +1,90 @@
+//! Team 6 (TU Dresden): LUT-network memorization.
+//!
+//! Pure Chatterjee-style memorization with the two wiring schemes ("random
+//! set of inputs" and "unique but random set of inputs") and a small sweep
+//! over LUTs-per-layer and depth; 4-input LUTs throughout, which Team 6
+//! found best across the suite. Candidates over the node budget are
+//! discarded before validation-accuracy selection.
+
+use lsml_lutnet::{LutNetConfig, LutNetwork, Wiring};
+
+use crate::portfolio::select_best;
+use crate::problem::{LearnedCircuit, Learner, Problem};
+use crate::teams::stage_seed;
+
+/// Team 6's learner.
+#[derive(Clone, Debug)]
+pub struct Team6 {
+    /// LUT fan-in (4 per the paper).
+    pub lut_inputs: usize,
+    /// Hidden-layer width options swept.
+    pub widths: Vec<usize>,
+    /// Depth options swept.
+    pub depths: Vec<usize>,
+}
+
+impl Default for Team6 {
+    fn default() -> Self {
+        Team6 {
+            lut_inputs: 4,
+            widths: vec![16, 32],
+            depths: vec![1, 2],
+        }
+    }
+}
+
+impl Learner for Team6 {
+    fn name(&self) -> &str {
+        "team6"
+    }
+
+    fn learn(&self, problem: &Problem) -> LearnedCircuit {
+        // "We have used '0.4' part of the minterms in our training" — Team 6
+        // trained on the training set and kept the validation set for
+        // selection.
+        let mut candidates = Vec::new();
+        for &width in &self.widths {
+            for &depth in &self.depths {
+                for wiring in [Wiring::Random, Wiring::UniqueRandom] {
+                    let cfg = LutNetConfig {
+                        lut_inputs: self.lut_inputs,
+                        luts_per_layer: width,
+                        layers: depth,
+                        wiring,
+                        seed: stage_seed(problem, 6 + width as u64 * 31 + depth as u64),
+                    };
+                    let net = LutNetwork::train(&problem.train, &cfg);
+                    let aig = net.to_aig();
+                    if aig.num_ands() <= problem.node_limit {
+                        candidates.push(LearnedCircuit::new(
+                            aig,
+                            format!("lutnet(w={width},d={depth},{wiring:?})"),
+                        ));
+                    }
+                }
+            }
+        }
+        select_best(candidates, &problem.valid, problem.node_limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::teams::testutil::problem_from;
+
+    #[test]
+    fn memorizes_simple_function() {
+        let (problem, test) = problem_from(8, 500, 6, |p| p.get(2));
+        let c = Team6::default().learn(&problem);
+        assert!(c.accuracy(&test) > 0.8, "acc {}", c.accuracy(&test));
+        assert!(c.fits(5000));
+    }
+
+    #[test]
+    fn always_returns_within_budget() {
+        let (problem, _) = problem_from(12, 300, 7, |p| p.count_ones() % 2 == 0);
+        let c = Team6::default().learn(&problem);
+        assert!(c.fits(5000));
+    }
+}

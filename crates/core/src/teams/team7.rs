@@ -1,0 +1,128 @@
+//! Team 7 (UW–Madison / IBM): tree models plus standard-function matching.
+//!
+//! "If the training set matches a pre-defined standard function, a custom
+//! AIG of the identified function is written out. Otherwise, an ML model is
+//! trained": either an unlimited-depth decision tree or an XGBoost of 125
+//! depth-5 trees with quantized ±1 leaves aggregated by the 3-layer MAJ-5
+//! network. Model choice used 10-fold cross-validation in the paper; we
+//! select on the validation set (same decision, fraction of the cost).
+
+use lsml_dtree::{DecisionTree, GradientBoost, GradientBoostConfig, TreeConfig};
+use lsml_matching::match_function;
+
+use crate::problem::{LearnedCircuit, Learner, Problem};
+
+/// Team 7's learner.
+#[derive(Clone, Debug)]
+pub struct Team7 {
+    /// Boosting rounds (125 in the paper).
+    pub boost_rounds: usize,
+    /// Boosted-tree depth (5 in the paper).
+    pub boost_depth: usize,
+}
+
+impl Default for Team7 {
+    fn default() -> Self {
+        Team7 {
+            boost_rounds: 125,
+            boost_depth: 5,
+        }
+    }
+}
+
+impl Learner for Team7 {
+    fn name(&self) -> &str {
+        "team7"
+    }
+
+    fn learn(&self, problem: &Problem) -> LearnedCircuit {
+        let merged = problem.merged();
+        // Standard-function matching comes first: symmetric functions,
+        // adders, comparators, XOR patterns.
+        if let Some(m) = match_function(&merged) {
+            if m.aig.num_ands() <= problem.node_limit {
+                return LearnedCircuit::new(m.aig, format!("match:{:?}", kind_tag(&m.kind)));
+            }
+        }
+
+        // Otherwise train both tree models and keep the better one.
+        let tree = DecisionTree::train(
+            &problem.train,
+            &TreeConfig {
+                seed: problem.seed,
+                ..TreeConfig::default()
+            },
+        );
+        let tree_acc = tree.accuracy(&problem.valid);
+
+        let gb = GradientBoost::train(
+            &problem.train,
+            &GradientBoostConfig {
+                n_rounds: self.boost_rounds,
+                max_depth: self.boost_depth,
+                ..GradientBoostConfig::default()
+            },
+        );
+        let gb_acc = problem.valid.accuracy_of(|p| gb.predict_quantized(p));
+
+        let (aig, method) = if gb_acc > tree_acc {
+            (gb.to_aig(), "xgboost-maj5")
+        } else {
+            (tree.to_aig(), "decision-tree")
+        };
+        if aig.num_ands() > problem.node_limit {
+            // "the maximum depth ... can be reduced at the cost of potential
+            // loss of accuracy".
+            let shallow = DecisionTree::train(
+                &merged,
+                &TreeConfig {
+                    max_depth: Some(10),
+                    seed: problem.seed,
+                    ..TreeConfig::default()
+                },
+            );
+            return LearnedCircuit::new(shallow.to_aig(), "decision-tree-capped");
+        }
+        LearnedCircuit::new(aig, method)
+    }
+}
+
+fn kind_tag(kind: &lsml_matching::MatchedKind) -> &'static str {
+    use lsml_matching::MatchedKind::*;
+    match kind {
+        Constant(_) => "constant",
+        Literal { .. } => "literal",
+        Affine { .. } => "affine",
+        Symmetric { .. } => "symmetric",
+        Comparator { .. } => "comparator",
+        AdderBit { .. } => "adder",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::teams::testutil::problem_from;
+
+    #[test]
+    fn matching_catches_parity() {
+        let (problem, test) = problem_from(12, 400, 7, |p| {
+            (0..12).fold(false, |acc, v| acc ^ p.get(v))
+        });
+        let c = Team7::default().learn(&problem);
+        assert!(c.method.starts_with("match:"), "method {}", c.method);
+        assert!((c.accuracy(&test) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ml_path_learns_plain_function() {
+        let (problem, test) = problem_from(8, 400, 8, |p| p.get(0) && (p.get(1) || p.get(5)));
+        let c = Team7 {
+            boost_rounds: 25,
+            ..Team7::default()
+        }
+        .learn(&problem);
+        assert!(c.accuracy(&test) > 0.9, "acc {}", c.accuracy(&test));
+        assert!(c.fits(5000));
+    }
+}

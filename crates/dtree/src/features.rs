@@ -1,0 +1,342 @@
+//! Decision variables: plain inputs and fringe composites.
+//!
+//! Team 3's fringe method grows the variable list with *composite features* —
+//! Boolean combinations of two existing decision variables discovered near
+//! the leaves of a trained tree. A [`FeatureSet`] holds the growing list;
+//! feature 0..n are always the raw inputs, later entries reference earlier
+//! ones (a DAG), so composites can nest across fringe iterations.
+
+use lsml_aig::{Aig, Lit};
+use lsml_pla::{Dataset, Pattern};
+
+/// One decision variable.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Feature {
+    /// Raw input variable.
+    Var(usize),
+    /// `(a ^ na) AND (b ^ nb)` over two existing features, with per-operand
+    /// negation flags — covers the four AND-type fringe patterns (and, via
+    /// tree-split symmetry, the four OR-types).
+    And {
+        /// Left operand: index into the owning [`FeatureSet`].
+        a: usize,
+        /// Negate the left operand.
+        na: bool,
+        /// Right operand: index into the owning [`FeatureSet`].
+        b: usize,
+        /// Negate the right operand.
+        nb: bool,
+    },
+    /// `a XOR b` over two existing features (XNOR is its complement and
+    /// yields the same tree splits).
+    Xor {
+        /// Left operand index.
+        a: usize,
+        /// Right operand index.
+        b: usize,
+    },
+}
+
+/// An ordered, append-only collection of decision variables.
+///
+/// # Examples
+///
+/// ```
+/// use lsml_dtree::{Feature, FeatureSet};
+/// use lsml_pla::Pattern;
+///
+/// let mut fs = FeatureSet::plain(2);
+/// let xor = fs.push(Feature::Xor { a: 0, b: 1 });
+/// let p = Pattern::from_bools(&[true, false]);
+/// assert!(fs.eval(xor, &p));
+/// assert_eq!(fs.len(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FeatureSet {
+    num_inputs: usize,
+    features: Vec<Feature>,
+}
+
+impl FeatureSet {
+    /// The feature set consisting of the raw input variables only.
+    pub fn plain(num_inputs: usize) -> Self {
+        FeatureSet {
+            num_inputs,
+            features: (0..num_inputs).map(Feature::Var).collect(),
+        }
+    }
+
+    /// Number of raw inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Total number of features (raw + composite).
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the set is empty (only possible with zero inputs).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// The feature at `index`.
+    pub fn feature(&self, index: usize) -> Feature {
+        self.features[index]
+    }
+
+    /// Whether every feature is a raw variable (no composites).
+    pub fn is_plain(&self) -> bool {
+        self.features.len() == self.num_inputs
+    }
+
+    /// Appends a composite feature (deduplicating) and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature references indices at or beyond its own slot.
+    pub fn push(&mut self, feature: Feature) -> usize {
+        let next = self.features.len();
+        match feature {
+            Feature::Var(v) => assert!(v < self.num_inputs, "raw var out of range"),
+            Feature::And { a, b, .. } | Feature::Xor { a, b } => {
+                assert!(a < next && b < next, "composite must reference earlier features");
+            }
+        }
+        if let Some(i) = self.features.iter().position(|&f| f == feature) {
+            return i;
+        }
+        self.features.push(feature);
+        next
+    }
+
+    /// Evaluates feature `index` on a pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern arity differs from `num_inputs()`.
+    pub fn eval(&self, index: usize, p: &Pattern) -> bool {
+        assert_eq!(p.len(), self.num_inputs, "pattern arity mismatch");
+        match self.features[index] {
+            Feature::Var(v) => p.get(v),
+            Feature::And { a, na, b, nb } => {
+                (self.eval(a, p) ^ na) && (self.eval(b, p) ^ nb)
+            }
+            Feature::Xor { a, b } => self.eval(a, p) ^ self.eval(b, p),
+        }
+    }
+
+    /// Builds the AIG literal computing feature `index`, memoizing shared
+    /// sub-features in `memo` (index-aligned with the feature list; seed it
+    /// with `None`s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memo.len() != len()`.
+    pub fn to_lit(&self, index: usize, aig: &mut Aig, memo: &mut [Option<Lit>]) -> Lit {
+        assert_eq!(memo.len(), self.features.len(), "memo size mismatch");
+        if let Some(l) = memo[index] {
+            return l;
+        }
+        let l = match self.features[index] {
+            Feature::Var(v) => aig.input(v),
+            Feature::And { a, na, b, nb } => {
+                let la = self.to_lit(a, aig, memo).complement_if(na);
+                let lb = self.to_lit(b, aig, memo).complement_if(nb);
+                aig.and(la, lb)
+            }
+            Feature::Xor { a, b } => {
+                let la = self.to_lit(a, aig, memo);
+                let lb = self.to_lit(b, aig, memo);
+                aig.xor(la, lb)
+            }
+        };
+        memo[index] = Some(l);
+        l
+    }
+}
+
+/// Bit-packed feature columns over a dataset: `column[f]` packs the value of
+/// feature `f` on every example, and `labels` packs the outputs. Trees train
+/// against this materialized view instead of re-evaluating composites.
+#[derive(Clone, Debug)]
+pub struct FeatureMatrix {
+    num_examples: usize,
+    columns: Vec<Vec<u64>>,
+    labels: Vec<u64>,
+}
+
+impl FeatureMatrix {
+    /// Materializes all features of `fs` over `ds`.
+    pub fn build(fs: &FeatureSet, ds: &Dataset) -> Self {
+        let n = ds.len();
+        let words = n.div_ceil(64).max(1);
+        let mut columns = vec![vec![0u64; words]; fs.len()];
+        let mut labels = vec![0u64; words];
+        for (i, (p, o)) in ds.iter().enumerate() {
+            if o {
+                labels[i / 64] |= 1u64 << (i % 64);
+            }
+            for (f, col) in columns.iter_mut().enumerate() {
+                if fs.eval(f, p) {
+                    col[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+        }
+        FeatureMatrix {
+            num_examples: n,
+            columns,
+            labels,
+        }
+    }
+
+    /// Number of examples.
+    pub fn num_examples(&self) -> usize {
+        self.num_examples
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Value of feature `f` on example `i`.
+    #[inline]
+    pub fn feature(&self, f: usize, i: usize) -> bool {
+        (self.columns[f][i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Label of example `i`.
+    #[inline]
+    pub fn label(&self, i: usize) -> bool {
+        (self.labels[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Appends one more materialized column (for incremental fringe growth).
+    pub fn push_column(&mut self, fs: &FeatureSet, f: usize, ds: &Dataset) {
+        let words = self.num_examples.div_ceil(64).max(1);
+        let mut col = vec![0u64; words];
+        for (i, (p, _)) in ds.iter().enumerate() {
+            if fs.eval(f, p) {
+                col[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        self.columns.push(col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_features_are_vars() {
+        let fs = FeatureSet::plain(3);
+        assert_eq!(fs.len(), 3);
+        assert!(fs.is_plain());
+        let p = Pattern::from_bools(&[true, false, true]);
+        assert!(fs.eval(0, &p));
+        assert!(!fs.eval(1, &p));
+    }
+
+    #[test]
+    fn composite_and_nests() {
+        let mut fs = FeatureSet::plain(3);
+        let f_and = fs.push(Feature::And {
+            a: 0,
+            na: false,
+            b: 1,
+            nb: true,
+        }); // x0 AND !x1
+        let f_x = fs.push(Feature::Xor { a: f_and, b: 2 });
+        assert!(!fs.is_plain());
+        let p = Pattern::from_bools(&[true, false, false]);
+        assert!(fs.eval(f_and, &p));
+        assert!(fs.eval(f_x, &p));
+        let q = Pattern::from_bools(&[true, false, true]);
+        assert!(!fs.eval(f_x, &q));
+    }
+
+    #[test]
+    fn push_dedups() {
+        let mut fs = FeatureSet::plain(2);
+        let a = fs.push(Feature::Xor { a: 0, b: 1 });
+        let b = fs.push(Feature::Xor { a: 0, b: 1 });
+        assert_eq!(a, b);
+        assert_eq!(fs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier features")]
+    fn forward_reference_panics() {
+        let mut fs = FeatureSet::plain(2);
+        fs.push(Feature::And {
+            a: 5,
+            na: false,
+            b: 0,
+            nb: false,
+        });
+    }
+
+    #[test]
+    fn to_lit_matches_eval() {
+        let mut fs = FeatureSet::plain(3);
+        let f_and = fs.push(Feature::And {
+            a: 1,
+            na: true,
+            b: 2,
+            nb: false,
+        });
+        let f_x = fs.push(Feature::Xor { a: 0, b: f_and });
+        let mut aig = Aig::new(3);
+        let mut memo = vec![None; fs.len()];
+        let l = fs.to_lit(f_x, &mut aig, &mut memo);
+        aig.add_output(l);
+        for m in 0..8u64 {
+            let p = Pattern::from_index(m, 3);
+            let bits: Vec<bool> = p.iter().collect();
+            assert_eq!(aig.eval(&bits)[0], fs.eval(f_x, &p), "mismatch at {m:03b}");
+        }
+    }
+
+    #[test]
+    fn matrix_matches_direct_eval() {
+        let mut fs = FeatureSet::plain(4);
+        fs.push(Feature::Xor { a: 0, b: 3 });
+        let mut ds = Dataset::new(4);
+        for m in 0..16u64 {
+            ds.push(Pattern::from_index(m, 4), m % 3 == 0);
+        }
+        let fm = FeatureMatrix::build(&fs, &ds);
+        assert_eq!(fm.num_examples(), 16);
+        assert_eq!(fm.num_features(), 5);
+        for i in 0..16 {
+            assert_eq!(fm.label(i), ds.output(i));
+            for f in 0..fs.len() {
+                assert_eq!(fm.feature(f, i), fs.eval(f, ds.pattern(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn push_column_extends_matrix() {
+        let mut fs = FeatureSet::plain(2);
+        let mut ds = Dataset::new(2);
+        for m in 0..4u64 {
+            ds.push(Pattern::from_index(m, 2), m == 3);
+        }
+        let mut fm = FeatureMatrix::build(&fs, &ds);
+        let f = fs.push(Feature::And {
+            a: 0,
+            na: false,
+            b: 1,
+            nb: false,
+        });
+        fm.push_column(&fs, f, &ds);
+        assert_eq!(fm.num_features(), 3);
+        for i in 0..4 {
+            assert_eq!(fm.feature(f, i), fs.eval(f, ds.pattern(i)));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Tree-based learners over Boolean datasets.
+//!
+//! Decision trees and their ensembles were the workhorse of the IWLS 2020
+//! contest — the paper calls random forests "a strong baseline" and notes
+//! that nearly every team fielded some tree variant. This crate implements
+//! the whole family:
+//!
+//! * [`DecisionTree`] — CART-style binary classification trees with gini or
+//!   entropy splitting, depth/leaf-size limits, optional per-node feature
+//!   subsampling, and Team 8's functional-decomposition fallback split.
+//! * [`prune`] — C4.5-style pessimistic (confidence-factor) pruning, the
+//!   mechanism behind WEKA's J48 used by Team 2.
+//! * [`part`] — PART-style separate-and-conquer rule lists (Team 2) compiled
+//!   to the paper's ordered AND/OR rule chain.
+//! * [`fringe`] — fringe feature extraction (Pagallo & Haussler; Oliveira &
+//!   Sangiovanni-Vincentelli), Team 3's best-performing method.
+//! * [`forest`] — bagged random forests with majority-gate synthesis
+//!   (Teams 1, 5, 8).
+//! * [`boost`] — second-order gradient boosting à la XGBoost with quantized
+//!   ±1 leaves and a 3-layer 5-input-majority aggregation network (Team 7).
+//! * [`select`] — chi², mutual-information and importance-based feature
+//!   selection (Teams 4, 5).
+//!
+//! Every model converts to an [`lsml_aig::Aig`] so it can be scored under
+//! the contest's 5000-AND-node limit.
+//!
+//! # Examples
+//!
+//! ```
+//! use lsml_dtree::{DecisionTree, TreeConfig};
+//! use lsml_pla::{Dataset, Pattern};
+//!
+//! // Learn f = x0 AND x1 from its full truth table.
+//! let mut ds = Dataset::new(2);
+//! for m in 0..4u64 {
+//!     ds.push(Pattern::from_index(m, 2), m == 3);
+//! }
+//! let tree = DecisionTree::train(&ds, &TreeConfig::default());
+//! assert_eq!(tree.predict(&Pattern::from_index(3, 2)), true);
+//! assert_eq!(tree.predict(&Pattern::from_index(1, 2)), false);
+//!
+//! let aig = tree.to_aig();
+//! assert_eq!(aig.eval(&[true, true]), vec![true]);
+//! ```
+
+pub mod boost;
+pub mod features;
+pub mod forest;
+pub mod fringe;
+pub mod part;
+pub mod prune;
+pub mod select;
+pub mod tree;
+
+pub use boost::{GradientBoost, GradientBoostConfig};
+pub use features::{Feature, FeatureSet};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use fringe::{train_fringe_tree, FringeConfig};
+pub use part::{RuleList, RuleListConfig};
+pub use tree::{Criterion, DecisionTree, TreeConfig};

@@ -1,0 +1,322 @@
+//! PART-style separate-and-conquer rule lists.
+//!
+//! Team 2's second classifier: WEKA's PART builds a partial decision tree,
+//! extracts the single best leaf as an if-then rule, removes the covered
+//! examples, and repeats. The resulting *ordered* rule list is compiled to a
+//! circuit with the paper's construction: each rule is an AND of its
+//! literals, and a chain of AND/OR gates guarantees that the first matching
+//! rule decides the output.
+
+use lsml_aig::{Aig, Lit};
+use lsml_pla::{Dataset, Pattern};
+
+use crate::prune::prune_c45;
+use crate::tree::{Criterion, DecisionTree, Node, TreeConfig};
+
+/// One if-then rule: a conjunction of feature literals implying a class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// `(variable, polarity)` conjunction over raw inputs.
+    pub literals: Vec<(usize, bool)>,
+    /// Predicted class when the conjunction matches.
+    pub class: bool,
+}
+
+impl Rule {
+    /// Whether the rule's antecedent matches a pattern.
+    pub fn matches(&self, p: &Pattern) -> bool {
+        self.literals.iter().all(|&(v, pol)| p.get(v) == pol)
+    }
+}
+
+/// Rule-list training configuration.
+#[derive(Clone, Debug)]
+pub struct RuleListConfig {
+    /// Configuration of the partial trees grown at each iteration.
+    pub tree: TreeConfig,
+    /// Confidence factor for pruning each partial tree (J48-style);
+    /// `None` disables pruning.
+    pub confidence: Option<f64>,
+    /// Hard cap on the number of extracted rules.
+    pub max_rules: usize,
+}
+
+impl Default for RuleListConfig {
+    fn default() -> Self {
+        RuleListConfig {
+            tree: TreeConfig {
+                criterion: Criterion::Entropy,
+                ..TreeConfig::default()
+            },
+            confidence: Some(0.25),
+            max_rules: 512,
+        }
+    }
+}
+
+/// An ordered rule list: the first matching rule fires; otherwise the
+/// default class applies.
+///
+/// # Examples
+///
+/// ```
+/// use lsml_dtree::{RuleList, RuleListConfig};
+/// use lsml_pla::{Dataset, Pattern};
+///
+/// let mut ds = Dataset::new(2);
+/// for m in 0..4u64 {
+///     ds.push(Pattern::from_index(m, 2), m == 0b11);
+/// }
+/// // Pruning is disabled: four examples are too few for C4.5's pessimistic
+/// // error estimates to keep any split.
+/// let cfg = RuleListConfig { confidence: None, ..RuleListConfig::default() };
+/// let rules = RuleList::train(&ds, &cfg);
+/// assert!(rules.predict(&Pattern::from_index(0b11, 2)));
+/// assert!(!rules.predict(&Pattern::from_index(0b01, 2)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RuleList {
+    rules: Vec<Rule>,
+    default: bool,
+    num_inputs: usize,
+}
+
+impl RuleList {
+    /// Trains a rule list by repeated partial-tree construction.
+    pub fn train(ds: &Dataset, cfg: &RuleListConfig) -> Self {
+        let mut remaining: Vec<usize> = (0..ds.len()).collect();
+        let mut rules = Vec::new();
+        let global_default = ds.majority();
+
+        while !remaining.is_empty() && rules.len() < cfg.max_rules {
+            let subset = ds.subset(&remaining);
+            if subset.count_positive() == 0 || subset.count_positive() == subset.len() {
+                // Uniform remainder: absorbed into the default class.
+                break;
+            }
+            let mut tree = DecisionTree::train(&subset, &cfg.tree);
+            if let Some(cf) = cfg.confidence {
+                prune_c45(&mut tree, cf);
+            }
+            let Some(rule) = best_leaf_rule(&tree) else {
+                break;
+            };
+            // Partition the remaining examples by the rule.
+            let (covered, uncovered): (Vec<usize>, Vec<usize>) = remaining
+                .iter()
+                .partition(|&&i| rule.matches(ds.pattern(i)));
+            if covered.is_empty() {
+                break; // degenerate tree; stop rather than loop forever
+            }
+            rules.push(rule);
+            remaining = uncovered;
+        }
+
+        let default = if remaining.is_empty() {
+            global_default
+        } else {
+            ds.subset(&remaining).majority()
+        };
+        RuleList {
+            rules,
+            default,
+            num_inputs: ds.num_inputs(),
+        }
+    }
+
+    /// The ordered rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The default class when no rule matches.
+    pub fn default_class(&self) -> bool {
+        self.default
+    }
+
+    /// Number of input variables.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Predicts by first-match semantics.
+    pub fn predict(&self, p: &Pattern) -> bool {
+        for rule in &self.rules {
+            if rule.matches(p) {
+                return rule.class;
+            }
+        }
+        self.default
+    }
+
+    /// Accuracy over a dataset.
+    pub fn accuracy(&self, ds: &Dataset) -> f64 {
+        ds.accuracy_of(|p| self.predict(p))
+    }
+
+    /// Compiles the ordered list to an AIG. Rules are folded from the last
+    /// to the first as a priority chain of multiplexers, which realizes
+    /// Team 2's AND/OR chain ("the first correct rule will define the
+    /// output").
+    pub fn to_aig(&self) -> Aig {
+        let mut aig = Aig::new(self.num_inputs);
+        let mut out = Lit::constant(self.default);
+        for rule in self.rules.iter().rev() {
+            let lits: Vec<Lit> = rule
+                .literals
+                .iter()
+                .map(|&(v, pol)| aig.input(v).complement_if(!pol))
+                .collect();
+            let matches = aig.and_many(&lits);
+            out = aig.mux(matches, Lit::constant(rule.class), out);
+        }
+        aig.add_output(out);
+        aig.cleanup();
+        aig
+    }
+}
+
+/// Extracts the leaf covering the most training examples as a rule
+/// (PART's "best leaf"). Returns `None` for a leaf-only tree.
+fn best_leaf_rule(tree: &DecisionTree) -> Option<Rule> {
+    let mut best: Option<(u32, Rule)> = None;
+    let mut path: Vec<(usize, bool)> = Vec::new();
+    walk(tree, tree.root, &mut path, &mut best);
+    best.map(|(_, rule)| rule)
+}
+
+fn walk(
+    tree: &DecisionTree,
+    at: u32,
+    path: &mut Vec<(usize, bool)>,
+    best: &mut Option<(u32, Rule)>,
+) {
+    match &tree.nodes[at as usize] {
+        Node::Leaf { value, pos, neg } => {
+            if path.is_empty() {
+                return; // a root leaf carries no antecedent
+            }
+            let weight = pos + neg;
+            if best.as_ref().is_none_or(|(w, _)| weight > *w) {
+                *best = Some((
+                    weight,
+                    Rule {
+                        literals: path.clone(),
+                        class: *value,
+                    },
+                ));
+            }
+        }
+        Node::Split {
+            feature, lo, hi, ..
+        } => {
+            path.push((*feature as usize, false));
+            walk(tree, *lo, path, best);
+            path.pop();
+            path.push((*feature as usize, true));
+            walk(tree, *hi, path, best);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_dataset(f: impl Fn(u64) -> bool, nv: usize) -> Dataset {
+        let mut ds = Dataset::new(nv);
+        for m in 0..(1u64 << nv) {
+            ds.push(Pattern::from_index(m, nv), f(m));
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_simple_function() {
+        let ds = full_dataset(|m| m & 0b101 == 0b101, 4);
+        let rules = RuleList::train(&ds, &RuleListConfig::default());
+        assert!((rules.accuracy(&ds) - 1.0).abs() < 1e-12);
+        assert!(!rules.rules().is_empty());
+    }
+
+    #[test]
+    fn first_match_semantics() {
+        let rl = RuleList {
+            rules: vec![
+                Rule {
+                    literals: vec![(0, true)],
+                    class: true,
+                },
+                Rule {
+                    literals: vec![(1, true)],
+                    class: false,
+                },
+            ],
+            default: true,
+            num_inputs: 2,
+        };
+        // x0=1, x1=1: first rule wins -> true.
+        assert!(rl.predict(&Pattern::from_bools(&[true, true])));
+        // x0=0, x1=1: second rule -> false.
+        assert!(!rl.predict(&Pattern::from_bools(&[false, true])));
+        // no match -> default true.
+        assert!(rl.predict(&Pattern::from_bools(&[false, false])));
+    }
+
+    #[test]
+    fn aig_respects_rule_priority() {
+        let rl = RuleList {
+            rules: vec![
+                Rule {
+                    literals: vec![(0, true)],
+                    class: true,
+                },
+                Rule {
+                    literals: vec![(1, true)],
+                    class: false,
+                },
+            ],
+            default: true,
+            num_inputs: 2,
+        };
+        let aig = rl.to_aig();
+        for m in 0..4u64 {
+            let p = Pattern::from_index(m, 2);
+            let bits: Vec<bool> = p.iter().collect();
+            assert_eq!(aig.eval(&bits)[0], rl.predict(&p), "mismatch at {m:02b}");
+        }
+    }
+
+    #[test]
+    fn aig_matches_predictions_on_learnt_list() {
+        let ds = full_dataset(|m| (m % 7) < 3, 5);
+        let rules = RuleList::train(&ds, &RuleListConfig::default());
+        let aig = rules.to_aig();
+        for m in 0..32u64 {
+            let p = Pattern::from_index(m, 5);
+            let bits: Vec<bool> = p.iter().collect();
+            assert_eq!(aig.eval(&bits)[0], rules.predict(&p), "mismatch at {m:05b}");
+        }
+    }
+
+    #[test]
+    fn constant_dataset_gives_default_only() {
+        let ds = full_dataset(|_| true, 3);
+        let rules = RuleList::train(&ds, &RuleListConfig::default());
+        assert!(rules.rules().is_empty());
+        assert!(rules.default_class());
+        assert!((rules.accuracy(&ds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_rules_caps_list_length() {
+        let ds = full_dataset(|m| m.count_ones() % 2 == 1, 5);
+        let cfg = RuleListConfig {
+            max_rules: 3,
+            ..RuleListConfig::default()
+        };
+        let rules = RuleList::train(&ds, &cfg);
+        assert!(rules.rules().len() <= 3);
+    }
+}

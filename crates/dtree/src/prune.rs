@@ -1,0 +1,279 @@
+//! C4.5-style pessimistic (confidence-factor) subtree-replacement pruning.
+//!
+//! WEKA's J48 — Team 2's main classifier — prunes by comparing the
+//! *pessimistic* error of a subtree against that of a collapsed leaf, where
+//! pessimistic means the upper limit of a binomial confidence interval at
+//! confidence factor `CF` (J48's `-C` option, which Team 2 swept over
+//! {0.001, 0.01, 0.1, 0.25, 0.5}). Lower `CF` prunes harder.
+
+use crate::tree::{DecisionTree, Node};
+
+/// Prunes the tree in place by bottom-up subtree replacement at confidence
+/// factor `cf` (e.g. `0.25`, J48's default). Returns the number of splits
+/// removed.
+///
+/// # Panics
+///
+/// Panics if `cf` is not within `(0.0, 0.5]`.
+pub fn prune_c45(tree: &mut DecisionTree, cf: f64) -> usize {
+    assert!(cf > 0.0 && cf <= 0.5, "confidence factor must be in (0, 0.5]");
+    let before = tree.split_count();
+    let root = tree.root;
+    let pruned_root = prune_node(&mut tree.nodes, root, cf);
+    tree.root = pruned_root;
+    compact(tree);
+    before - tree.split_count()
+}
+
+/// Recursively prunes below `at`; returns the (possibly replaced) node index.
+fn prune_node(nodes: &mut Vec<Node>, at: u32, cf: f64) -> u32 {
+    let (feature, lo, hi, pos, neg) = match nodes[at as usize] {
+        Node::Leaf { .. } => return at,
+        Node::Split {
+            feature,
+            lo,
+            hi,
+            pos,
+            neg,
+        } => (feature, lo, hi, pos, neg),
+    };
+    let lo = prune_node(nodes, lo, cf);
+    let hi = prune_node(nodes, hi, cf);
+    nodes[at as usize] = Node::Split {
+        feature,
+        lo,
+        hi,
+        pos,
+        neg,
+    };
+
+    let subtree_err = pessimistic_error(nodes, at, cf);
+    let n = f64::from(pos + neg);
+    let e = f64::from(pos.min(neg));
+    let leaf_err = e + add_errs(n, e, cf);
+    if leaf_err <= subtree_err + 0.1 {
+        nodes.push(Node::Leaf {
+            value: pos > neg,
+            pos,
+            neg,
+        });
+        (nodes.len() - 1) as u32
+    } else {
+        at
+    }
+}
+
+/// Sum of pessimistic error estimates over the leaves below `at`.
+fn pessimistic_error(nodes: &[Node], at: u32, cf: f64) -> f64 {
+    match nodes[at as usize] {
+        Node::Leaf { pos, neg, .. } => {
+            let n = f64::from(pos + neg);
+            let e = f64::from(pos.min(neg));
+            e + add_errs(n, e, cf)
+        }
+        Node::Split { lo, hi, .. } => {
+            pessimistic_error(nodes, lo, cf) + pessimistic_error(nodes, hi, cf)
+        }
+    }
+}
+
+/// C4.5's `addErrs`: the extra errors beyond `e` implied by the upper limit
+/// of the binomial confidence interval on `n` trials at confidence `cf`
+/// (this is WEKA's `Stats.addErrs`).
+pub fn add_errs(n: f64, e: f64, cf: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    if e < 1.0 {
+        // Base case: upper limit when no errors observed, linearly
+        // interpolated below one error.
+        let base = n * (1.0 - cf.powf(1.0 / n));
+        if e == 0.0 {
+            return base;
+        }
+        return base + e * (add_errs(n, 1.0, cf) - base);
+    }
+    if e + 0.5 >= n {
+        return (n - e).max(0.0);
+    }
+    let z = normal_inverse(1.0 - cf);
+    let f = (e + 0.5) / n;
+    let r = (f + z * z / (2.0 * n)
+        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+        / (1.0 + z * z / n);
+    (r * n) - e
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error below 1.15e-9 — ample for pruning decisions).
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly between 0 and 1.
+pub fn normal_inverse(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_inverse(1.0 - p)
+    }
+}
+
+/// Rebuilds the node arena keeping only nodes reachable from the root.
+fn compact(tree: &mut DecisionTree) {
+    let mut fresh: Vec<Node> = Vec::new();
+    let root = copy(&tree.nodes, tree.root, &mut fresh);
+    tree.nodes = fresh;
+    tree.root = root;
+}
+
+fn copy(old: &[Node], at: u32, fresh: &mut Vec<Node>) -> u32 {
+    match old[at as usize] {
+        Node::Leaf { value, pos, neg } => {
+            fresh.push(Node::Leaf { value, pos, neg });
+        }
+        Node::Split {
+            feature,
+            lo,
+            hi,
+            pos,
+            neg,
+        } => {
+            let lo = copy(old, lo, fresh);
+            let hi = copy(old, hi, fresh);
+            fresh.push(Node::Split {
+                feature,
+                lo,
+                hi,
+                pos,
+                neg,
+            });
+        }
+    }
+    (fresh.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeConfig;
+    use lsml_pla::{Dataset, Pattern};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn normal_inverse_matches_known_quantiles() {
+        assert!((normal_inverse(0.5)).abs() < 1e-9);
+        assert!((normal_inverse(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_inverse(0.75) - 0.674490).abs() < 1e-4);
+        assert!((normal_inverse(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn add_errs_monotone_in_confidence() {
+        // Lower CF = more pessimism = more added errors.
+        let strict = add_errs(100.0, 10.0, 0.01);
+        let lax = add_errs(100.0, 10.0, 0.5);
+        assert!(strict > lax);
+        assert!(lax >= 0.0);
+    }
+
+    #[test]
+    fn add_errs_zero_error_case() {
+        let e0 = add_errs(10.0, 0.0, 0.25);
+        assert!(e0 > 0.0 && e0 < 10.0);
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_tree() {
+        // Labels = x0 with 15% label noise: an unpruned tree memorizes the
+        // noise, a pruned one should collapse towards the x0 stump.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ds = Dataset::new(8);
+        for _ in 0..600 {
+            let p = Pattern::random(&mut rng, 8);
+            let label = p.get(0) ^ (rng.gen::<f64>() < 0.15);
+            ds.push(p, label);
+        }
+        let mut tree = DecisionTree::train(&ds, &TreeConfig::default());
+        let unpruned_splits = tree.split_count();
+        let removed = prune_c45(&mut tree, 0.25);
+        assert!(removed > 0, "expected pruning on noisy data");
+        assert!(tree.split_count() < unpruned_splits);
+        // Pruned tree must still capture the dominant signal.
+        let mut test = Dataset::new(8);
+        for _ in 0..500 {
+            let p = Pattern::random(&mut rng, 8);
+            let label = p.get(0);
+            test.push(p, label);
+        }
+        assert!(tree.accuracy(&test) > 0.8);
+    }
+
+    #[test]
+    fn clean_tree_survives_pruning() {
+        // Exact, noise-free conjunction: pruning must not destroy accuracy.
+        let mut ds = Dataset::new(4);
+        for m in 0..16u64 {
+            ds.push(Pattern::from_index(m, 4), m & 0b11 == 0b11);
+        }
+        let mut tree = DecisionTree::train(&ds, &TreeConfig::default());
+        prune_c45(&mut tree, 0.25);
+        assert!((tree.accuracy(&ds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_cf_prunes_at_least_as_much() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut ds = Dataset::new(6);
+        for _ in 0..400 {
+            let p = Pattern::random(&mut rng, 6);
+            let label = (p.get(0) && p.get(1)) ^ (rng.gen::<f64>() < 0.2);
+            ds.push(p, label);
+        }
+        let base = DecisionTree::train(&ds, &TreeConfig::default());
+        let mut strict = base.clone();
+        let mut lax = base.clone();
+        prune_c45(&mut strict, 0.001);
+        prune_c45(&mut lax, 0.5);
+        assert!(strict.split_count() <= lax.split_count());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests: every tree-family model's AIG agrees with its in-memory
+//! predictions, and training is deterministic.
+
+use lsml_dtree::{
+    train_fringe_tree, DecisionTree, FringeConfig, GradientBoost, GradientBoostConfig,
+    RandomForest, RandomForestConfig, RuleList, RuleListConfig, TreeConfig,
+};
+use lsml_pla::{Dataset, Pattern};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NV: usize = 6;
+
+/// Random sampled dataset of a random function keyed by `seed`.
+fn make_dataset(seed: u64, n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new(NV);
+    for _ in 0..n {
+        let p = Pattern::random(&mut rng, NV);
+        let label = (p.to_index().wrapping_mul(seed | 1)).count_ones() % 2 == 1;
+        ds.push(p, label);
+    }
+    ds
+}
+
+fn exhaustive_patterns() -> Vec<Pattern> {
+    (0..(1u64 << NV)).map(|m| Pattern::from_index(m, NV)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_aig_agrees_with_predict(seed in any::<u64>()) {
+        let ds = make_dataset(seed, 40);
+        let tree = DecisionTree::train(&ds, &TreeConfig::default());
+        let aig = tree.to_aig();
+        prop_assert!(aig.num_inputs() == NV);
+        for p in exhaustive_patterns() {
+            let bits: Vec<bool> = p.iter().collect();
+            prop_assert_eq!(aig.eval(&bits)[0], tree.predict(&p));
+        }
+    }
+
+    #[test]
+    fn tree_cover_agrees_with_predict(seed in any::<u64>()) {
+        let ds = make_dataset(seed, 40);
+        let tree = DecisionTree::train(&ds, &TreeConfig::default());
+        let cover = tree.to_cover().expect("plain features");
+        for p in exhaustive_patterns() {
+            prop_assert_eq!(cover.eval(&p), tree.predict(&p));
+        }
+    }
+
+    #[test]
+    fn unrestricted_tree_memorizes_training_set(seed in any::<u64>()) {
+        // With consistent labels and no depth cap, a CART tree reaches 100%
+        // training accuracy (the paper's teams rely on this).
+        let ds = make_dataset(seed, 50);
+        let tree = DecisionTree::train(&ds, &TreeConfig::default());
+        prop_assert!((tree.accuracy(&ds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forest_aig_agrees_with_predict(seed in any::<u64>()) {
+        let ds = make_dataset(seed, 30);
+        let cfg = RandomForestConfig { n_trees: 5, seed, ..RandomForestConfig::default() };
+        let rf = RandomForest::train(&ds, &cfg);
+        let aig = rf.to_aig();
+        for p in exhaustive_patterns() {
+            let bits: Vec<bool> = p.iter().collect();
+            prop_assert_eq!(aig.eval(&bits)[0], rf.predict(&p));
+        }
+    }
+
+    #[test]
+    fn boost_aig_agrees_with_quantized(seed in any::<u64>()) {
+        let ds = make_dataset(seed, 30);
+        let cfg = GradientBoostConfig {
+            n_rounds: 15,
+            max_depth: 3,
+            min_child_weight: 0.05,
+            ..GradientBoostConfig::default()
+        };
+        let gb = GradientBoost::train(&ds, &cfg);
+        let aig = gb.to_aig();
+        for p in exhaustive_patterns() {
+            let bits: Vec<bool> = p.iter().collect();
+            prop_assert_eq!(aig.eval(&bits)[0], gb.predict_quantized(&p));
+        }
+    }
+
+    #[test]
+    fn rule_list_aig_agrees_with_predict(seed in any::<u64>()) {
+        let ds = make_dataset(seed, 30);
+        let rl = RuleList::train(&ds, &RuleListConfig::default());
+        let aig = rl.to_aig();
+        for p in exhaustive_patterns() {
+            let bits: Vec<bool> = p.iter().collect();
+            prop_assert_eq!(aig.eval(&bits)[0], rl.predict(&p));
+        }
+    }
+
+    #[test]
+    fn fringe_tree_aig_agrees_with_predict(seed in any::<u64>()) {
+        let ds = make_dataset(seed, 30);
+        let tree = train_fringe_tree(&ds, &FringeConfig::default());
+        let aig = tree.to_aig();
+        for p in exhaustive_patterns() {
+            let bits: Vec<bool> = p.iter().collect();
+            prop_assert_eq!(aig.eval(&bits)[0], tree.predict(&p));
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic(seed in any::<u64>()) {
+        let ds = make_dataset(seed, 40);
+        let a = DecisionTree::train(&ds, &TreeConfig::default());
+        let b = DecisionTree::train(&ds, &TreeConfig::default());
+        for p in exhaustive_patterns() {
+            prop_assert_eq!(a.predict(&p), b.predict(&p));
+        }
+    }
+
+    #[test]
+    fn pruned_tree_never_larger(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(NV);
+        for _ in 0..80 {
+            let p = Pattern::random(&mut rng, NV);
+            let label = p.get(0) ^ (rng.gen::<f64>() < 0.25);
+            ds.push(p, label);
+        }
+        let mut tree = DecisionTree::train(&ds, &TreeConfig::default());
+        let before = tree.split_count();
+        lsml_dtree::prune::prune_c45(&mut tree, 0.25);
+        prop_assert!(tree.split_count() <= before);
+    }
+}

@@ -1,0 +1,437 @@
+//! The EXPAND / IRREDUNDANT / REDUCE loop.
+
+use lsml_pla::{Cover, Cube, Dataset, Pattern};
+
+/// Tuning knobs for the minimizer.
+#[derive(Clone, Debug)]
+pub struct EspressoConfig {
+    /// Stop after the first IRREDUNDANT pass (Team 1's fast mode) instead of
+    /// iterating EXPAND/REDUCE to a fixpoint.
+    pub first_irredundant: bool,
+    /// Maximum number of EXPAND→IRREDUNDANT→REDUCE iterations.
+    pub max_loops: usize,
+    /// Upper bound on the number of cubes that receive full expansion; any
+    /// remaining uncovered positive examples are kept as raw minterms. Guards
+    /// against quadratic blow-up on very wide benchmarks.
+    pub max_expanded_cubes: usize,
+}
+
+impl Default for EspressoConfig {
+    fn default() -> Self {
+        EspressoConfig {
+            first_irredundant: false,
+            max_loops: 4,
+            max_expanded_cubes: 20_000,
+        }
+    }
+}
+
+/// Minimizes the incompletely specified function given by a labelled dataset:
+/// the result covers every positive example and no negative example.
+///
+/// # Panics
+///
+/// Panics if the dataset contains the same pattern with both labels
+/// (contradictory care set).
+pub fn minimize_dataset(ds: &Dataset, cfg: &EspressoConfig) -> Cover {
+    let positives: Vec<Pattern> = ds
+        .iter()
+        .filter(|&(_, o)| o)
+        .map(|(p, _)| p.clone())
+        .collect();
+    let negatives: Vec<Pattern> = ds
+        .iter()
+        .filter(|&(_, o)| !o)
+        .map(|(p, _)| p.clone())
+        .collect();
+    let seeds: Vec<Cube> = positives.iter().map(Cube::from_pattern).collect();
+    minimize(
+        ds.num_inputs(),
+        seeds,
+        &positives,
+        &negatives,
+        cfg,
+        /* verify_consistent = */ true,
+    )
+}
+
+/// Minimizes a seed cover (for example, the SOP extracted from a decision
+/// tree) against a labelled dataset. The result covers every positive example
+/// the seed cover covered and adds no negative example beyond those the seed
+/// cover already misclassified.
+pub fn minimize_cover(seeds: &Cover, ds: &Dataset, cfg: &EspressoConfig) -> Cover {
+    assert_eq!(seeds.num_vars(), ds.num_inputs(), "arity mismatch");
+    let positives: Vec<Pattern> = ds
+        .iter()
+        .filter(|(p, o)| *o && seeds.eval(p))
+        .map(|(p, _)| p.clone())
+        .collect();
+    // Blocking set: negatives the seed cover classifies correctly today; we
+    // must not lose that. Negatives already inside the seed cover are its
+    // training errors and cannot constrain expansion.
+    let negatives: Vec<Pattern> = ds
+        .iter()
+        .filter(|(p, o)| !*o && !seeds.eval(p))
+        .map(|(p, _)| p.clone())
+        .collect();
+    minimize(
+        ds.num_inputs(),
+        seeds.cubes().to_vec(),
+        &positives,
+        &negatives,
+        cfg,
+        false,
+    )
+}
+
+fn minimize(
+    num_vars: usize,
+    seeds: Vec<Cube>,
+    positives: &[Pattern],
+    negatives: &[Pattern],
+    cfg: &EspressoConfig,
+    verify_consistent: bool,
+) -> Cover {
+    if verify_consistent {
+        for p in positives {
+            assert!(
+                !negatives.contains(p),
+                "contradictory labels for pattern {p}"
+            );
+        }
+    }
+    if positives.is_empty() {
+        return Cover::new(num_vars);
+    }
+
+    let mut cover = expand(num_vars, seeds, positives, negatives, cfg);
+    irredundant(&mut cover, positives);
+    if cfg.first_irredundant {
+        return cover;
+    }
+
+    let mut best = cover.clone();
+    for _ in 0..cfg.max_loops {
+        reduce(&mut cover, positives);
+        cover = expand(num_vars, cover.into_iter().collect(), positives, negatives, cfg);
+        irredundant(&mut cover, positives);
+        if cost(&cover) < cost(&best) {
+            best = cover.clone();
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Cover cost: primary = cube count, secondary = literal count.
+fn cost(cover: &Cover) -> (usize, usize) {
+    (cover.len(), cover.literal_count())
+}
+
+/// EXPAND: enlarge each seed cube literal-by-literal, blocked by the offset.
+/// Seeds whose positive examples are already covered are skipped, so strong
+/// expansion keeps the cube count low.
+fn expand(
+    num_vars: usize,
+    seeds: Vec<Cube>,
+    positives: &[Pattern],
+    negatives: &[Pattern],
+    cfg: &EspressoConfig,
+) -> Cover {
+    let mut out = Cover::new(num_vars);
+    let mut covered = vec![false; positives.len()];
+    let mut expanded = 0usize;
+
+    for seed in seeds {
+        // Skip seeds that no longer contribute any uncovered positive.
+        let contributes = positives
+            .iter()
+            .enumerate()
+            .any(|(i, p)| !covered[i] && seed.contains(p));
+        if !contributes {
+            continue;
+        }
+        let cube = if expanded < cfg.max_expanded_cubes {
+            expanded += 1;
+            expand_cube(&seed, negatives)
+        } else {
+            seed
+        };
+        for (i, p) in positives.iter().enumerate() {
+            if !covered[i] && cube.contains(p) {
+                covered[i] = true;
+            }
+        }
+        out.push(cube);
+    }
+    out.remove_single_cube_containment();
+    out
+}
+
+/// Expands one cube: greedily removes literals (in ascending order of how
+/// many distance-1 offset minterms block them) as long as the enlarged cube
+/// stays clear of every negative example.
+fn expand_cube(seed: &Cube, negatives: &[Pattern]) -> Cube {
+    let mut cube = seed.clone();
+    // Count, per literal, the offset patterns at distance 1 clashing exactly
+    // on that literal — these definitely block its removal, so try the least
+    // blocked literals first.
+    let mut block = vec![0u32; cube.num_vars()];
+    for r in negatives {
+        let mut clash_var = None;
+        let mut clashes = 0;
+        for (var, pol) in cube.literals() {
+            if r.get(var) != pol {
+                clashes += 1;
+                if clashes > 1 {
+                    break;
+                }
+                clash_var = Some(var);
+            }
+        }
+        if clashes == 1 {
+            block[clash_var.expect("one clash")] += 1;
+        }
+    }
+    let mut order: Vec<usize> = cube.literals().map(|(v, _)| v).collect();
+    order.sort_by_key(|&v| (block[v], v));
+
+    for v in order {
+        let candidate = cube.without_literal(v);
+        if !negatives.iter().any(|r| candidate.contains(r)) {
+            cube = candidate;
+        }
+    }
+    cube
+}
+
+/// IRREDUNDANT: drop cubes all of whose positive examples are multiply
+/// covered. Cubes with more literals (smaller cubes) are dropped first.
+fn irredundant(cover: &mut Cover, positives: &[Pattern]) {
+    // multiplicity[i] = how many cubes cover positive example i.
+    let mut multiplicity = vec![0u32; positives.len()];
+    let mut covers: Vec<Vec<u32>> = Vec::with_capacity(cover.len());
+    for cube in cover.iter() {
+        let mut mine = Vec::new();
+        for (i, p) in positives.iter().enumerate() {
+            if cube.contains(p) {
+                multiplicity[i] += 1;
+                mine.push(i as u32);
+            }
+        }
+        covers.push(mine);
+    }
+    let mut order: Vec<usize> = (0..cover.len()).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(cover[c].literal_count()));
+
+    let mut dead = vec![false; cover.len()];
+    for c in order {
+        let removable = covers[c].iter().all(|&i| multiplicity[i as usize] >= 2);
+        if removable {
+            dead[c] = true;
+            for &i in &covers[c] {
+                multiplicity[i as usize] -= 1;
+            }
+        }
+    }
+    let mut keep = dead.iter().map(|d| !d);
+    cover.cubes_mut().retain(|_| keep.next().expect("mask"));
+}
+
+/// REDUCE: shrink every cube to the supercube of the positive examples that
+/// only it covers (dropping cubes that uniquely cover nothing).
+fn reduce(cover: &mut Cover, positives: &[Pattern]) {
+    let mut multiplicity = vec![0u32; positives.len()];
+    for cube in cover.iter() {
+        for (i, p) in positives.iter().enumerate() {
+            if cube.contains(p) {
+                multiplicity[i] += 1;
+            }
+        }
+    }
+    let num_vars = cover.num_vars();
+    let mut reduced: Vec<Cube> = Vec::with_capacity(cover.len());
+    for cube in cover.iter() {
+        let unique: Vec<&Pattern> = positives
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| multiplicity[*i] == 1 && cube.contains(p))
+            .map(|(_, p)| p)
+            .collect();
+        if unique.is_empty() {
+            // Covered elsewhere: the cube would be redundant; drop it and
+            // release its shared examples.
+            for (i, p) in positives.iter().enumerate() {
+                if cube.contains(p) {
+                    multiplicity[i] -= 1;
+                }
+            }
+            continue;
+        }
+        reduced.push(supercube(num_vars, unique.into_iter()));
+    }
+    *cover = Cover::from_cubes(num_vars, reduced);
+}
+
+/// The smallest cube containing all given patterns: variables on which every
+/// pattern agrees keep that literal, all others become dashes.
+///
+/// # Panics
+///
+/// Panics if the iterator is empty or a pattern's arity differs from
+/// `num_vars`.
+pub fn supercube<'a>(num_vars: usize, mut patterns: impl Iterator<Item = &'a Pattern>) -> Cube {
+    let first = patterns.next().expect("supercube of nothing");
+    assert_eq!(first.len(), num_vars, "pattern arity mismatch");
+    let mut cube = Cube::from_pattern(first);
+    for p in patterns {
+        assert_eq!(p.len(), num_vars, "pattern arity mismatch");
+        for (var, pol) in cube.clone().literals() {
+            if p.get(var) != pol {
+                cube = cube.without_literal(var);
+            }
+        }
+    }
+    cube
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_from(f: impl Fn(u64) -> bool, num_vars: usize) -> Dataset {
+        let mut ds = Dataset::new(num_vars);
+        for m in 0..(1u64 << num_vars) {
+            ds.push(Pattern::from_index(m, num_vars), f(m));
+        }
+        ds
+    }
+
+    fn check_valid(cover: &Cover, ds: &Dataset) {
+        for (p, o) in ds.iter() {
+            assert_eq!(cover.eval(p), o, "cover wrong on {p}");
+        }
+    }
+
+    #[test]
+    fn single_variable_function() {
+        let ds = dataset_from(|m| m & 1 == 1, 4);
+        let cover = minimize_dataset(&ds, &EspressoConfig::default());
+        check_valid(&cover, &ds);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].literal_count(), 1);
+    }
+
+    #[test]
+    fn completely_specified_majority() {
+        let ds = dataset_from(|m| m.count_ones() >= 2, 3);
+        let cover = minimize_dataset(&ds, &EspressoConfig::default());
+        check_valid(&cover, &ds);
+        // Optimal SOP of MAJ3 has 3 cubes of 2 literals.
+        assert_eq!(cover.len(), 3);
+        assert_eq!(cover.literal_count(), 6);
+    }
+
+    #[test]
+    fn xor_needs_four_cubes_over_three_vars() {
+        let ds = dataset_from(|m| m.count_ones() % 2 == 1, 3);
+        let cover = minimize_dataset(&ds, &EspressoConfig::default());
+        check_valid(&cover, &ds);
+        assert_eq!(cover.len(), 4); // parity has no 2-level sharing
+    }
+
+    #[test]
+    fn incompletely_specified_generalizes() {
+        // Only 4 care minterms of a 4-var space; f = x3 on the care set.
+        let mut ds = Dataset::new(4);
+        ds.push(Pattern::from_index(0b1000, 4), true);
+        ds.push(Pattern::from_index(0b1011, 4), true);
+        ds.push(Pattern::from_index(0b0011, 4), false);
+        ds.push(Pattern::from_index(0b0100, 4), false);
+        let cover = minimize_dataset(&ds, &EspressoConfig::default());
+        check_valid(&cover, &ds);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].to_string(), "---1");
+    }
+
+    #[test]
+    fn first_irredundant_is_still_valid() {
+        let ds = dataset_from(|m| (m ^ (m >> 1)) & 1 == 1, 5);
+        let cfg = EspressoConfig {
+            first_irredundant: true,
+            ..EspressoConfig::default()
+        };
+        let cover = minimize_dataset(&ds, &cfg);
+        check_valid(&cover, &ds);
+    }
+
+    #[test]
+    fn empty_onset_gives_empty_cover() {
+        let ds = dataset_from(|_| false, 3);
+        let cover = minimize_dataset(&ds, &EspressoConfig::default());
+        assert!(cover.is_empty());
+    }
+
+    #[test]
+    fn full_onset_gives_tautology_cube() {
+        let ds = dataset_from(|_| true, 3);
+        let cover = minimize_dataset(&ds, &EspressoConfig::default());
+        check_valid(&cover, &ds);
+        assert_eq!(cover.len(), 1);
+        assert!(cover[0].is_universe());
+    }
+
+    #[test]
+    #[should_panic(expected = "contradictory labels")]
+    fn contradiction_panics() {
+        let mut ds = Dataset::new(2);
+        ds.push(Pattern::from_index(0b01, 2), true);
+        ds.push(Pattern::from_index(0b01, 2), false);
+        minimize_dataset(&ds, &EspressoConfig::default());
+    }
+
+    #[test]
+    fn minimize_cover_respects_seed_errors() {
+        // Seed cover misclassifies one negative; minimize_cover must not
+        // count it as blocking but must keep other negatives excluded.
+        let mut ds = Dataset::new(3);
+        ds.push(Pattern::from_index(0b001, 3), true);
+        ds.push(Pattern::from_index(0b011, 3), true);
+        ds.push(Pattern::from_index(0b101, 3), false); // seed error: covered
+        ds.push(Pattern::from_index(0b000, 3), false);
+        let seeds = Cover::from_cubes(3, vec!["1--".parse().expect("cube")]);
+        let out = minimize_cover(&seeds, &ds, &EspressoConfig::default());
+        // All positives still covered; the clean negative still excluded.
+        assert!(out.eval(&Pattern::from_index(0b001, 3)));
+        assert!(out.eval(&Pattern::from_index(0b011, 3)));
+        assert!(!out.eval(&Pattern::from_index(0b000, 3)));
+    }
+
+    #[test]
+    fn supercube_of_patterns() {
+        let a = Pattern::from_index(0b1010, 4);
+        let b = Pattern::from_index(0b1000, 4);
+        let sc = supercube(4, [&a, &b].into_iter());
+        assert_eq!(sc.to_string(), "0-01"); // LSB-first display: x0=0, x1 dash, x2=0? check below
+        assert!(sc.contains(&a) && sc.contains(&b));
+        assert_eq!(sc.literal_count(), 3);
+    }
+
+    #[test]
+    fn adder_msb_samples_minimize_cleanly() {
+        // Second bit of a 2-bit adder: depends on several inputs; espresso
+        // must stay exact on the complete care set.
+        let ds = dataset_from(
+            |m| {
+                let a = m & 0b11;
+                let b = (m >> 2) & 0b11;
+                ((a + b) >> 1) & 1 == 1
+            },
+            4,
+        );
+        let cover = minimize_dataset(&ds, &EspressoConfig::default());
+        check_valid(&cover, &ds);
+        assert!(cover.len() <= 6, "got {} cubes", cover.len());
+    }
+}

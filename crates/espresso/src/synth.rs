@@ -1,0 +1,85 @@
+//! Cover → AIG synthesis.
+
+use lsml_aig::{Aig, Lit};
+use lsml_pla::Cover;
+
+/// Compiles a sum-of-products cover into a single-output AIG: each cube
+/// becomes a balanced AND tree over its literals and the cubes are OR-ed with
+/// a balanced tree. Structural hashing shares identical sub-terms across
+/// cubes, so the node count is usually below the naive literal count.
+///
+/// # Examples
+///
+/// ```
+/// use lsml_espresso::cover_to_aig;
+/// use lsml_pla::{Cover, Pattern};
+///
+/// let cover = Cover::from_cubes(3, vec!["11-".parse()?, "--1".parse()?]);
+/// let aig = cover_to_aig(&cover);
+/// assert_eq!(aig.eval(&[true, true, false]), vec![true]);
+/// assert_eq!(aig.eval(&[false, false, false]), vec![false]);
+/// # Ok::<(), lsml_pla::ParseError>(())
+/// ```
+pub fn cover_to_aig(cover: &Cover) -> Aig {
+    let mut aig = Aig::new(cover.num_vars());
+    let mut terms: Vec<Lit> = Vec::with_capacity(cover.len());
+    for cube in cover.iter() {
+        let lits: Vec<Lit> = cube
+            .literals()
+            .map(|(var, pol)| aig.input(var).complement_if(!pol))
+            .collect();
+        terms.push(aig.and_many(&lits));
+    }
+    let f = aig.or_many(&terms);
+    aig.add_output(f);
+    aig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsml_pla::{Cube, Pattern};
+
+    #[test]
+    fn empty_cover_is_constant_false() {
+        let aig = cover_to_aig(&Cover::new(2));
+        assert_eq!(aig.eval(&[true, true]), vec![false]);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn tautology_is_constant_true() {
+        let aig = cover_to_aig(&Cover::tautology(2));
+        assert_eq!(aig.eval(&[false, false]), vec![true]);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn matches_cover_semantics_exhaustively() {
+        let cover = Cover::from_cubes(
+            4,
+            vec![
+                "1-0-".parse::<Cube>().expect("cube"),
+                "01--".parse::<Cube>().expect("cube"),
+                "---1".parse::<Cube>().expect("cube"),
+            ],
+        );
+        let aig = cover_to_aig(&cover);
+        for m in 0..16u64 {
+            let p = Pattern::from_index(m, 4);
+            let bits: Vec<bool> = p.iter().collect();
+            assert_eq!(aig.eval(&bits)[0], cover.eval(&p), "mismatch at {m:04b}");
+        }
+    }
+
+    #[test]
+    fn shared_cubes_are_hashed() {
+        // Two identical cubes produce the same AND term once.
+        let cover = Cover::from_cubes(
+            2,
+            vec!["11".parse::<Cube>().expect("cube"), "11".parse::<Cube>().expect("cube")],
+        );
+        let aig = cover_to_aig(&cover);
+        assert_eq!(aig.num_ands(), 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! The LUT network itself.
+
+use lsml_aig::circuits::truth_table_cone;
+use lsml_aig::{Aig, Lit};
+use lsml_pla::{Dataset, Pattern, TruthTable};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Connection discipline between consecutive layers (Team 6's two schemes).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Wiring {
+    /// Every LUT input is drawn uniformly at random from the previous layer.
+    #[default]
+    Random,
+    /// Every output of the previous layer is used once before any output is
+    /// connected twice ("unique but random set of inputs").
+    UniqueRandom,
+}
+
+/// LUT-network shape and wiring configuration.
+#[derive(Clone, Debug)]
+pub struct LutNetConfig {
+    /// LUT fan-in `k`. Team 6 found 4 to give the best average accuracy.
+    pub lut_inputs: usize,
+    /// LUTs per hidden layer.
+    pub luts_per_layer: usize,
+    /// Number of hidden layers (a final single-LUT output layer is always
+    /// appended).
+    pub layers: usize,
+    /// Wiring discipline.
+    pub wiring: Wiring,
+    /// RNG seed for the wiring.
+    pub seed: u64,
+}
+
+impl Default for LutNetConfig {
+    fn default() -> Self {
+        LutNetConfig {
+            lut_inputs: 4,
+            luts_per_layer: 32,
+            layers: 2,
+            wiring: Wiring::UniqueRandom,
+            seed: 0,
+        }
+    }
+}
+
+/// One lookup table: `k` source indices into the previous layer plus its
+/// (trained) truth table.
+#[derive(Clone, Debug)]
+struct Lut {
+    sources: Vec<u32>,
+    table: TruthTable,
+}
+
+/// A trained LUT network.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Clone, Debug)]
+pub struct LutNetwork {
+    num_inputs: usize,
+    /// Hidden layers followed by a single-LUT output layer.
+    layers: Vec<Vec<Lut>>,
+}
+
+impl LutNetwork {
+    /// Builds the random wiring and memorizes the training set layer by
+    /// layer: each truth-table entry becomes the majority label of the
+    /// examples reaching it (empty entries fall back to the layer-input
+    /// majority label).
+    pub fn train(ds: &Dataset, cfg: &LutNetConfig) -> Self {
+        assert!(cfg.lut_inputs >= 1, "LUTs need at least one input");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = ds.len();
+        let words = n.div_ceil(64).max(1);
+
+        // Bit-packed signal columns of the current layer (initially inputs).
+        let mut signals: Vec<Vec<u64>> = (0..ds.num_inputs())
+            .map(|v| {
+                let mut col = vec![0u64; words];
+                for (i, (p, _)) in ds.iter().enumerate() {
+                    if p.get(v) {
+                        col[i / 64] |= 1 << (i % 64);
+                    }
+                }
+                col
+            })
+            .collect();
+        let labels: Vec<bool> = ds.outputs().to_vec();
+        let global_majority = ds.majority();
+
+        let mut layers = Vec::with_capacity(cfg.layers + 1);
+        for layer_idx in 0..=cfg.layers {
+            let is_output = layer_idx == cfg.layers;
+            let width = if is_output { 1 } else { cfg.luts_per_layer };
+            let mut dealer = Dealer::new(signals.len(), cfg.wiring, &mut rng);
+            let mut layer = Vec::with_capacity(width);
+            let mut next_signals = Vec::with_capacity(width);
+            for _ in 0..width {
+                let sources: Vec<u32> =
+                    (0..cfg.lut_inputs).map(|_| dealer.deal(&mut rng)).collect();
+                let lut = memorize_lut(&sources, &signals, &labels, n, global_majority);
+                next_signals.push(eval_lut_column(&lut, &signals, n, words));
+                layer.push(lut);
+            }
+            signals = next_signals;
+            layers.push(layer);
+        }
+        LutNetwork {
+            num_inputs: ds.num_inputs(),
+            layers,
+        }
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Total number of LUTs.
+    pub fn lut_count(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// Number of layers including the output layer.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Predicts one pattern by forward evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern arity differs from the training inputs.
+    pub fn predict(&self, p: &Pattern) -> bool {
+        assert_eq!(p.len(), self.num_inputs, "pattern arity mismatch");
+        let mut values: Vec<bool> = p.iter().collect();
+        for layer in &self.layers {
+            values = layer
+                .iter()
+                .map(|lut| {
+                    let mut idx = 0u32;
+                    for (b, &s) in lut.sources.iter().enumerate() {
+                        if values[s as usize] {
+                            idx |= 1 << b;
+                        }
+                    }
+                    lut.table.get(idx)
+                })
+                .collect();
+        }
+        values[0]
+    }
+
+    /// Accuracy over a dataset.
+    pub fn accuracy(&self, ds: &Dataset) -> f64 {
+        ds.accuracy_of(|p| self.predict(p))
+    }
+
+    /// Compiles the network to an AIG: every LUT becomes a Shannon-expanded
+    /// mux cone over its source literals.
+    pub fn to_aig(&self) -> Aig {
+        let mut aig = Aig::new(self.num_inputs);
+        let mut lits: Vec<Lit> = aig.inputs();
+        for layer in &self.layers {
+            lits = layer
+                .iter()
+                .map(|lut| {
+                    let srcs: Vec<Lit> =
+                        lut.sources.iter().map(|&s| lits[s as usize]).collect();
+                    truth_table_cone(&mut aig, &lut.table, &srcs)
+                })
+                .collect();
+        }
+        aig.add_output(lits[0]);
+        aig.cleanup();
+        aig
+    }
+}
+
+/// Builds the truth table of one LUT by majority memorization.
+fn memorize_lut(
+    sources: &[u32],
+    signals: &[Vec<u64>],
+    labels: &[bool],
+    n: usize,
+    fallback: bool,
+) -> Lut {
+    let k = sources.len();
+    let mut pos = vec![0u32; 1 << k];
+    let mut neg = vec![0u32; 1 << k];
+    for i in 0..n {
+        let mut idx = 0usize;
+        for (b, &s) in sources.iter().enumerate() {
+            if (signals[s as usize][i / 64] >> (i % 64)) & 1 == 1 {
+                idx |= 1 << b;
+            }
+        }
+        if labels[i] {
+            pos[idx] += 1;
+        } else {
+            neg[idx] += 1;
+        }
+    }
+    let mut table = TruthTable::zeros(k);
+    for m in 0..(1u32 << k) {
+        let (p, q) = (pos[m as usize], neg[m as usize]);
+        let bit = if p + q == 0 {
+            fallback // unseen entry: don't-care filled with the majority label
+        } else {
+            p > q || (p == q && fallback)
+        };
+        table.set(m, bit);
+    }
+    Lut {
+        sources: sources.to_vec(),
+        table,
+    }
+}
+
+/// Evaluates one LUT over all examples, returning its bit-packed column.
+fn eval_lut_column(lut: &Lut, signals: &[Vec<u64>], n: usize, words: usize) -> Vec<u64> {
+    let mut col = vec![0u64; words];
+    for i in 0..n {
+        let mut idx = 0u32;
+        for (b, &s) in lut.sources.iter().enumerate() {
+            if (signals[s as usize][i / 64] >> (i % 64)) & 1 == 1 {
+                idx |= 1 << b;
+            }
+        }
+        if lut.table.get(idx) {
+            col[i / 64] |= 1 << (i % 64);
+        }
+    }
+    col
+}
+
+/// Deals source indices according to the wiring discipline.
+struct Dealer {
+    pool: Vec<u32>,
+    at: usize,
+    n_sources: usize,
+    wiring: Wiring,
+}
+
+impl Dealer {
+    fn new(n_sources: usize, wiring: Wiring, rng: &mut StdRng) -> Self {
+        assert!(n_sources > 0, "a layer needs at least one source signal");
+        let mut pool: Vec<u32> = (0..n_sources as u32).collect();
+        pool.shuffle(rng);
+        Dealer {
+            pool,
+            at: 0,
+            n_sources,
+            wiring,
+        }
+    }
+
+    fn deal(&mut self, rng: &mut StdRng) -> u32 {
+        match self.wiring {
+            Wiring::Random => self.pool[rng.gen_range(0..self.n_sources)],
+            Wiring::UniqueRandom => {
+                if self.at == self.pool.len() {
+                    self.pool.shuffle(rng);
+                    self.at = 0;
+                }
+                let v = self.pool[self.at];
+                self.at += 1;
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_dataset(f: impl Fn(u64) -> bool, nv: usize) -> Dataset {
+        let mut ds = Dataset::new(nv);
+        for m in 0..(1u64 << nv) {
+            ds.push(Pattern::from_index(m, nv), f(m));
+        }
+        ds
+    }
+
+    #[test]
+    fn memorizes_simple_function_well() {
+        let ds = full_dataset(|m| m & 1 == 1, 5);
+        let net = LutNetwork::train(&ds, &LutNetConfig::default());
+        assert!(net.accuracy(&ds) > 0.9, "acc {}", net.accuracy(&ds));
+    }
+
+    #[test]
+    fn aig_matches_network_predictions() {
+        let ds = full_dataset(|m| (m * 3) % 7 < 3, 5);
+        let cfg = LutNetConfig {
+            luts_per_layer: 8,
+            ..LutNetConfig::default()
+        };
+        let net = LutNetwork::train(&ds, &cfg);
+        let aig = net.to_aig();
+        for m in 0..32u64 {
+            let p = Pattern::from_index(m, 5);
+            let bits: Vec<bool> = p.iter().collect();
+            assert_eq!(aig.eval(&bits)[0], net.predict(&p), "mismatch at {m:05b}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ds = full_dataset(|m| m % 3 == 0, 6);
+        let cfg = LutNetConfig {
+            seed: 5,
+            ..LutNetConfig::default()
+        };
+        let a = LutNetwork::train(&ds, &cfg);
+        let b = LutNetwork::train(&ds, &cfg);
+        for m in 0..64u64 {
+            let p = Pattern::from_index(m, 6);
+            assert_eq!(a.predict(&p), b.predict(&p));
+        }
+    }
+
+    #[test]
+    fn unique_wiring_covers_all_sources_before_reuse() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut dealer = Dealer::new(6, Wiring::UniqueRandom, &mut rng);
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            seen.push(dealer.deal(&mut rng));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn layer_and_lut_counts() {
+        let ds = full_dataset(|m| m > 10, 4);
+        let cfg = LutNetConfig {
+            layers: 3,
+            luts_per_layer: 7,
+            ..LutNetConfig::default()
+        };
+        let net = LutNetwork::train(&ds, &cfg);
+        assert_eq!(net.layer_count(), 4); // 3 hidden + output
+        assert_eq!(net.lut_count(), 3 * 7 + 1);
+    }
+
+    #[test]
+    fn handles_empty_dataset() {
+        let ds = Dataset::new(3);
+        let net = LutNetwork::train(&ds, &LutNetConfig::default());
+        // All entries fall back to the (false) majority.
+        assert!(!net.predict(&Pattern::from_index(5, 3)));
+    }
+}

@@ -1,0 +1,551 @@
+//! The individual hypothesis testers.
+
+use lsml_aig::{circuits, Aig, Lit};
+use lsml_pla::{Dataset, Pattern};
+
+/// The function family a dataset was matched against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MatchedKind {
+    /// Constant output.
+    Constant(bool),
+    /// A single (possibly complemented) input variable.
+    Literal {
+        /// The variable.
+        var: usize,
+        /// Whether the output is its complement.
+        invert: bool,
+    },
+    /// XOR over a variable subset, possibly complemented (affine over
+    /// GF(2)).
+    Affine {
+        /// Variables appearing in the XOR.
+        vars: Vec<usize>,
+        /// Whether the XOR is complemented.
+        invert: bool,
+    },
+    /// Output depends only on the number of ones in the input.
+    Symmetric {
+        /// `signature[k]` = output when `k` inputs are one.
+        signature: Vec<bool>,
+    },
+    /// Unsigned comparison `a < b` of two contiguous input words.
+    Comparator {
+        /// Bit width of each word.
+        k: usize,
+        /// Whether word bits run MSB-first instead of LSB-first.
+        msb_first: bool,
+        /// Whether the result is complemented (giving `a >= b`).
+        invert: bool,
+        /// Whether the operands are swapped (giving `b < a`).
+        swapped: bool,
+    },
+    /// Output bit `bit` of the sum `a + b` of two contiguous input words
+    /// (bit `k` is the carry-out, i.e. the adder's MSB).
+    AdderBit {
+        /// Bit width of each word.
+        k: usize,
+        /// Which sum bit (0 = LSB, `k` = carry).
+        bit: usize,
+        /// Whether word bits run MSB-first instead of LSB-first.
+        msb_first: bool,
+    },
+}
+
+/// A successful match: the identified family plus a verified AIG.
+#[derive(Clone, Debug)]
+pub struct Match {
+    /// What was recognized.
+    pub kind: MatchedKind,
+    /// A hand-built AIG implementing the function; it classifies every
+    /// example of the matched dataset correctly.
+    pub aig: Aig,
+}
+
+/// Tries every matcher in order of cost and returns the first family that
+/// explains the complete dataset. Returns `None` when nothing fits (which is
+/// the common case — real contest benchmarks only matched for the
+/// arithmetic and symmetric categories).
+pub fn match_function(ds: &Dataset) -> Option<Match> {
+    if ds.is_empty() || ds.num_inputs() == 0 {
+        return None;
+    }
+    match_constant(ds)
+        .or_else(|| match_literal(ds))
+        .or_else(|| match_affine(ds))
+        .or_else(|| match_symmetric(ds))
+        .or_else(|| match_comparator(ds))
+        .or_else(|| match_adder_bit(ds))
+}
+
+fn verified(ds: &Dataset, kind: MatchedKind, aig: Aig) -> Option<Match> {
+    let preds = lsml_aig::sim::eval_patterns(&aig, ds.patterns());
+    if preds.iter().zip(ds.outputs()).all(|(a, b)| a == b) {
+        Some(Match { kind, aig })
+    } else {
+        None
+    }
+}
+
+fn match_constant(ds: &Dataset) -> Option<Match> {
+    let first = ds.output(0);
+    if ds.outputs().iter().all(|&o| o == first) {
+        let aig = Aig::constant(ds.num_inputs(), first);
+        return Some(Match {
+            kind: MatchedKind::Constant(first),
+            aig,
+        });
+    }
+    None
+}
+
+fn match_literal(ds: &Dataset) -> Option<Match> {
+    for var in 0..ds.num_inputs() {
+        for invert in [false, true] {
+            if ds.iter().all(|(p, o)| (p.get(var) ^ invert) == o) {
+                let mut aig = Aig::new(ds.num_inputs());
+                let l = aig.input(var).complement_if(invert);
+                aig.add_output(l);
+                return Some(Match {
+                    kind: MatchedKind::Literal { var, invert },
+                    aig,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Affine match over GF(2): find `c0 + Σ c_i x_i = y (mod 2)` consistent
+/// with every example, by Gaussian elimination on the n+1 unknown
+/// coefficients. Bit-packs one equation per example.
+fn match_affine(ds: &Dataset) -> Option<Match> {
+    let n = ds.num_inputs();
+    let unknowns = n + 1; // coefficients + constant term
+    let words = unknowns.div_ceil(64);
+    // Each row: [coefficient bits | rhs] — we keep rhs separately.
+    let mut rows: Vec<(Vec<u64>, bool)> = ds
+        .iter()
+        .map(|(p, o)| {
+            let mut r = vec![0u64; words];
+            for v in 0..n {
+                if p.get(v) {
+                    r[v / 64] |= 1 << (v % 64);
+                }
+            }
+            // Constant-term column.
+            r[n / 64] |= 1 << (n % 64);
+            (r, o)
+        })
+        .collect();
+
+    let mut pivot_rows: Vec<(usize, Vec<u64>, bool)> = Vec::new(); // (col, row, rhs)
+    for (row, rhs) in rows.iter_mut() {
+        let mut r = row.clone();
+        let mut b = *rhs;
+        for (col, prow, prhs) in &pivot_rows {
+            if (r[col / 64] >> (col % 64)) & 1 == 1 {
+                for (x, y) in r.iter_mut().zip(prow.iter()) {
+                    *x ^= y;
+                }
+                b ^= prhs;
+            }
+        }
+        // Find leading column.
+        let lead = (0..unknowns).find(|&c| (r[c / 64] >> (c % 64)) & 1 == 1);
+        match lead {
+            Some(col) => {
+                pivot_rows.push((col, r, b));
+                // Keep pivots sorted by column for the elimination loop.
+                pivot_rows.sort_by_key(|&(c, _, _)| c);
+            }
+            None => {
+                if b {
+                    return None; // 0 = 1: inconsistent, not affine
+                }
+            }
+        }
+    }
+
+    // Back-substitute to extract one solution (free variables = 0).
+    let mut coeff = vec![false; unknowns];
+    for (col, row, rhs) in pivot_rows.iter().rev() {
+        let mut v = *rhs;
+        for c in (col + 1)..unknowns {
+            if (row[c / 64] >> (c % 64)) & 1 == 1 && coeff[c] {
+                v = !v;
+            }
+        }
+        coeff[*col] = v;
+    }
+    let vars: Vec<usize> = (0..n).filter(|&v| coeff[v]).collect();
+    let invert = coeff[n];
+    // Reject the degenerate constant/literal cases (cheaper matchers handle
+    // them and give tighter labels).
+    if vars.len() <= 1 {
+        return None;
+    }
+    let mut aig = Aig::new(n);
+    let lits: Vec<Lit> = vars.iter().map(|&v| aig.input(v)).collect();
+    let x = aig.xor_many(&lits);
+    aig.add_output(x.complement_if(invert));
+    verified(
+        ds,
+        MatchedKind::Affine { vars, invert },
+        aig,
+    )
+}
+
+fn match_symmetric(ds: &Dataset) -> Option<Match> {
+    let n = ds.num_inputs();
+    // signature[k]: Some(label) once seen; conflicts kill the match.
+    let mut signature: Vec<Option<bool>> = vec![None; n + 1];
+    for (p, o) in ds.iter() {
+        let k = p.count_ones();
+        match signature[k] {
+            None => signature[k] = Some(o),
+            Some(s) if s != o => return None,
+            _ => {}
+        }
+    }
+    let filled: Vec<bool> = signature.iter().map(|s| s.unwrap_or(false)).collect();
+    // Symmetric matching is only meaningful when it actually constrains the
+    // function: require at least three distinct popcount classes observed.
+    if signature.iter().flatten().count() < 3 {
+        return None;
+    }
+    let mut aig = Aig::new(n);
+    let inputs = aig.inputs();
+    let f = circuits::symmetric(&mut aig, &inputs, &filled);
+    aig.add_output(f);
+    aig.cleanup();
+    verified(ds, MatchedKind::Symmetric { signature: filled }, aig)
+}
+
+/// Splits the inputs into two contiguous words, in the given bit order.
+fn split_words(n: usize, msb_first: bool) -> Option<(Vec<usize>, Vec<usize>)> {
+    if n < 2 || !n.is_multiple_of(2) {
+        return None;
+    }
+    let k = n / 2;
+    let mut a: Vec<usize> = (0..k).collect();
+    let mut b: Vec<usize> = (k..n).collect();
+    if msb_first {
+        a.reverse();
+        b.reverse();
+    }
+    Some((a, b))
+}
+
+/// Reads the value of a word (given as LSB-first variable indices) from a
+/// pattern, as a little-endian multiword integer.
+fn word_value(p: &Pattern, vars: &[usize]) -> Vec<u64> {
+    let mut out = vec![0u64; vars.len().div_ceil(64).max(1)];
+    for (bit, &v) in vars.iter().enumerate() {
+        if p.get(v) {
+            out[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+    out
+}
+
+fn less_than_words(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len().max(b.len())).rev() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        if x != y {
+            return x < y;
+        }
+    }
+    false
+}
+
+fn match_comparator(ds: &Dataset) -> Option<Match> {
+    let n = ds.num_inputs();
+    for msb_first in [false, true] {
+        let (a_vars, b_vars) = split_words(n, msb_first)?;
+        for swapped in [false, true] {
+            for invert in [false, true] {
+                let ok = ds.iter().all(|(p, o)| {
+                    let a = word_value(p, &a_vars);
+                    let b = word_value(p, &b_vars);
+                    let lt = if swapped {
+                        less_than_words(&b, &a)
+                    } else {
+                        less_than_words(&a, &b)
+                    };
+                    (lt ^ invert) == o
+                });
+                if !ok {
+                    continue;
+                }
+                let k = n / 2;
+                let mut aig = Aig::new(n);
+                let la: Vec<Lit> = a_vars.iter().map(|&v| aig.input(v)).collect();
+                let lb: Vec<Lit> = b_vars.iter().map(|&v| aig.input(v)).collect();
+                let lt = if swapped {
+                    circuits::less_than(&mut aig, &lb, &la)
+                } else {
+                    circuits::less_than(&mut aig, &la, &lb)
+                };
+                aig.add_output(lt.complement_if(invert));
+                aig.cleanup();
+                return verified(
+                    ds,
+                    MatchedKind::Comparator {
+                        k,
+                        msb_first,
+                        invert,
+                        swapped,
+                    },
+                    aig,
+                );
+            }
+        }
+    }
+    None
+}
+
+fn match_adder_bit(ds: &Dataset) -> Option<Match> {
+    let n = ds.num_inputs();
+    for msb_first in [false, true] {
+        let (a_vars, b_vars) = split_words(n, msb_first)?;
+        let k = n / 2;
+        // Candidate bits: the contest used the two most significant sum
+        // bits; checking every bit is still cheap because the sum per
+        // example is computed once.
+        let mut candidate_bits: Vec<usize> = (0..=k).collect();
+        candidate_bits.reverse(); // try MSBs first
+        let mut viable = candidate_bits.clone();
+        for (p, o) in ds.iter() {
+            if viable.is_empty() {
+                break;
+            }
+            let a = word_value(p, &a_vars);
+            let b = word_value(p, &b_vars);
+            let sum = add_words(&a, &b);
+            viable.retain(|&bit| ((sum[bit / 64] >> (bit % 64)) & 1 == 1) == o);
+        }
+        if let Some(&bit) = viable.first() {
+            let mut aig = Aig::new(n);
+            let la: Vec<Lit> = a_vars.iter().map(|&v| aig.input(v)).collect();
+            let lb: Vec<Lit> = b_vars.iter().map(|&v| aig.input(v)).collect();
+            let (sum, carry) = circuits::ripple_add(&mut aig, &la, &lb);
+            let out = if bit == k { carry } else { sum[bit] };
+            aig.add_output(out);
+            aig.cleanup();
+            return verified(
+                ds,
+                MatchedKind::AdderBit {
+                    k,
+                    bit,
+                    msb_first,
+                },
+                aig,
+            );
+        }
+    }
+    None
+}
+
+/// Little-endian multiword addition with one extra word of headroom.
+fn add_words(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let len = a.len().max(b.len()) + 1;
+    let mut out = vec![0u64; len];
+    let mut carry = 0u64;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        let (s1, c1) = x.overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *slot = s2;
+        carry = u64::from(c1) + u64::from(c2);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sampled(nv: usize, n: usize, seed: u64, f: impl Fn(&Pattern) -> bool) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(nv);
+        for _ in 0..n {
+            let p = Pattern::random(&mut rng, nv);
+            let label = f(&p);
+            ds.push(p, label);
+        }
+        ds
+    }
+
+    #[test]
+    fn matches_constant() {
+        let ds = sampled(5, 50, 0, |_| true);
+        let m = match_function(&ds).expect("constant");
+        assert_eq!(m.kind, MatchedKind::Constant(true));
+    }
+
+    #[test]
+    fn matches_literal_and_complement() {
+        let ds = sampled(6, 80, 1, |p| !p.get(3));
+        let m = match_function(&ds).expect("literal");
+        assert_eq!(
+            m.kind,
+            MatchedKind::Literal {
+                var: 3,
+                invert: true
+            }
+        );
+    }
+
+    #[test]
+    fn matches_parity_subset() {
+        let ds = sampled(8, 120, 2, |p| p.get(1) ^ p.get(4) ^ p.get(6));
+        let m = match_function(&ds).expect("affine");
+        match m.kind {
+            MatchedKind::Affine { ref vars, invert } => {
+                assert_eq!(vars, &vec![1, 4, 6]);
+                assert!(!invert);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+        // The emitted AIG generalizes beyond the samples.
+        assert_eq!(m.aig.eval(&[false, true, false, false, false, false, false, false]), vec![true]);
+    }
+
+    #[test]
+    fn matches_complemented_parity() {
+        let ds = sampled(16, 300, 3, |p| {
+            let parity = (0..16).fold(false, |acc, v| acc ^ p.get(v));
+            !parity
+        });
+        let m = match_function(&ds).expect("xnor chain");
+        match m.kind {
+            MatchedKind::Affine { ref vars, invert } => {
+                assert_eq!(vars.len(), 16);
+                assert!(invert);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matches_symmetric_threshold() {
+        let ds = sampled(10, 400, 4, |p| p.count_ones() >= 6);
+        let m = match_function(&ds).expect("symmetric");
+        match m.kind {
+            MatchedKind::Symmetric { ref signature } => {
+                assert!(signature[7]);
+                assert!(!signature[2]);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matches_comparator_lsb_first() {
+        let ds = sampled(12, 400, 5, |p| {
+            let a = (0..6).fold(0u64, |acc, i| acc | (u64::from(p.get(i)) << i));
+            let b = (0..6).fold(0u64, |acc, i| acc | (u64::from(p.get(6 + i)) << i));
+            a < b
+        });
+        let m = match_function(&ds).expect("comparator");
+        match m.kind {
+            MatchedKind::Comparator {
+                k,
+                msb_first,
+                invert,
+                swapped,
+            } => {
+                assert_eq!(k, 6);
+                assert!(!msb_first && !invert && !swapped);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matches_adder_carry_bit() {
+        // MSB of the (k+1)-bit sum = carry out of a k-bit adder.
+        let ds = sampled(8, 300, 6, |p| {
+            let a = (0..4).fold(0u64, |acc, i| acc | (u64::from(p.get(i)) << i));
+            let b = (0..4).fold(0u64, |acc, i| acc | (u64::from(p.get(4 + i)) << i));
+            (a + b) >> 4 & 1 == 1
+        });
+        let m = match_function(&ds).expect("adder carry");
+        match m.kind {
+            MatchedKind::AdderBit { k, bit, msb_first } => {
+                assert_eq!((k, bit), (4, 4));
+                assert!(!msb_first);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matches_adder_second_msb() {
+        let ds = sampled(8, 300, 7, |p| {
+            let a = (0..4).fold(0u64, |acc, i| acc | (u64::from(p.get(i)) << i));
+            let b = (0..4).fold(0u64, |acc, i| acc | (u64::from(p.get(4 + i)) << i));
+            (a + b) >> 3 & 1 == 1
+        });
+        let m = match_function(&ds).expect("adder 2nd msb");
+        match m.kind {
+            MatchedKind::AdderBit { k, bit, .. } => {
+                assert_eq!((k, bit), (4, 3));
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matches_msb_first_comparator() {
+        // Words laid out MSB-first (contest inputs were LSB→MSB, but Team 7
+        // probed multiple layouts).
+        let ds = sampled(8, 300, 8, |p| {
+            let a = (0..4).fold(0u64, |acc, i| acc | (u64::from(p.get(i)) << (3 - i)));
+            let b = (0..4).fold(0u64, |acc, i| acc | (u64::from(p.get(4 + i)) << (3 - i)));
+            a < b
+        });
+        let m = match_function(&ds).expect("msb-first comparator");
+        match m.kind {
+            MatchedKind::Comparator { msb_first, .. } => assert!(msb_first),
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_noise_matches_nothing() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ds = Dataset::new(7);
+        for _ in 0..300 {
+            let p = Pattern::random(&mut rng, 7);
+            let label = rng.gen();
+            ds.push(p, label);
+        }
+        // Truly random labels are (with overwhelming probability) not
+        // explained by any of the families.
+        assert!(match_function(&ds).is_none());
+    }
+
+    #[test]
+    fn conjunction_is_not_falsely_matched() {
+        let ds = sampled(6, 200, 10, |p| p.get(0) && p.get(1));
+        // AND is none of the families (it *is* representable as a symmetric
+        // function only over its own 2 inputs, not over all 6).
+        if let Some(m) = match_function(&ds) {
+            // Any reported match must at least be exact on the data.
+            for (p, o) in ds.iter() {
+                let bits: Vec<bool> = p.iter().collect();
+                assert_eq!(m.aig.eval(&bits)[0], o);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_matches_nothing() {
+        assert!(match_function(&Dataset::new(4)).is_none());
+    }
+}

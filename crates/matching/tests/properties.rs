@@ -1,0 +1,96 @@
+//! Property tests for the standard-function matchers: whatever is reported
+//! must be exact on the data, and planted standard functions are recovered.
+
+use lsml_matching::{match_function, MatchedKind};
+use lsml_pla::{Dataset, Pattern};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sampled(nv: usize, n: usize, seed: u64, f: impl Fn(&Pattern) -> bool) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new(nv);
+    for _ in 0..n {
+        let p = Pattern::random(&mut rng, nv);
+        let label = f(&p);
+        ds.push(p, label);
+    }
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any reported match classifies every training example correctly.
+    #[test]
+    fn reported_matches_are_exact_on_data(seed in any::<u64>(), nv in 4usize..10) {
+        let ds = sampled(nv, 120, seed, |p| {
+            (p.to_index().wrapping_mul(seed | 1)).count_ones() % 2 == 1
+        });
+        if let Some(m) = match_function(&ds) {
+            for (p, o) in ds.iter() {
+                let bits: Vec<bool> = p.iter().collect();
+                prop_assert_eq!(m.aig.eval(&bits)[0], o);
+            }
+        }
+    }
+
+    /// A planted affine function (XOR of a random subset, random complement)
+    /// is always recovered, and the recovered circuit generalizes to unseen
+    /// patterns.
+    #[test]
+    fn planted_affine_is_recovered(
+        seed in any::<u64>(),
+        mask in 1u16..1024,
+        invert in any::<bool>(),
+    ) {
+        let nv = 10;
+        let f = |p: &Pattern| {
+            let mut acc = invert;
+            for v in 0..nv {
+                if (mask >> v) & 1 == 1 {
+                    acc ^= p.get(v);
+                }
+            }
+            acc
+        };
+        let ds = sampled(nv, 200, seed, f);
+        let m = match_function(&ds).expect("affine family must match");
+        // Verify on fresh samples (generalization, not memorization).
+        let fresh = sampled(nv, 200, seed.wrapping_add(1), f);
+        for (p, o) in fresh.iter() {
+            let bits: Vec<bool> = p.iter().collect();
+            prop_assert_eq!(m.aig.eval(&bits)[0], o);
+        }
+    }
+
+    /// A planted threshold (symmetric) function is recovered whenever enough
+    /// popcount classes are observed.
+    #[test]
+    fn planted_threshold_is_recovered(seed in any::<u64>(), t in 3usize..8) {
+        let nv = 10;
+        let ds = sampled(nv, 400, seed, |p| p.count_ones() >= t);
+        let m = match_function(&ds).expect("symmetric family must match");
+        let kind_ok = matches!(
+            m.kind,
+            MatchedKind::Symmetric { .. } | MatchedKind::Constant(_)
+        );
+        prop_assert!(kind_ok, "unexpected kind {:?}", m.kind);
+        for (p, o) in ds.iter() {
+            let bits: Vec<bool> = p.iter().collect();
+            prop_assert_eq!(m.aig.eval(&bits)[0], o);
+        }
+    }
+
+    /// Matching respects complementation: the complement of a matched
+    /// function is also matched.
+    #[test]
+    fn complement_closure(seed in any::<u64>()) {
+        let nv = 8;
+        let f = |p: &Pattern| p.get(0) ^ p.get(3) ^ p.get(5);
+        let pos = sampled(nv, 150, seed, f);
+        let neg = sampled(nv, 150, seed, |p| !f(p));
+        prop_assert!(match_function(&pos).is_some());
+        prop_assert!(match_function(&neg).is_some());
+    }
+}

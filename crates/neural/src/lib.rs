@@ -1,0 +1,40 @@
+//! Small multi-layer perceptrons with logic synthesis.
+//!
+//! Several teams trained MLPs and then had to turn floating-point networks
+//! into AIGs under the 5000-node budget. This crate reproduces that tool
+//! chain:
+//!
+//! * [`Mlp`] — dense feed-forward networks with sigmoid, ReLU or **sine**
+//!   activations (Team 8's periodic activation for parity-like functions),
+//!   trained by minibatch SGD on the logistic loss.
+//! * [`prune_to_fanin`] — Team 3's magnitude-based connection pruning with
+//!   retraining, iterated until every neuron has at most `max_fanin` live
+//!   inputs (they used 12).
+//! * [`Mlp::to_aig_quantized`] — neuron-to-LUT synthesis: each neuron's
+//!   activation is rounded to a bit and enumerated into a truth table over
+//!   its live binary inputs (Chatterjee's LUT conversion as used by Team 3).
+//! * [`Mlp::to_truth_table`] — full input enumeration for small networks
+//!   (Team 8's approach for benchmarks with under ~20 inputs).
+//! * [`Mlp::input_importance`] — first-layer weight magnitudes, Team 5's
+//!   NN-guided feature selection.
+//!
+//! # Examples
+//!
+//! ```
+//! use lsml_neural::{Mlp, MlpConfig};
+//! use lsml_pla::{Dataset, Pattern};
+//!
+//! let mut ds = Dataset::new(2);
+//! for m in 0..4u64 {
+//!     ds.push(Pattern::from_index(m, 2), m == 0b11); // AND
+//! }
+//! let cfg = MlpConfig { hidden: vec![4], epochs: 400, ..MlpConfig::default() };
+//! let mlp = Mlp::train(&ds, &cfg);
+//! assert!(mlp.accuracy(&ds) > 0.99);
+//! ```
+
+mod mlp;
+mod synth;
+
+pub use mlp::{Activation, Mlp, MlpConfig};
+pub use synth::prune_to_fanin;

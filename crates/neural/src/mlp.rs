@@ -1,0 +1,448 @@
+//! Dense MLPs trained with minibatch SGD.
+
+use lsml_pla::{Dataset, Pattern};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Hidden-layer activation function.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Activation {
+    /// Logistic sigmoid (Team 3's 3-layer network).
+    #[default]
+    Sigmoid,
+    /// Rectified linear unit.
+    Relu,
+    /// Sine — Team 8's periodic activation, good at latent-frequency
+    /// functions such as parity.
+    Sine,
+}
+
+impl Activation {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Relu => x.max(0.0),
+            Activation::Sine => x.sin(),
+        }
+    }
+
+    /// Derivative expressed in terms of the pre-activation `x` and the
+    /// activation value `y`.
+    fn derivative(self, x: f32, y: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sine => x.cos(),
+        }
+    }
+}
+
+/// MLP architecture and training hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct MlpConfig {
+    /// Hidden layer widths (the output layer is always a single sigmoid
+    /// unit). Team 8 halved the width between layers.
+    pub hidden: Vec<usize>,
+    /// Hidden activation.
+    pub activation: Activation,
+    /// Training epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: vec![32, 16],
+            activation: Activation::Sigmoid,
+            epochs: 60,
+            learning_rate: 0.5,
+            batch_size: 32,
+            weight_decay: 1e-5,
+            seed: 0,
+        }
+    }
+}
+
+/// One dense layer: row-major weights `[out][in]` with a pruning mask.
+#[derive(Clone, Debug)]
+pub(crate) struct Dense {
+    pub(crate) n_in: usize,
+    pub(crate) n_out: usize,
+    pub(crate) weights: Vec<f32>,
+    pub(crate) mask: Vec<bool>,
+    pub(crate) bias: Vec<f32>,
+}
+
+impl Dense {
+    fn new(n_in: usize, n_out: usize, gain: f32, rng: &mut StdRng) -> Self {
+        let scale = gain * (2.0 / (n_in + n_out) as f32).sqrt();
+        Dense {
+            n_in,
+            n_out,
+            weights: (0..n_in * n_out)
+                .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+                .collect(),
+            mask: vec![true; n_in * n_out],
+            bias: vec![0.0; n_out],
+        }
+    }
+
+    pub(crate) fn weight(&self, o: usize, i: usize) -> f32 {
+        if self.mask[o * self.n_in + i] {
+            self.weights[o * self.n_in + i]
+        } else {
+            0.0
+        }
+    }
+
+    fn forward(&self, input: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let mut acc = self.bias[o];
+            let row = &self.weights[o * self.n_in..(o + 1) * self.n_in];
+            let mrow = &self.mask[o * self.n_in..(o + 1) * self.n_in];
+            for i in 0..self.n_in {
+                if mrow[i] {
+                    acc += row[i] * input[i];
+                }
+            }
+            out.push(acc);
+        }
+    }
+
+    /// Live (unmasked) fanin of neuron `o`.
+    pub(crate) fn fanin(&self, o: usize) -> usize {
+        self.mask[o * self.n_in..(o + 1) * self.n_in]
+            .iter()
+            .filter(|&&m| m)
+            .count()
+    }
+}
+
+/// A feed-forward binary classifier.
+///
+/// See the crate docs for a training example.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    pub(crate) layers: Vec<Dense>,
+    pub(crate) activation: Activation,
+    num_inputs: usize,
+}
+
+impl Mlp {
+    /// Trains a fresh network on the dataset.
+    pub fn train(ds: &Dataset, cfg: &MlpConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut dims = vec![ds.num_inputs()];
+        dims.extend_from_slice(&cfg.hidden);
+        dims.push(1);
+        let n_layers = dims.len() - 1;
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(l, w)| {
+                // Sine hidden units need larger initial weights to leave the
+                // linear regime of sin(x) ~ x (SIREN's first-layer scaling);
+                // the sigmoid output layer keeps the standard Xavier gain.
+                let gain = if cfg.activation == Activation::Sine && l + 1 < n_layers {
+                    8.0
+                } else {
+                    1.0
+                };
+                Dense::new(w[0], w[1], gain, &mut rng)
+            })
+            .collect();
+        let mut mlp = Mlp {
+            layers,
+            activation: cfg.activation,
+            num_inputs: ds.num_inputs(),
+        };
+        mlp.fit(ds, cfg, &mut rng);
+        mlp
+    }
+
+    /// Continues training an existing network (used after pruning).
+    pub fn retrain(&mut self, ds: &Dataset, cfg: &MlpConfig) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xdead_beef);
+        self.fit(ds, cfg, &mut rng);
+    }
+
+    fn fit(&mut self, ds: &Dataset, cfg: &MlpConfig, rng: &mut StdRng) {
+        if ds.is_empty() {
+            return;
+        }
+        let inputs: Vec<Vec<f32>> = ds
+            .patterns()
+            .iter()
+            .map(|p| p.iter().map(|b| if b { 1.0 } else { 0.0 }).collect())
+            .collect();
+        let targets: Vec<f32> = ds
+            .outputs()
+            .iter()
+            .map(|&o| if o { 1.0 } else { 0.0 })
+            .collect();
+        let mut order: Vec<usize> = (0..ds.len()).collect();
+
+        for _ in 0..cfg.epochs {
+            order.shuffle(rng);
+            for batch in order.chunks(cfg.batch_size.max(1)) {
+                self.sgd_step(batch, &inputs, &targets, cfg);
+            }
+        }
+    }
+
+    /// One SGD step over a minibatch (gradients averaged over the batch).
+    fn sgd_step(&mut self, batch: &[usize], inputs: &[Vec<f32>], targets: &[f32], cfg: &MlpConfig) {
+        let lr = cfg.learning_rate / batch.len() as f32;
+        for &idx in batch {
+            // Forward pass keeping pre-activations and activations.
+            let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len() + 1);
+            let mut pres: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
+            acts.push(inputs[idx].clone());
+            for (l, layer) in self.layers.iter().enumerate() {
+                let mut pre = Vec::new();
+                layer.forward(&acts[l], &mut pre);
+                let is_output = l + 1 == self.layers.len();
+                let act: Vec<f32> = pre
+                    .iter()
+                    .map(|&x| {
+                        if is_output {
+                            Activation::Sigmoid.apply(x)
+                        } else {
+                            self.activation.apply(x)
+                        }
+                    })
+                    .collect();
+                pres.push(pre);
+                acts.push(act);
+            }
+            // Backward pass: logistic loss gives (p - y) at the output.
+            let mut delta = vec![acts.last().expect("output")[0] - targets[idx]];
+            for l in (0..self.layers.len()).rev() {
+                let is_output = l + 1 == self.layers.len();
+                let act_fn = if is_output {
+                    Activation::Sigmoid
+                } else {
+                    self.activation
+                };
+                // delta currently holds dL/d(activation); fold in activation
+                // derivative except at the sigmoid output where (p - y)
+                // already includes it.
+                let local: Vec<f32> = if is_output {
+                    delta.clone()
+                } else {
+                    delta
+                        .iter()
+                        .enumerate()
+                        .map(|(o, &d)| d * act_fn.derivative(pres[l][o], acts[l + 1][o]))
+                        .collect()
+                };
+                // Gradient wrt previous activations (before updating weights).
+                let layer = &self.layers[l];
+                let mut prev_delta = vec![0.0f32; layer.n_in];
+                for (o, &lo) in local.iter().enumerate().take(layer.n_out) {
+                    let row = o * layer.n_in;
+                    for (i, pd) in prev_delta.iter_mut().enumerate() {
+                        if layer.mask[row + i] {
+                            *pd += lo * layer.weights[row + i];
+                        }
+                    }
+                }
+                // Weight update.
+                let layer = &mut self.layers[l];
+                for (o, &lo) in local.iter().enumerate().take(layer.n_out) {
+                    let row = o * layer.n_in;
+                    for (i, &act) in acts[l].iter().enumerate().take(layer.n_in) {
+                        let w = row + i;
+                        if layer.mask[w] {
+                            let grad = lo * act + cfg.weight_decay * layer.weights[w];
+                            layer.weights[w] -= lr * grad;
+                        }
+                    }
+                    layer.bias[o] -= lr * lo;
+                }
+                delta = prev_delta;
+            }
+        }
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of layers (hidden + output).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The probability of class 1 for one pattern.
+    pub fn predict_proba(&self, p: &Pattern) -> f32 {
+        let mut values: Vec<f32> = p.iter().map(|b| if b { 1.0 } else { 0.0 }).collect();
+        let mut next = Vec::new();
+        for (l, layer) in self.layers.iter().enumerate() {
+            layer.forward(&values, &mut next);
+            let is_output = l + 1 == self.layers.len();
+            values = next
+                .iter()
+                .map(|&x| {
+                    if is_output {
+                        Activation::Sigmoid.apply(x)
+                    } else {
+                        self.activation.apply(x)
+                    }
+                })
+                .collect();
+        }
+        values[0]
+    }
+
+    /// Hard classification at threshold 0.5.
+    pub fn predict(&self, p: &Pattern) -> bool {
+        self.predict_proba(p) > 0.5
+    }
+
+    /// Accuracy over a dataset.
+    pub fn accuracy(&self, ds: &Dataset) -> f64 {
+        ds.accuracy_of(|p| self.predict(p))
+    }
+
+    /// Team 5's importance proxy: the summed first-layer |weight| feeding
+    /// out of each input.
+    pub fn input_importance(&self) -> Vec<f64> {
+        let first = &self.layers[0];
+        (0..first.n_in)
+            .map(|i| {
+                (0..first.n_out)
+                    .map(|o| f64::from(first.weight(o, i).abs()))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Maximum live fanin over all neurons.
+    pub fn max_fanin(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| (0..l.n_out).map(|o| l.fanin(o)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_dataset(f: impl Fn(u64) -> bool, nv: usize) -> Dataset {
+        let mut ds = Dataset::new(nv);
+        for m in 0..(1u64 << nv) {
+            ds.push(Pattern::from_index(m, nv), f(m));
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_linear_separable() {
+        let ds = full_dataset(|m| m & 1 == 1, 4);
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            epochs: 200,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::train(&ds, &cfg);
+        assert!((mlp.accuracy(&ds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layer() {
+        let ds = full_dataset(|m| (m ^ (m >> 1)) & 1 == 1, 2);
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            epochs: 2000,
+            learning_rate: 1.0,
+            seed: 3,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::train(&ds, &cfg);
+        assert!((mlp.accuracy(&ds) - 1.0).abs() < 1e-12, "acc {}", mlp.accuracy(&ds));
+    }
+
+    #[test]
+    fn sine_activation_can_learn_parity() {
+        // Team 8's observation: the sine activation captures periodic
+        // structure like parity. Training is seed-sensitive (the paper cites
+        // its "exponential increase in local minima"), so take the best of a
+        // few restarts — what their grid search effectively did.
+        let ds = full_dataset(|m| m.count_ones() % 2 == 1, 4);
+        let best = (0..6)
+            .map(|seed| {
+                let cfg = MlpConfig {
+                    hidden: vec![12],
+                    epochs: 800,
+                    learning_rate: 1.0,
+                    activation: Activation::Sine,
+                    seed,
+                    ..MlpConfig::default()
+                };
+                Mlp::train(&ds, &cfg).accuracy(&ds)
+            })
+            .fold(0.0f64, f64::max);
+        assert!(best > 0.9, "best sine accuracy {best}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ds = full_dataset(|m| m % 3 == 0, 5);
+        let cfg = MlpConfig {
+            epochs: 20,
+            ..MlpConfig::default()
+        };
+        let a = Mlp::train(&ds, &cfg);
+        let b = Mlp::train(&ds, &cfg);
+        for m in 0..32u64 {
+            let p = Pattern::from_index(m, 5);
+            assert_eq!(a.predict(&p), b.predict(&p));
+        }
+    }
+
+    #[test]
+    fn importance_highlights_live_input() {
+        let ds = full_dataset(|m| m & 0b10 != 0, 4);
+        let cfg = MlpConfig {
+            hidden: vec![6],
+            epochs: 300,
+            ..MlpConfig::default()
+        };
+        let mlp = Mlp::train(&ds, &cfg);
+        let imp = mlp.input_importance();
+        let max = imp
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i);
+        assert_eq!(max, Some(1));
+    }
+
+    #[test]
+    fn empty_dataset_is_harmless() {
+        let ds = Dataset::new(3);
+        let mlp = Mlp::train(&ds, &MlpConfig::default());
+        let _ = mlp.predict(&Pattern::from_index(0, 3));
+    }
+}

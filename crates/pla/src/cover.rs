@@ -1,0 +1,437 @@
+//! Sums of products (cube covers).
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::cube::{Cube, Trit};
+use crate::pattern::Pattern;
+
+/// A sum of products: the union of a list of [`Cube`]s over a fixed variable
+/// count. The empty cover denotes the constant-false function.
+///
+/// # Examples
+///
+/// ```
+/// use lsml_pla::{Cover, Pattern};
+///
+/// let mut f = Cover::new(3);
+/// f.push("11-".parse()?);
+/// f.push("--1".parse()?);
+/// assert!(f.eval(&Pattern::from_bools(&[true, true, false])));
+/// assert!(!f.eval(&Pattern::from_bools(&[false, true, false])));
+/// assert_eq!(f.len(), 2);
+/// # Ok::<(), lsml_pla::ParseError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Cover {
+    num_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty (constant false) cover over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Cover {
+            num_vars,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// A cover consisting of the given cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cube's arity differs from `num_vars`.
+    pub fn from_cubes(num_vars: usize, cubes: Vec<Cube>) -> Self {
+        for c in &cubes {
+            assert_eq!(c.num_vars(), num_vars, "cube arity mismatch");
+        }
+        Cover { num_vars, cubes }
+    }
+
+    /// The constant-true cover (a single universal cube).
+    pub fn tautology(num_vars: usize) -> Self {
+        Cover::from_cubes(num_vars, vec![Cube::universe(num_vars)])
+    }
+
+    /// Number of variables of the cover's space.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of cubes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Whether the cover has no cubes (constant false).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Appends a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube's arity differs from the cover's.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.num_vars(), self.num_vars, "cube arity mismatch");
+        self.cubes.push(cube);
+    }
+
+    /// Removes and returns the cube at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn remove(&mut self, index: usize) -> Cube {
+        self.cubes.remove(index)
+    }
+
+    /// The cubes of the cover.
+    #[inline]
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Mutable access to the cubes.
+    #[inline]
+    pub fn cubes_mut(&mut self) -> &mut Vec<Cube> {
+        &mut self.cubes
+    }
+
+    /// Iterates over the cubes.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cube> {
+        self.cubes.iter()
+    }
+
+    /// Evaluates the cover on a minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != num_vars()`.
+    pub fn eval(&self, p: &Pattern) -> bool {
+        self.cubes.iter().any(|c| c.contains(p))
+    }
+
+    /// Total number of literals across all cubes.
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Removes cubes covered by another single cube of the cover
+    /// (single-cube containment).
+    pub fn remove_single_cube_containment(&mut self) {
+        let mut keep = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.cubes.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if self.cubes[j].covers(&self.cubes[i]) {
+                    // Prefer keeping the larger cube j; ties broken by index.
+                    if self.cubes[i].covers(&self.cubes[j]) && i < j {
+                        keep[j] = false;
+                    } else {
+                        keep[i] = false;
+                        break;
+                    }
+                }
+            }
+        }
+        let mut it = keep.iter();
+        self.cubes.retain(|_| *it.next().expect("keep mask"));
+    }
+
+    /// The cofactor of the cover with respect to `var = polarity`
+    /// (Shannon expansion branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars()`.
+    pub fn cofactor(&self, var: usize, polarity: bool) -> Cover {
+        let cubes = self
+            .cubes
+            .iter()
+            .filter_map(|c| c.cofactor(var, polarity))
+            .collect();
+        Cover {
+            num_vars: self.num_vars,
+            cubes,
+        }
+    }
+
+    /// Returns a variable that appears as a literal in some cube, preferring
+    /// the most frequently used (binate first). `None` if all cubes are
+    /// universal or the cover is empty.
+    pub fn most_binate_var(&self) -> Option<usize> {
+        let mut pos = vec![0u32; self.num_vars];
+        let mut neg = vec![0u32; self.num_vars];
+        for c in &self.cubes {
+            for (var, pol) in c.literals() {
+                if pol {
+                    pos[var] += 1;
+                } else {
+                    neg[var] += 1;
+                }
+            }
+        }
+        (0..self.num_vars)
+            .filter(|&v| pos[v] + neg[v] > 0)
+            .max_by_key(|&v| {
+                // Binate variables first (both polarities present), then by
+                // total occurrence count.
+                let binate = u32::from(pos[v] > 0 && neg[v] > 0);
+                (binate, pos[v] + neg[v])
+            })
+    }
+
+    /// Whether the cover is a tautology (covers the whole space), decided by
+    /// recursive Shannon expansion with unate shortcuts.
+    pub fn is_tautology(&self) -> bool {
+        // Fast exits.
+        if self.cubes.iter().any(Cube::is_universe) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return self.num_vars == 0;
+        }
+        match self.most_binate_var() {
+            None => false, // no literals and no universal cube is impossible here
+            Some(var) => {
+                self.cofactor(var, false).is_tautology()
+                    && self.cofactor(var, true).is_tautology()
+            }
+        }
+    }
+
+    /// Whether `cube` is covered by this cover (`cube ⊆ self`), decided by
+    /// checking that the cofactor of the cover with respect to the cube is a
+    /// tautology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        assert_eq!(cube.num_vars(), self.num_vars, "cube arity mismatch");
+        let mut cof = self.clone();
+        for (var, pol) in cube.literals() {
+            cof = cof.cofactor(var, pol);
+        }
+        cof.is_tautology()
+    }
+
+    /// Exhaustively counts the minterms of the cover. Only feasible for small
+    /// variable counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars() > 24`.
+    pub fn count_minterms(&self) -> u64 {
+        assert!(self.num_vars <= 24, "exhaustive count limited to 24 vars");
+        (0u64..1 << self.num_vars)
+            .filter(|&i| self.eval(&Pattern::from_index(i, self.num_vars)))
+            .count() as u64
+    }
+}
+
+impl Index<usize> for Cover {
+    type Output = Cube;
+
+    fn index(&self, index: usize) -> &Cube {
+        &self.cubes[index]
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Cover({} vars, {} cubes)", self.num_vars, self.len())?;
+        for c in &self.cubes {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.cubes {
+            if !first {
+                f.write_str(" + ")?;
+            }
+            first = false;
+            if c.is_universe() {
+                f.write_str("1")?;
+                continue;
+            }
+            for (var, pol) in c.literals() {
+                write!(f, "{}x{var}", if pol { "" } else { "!" })?;
+            }
+        }
+        if first {
+            f.write_str("0")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for Cover {
+    type Item = Cube;
+    type IntoIter = std::vec::IntoIter<Cube>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Cover {
+    type Item = &'a Cube;
+    type IntoIter = std::slice::Iter<'a, Cube>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.iter()
+    }
+}
+
+/// Relabels every cube of `cover` from a projected variable space back into a
+/// space of `num_vars` variables, where `vars[j]` gives the original index of
+/// projected variable `j`. Unmentioned variables become dashes.
+///
+/// # Panics
+///
+/// Panics if any mapped index is out of range or `vars.len()` differs from
+/// the cover's arity.
+pub fn lift_cover(cover: &Cover, vars: &[usize], num_vars: usize) -> Cover {
+    assert_eq!(vars.len(), cover.num_vars(), "projection arity mismatch");
+    let mut out = Cover::new(num_vars);
+    for c in cover.iter() {
+        let mut lifted = Cube::universe(num_vars);
+        for (j, pol) in c.literals() {
+            lifted.set(vars[j], if pol { Trit::One } else { Trit::Zero });
+        }
+        out.push(lifted);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(num_vars: usize, cubes: &[&str]) -> Cover {
+        Cover::from_cubes(
+            num_vars,
+            cubes.iter().map(|s| s.parse().expect("cube")).collect(),
+        )
+    }
+
+    #[test]
+    fn empty_cover_is_false() {
+        let f = Cover::new(3);
+        for i in 0..8 {
+            assert!(!f.eval(&Pattern::from_index(i, 3)));
+        }
+        assert!(!f.is_tautology());
+    }
+
+    #[test]
+    fn tautology_cover_is_true_everywhere() {
+        let f = Cover::tautology(3);
+        for i in 0..8 {
+            assert!(f.eval(&Pattern::from_index(i, 3)));
+        }
+        assert!(f.is_tautology());
+    }
+
+    #[test]
+    fn xor_cover_evaluates() {
+        let f = cover(2, &["10", "01"]);
+        assert!(!f.eval(&Pattern::from_index(0b00, 2)));
+        assert!(f.eval(&Pattern::from_index(0b01, 2)));
+        assert!(f.eval(&Pattern::from_index(0b10, 2)));
+        assert!(!f.eval(&Pattern::from_index(0b11, 2)));
+    }
+
+    #[test]
+    fn x_plus_not_x_is_tautology() {
+        let f = cover(1, &["1", "0"]);
+        assert!(f.is_tautology());
+        let g = cover(2, &["1-", "0-"]);
+        assert!(g.is_tautology());
+        let h = cover(2, &["1-", "00"]);
+        assert!(!h.is_tautology());
+    }
+
+    #[test]
+    fn bigger_tautology() {
+        // x0 + x1 + x0'x1' is a tautology over any arity >= 2.
+        let f = cover(4, &["1---", "-1--", "00--"]);
+        assert!(f.is_tautology());
+    }
+
+    #[test]
+    fn covers_cube_detects_multi_cube_containment() {
+        // Cover x0 + x0' covers the universal cube even though no single
+        // cube does.
+        let f = cover(2, &["1-", "0-"]);
+        assert!(f.covers_cube(&Cube::universe(2)));
+        let g = cover(2, &["11", "10"]);
+        assert!(g.covers_cube(&"1-".parse().expect("cube")));
+        assert!(!g.covers_cube(&"--".parse().expect("cube")));
+        assert!(!g.covers_cube(&"0-".parse().expect("cube")));
+    }
+
+    #[test]
+    fn single_cube_containment_cleanup() {
+        let mut f = cover(3, &["1--", "11-", "110", "0--"]);
+        f.remove_single_cube_containment();
+        assert_eq!(f.len(), 2);
+        assert!(f.is_tautology());
+    }
+
+    #[test]
+    fn duplicate_cubes_keep_one() {
+        let mut f = cover(2, &["1-", "1-", "1-"]);
+        f.remove_single_cube_containment();
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn cofactor_shrinks_space() {
+        let f = cover(3, &["11-", "0-1"]);
+        let f1 = f.cofactor(0, true);
+        assert_eq!(f1.len(), 1);
+        assert_eq!(f1[0].to_string(), "-1-");
+        let f0 = f.cofactor(0, false);
+        assert_eq!(f0.len(), 1);
+        assert_eq!(f0[0].to_string(), "--1");
+    }
+
+    #[test]
+    fn count_minterms_small() {
+        let f = cover(3, &["1--", "-1-"]);
+        // |x0| = 4, |x1| = 4, overlap = 2 => 6.
+        assert_eq!(f.count_minterms(), 6);
+    }
+
+    #[test]
+    fn lift_cover_maps_vars() {
+        let f = cover(2, &["10"]);
+        let lifted = lift_cover(&f, &[3, 1], 5);
+        assert_eq!(lifted[0].to_string(), "-0-1-");
+    }
+
+    #[test]
+    fn display_reads_naturally() {
+        let f = cover(3, &["1-0", "---"]);
+        assert_eq!(f.to_string(), "x0!x2 + 1");
+        assert_eq!(Cover::new(2).to_string(), "0");
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing cubes, patterns or PLA files.
+///
+/// # Examples
+///
+/// ```
+/// use lsml_pla::Cube;
+///
+/// let err = "1x0".parse::<Cube>().unwrap_err();
+/// assert!(err.to_string().contains("invalid cube character"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    line: Option<usize>,
+}
+
+impl ParseError {
+    /// Creates a parse error with a free-form message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    /// Attaches a 1-based source line number.
+    pub fn at_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// The 1-based source line the error occurred at, if known.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(err: std::io::Error) -> Self {
+        ParseError::new(format!("i/o error: {err}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::new("bad token").at_line(12);
+        assert_eq!(e.to_string(), "line 12: bad token");
+        assert_eq!(e.line(), Some(12));
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = ParseError::new("bad token");
+        assert_eq!(e.to_string(), "bad token");
+        assert_eq!(e.line(), None);
+    }
+}

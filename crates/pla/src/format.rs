@@ -1,0 +1,409 @@
+//! Reader/writer for the Berkeley PLA exchange format.
+//!
+//! The IWLS 2020 contest distributed each benchmark's training, validation
+//! and test sets as `.pla` files of fully specified minterms with one output.
+//! Some team pipelines (notably Team 4's subspace expansion) also emit PLAs
+//! whose input parts contain `-` don't-care positions; both forms round-trip
+//! through [`PlaFile`].
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::dataset::Dataset;
+use crate::error::ParseError;
+
+/// An output entry of one PLA row.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum OutputValue {
+    /// `0` — the row is in the offset of this output.
+    Zero,
+    /// `1` — the row is in the onset of this output.
+    One,
+    /// `-` or `~` — don't care.
+    DontCare,
+}
+
+/// An in-memory PLA file: a list of `(input cube, output values)` rows.
+///
+/// # Examples
+///
+/// ```
+/// use lsml_pla::PlaFile;
+///
+/// let text = ".i 2\n.o 1\n.p 2\n01 1\n10 1\n.e\n";
+/// let pla = PlaFile::read(text.as_bytes())?;
+/// assert_eq!(pla.num_inputs(), 2);
+/// assert_eq!(pla.rows().len(), 2);
+/// let ds = pla.to_dataset(0)?;
+/// assert_eq!(ds.count_positive(), 2);
+/// # Ok::<(), lsml_pla::ParseError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PlaFile {
+    num_inputs: usize,
+    num_outputs: usize,
+    rows: Vec<(Cube, Vec<OutputValue>)>,
+    input_labels: Vec<String>,
+    output_labels: Vec<String>,
+}
+
+impl PlaFile {
+    /// Creates an empty PLA with the given dimensions.
+    pub fn new(num_inputs: usize, num_outputs: usize) -> Self {
+        PlaFile {
+            num_inputs,
+            num_outputs,
+            rows: Vec::new(),
+            input_labels: Vec::new(),
+            output_labels: Vec::new(),
+        }
+    }
+
+    /// Number of input columns.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of output columns.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// The rows of the PLA.
+    pub fn rows(&self) -> &[(Cube, Vec<OutputValue>)] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube arity or output count differs from the header.
+    pub fn push_row(&mut self, cube: Cube, outputs: Vec<OutputValue>) {
+        assert_eq!(cube.num_vars(), self.num_inputs, "input arity mismatch");
+        assert_eq!(outputs.len(), self.num_outputs, "output count mismatch");
+        self.rows.push((cube, outputs));
+    }
+
+    /// Parses a PLA from any reader. Pass `&mut reader` to retain ownership.
+    ///
+    /// Supported directives: `.i`, `.o`, `.p` (advisory), `.ilb`, `.ob`,
+    /// `.type` (ignored), `.e`/`.end`. `#` starts a comment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on malformed headers, rows with wrong arity, or
+    /// invalid characters.
+    pub fn read<R: Read>(reader: R) -> Result<Self, ParseError> {
+        let buf = BufReader::new(reader);
+        let mut pla: Option<PlaFile> = None;
+        let mut declared_inputs: Option<usize> = None;
+        let mut declared_outputs: Option<usize> = None;
+        let mut input_labels = Vec::new();
+        let mut output_labels = Vec::new();
+
+        for (lineno, line) in buf.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = line.map_err(|e| ParseError::from(e).at_line(lineno))?;
+            let line = match line.split('#').next() {
+                Some(l) => l.trim(),
+                None => "",
+            };
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('.') {
+                let mut parts = rest.split_whitespace();
+                let directive = parts.next().unwrap_or("");
+                match directive {
+                    "i" => {
+                        declared_inputs = Some(parse_count(parts.next(), "i", lineno)?);
+                    }
+                    "o" => {
+                        declared_outputs = Some(parse_count(parts.next(), "o", lineno)?);
+                    }
+                    "p" => { /* advisory row count; ignored */ }
+                    "ilb" => {
+                        input_labels = parts.map(str::to_owned).collect();
+                    }
+                    "ob" => {
+                        output_labels = parts.map(str::to_owned).collect();
+                    }
+                    "type" | "phase" | "pair" | "symbolic" => { /* ignored */ }
+                    "e" | "end" => break,
+                    other => {
+                        return Err(
+                            ParseError::new(format!("unknown directive `.{other}`"))
+                                .at_line(lineno),
+                        )
+                    }
+                }
+                continue;
+            }
+
+            // A data row: input part then output part, whitespace separated
+            // (or concatenated when widths are known).
+            let pla_ref = match &mut pla {
+                Some(p) => p,
+                None => {
+                    let (Some(i), Some(o)) = (declared_inputs, declared_outputs) else {
+                        return Err(ParseError::new(
+                            "data row before `.i`/`.o` header".to_owned(),
+                        )
+                        .at_line(lineno));
+                    };
+                    pla = Some(PlaFile::new(i, o));
+                    pla.as_mut().expect("just set")
+                }
+            };
+            let compact: String = line.split_whitespace().collect();
+            if compact.len() != pla_ref.num_inputs + pla_ref.num_outputs {
+                return Err(ParseError::new(format!(
+                    "row has {} characters, expected {} inputs + {} outputs",
+                    compact.len(),
+                    pla_ref.num_inputs,
+                    pla_ref.num_outputs
+                ))
+                .at_line(lineno));
+            }
+            let (inp, outp) = compact.split_at(pla_ref.num_inputs);
+            let cube: Cube = inp
+                .parse()
+                .map_err(|e: ParseError| e.at_line(lineno))?;
+            let mut outputs = Vec::with_capacity(pla_ref.num_outputs);
+            for ch in outp.chars() {
+                outputs.push(match ch {
+                    '0' => OutputValue::Zero,
+                    '1' | '4' => OutputValue::One,
+                    '-' | '~' | '2' | '3' => OutputValue::DontCare,
+                    other => {
+                        return Err(ParseError::new(format!(
+                            "invalid output character `{other}`"
+                        ))
+                        .at_line(lineno))
+                    }
+                });
+            }
+            pla_ref.rows.push((cube, outputs));
+        }
+
+        let mut pla = match (pla, declared_inputs, declared_outputs) {
+            (Some(p), _, _) => p,
+            (None, Some(i), Some(o)) => PlaFile::new(i, o),
+            _ => return Err(ParseError::new("missing `.i`/`.o` header".to_owned())),
+        };
+        pla.input_labels = input_labels;
+        pla.output_labels = output_labels;
+        Ok(pla)
+    }
+
+    /// Serializes the PLA. Pass `&mut writer` to retain ownership.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, ".i {}", self.num_inputs)?;
+        writeln!(writer, ".o {}", self.num_outputs)?;
+        if !self.input_labels.is_empty() {
+            writeln!(writer, ".ilb {}", self.input_labels.join(" "))?;
+        }
+        if !self.output_labels.is_empty() {
+            writeln!(writer, ".ob {}", self.output_labels.join(" "))?;
+        }
+        writeln!(writer, ".p {}", self.rows.len())?;
+        for (cube, outputs) in &self.rows {
+            let out: String = outputs
+                .iter()
+                .map(|o| match o {
+                    OutputValue::Zero => '0',
+                    OutputValue::One => '1',
+                    OutputValue::DontCare => '-',
+                })
+                .collect();
+            writeln!(writer, "{cube} {out}")?;
+        }
+        writeln!(writer, ".e")
+    }
+
+    /// Converts to a [`Dataset`] by reading output column `output` of every
+    /// row. Rows whose selected output is don't-care are skipped; rows whose
+    /// input part contains dashes are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any row's input part is not fully specified or
+    /// `output` is out of range.
+    pub fn to_dataset(&self, output: usize) -> Result<Dataset, ParseError> {
+        if output >= self.num_outputs {
+            return Err(ParseError::new(format!(
+                "output index {output} out of range ({} outputs)",
+                self.num_outputs
+            )));
+        }
+        let mut ds = Dataset::new(self.num_inputs);
+        for (cube, outputs) in &self.rows {
+            if cube.literal_count() != self.num_inputs {
+                return Err(ParseError::new(format!(
+                    "row `{cube}` is not a fully specified minterm"
+                )));
+            }
+            match outputs[output] {
+                OutputValue::DontCare => {}
+                v => ds.push(cube.some_pattern(), v == OutputValue::One),
+            }
+        }
+        Ok(ds)
+    }
+
+    /// Extracts the onset and don't-care-set covers of output column
+    /// `output` (rows marked `1` and `-` respectively).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output >= num_outputs()`.
+    pub fn to_covers(&self, output: usize) -> (Cover, Cover) {
+        assert!(output < self.num_outputs, "output index out of range");
+        let mut onset = Cover::new(self.num_inputs);
+        let mut dcset = Cover::new(self.num_inputs);
+        for (cube, outputs) in &self.rows {
+            match outputs[output] {
+                OutputValue::One => onset.push(cube.clone()),
+                OutputValue::DontCare => dcset.push(cube.clone()),
+                OutputValue::Zero => {}
+            }
+        }
+        (onset, dcset)
+    }
+
+    /// Builds a single-output PLA from a dataset (the contest's file form).
+    pub fn from_dataset(ds: &Dataset) -> PlaFile {
+        let mut pla = PlaFile::new(ds.num_inputs(), 1);
+        for (p, o) in ds.iter() {
+            pla.push_row(
+                Cube::from_pattern(p),
+                vec![if o { OutputValue::One } else { OutputValue::Zero }],
+            );
+        }
+        pla
+    }
+
+    /// Builds a single-output PLA from an onset cover, marking listed cubes
+    /// as `1` (everything else is implicitly offset — ESPRESSO "f" type).
+    pub fn from_cover(cover: &Cover) -> PlaFile {
+        let mut pla = PlaFile::new(cover.num_vars(), 1);
+        for c in cover.iter() {
+            pla.push_row(c.clone(), vec![OutputValue::One]);
+        }
+        pla
+    }
+}
+
+fn parse_count(token: Option<&str>, directive: &str, lineno: usize) -> Result<usize, ParseError> {
+    token
+        .ok_or_else(|| ParseError::new(format!("`.{directive}` missing count")).at_line(lineno))?
+        .parse()
+        .map_err(|_| ParseError::new(format!("`.{directive}` count is not a number")).at_line(lineno))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    const SAMPLE: &str = "\
+# a comment
+.i 3
+.o 1
+.ilb a b c
+.ob f
+.p 4
+000 0
+011 1
+1-1 1
+110 -
+.e
+";
+
+    #[test]
+    fn read_parses_header_and_rows() {
+        let pla = PlaFile::read(SAMPLE.as_bytes()).expect("parse");
+        assert_eq!(pla.num_inputs(), 3);
+        assert_eq!(pla.num_outputs(), 1);
+        assert_eq!(pla.rows().len(), 4);
+        assert_eq!(pla.rows()[2].0.to_string(), "1-1");
+        assert_eq!(pla.rows()[3].1[0], OutputValue::DontCare);
+    }
+
+    #[test]
+    fn roundtrip_through_write() {
+        let pla = PlaFile::read(SAMPLE.as_bytes()).expect("parse");
+        let mut buf = Vec::new();
+        pla.write(&mut buf).expect("write");
+        let again = PlaFile::read(buf.as_slice()).expect("reparse");
+        assert_eq!(pla.rows(), again.rows());
+    }
+
+    #[test]
+    fn to_dataset_skips_dont_cares_and_rejects_dashes() {
+        let pla = PlaFile::read(SAMPLE.as_bytes()).expect("parse");
+        // Row `1-1` has an input dash: not a dataset.
+        assert!(pla.to_dataset(0).is_err());
+
+        let clean = ".i 2\n.o 1\n01 1\n10 0\n11 -\n.e\n";
+        let pla = PlaFile::read(clean.as_bytes()).expect("parse");
+        let ds = pla.to_dataset(0).expect("dataset");
+        assert_eq!(ds.len(), 2); // the don't-care row is dropped
+        assert_eq!(ds.count_positive(), 1);
+    }
+
+    #[test]
+    fn to_covers_separates_onset_and_dc() {
+        let pla = PlaFile::read(SAMPLE.as_bytes()).expect("parse");
+        let (onset, dc) = pla.to_covers(0);
+        assert_eq!(onset.len(), 2);
+        assert_eq!(dc.len(), 1);
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let mut ds = Dataset::new(2);
+        ds.push(Pattern::from_index(0b10, 2), true);
+        ds.push(Pattern::from_index(0b01, 2), false);
+        let pla = PlaFile::from_dataset(&ds);
+        let mut buf = Vec::new();
+        pla.write(&mut buf).expect("write");
+        let back = PlaFile::read(buf.as_slice())
+            .expect("parse")
+            .to_dataset(0)
+            .expect("dataset");
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = PlaFile::read("01 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn wrong_width_is_an_error() {
+        let err = PlaFile::read(".i 3\n.o 1\n01 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected"));
+        assert_eq!(err.line(), Some(3));
+    }
+
+    #[test]
+    fn unknown_directive_is_an_error() {
+        let err = PlaFile::read(".i 1\n.o 1\n.bogus\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn concatenated_rows_parse_with_whitespace_anywhere() {
+        let pla = PlaFile::read(".i 2\n.o 1\n0 1 1\n.e\n".as_bytes()).expect("parse");
+        assert_eq!(pla.rows()[0].0.to_string(), "01");
+        assert_eq!(pla.rows()[0].1[0], OutputValue::One);
+    }
+}

@@ -1,0 +1,60 @@
+//! Boolean function representations for logic learning.
+//!
+//! This crate provides the data substrate shared by every learner in the
+//! `boolean-lsml` workspace:
+//!
+//! * [`Pattern`] — a fully specified input assignment, bit-packed into `u64`
+//!   words (a *minterm* of the input space).
+//! * [`Cube`] and [`Cover`] — three-valued product terms and sums of products,
+//!   the classic two-level representation used by PLA files and ESPRESSO.
+//! * [`TruthTable`] — an explicit single-output function over up to 24
+//!   variables, used for LUTs and neuron enumeration.
+//! * [`Dataset`] — a labelled set of minterms (the contest's training,
+//!   validation and test sets).
+//! * [`PlaFile`] — reader/writer for the Berkeley PLA exchange format used by
+//!   the IWLS 2020 contest.
+//!
+//! # Examples
+//!
+//! ```
+//! use lsml_pla::{Cube, Pattern};
+//!
+//! // x0 AND NOT x2 over 3 variables.
+//! let cube: Cube = "1-0".parse()?;
+//! assert!(cube.contains(&Pattern::from_bools(&[true, true, false])));
+//! assert!(!cube.contains(&Pattern::from_bools(&[true, true, true])));
+//! # Ok::<(), lsml_pla::ParseError>(())
+//! ```
+
+pub mod cover;
+pub mod cube;
+pub mod dataset;
+pub mod error;
+pub mod format;
+pub mod pattern;
+pub mod truth;
+
+pub use cover::Cover;
+pub use cube::{Cube, Trit};
+pub use dataset::Dataset;
+pub use error::ParseError;
+pub use format::{OutputValue, PlaFile};
+pub use pattern::Pattern;
+pub use truth::TruthTable;
+
+/// Number of `u64` words needed to hold `bits` bits.
+#[inline]
+pub(crate) fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// Mask selecting the valid bits of the last word of a `bits`-bit vector.
+#[inline]
+pub(crate) fn last_word_mask(bits: usize) -> u64 {
+    let rem = bits % 64;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}

@@ -1,0 +1,265 @@
+//! Fully specified input assignments (minterms).
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::{last_word_mask, words_for};
+
+/// A fully specified assignment to `len` Boolean variables, bit-packed into
+/// `u64` words (variable `i` lives at bit `i % 64` of word `i / 64`).
+///
+/// Patterns are the rows of a [`crate::Dataset`] and the stimulus format for
+/// AIG simulation. Bits beyond `len` are always zero, so derived `Eq`/`Hash`
+/// are structural.
+///
+/// # Examples
+///
+/// ```
+/// use lsml_pla::Pattern;
+///
+/// let p = Pattern::from_bools(&[true, false, true]);
+/// assert_eq!(p.len(), 3);
+/// assert!(p.get(0) && !p.get(1) && p.get(2));
+/// assert_eq!(p.to_string(), "101");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Pattern {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Pattern {
+    /// Creates an all-zero pattern over `len` variables.
+    pub fn zeros(len: usize) -> Self {
+        Pattern {
+            len,
+            words: vec![0; words_for(len)],
+        }
+    }
+
+    /// Builds a pattern from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut p = Pattern::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                p.set(i, true);
+            }
+        }
+        p
+    }
+
+    /// Builds a pattern over `len` variables from the low bits of `index`
+    /// (variable 0 = least significant bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_index(index: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_index supports at most 64 variables");
+        let mut p = Pattern::zeros(len);
+        if len > 0 {
+            p.words[0] = index & last_word_mask(len);
+        }
+        p
+    }
+
+    /// Draws a uniformly random pattern over `len` variables.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Self {
+        let mut words: Vec<u64> = (0..words_for(len)).map(|_| rng.gen()).collect();
+        if let Some(last) = words.last_mut() {
+            *last &= last_word_mask(len);
+        }
+        Pattern { len, words }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pattern has zero variables.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "variable index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets variable `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "variable index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "variable index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Number of variables set to one.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The underlying packed words (low variable = low bit of word 0).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Interprets the whole pattern as an unsigned integer (variable 0 is the
+    /// least significant bit). Only valid for `len() <= 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len() > 64`.
+    pub fn to_index(&self) -> u64 {
+        assert!(self.len <= 64, "to_index supports at most 64 variables");
+        self.words.first().copied().unwrap_or(0)
+    }
+
+    /// Iterates over the variable values in index order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Returns the sub-pattern formed by the given variable indices, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn project(&self, vars: &[usize]) -> Pattern {
+        let mut p = Pattern::zeros(vars.len());
+        for (j, &v) in vars.iter().enumerate() {
+            if self.get(v) {
+                p.set(j, true);
+            }
+        }
+        p
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pattern({self})")
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            f.write_str(if self.get(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for Pattern {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        Pattern::from_bools(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_is_all_false() {
+        let p = Pattern::zeros(130);
+        assert_eq!(p.len(), 130);
+        assert!((0..130).all(|i| !p.get(i)));
+        assert_eq!(p.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_flip_roundtrip() {
+        let mut p = Pattern::zeros(67);
+        p.set(0, true);
+        p.set(64, true);
+        p.set(66, true);
+        assert!(p.get(0) && p.get(64) && p.get(66));
+        assert!(!p.get(63) && !p.get(65));
+        assert_eq!(p.count_ones(), 3);
+        p.flip(64);
+        assert!(!p.get(64));
+        assert_eq!(p.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_index_matches_bits() {
+        let p = Pattern::from_index(0b1011, 5);
+        assert!(p.get(0) && p.get(1) && !p.get(2) && p.get(3) && !p.get(4));
+        assert_eq!(p.to_index(), 0b1011);
+    }
+
+    #[test]
+    fn from_index_masks_extra_bits() {
+        let p = Pattern::from_index(u64::MAX, 3);
+        assert_eq!(p.to_index(), 0b111);
+        assert_eq!(p.count_ones(), 3);
+    }
+
+    #[test]
+    fn random_respects_trailing_mask() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [1usize, 63, 64, 65, 130] {
+            let p = Pattern::random(&mut rng, len);
+            // All bits beyond len must be zero so Eq/Hash stay structural.
+            let mut q = p.clone();
+            for i in 0..len {
+                q.set(i, false);
+            }
+            assert_eq!(q.count_ones(), 0, "trailing garbage at len {len}");
+        }
+    }
+
+    #[test]
+    fn display_and_from_bools() {
+        let p = Pattern::from_bools(&[true, false, true, true]);
+        assert_eq!(p.to_string(), "1011");
+    }
+
+    #[test]
+    fn project_picks_vars_in_order() {
+        let p = Pattern::from_bools(&[true, false, true, false, true]);
+        let q = p.project(&[4, 1, 0]);
+        assert_eq!(q.to_string(), "101");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Pattern::zeros(4).get(4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for cube/cover algebra and PLA round-trips.
+
+use lsml_pla::{Cover, Cube, Dataset, Pattern, PlaFile, TruthTable};
+use proptest::prelude::*;
+
+const NV: usize = 8;
+
+fn arb_cube() -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(0u8..3, NV).prop_map(|trits| {
+        let s: String = trits
+            .iter()
+            .map(|t| match t {
+                0 => '0',
+                1 => '1',
+                _ => '-',
+            })
+            .collect();
+        s.parse().expect("valid cube string")
+    })
+}
+
+fn arb_cover(max_cubes: usize) -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(arb_cube(), 0..max_cubes)
+        .prop_map(|cubes| Cover::from_cubes(NV, cubes))
+}
+
+proptest! {
+    #[test]
+    fn cube_parse_display_roundtrip(c in arb_cube()) {
+        let s = c.to_string();
+        let back: Cube = s.parse().expect("roundtrip");
+        prop_assert_eq!(c, back);
+    }
+
+    #[test]
+    fn covers_iff_all_minterms_contained(a in arb_cube(), b in arb_cube()) {
+        // a.covers(b) must equal: every minterm of b is in a.
+        let semantic = (0u64..(1 << NV)).all(|m| {
+            let p = Pattern::from_index(m, NV);
+            !b.contains(&p) || a.contains(&p)
+        });
+        prop_assert_eq!(a.covers(&b), semantic);
+    }
+
+    #[test]
+    fn intersection_is_semantic_and(a in arb_cube(), b in arb_cube()) {
+        let i = a.intersect(&b);
+        for m in 0..(1u64 << NV) {
+            let p = Pattern::from_index(m, NV);
+            let expect = a.contains(&p) && b.contains(&p);
+            let got = i.as_ref().is_some_and(|c| c.contains(&p));
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn consensus_is_contained_in_union(a in arb_cube(), b in arb_cube()) {
+        if let Some(c) = a.consensus(&b) {
+            for m in 0..(1u64 << NV) {
+                let p = Pattern::from_index(m, NV);
+                if c.contains(&p) {
+                    prop_assert!(a.contains(&p) || b.contains(&p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_zero_iff_intersecting(a in arb_cube(), b in arb_cube()) {
+        prop_assert_eq!(a.distance(&b) == 0, a.intersect(&b).is_some());
+    }
+
+    #[test]
+    fn tautology_matches_exhaustive(f in arb_cover(6)) {
+        let exhaustive = (0u64..(1 << NV))
+            .all(|m| f.eval(&Pattern::from_index(m, NV)));
+        prop_assert_eq!(f.is_tautology(), exhaustive);
+    }
+
+    #[test]
+    fn covers_cube_matches_exhaustive(f in arb_cover(5), c in arb_cube()) {
+        let exhaustive = (0u64..(1 << NV)).all(|m| {
+            let p = Pattern::from_index(m, NV);
+            !c.contains(&p) || f.eval(&p)
+        });
+        prop_assert_eq!(f.covers_cube(&c), exhaustive);
+    }
+
+    #[test]
+    fn scc_preserves_semantics(f in arb_cover(8)) {
+        let mut g = f.clone();
+        g.remove_single_cube_containment();
+        prop_assert!(g.len() <= f.len());
+        for m in 0..(1u64 << NV) {
+            let p = Pattern::from_index(m, NV);
+            prop_assert_eq!(f.eval(&p), g.eval(&p));
+        }
+    }
+
+    #[test]
+    fn cofactor_fixes_variable(f in arb_cover(6), var in 0usize..NV, pol in any::<bool>()) {
+        let cof = f.cofactor(var, pol);
+        for m in 0..(1u64 << NV) {
+            let mut p = Pattern::from_index(m, NV);
+            p.set(var, pol);
+            prop_assert_eq!(cof.eval(&p), f.eval(&p));
+        }
+    }
+
+    #[test]
+    fn truth_table_cover_roundtrip(bits in proptest::collection::vec(any::<bool>(), 16)) {
+        let t = TruthTable::from_fn(4, |m| bits[m as usize]);
+        let back = TruthTable::from_cover(&t.to_minterm_cover());
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn truth_cofactor_shannon(bits in proptest::collection::vec(any::<bool>(), 16), var in 0usize..4) {
+        let t = TruthTable::from_fn(4, |m| bits[m as usize]);
+        let (neg, pos) = t.cofactors(var);
+        for m in 0..16u32 {
+            let sub = {
+                let low = m & ((1 << var) - 1);
+                let high = (m >> (var + 1)) << var;
+                high | low
+            };
+            let expect = if (m >> var) & 1 == 1 { pos.get(sub) } else { neg.get(sub) };
+            prop_assert_eq!(t.get(m), expect);
+        }
+    }
+
+    #[test]
+    fn pla_dataset_roundtrip(rows in proptest::collection::vec((0u64..(1 << NV), any::<bool>()), 1..50)) {
+        let mut ds = Dataset::new(NV);
+        for (m, o) in rows {
+            ds.push(Pattern::from_index(m, NV), o);
+        }
+        let mut buf = Vec::new();
+        PlaFile::from_dataset(&ds).write(&mut buf).expect("write");
+        let back = PlaFile::read(buf.as_slice()).expect("read").to_dataset(0).expect("dataset");
+        prop_assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn stratified_split_partitions(seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut ds = Dataset::new(NV);
+        for m in 0..200u64 {
+            ds.push(Pattern::from_index(m % (1 << NV), NV), m % 3 == 0);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = ds.stratified_split(0.7, &mut rng);
+        prop_assert_eq!(a.len() + b.len(), ds.len());
+        prop_assert_eq!(
+            a.count_positive() + b.count_positive(),
+            ds.count_positive()
+        );
+    }
+}

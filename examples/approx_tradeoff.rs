@@ -1,0 +1,87 @@
+//! Trading exactness for size: the paper's central theme, on one circuit.
+//!
+//! Reproduces Team 1's Fig. 7 mechanic: train a deliberately oversized LUT
+//! network, then push it through the random-simulation approximation at a
+//! series of node budgets and watch accuracy degrade gracefully — cutting
+//! the redundant half of a memorization circuit costs only a few points.
+//! A compact random forest is shown for contrast: an already-dense circuit
+//! pays much more per removed node.
+//!
+//! ```text
+//! cargo run -p lsml-core --example approx_tradeoff --release
+//! ```
+
+use lsml_aig::{approximate, Aig, ApproxConfig};
+use lsml_benchgen::{suite, BenchData, SampleConfig};
+use lsml_dtree::{RandomForest, RandomForestConfig, TreeConfig};
+use lsml_lutnet::{LutNetConfig, LutNetwork};
+
+fn sweep(name: &str, full: &Aig, data: &BenchData) {
+    let preds = lsml_aig::sim::eval_patterns(full, data.test.patterns());
+    let full_acc = data.test.accuracy_of_slice(&preds);
+    println!(
+        "{name}: {} AND gates, test accuracy {:.2}%",
+        full.num_ands(),
+        100.0 * full_acc
+    );
+    println!("budget   gates   accuracy   drop");
+    let mut budget = full.num_ands();
+    while budget > 64 {
+        budget /= 2;
+        let small = approximate(
+            full,
+            &ApproxConfig {
+                node_limit: budget,
+                // Judge node activity on the application distribution, not
+                // uniform noise (the ML benchmarks are far from uniform).
+                stimulus: Some(data.train.patterns().to_vec()),
+                ..ApproxConfig::default()
+            },
+        );
+        let preds = lsml_aig::sim::eval_patterns(&small, data.test.patterns());
+        let acc = data.test.accuracy_of_slice(&preds);
+        println!(
+            "{budget:>6}  {:>6}   {:>6.2}%   {:>5.2}%",
+            small.num_ands(),
+            100.0 * acc,
+            100.0 * (full_acc - acc)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let bench = &suite()[81]; // MNIST-sub: odd vs even
+    let data = bench.sample(&SampleConfig {
+        samples_per_split: 1500,
+        seed: 2,
+    });
+
+    // The paper's case: an oversized memorization circuit with lots of fat.
+    let net = LutNetwork::train(
+        &data.train,
+        &LutNetConfig {
+            luts_per_layer: 192,
+            layers: 3,
+            ..LutNetConfig::default()
+        },
+    );
+    sweep("oversized LUT network", &net.to_aig(), &data);
+
+    // The contrast: a compact forest where every node carries signal.
+    let rf = RandomForest::train(
+        &data.train,
+        &RandomForestConfig {
+            n_trees: 17,
+            tree: TreeConfig {
+                max_depth: Some(10),
+                ..TreeConfig::default()
+            },
+            ..RandomForestConfig::default()
+        },
+    );
+    sweep("compact random forest", &rf.to_aig(), &data);
+
+    println!("(the paper's Fig. 7: reducing 3000-5000 nodes from oversized");
+    println!(" LUT networks cost at most ~5% accuracy)");
+}

@@ -1,0 +1,54 @@
+//! A miniature contest round: several teams compete on a benchmark slice
+//! and a small Table III is printed.
+//!
+//! ```text
+//! cargo run -p lsml-core --example contest_round --release
+//! ```
+
+use lsml_benchgen::{suite, SampleConfig};
+use lsml_core::report::{table3, win_rates, TeamResults};
+use lsml_core::teams::all_teams;
+use lsml_core::{eval, Problem};
+
+fn main() {
+    // One benchmark per category keeps the round quick.
+    let ids = [0usize, 30, 45, 60, 74, 75, 81];
+    let suite = suite();
+    let cfg = SampleConfig {
+        samples_per_split: 500,
+        seed: 1,
+    };
+
+    let mut results = Vec::new();
+    for team in all_teams() {
+        let mut scores = Vec::new();
+        for &id in &ids {
+            let data = suite[id].sample(&cfg);
+            let problem = Problem::new(data.train.clone(), data.valid.clone(), 1);
+            let circuit = team.learn(&problem);
+            let score = eval::evaluate(&circuit, &data);
+            eprintln!(
+                "[{}] {}: {:.1}% / {} gates ({})",
+                team.name(),
+                suite[id].name,
+                100.0 * score.test_accuracy,
+                score.and_gates,
+                circuit.method
+            );
+            scores.push(score);
+        }
+        results.push(TeamResults {
+            team: team.name().to_owned(),
+            scores,
+        });
+    }
+
+    println!();
+    println!("== mini Table III over {} benchmarks ==", ids.len());
+    print!("{}", table3(&results));
+    println!();
+    println!("== win counts (best / within 1%) ==");
+    for (team, (wins, top1)) in win_rates(&results) {
+        println!("{team:<8} {wins} / {top1}");
+    }
+}

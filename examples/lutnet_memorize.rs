@@ -1,0 +1,62 @@
+//! Learning by pure memorization (Chatterjee ICML'18 / Teams 1 & 6).
+//!
+//! Trains LUT networks with both wiring schemes on a logic-cone benchmark,
+//! shows the generalization gap between shapes, and runs Team 1's beam
+//! search over the network shape.
+//!
+//! ```text
+//! cargo run -p lsml-core --example lutnet_memorize --release
+//! ```
+
+use lsml_benchgen::{suite, SampleConfig};
+use lsml_lutnet::{beam_search, LutNetConfig, LutNetwork, Wiring};
+
+fn main() {
+    let bench = &suite()[60]; // an i10-style random cone
+    let data = bench.sample(&SampleConfig {
+        samples_per_split: 2000,
+        seed: 4,
+    });
+    println!("benchmark {} ({} inputs)", bench.name, bench.num_inputs);
+    println!();
+    println!("shape                wiring         train%   test%   gates");
+
+    for (width, depth) in [(16usize, 1usize), (32, 2), (64, 4)] {
+        for wiring in [Wiring::Random, Wiring::UniqueRandom] {
+            let cfg = LutNetConfig {
+                luts_per_layer: width,
+                layers: depth,
+                wiring,
+                ..LutNetConfig::default()
+            };
+            let net = LutNetwork::train(&data.train, &cfg);
+            println!(
+                "{width:>3} LUTs x {depth} layers  {wiring:<13?} {:>6.2}  {:>6.2}  {:>6}",
+                100.0 * net.accuracy(&data.train),
+                100.0 * net.accuracy(&data.test),
+                net.to_aig().num_ands()
+            );
+        }
+    }
+
+    println!();
+    println!("beam search from a 16x1 seed (Team 1's shape exploration):");
+    let seed_cfg = LutNetConfig {
+        luts_per_layer: 16,
+        layers: 1,
+        ..LutNetConfig::default()
+    };
+    let result = beam_search(&data.train, &data.valid, &seed_cfg, 3);
+    println!(
+        "  -> {} LUTs/layer x {} layers, k={}, validation {:.2}%, {} candidates tried",
+        result.config.luts_per_layer,
+        result.config.layers,
+        result.config.lut_inputs,
+        100.0 * result.validation_accuracy,
+        result.candidates_tried
+    );
+    println!(
+        "  test accuracy {:.2}%",
+        100.0 * result.network.accuracy(&data.test)
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: learn one incompletely specified function end to end.
+//!
+//! Generates a contest benchmark (the 10-bit comparator, ex30), trains a
+//! decision tree on the training minterms, converts it to an AIG, and
+//! scores it the way the contest did: test accuracy, AND gates, levels,
+//! generalization gap.
+//!
+//! ```text
+//! cargo run -p lsml-core --example quickstart --release
+//! ```
+
+use lsml_benchgen::{suite, SampleConfig};
+use lsml_core::teams::Team10;
+use lsml_core::{eval, Learner, Problem};
+
+fn main() {
+    // 1. A benchmark: three disjoint sets of labelled minterms.
+    let bench = &suite()[30];
+    let data = bench.sample(&SampleConfig {
+        samples_per_split: 2000,
+        seed: 0,
+    });
+    println!(
+        "benchmark {} ({} inputs, {} training examples)",
+        bench.name,
+        bench.num_inputs,
+        data.train.len()
+    );
+
+    // 2. A learner: Team 10's depth-8 decision tree flow.
+    let problem = Problem::new(data.train.clone(), data.valid.clone(), 0);
+    let circuit = Team10::default().learn(&problem);
+
+    // 3. Contest scoring.
+    let score = eval::evaluate(&circuit, &data);
+    println!("method         : {}", circuit.method);
+    println!("test accuracy  : {:.2}%", 100.0 * score.test_accuracy);
+    println!("AND gates      : {}", score.and_gates);
+    println!("levels         : {}", score.levels);
+    println!("overfit        : {:.2}%", 100.0 * score.overfit);
+
+    // 4. The circuit is a regular AIG: serialize it as AIGER.
+    let mut aag = Vec::new();
+    lsml_aig::aiger::write_aag(&circuit.aig, &mut aag).expect("serialize");
+    println!(
+        "AIGER output   : {} bytes, header `{}`",
+        aag.len(),
+        String::from_utf8_lossy(&aag).lines().next().unwrap_or("")
+    );
+}

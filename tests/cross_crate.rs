@@ -1,0 +1,174 @@
+//! Cross-crate integration: format round-trips, matcher-vs-generator
+//! agreement, approximation under the budget, BDD-vs-tree comparisons.
+
+use lsml_aig::aiger::{read_aag, write_aag};
+use lsml_aig::{approximate, ApproxConfig};
+use lsml_bdd::{BddManager, MinimizeStyle};
+use lsml_benchgen::{suite, SampleConfig};
+use lsml_core::{eval, Problem};
+use lsml_dtree::{DecisionTree, TreeConfig};
+use lsml_espresso::{cover_to_aig, minimize_dataset, EspressoConfig};
+use lsml_matching::{match_function, MatchedKind};
+use lsml_pla::PlaFile;
+
+fn cfg(n: usize) -> SampleConfig {
+    SampleConfig {
+        samples_per_split: n,
+        seed: 3,
+    }
+}
+
+/// Contest data flow: benchmark → PLA file → parse → identical dataset.
+#[test]
+fn benchmark_survives_pla_roundtrip() {
+    let bench = &suite()[33];
+    let data = bench.sample(&cfg(200));
+    let mut buf = Vec::new();
+    PlaFile::from_dataset(&data.train)
+        .write(&mut buf)
+        .expect("write");
+    let back = PlaFile::read(buf.as_slice())
+        .expect("read")
+        .to_dataset(0)
+        .expect("dataset");
+    assert_eq!(back, data.train);
+}
+
+/// The affine matcher recognizes the generated parity benchmark (ex74) and
+/// the emitted circuit is exact on the held-out test set.
+#[test]
+fn matcher_recognizes_generated_parity() {
+    let bench = &suite()[74];
+    let data = bench.sample(&cfg(300));
+    let merged = data.train.merged(&data.valid);
+    let m = match_function(&merged).expect("parity is affine");
+    assert!(matches!(m.kind, MatchedKind::Affine { .. }));
+    let preds = lsml_aig::sim::eval_patterns(&m.aig, data.test.patterns());
+    assert_eq!(data.test.accuracy_of_slice(&preds), 1.0);
+}
+
+/// The symmetric matcher recognizes ex77 and generalizes perfectly.
+#[test]
+fn matcher_recognizes_generated_symmetric() {
+    let bench = &suite()[77];
+    let data = bench.sample(&cfg(300));
+    let merged = data.train.merged(&data.valid);
+    let m = match_function(&merged).expect("symmetric");
+    let preds = lsml_aig::sim::eval_patterns(&m.aig, data.test.patterns());
+    assert!(data.test.accuracy_of_slice(&preds) > 0.99);
+}
+
+/// A learnt circuit survives the AIGER wire format.
+#[test]
+fn learned_circuit_roundtrips_through_aiger() {
+    let bench = &suite()[30];
+    let data = bench.sample(&cfg(200));
+    let tree = DecisionTree::train(
+        &data.train,
+        &TreeConfig {
+            max_depth: Some(8),
+            ..TreeConfig::default()
+        },
+    );
+    let aig = tree.to_aig();
+    let mut buf = Vec::new();
+    write_aag(&aig, &mut buf).expect("serialize");
+    let back = read_aag(buf.as_slice()).expect("parse");
+    let before = lsml_aig::sim::eval_patterns(&aig, data.test.patterns());
+    let after = lsml_aig::sim::eval_patterns(&back, data.test.patterns());
+    assert_eq!(before, after);
+}
+
+/// ESPRESSO output implements the care set, converts to an AIG, and that
+/// AIG classifies the training data perfectly.
+#[test]
+fn espresso_to_aig_is_exact_on_care_set() {
+    let bench = &suite()[40]; // 16-input sqrt LSB
+    let data = bench.sample(&cfg(150));
+    let cover = minimize_dataset(&data.train, &EspressoConfig::default());
+    let aig = cover_to_aig(&cover);
+    let preds = lsml_aig::sim::eval_patterns(&aig, data.train.patterns());
+    assert_eq!(data.train.accuracy_of_slice(&preds), 1.0);
+}
+
+/// Approximation brings an oversized forest AIG under a tight limit while
+/// keeping most of its behaviour (Team 1's Fig. 7 mechanic).
+#[test]
+fn approximation_enforces_contest_limit() {
+    let bench = &suite()[82];
+    let data = bench.sample(&cfg(300));
+    let rf = lsml_dtree::RandomForest::train(
+        &data.train,
+        &lsml_dtree::RandomForestConfig {
+            n_trees: 17,
+            tree: TreeConfig {
+                max_depth: Some(12),
+                ..TreeConfig::default()
+            },
+            ..lsml_dtree::RandomForestConfig::default()
+        },
+    );
+    let big = rf.to_aig();
+    let limit = 500;
+    if big.num_ands() <= limit {
+        return; // already small; nothing to approximate
+    }
+    let small = approximate(
+        &big,
+        &ApproxConfig {
+            node_limit: limit,
+            ..ApproxConfig::default()
+        },
+    );
+    assert!(small.num_ands() <= limit);
+    let before = lsml_aig::sim::eval_patterns(&big, data.test.patterns());
+    let after = lsml_aig::sim::eval_patterns(&small, data.test.patterns());
+    let agree = before
+        .iter()
+        .zip(after.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    assert!(
+        agree as f64 / before.len() as f64 > 0.6,
+        "agreement {agree}/{}",
+        before.len()
+    );
+}
+
+/// Team 1's appendix: BDD don't-care minimization learns the adder MSB well
+/// when variables interleave the operands MSB-down.
+#[test]
+fn bdd_minimization_learns_adder_msb_with_good_order() {
+    let bench = &suite()[1]; // 16-bit adder, second MSB (bit 15)
+    let data = bench.sample(&cfg(400));
+    // Interleave a/b from the MSB down: a15,b15,a14,b14,...
+    let k = 16;
+    let mut order = Vec::with_capacity(2 * k);
+    for i in (0..k).rev() {
+        order.push(i);
+        order.push(k + i);
+    }
+    let train = data.train.project(&order);
+    let test = data.test.project(&order);
+    let mut mgr = BddManager::new(2 * k);
+    let (onset, care) = mgr.from_dataset(&train);
+    let f = mgr.minimize(onset, care, MinimizeStyle::OneSided);
+    let acc = test.accuracy_of(|p| mgr.eval(f, p));
+    assert!(
+        acc > 0.9,
+        "one-sided BDD minimization on interleaved adder: {acc:.3}"
+    );
+}
+
+/// Scoring plumbing: evaluate() agrees with direct accuracy computation.
+#[test]
+fn evaluate_matches_manual_accuracy() {
+    let bench = &suite()[35];
+    let data = bench.sample(&cfg(200));
+    let problem = Problem::new(data.train.clone(), data.valid.clone(), 1);
+    let c = lsml_core::Learner::learn(&lsml_core::teams::Team10::default(), &problem);
+    let score = eval::evaluate(&c, &data);
+    let manual = c.accuracy(&data.test);
+    assert!((score.test_accuracy - manual).abs() < 1e-12);
+    assert!((score.overfit - (c.accuracy(&data.valid) - manual)).abs() < 1e-12);
+}

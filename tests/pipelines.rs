@@ -1,0 +1,141 @@
+//! End-to-end integration tests: every team pipeline on real (small-scale)
+//! contest benchmarks.
+
+use lsml_benchgen::{suite, SampleConfig};
+use lsml_core::teams::all_teams;
+use lsml_core::{eval, Problem};
+
+fn small_cfg() -> SampleConfig {
+    SampleConfig {
+        samples_per_split: 250,
+        seed: 42,
+    }
+}
+
+/// Every team must return a circuit within the node budget and beat a coin
+/// flip on an easy benchmark (the 10-bit comparator, ex30).
+#[test]
+fn all_teams_run_on_comparator_benchmark() {
+    let bench = &suite()[30];
+    let data = bench.sample(&small_cfg());
+    let problem = Problem::new(data.train.clone(), data.valid.clone(), 7);
+    for team in all_teams() {
+        let circuit = team.learn(&problem);
+        let score = eval::evaluate(&circuit, &data);
+        assert!(
+            score.and_gates <= problem.node_limit,
+            "{} exceeded node limit: {}",
+            team.name(),
+            score.and_gates
+        );
+        assert!(
+            score.test_accuracy > 0.55,
+            "{} test accuracy {:.3} (method {})",
+            team.name(),
+            score.test_accuracy,
+            circuit.method
+        );
+    }
+}
+
+/// The symmetric-function benchmark (ex75) is where matching-based teams
+/// shine; everyone must stay within budget.
+#[test]
+fn all_teams_run_on_symmetric_benchmark() {
+    let bench = &suite()[75];
+    let data = bench.sample(&small_cfg());
+    let problem = Problem::new(data.train.clone(), data.valid.clone(), 8);
+    for team in all_teams() {
+        let circuit = team.learn(&problem);
+        let score = eval::evaluate(&circuit, &data);
+        assert!(
+            score.and_gates <= problem.node_limit,
+            "{} exceeded node limit",
+            team.name()
+        );
+    }
+    // Teams 1 and 7 match the symmetric function and get it (near) exact.
+    let teams = all_teams();
+    for idx in [0usize, 6] {
+        let circuit = teams[idx].learn(&problem);
+        let score = eval::evaluate(&circuit, &data);
+        assert!(
+            score.test_accuracy > 0.95,
+            "{} should match symmetric, got {:.3}",
+            teams[idx].name(),
+            score.test_accuracy
+        );
+    }
+}
+
+/// Parity (ex74): the hallmark case separating technique families. The
+/// matching teams are exact; plain-DT teams hover near chance.
+#[test]
+fn parity_benchmark_separates_techniques() {
+    let bench = &suite()[74];
+    let data = bench.sample(&small_cfg());
+    let problem = Problem::new(data.train.clone(), data.valid.clone(), 9);
+
+    let teams = all_teams();
+    let circuit = teams[6].learn(&problem); // team7
+    let score = eval::evaluate(&circuit, &data);
+    assert!(
+        score.test_accuracy > 0.99,
+        "team7 should match parity exactly, got {:.3}",
+        score.test_accuracy
+    );
+
+    let dt_score = eval::evaluate(&teams[9].learn(&problem), &data); // team10
+    assert!(
+        dt_score.test_accuracy < 0.75,
+        "depth-8 DT should NOT crack 16-input parity from 250 samples, got {:.3}",
+        dt_score.test_accuracy
+    );
+}
+
+/// An ML-category benchmark (synthetic MNIST): forests should do well; all
+/// teams stay in budget.
+#[test]
+fn ml_benchmark_is_learnable_by_forests() {
+    let bench = &suite()[81]; // odd vs even digits
+    let data = bench.sample(&small_cfg());
+    let problem = Problem::new(data.train.clone(), data.valid.clone(), 10);
+    let teams = all_teams();
+    let circuit = teams[7].learn(&problem); // team8
+    let score = eval::evaluate(&circuit, &data);
+    assert!(score.and_gates <= problem.node_limit);
+    assert!(
+        score.test_accuracy > 0.7,
+        "rf-based team8 on mnist-sub: {:.3}",
+        score.test_accuracy
+    );
+}
+
+/// The portfolio-of-everything ("virtual best") dominates each single team,
+/// the paper's central observation.
+#[test]
+fn virtual_best_dominates_single_teams() {
+    let cfg = small_cfg();
+    let ids = [30usize, 74, 75];
+    let teams = all_teams();
+    let mut per_team_totals = vec![0.0f64; teams.len()];
+    let mut virtual_total = 0.0f64;
+    for &id in &ids {
+        let bench = &suite()[id];
+        let data = bench.sample(&cfg);
+        let problem = Problem::new(data.train.clone(), data.valid.clone(), 11);
+        let mut best = 0.0f64;
+        for (t, team) in teams.iter().enumerate() {
+            let score = eval::evaluate(&team.learn(&problem), &data);
+            per_team_totals[t] += score.test_accuracy;
+            best = best.max(score.test_accuracy);
+        }
+        virtual_total += best;
+    }
+    for (t, &total) in per_team_totals.iter().enumerate() {
+        assert!(
+            virtual_total >= total - 1e-12,
+            "virtual best below team {t}: {virtual_total} vs {total}"
+        );
+    }
+}
