@@ -460,10 +460,7 @@ mod tests {
         g.add_output(all);
         g.add_output(any);
         g.add_output(parity);
-        assert_eq!(
-            g.eval(&[true, true, true, true]),
-            vec![true, true, false]
-        );
+        assert_eq!(g.eval(&[true, true, true, true]), vec![true, true, false]);
         assert_eq!(
             g.eval(&[false, true, false, false]),
             vec![false, true, true]

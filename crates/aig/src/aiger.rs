@@ -148,8 +148,8 @@ pub fn read_aag<R: Read>(reader: R) -> Result<Aig, ParseError> {
         if let Some(l) = map[var] {
             return Ok(l);
         }
-        let (r0, r1) = defs[var]
-            .ok_or_else(|| ParseError::new(format!("undefined AIGER variable {var}")))?;
+        let (r0, r1) =
+            defs[var].ok_or_else(|| ParseError::new(format!("undefined AIGER variable {var}")))?;
         let a0 = resolve((r0 / 2) as usize, defs, map, aig)?.complement_if(r0 % 2 == 1);
         let a1 = resolve((r1 / 2) as usize, defs, map, aig)?.complement_if(r1 % 2 == 1);
         let l = aig.and(a0, a1);
@@ -160,7 +160,9 @@ pub fn read_aag<R: Read>(reader: R) -> Result<Aig, ParseError> {
     for lit in output_lits {
         let var = (lit / 2) as usize;
         if var > m {
-            return Err(ParseError::new(format!("output literal {lit} out of range")));
+            return Err(ParseError::new(format!(
+                "output literal {lit} out of range"
+            )));
         }
         let l = resolve(var, &defs, &mut map, &mut aig)?.complement_if(lit % 2 == 1);
         aig.add_output(l);

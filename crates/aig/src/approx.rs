@@ -120,12 +120,9 @@ pub fn approximate(aig: &Aig, cfg: &ApproxConfig) -> Aig {
             } else {
                 // Try each single candidate in skew order.
                 for &(_, n) in candidates.iter().skip(1) {
-                    let subs: HashMap<u32, bool> =
-                        [(n, counts[n as usize] * 2 > total)].into();
+                    let subs: HashMap<u32, bool> = [(n, counts[n as usize] * 2 > total)].into();
                     let attempt = current.substitute_constants(&subs);
-                    if !all_outputs_constant(&attempt)
-                        && attempt.num_ands() < current.num_ands()
-                    {
+                    if !all_outputs_constant(&attempt) && attempt.num_ands() < current.num_ands() {
                         next = Some(attempt);
                         break;
                     }

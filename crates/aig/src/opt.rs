@@ -92,8 +92,7 @@ pub fn compress(aig: &Aig, rounds: usize) -> Aig {
         let mut next = balance(&best);
         next.cleanup();
         let smaller = next.num_ands() < best.num_ands();
-        let same_size_shallower =
-            next.num_ands() == best.num_ands() && next.depth() < best.depth();
+        let same_size_shallower = next.num_ands() == best.num_ands() && next.depth() < best.depth();
         if !(smaller || same_size_shallower) {
             break;
         }

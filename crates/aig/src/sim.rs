@@ -1,6 +1,18 @@
 //! Word-parallel AIG simulation (64 patterns per machine word).
+//!
+//! Two families of entry points:
+//!
+//! * pattern-fed ([`eval_patterns`], [`eval_patterns_multi`],
+//!   [`pattern_one_counts`]) — transpose a row-major `&[Pattern]` batch into
+//!   simulation words on the fly;
+//! * column-fed ([`eval_columns`], [`accuracy_columns`]) — consume a
+//!   [`BitColumns`] view whose word layout *is* the stimulus format (bit
+//!   `k % 64` of word `k / 64` = example `k`), so evaluation involves no
+//!   per-call transposition at all. Datasets cache that view
+//!   (`Dataset::bit_columns`), making repeated candidate scoring against the
+//!   same split almost pure popcount work.
 
-use lsml_pla::Pattern;
+use lsml_pla::{BitColumns, Pattern};
 use rand::Rng;
 
 use crate::aig::Aig;
@@ -52,16 +64,16 @@ pub fn node_values_words(aig: &Aig, input_words: &[u64]) -> Vec<u64> {
     values
 }
 
-/// Evaluates a single-output AIG on a batch of patterns, 64 at a time.
-/// Returns one prediction per pattern.
+/// Evaluates an AIG (any output count) on a batch of patterns, 64 at a
+/// time. Returns one prediction vector per output, each with one entry per
+/// pattern.
 ///
 /// # Panics
 ///
-/// Panics if the AIG does not have exactly one output or a pattern's arity
-/// differs from the AIG's input count.
-pub fn eval_patterns(aig: &Aig, patterns: &[Pattern]) -> Vec<bool> {
-    assert_eq!(aig.outputs().len(), 1, "eval_patterns needs 1 output");
-    let mut out = Vec::with_capacity(patterns.len());
+/// Panics if a pattern's arity differs from the AIG's input count.
+pub fn eval_patterns_multi(aig: &Aig, patterns: &[Pattern]) -> Vec<Vec<bool>> {
+    let num_outputs = aig.outputs().len();
+    let mut out = vec![Vec::with_capacity(patterns.len()); num_outputs];
     let mut input_words = vec![0u64; aig.num_inputs()];
     for chunk in patterns.chunks(64) {
         for w in input_words.iter_mut() {
@@ -75,12 +87,80 @@ pub fn eval_patterns(aig: &Aig, patterns: &[Pattern]) -> Vec<bool> {
                 }
             }
         }
-        let res = simulate_words(aig, &input_words)[0];
-        for k in 0..chunk.len() {
-            out.push((res >> k) & 1 == 1);
+        let res = simulate_words(aig, &input_words);
+        for (o, word) in res.iter().enumerate() {
+            for k in 0..chunk.len() {
+                out[o].push((word >> k) & 1 == 1);
+            }
         }
     }
     out
+}
+
+/// Single-output convenience wrapper over [`eval_patterns_multi`]: returns
+/// one prediction per pattern.
+///
+/// # Panics
+///
+/// Panics if the AIG does not have exactly one output or a pattern's arity
+/// differs from the AIG's input count.
+pub fn eval_patterns(aig: &Aig, patterns: &[Pattern]) -> Vec<bool> {
+    assert_eq!(aig.outputs().len(), 1, "eval_patterns needs 1 output");
+    eval_patterns_multi(aig, patterns)
+        .pop()
+        .expect("one output")
+}
+
+/// Evaluates an AIG against a cached column view, with no per-call
+/// transposition: word `w` of input column `i` is already the stimulus word
+/// for examples `64w..64w+63`. Returns one packed prediction column per
+/// output (same layout as [`BitColumns`]; tail bits cleared).
+///
+/// # Panics
+///
+/// Panics if the column view's input count differs from the AIG's.
+pub fn eval_columns(aig: &Aig, cols: &BitColumns) -> Vec<Vec<u64>> {
+    assert_eq!(
+        cols.num_inputs(),
+        aig.num_inputs(),
+        "column/input count mismatch"
+    );
+    let stride = cols.words_per_column();
+    let num_outputs = aig.outputs().len();
+    let mut out = vec![vec![0u64; stride]; num_outputs];
+    if cols.num_examples() == 0 {
+        return out;
+    }
+    let mut input_words = vec![0u64; aig.num_inputs()];
+    #[allow(clippy::needless_range_loop)] // `w` indexes every column in lockstep
+    for w in 0..stride {
+        for (i, word) in input_words.iter_mut().enumerate() {
+            *word = cols.column(i)[w];
+        }
+        let mask = if w + 1 == stride {
+            cols.tail_mask()
+        } else {
+            u64::MAX
+        };
+        let res = simulate_words(aig, &input_words);
+        for (o, &word) in res.iter().enumerate() {
+            out[o][w] = word & mask;
+        }
+    }
+    out
+}
+
+/// Accuracy of a single-output AIG against a column view's labels (fraction
+/// of examples predicted correctly; 1.0 on an empty view).
+///
+/// # Panics
+///
+/// Panics if the AIG does not have exactly one output or the column view's
+/// input count differs from the AIG's.
+pub fn accuracy_columns(aig: &Aig, cols: &BitColumns) -> f64 {
+    assert_eq!(aig.outputs().len(), 1, "accuracy_columns needs 1 output");
+    let preds = eval_columns(aig, cols).pop().expect("one output");
+    cols.accuracy_of_packed(&preds)
 }
 
 /// Counts, for every node, how many of the given patterns drive it to one.
@@ -184,6 +264,52 @@ mod tests {
         assert_eq!(preds.len(), 67);
         for (i, p) in patterns.iter().enumerate() {
             assert_eq!(preds[i], p.get(0) ^ p.get(1));
+        }
+    }
+
+    #[test]
+    fn multi_output_eval_matches_scalar() {
+        // Two outputs: XOR and AND of the same pair.
+        let mut g = Aig::new(2);
+        let (a, b) = (g.input(0), g.input(1));
+        let x = g.xor(a, b);
+        let y = g.and(a, b);
+        g.add_output(x);
+        g.add_output(y);
+        let patterns: Vec<Pattern> = (0..100).map(|i| Pattern::from_index(i % 4, 2)).collect();
+        let multi = eval_patterns_multi(&g, &patterns);
+        assert_eq!(multi.len(), 2);
+        for (k, p) in patterns.iter().enumerate() {
+            assert_eq!(multi[0][k], p.get(0) ^ p.get(1));
+            assert_eq!(multi[1][k], p.get(0) && p.get(1));
+        }
+    }
+
+    #[test]
+    fn eval_columns_matches_eval_patterns() {
+        use lsml_pla::Dataset;
+        let mut g = Aig::new(5);
+        let ins = g.inputs();
+        let x = g.xor_many(&ins);
+        let y = g.and(ins[0], x);
+        g.add_output(y);
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [0usize, 1, 64, 67, 200] {
+            let mut ds = Dataset::new(5);
+            for _ in 0..n {
+                ds.push(Pattern::random(&mut rng, 5), rng.gen());
+            }
+            let cols = ds.bit_columns();
+            let packed = eval_columns(&g, &cols).pop().unwrap();
+            let row = eval_patterns(&g, ds.patterns());
+            for (k, &want) in row.iter().enumerate() {
+                let got = (packed[k / 64] >> (k % 64)) & 1 == 1;
+                assert_eq!(got, want, "example {k} of {n}");
+            }
+            // Accuracy path agrees with the row-major scalar one.
+            let acc_cols = accuracy_columns(&g, &cols);
+            let acc_rows = ds.accuracy_of_slice(&row);
+            assert!((acc_cols - acc_rows).abs() < 1e-12);
         }
     }
 

@@ -1,0 +1,191 @@
+//! Row-major vs columnar microbenchmarks for the `BitColumns` engine.
+//!
+//! Two hot paths are compared on a 1000-example, 32-input dataset (the
+//! acceptance target for the columnar refactor):
+//!
+//! * **candidate accuracy** — simulating an AIG over the dataset and
+//!   comparing to labels, row-fed (`eval_patterns` with on-the-fly
+//!   transposition) vs column-fed (`accuracy_columns` off the cached
+//!   transpose);
+//! * **decision-tree split scoring** — Gini gain of every candidate input
+//!   at the root, per-example `Pattern::get` loops vs popcount contingency
+//!   tables.
+//!
+//! Besides printing criterion timings, the harness writes the measurements
+//! and speedups to `BENCH_columnar.json` at the repository root.
+
+use criterion::Criterion;
+use lsml_aig::{sim, Aig};
+use lsml_pla::{BitColumns, Dataset, Pattern};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const EXAMPLES: usize = 1000;
+const INPUTS: usize = 32;
+
+fn dataset() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(0x1234);
+    let mut ds = Dataset::new(INPUTS);
+    for _ in 0..EXAMPLES {
+        let p = Pattern::random(&mut rng, INPUTS);
+        let label = (p.get(0) ^ p.get(7)) || (p.get(3) && p.get(19)) || rng.gen_bool(0.05);
+        ds.push(p, label);
+    }
+    ds
+}
+
+fn circuit() -> Aig {
+    let mut g = Aig::new(INPUTS);
+    let ins = g.inputs();
+    let x = g.xor(ins[0], ins[7]);
+    let a = g.and(ins[3], ins[19]);
+    let out = g.or(x, a);
+    g.add_output(out);
+    g
+}
+
+/// Row-major reference accuracy: transpose per call, then compare rows.
+fn accuracy_rows(aig: &Aig, ds: &Dataset) -> f64 {
+    let preds = sim::eval_patterns(aig, ds.patterns());
+    ds.accuracy_of_slice(&preds)
+}
+
+/// Row-major reference split scoring: the pre-columnar inner loop — one
+/// `Pattern::get` per example per candidate feature.
+fn split_scores_rows(ds: &Dataset) -> Vec<f64> {
+    let n = ds.len() as f64;
+    let pos = ds.count_positive() as f64;
+    let neg = n - pos;
+    let gini = |p: f64, q: f64| {
+        let t = p + q;
+        if t == 0.0 {
+            0.0
+        } else {
+            2.0 * (p / t) * (1.0 - p / t)
+        }
+    };
+    let parent = gini(pos, neg);
+    (0..ds.num_inputs())
+        .map(|f| {
+            let mut hi_n = 0.0;
+            let mut hi_pos = 0.0;
+            for (p, o) in ds.iter() {
+                if p.get(f) {
+                    hi_n += 1.0;
+                    if o {
+                        hi_pos += 1.0;
+                    }
+                }
+            }
+            let lo_n = n - hi_n;
+            let lo_pos = pos - hi_pos;
+            if hi_n == 0.0 || lo_n == 0.0 {
+                return 0.0;
+            }
+            parent
+                - (hi_n / n) * gini(hi_pos, hi_n - hi_pos)
+                - (lo_n / n) * gini(lo_pos, lo_n - lo_pos)
+        })
+        .collect()
+}
+
+/// Columnar split scoring: one contingency table (three popcount passes)
+/// per candidate feature.
+fn split_scores_columns(cols: &BitColumns) -> Vec<f64> {
+    let n = cols.num_examples() as f64;
+    let gini = |p: f64, q: f64| {
+        let t = p + q;
+        if t == 0.0 {
+            0.0
+        } else {
+            2.0 * (p / t) * (1.0 - p / t)
+        }
+    };
+    let pos = BitColumns::count_ones(cols.labels()) as f64;
+    let parent = gini(pos, n - pos);
+    (0..cols.num_inputs())
+        .map(|f| {
+            let t = cols.contingency(f);
+            let hi_n = t.feature_ones() as f64;
+            let lo_n = n - hi_n;
+            if hi_n == 0.0 || lo_n == 0.0 {
+                return 0.0;
+            }
+            parent
+                - (hi_n / n) * gini(t.n11 as f64, t.n10 as f64)
+                - (lo_n / n) * gini(t.n01 as f64, t.n00 as f64)
+        })
+        .collect()
+}
+
+fn main() {
+    let ds = dataset();
+    let aig = circuit();
+    let cols = ds.bit_columns();
+
+    // Sanity: both paths must agree before timing them.
+    assert_eq!(
+        accuracy_rows(&aig, &ds).to_bits(),
+        sim::accuracy_columns(&aig, &cols).to_bits()
+    );
+    {
+        let rows = split_scores_rows(&ds);
+        let columns = split_scores_columns(&cols);
+        for (a, b) in rows.iter().zip(&columns) {
+            assert!((a - b).abs() < 1e-12, "split scores diverge: {a} vs {b}");
+        }
+    }
+
+    let mut c = Criterion::default().sample_size(30);
+    c.bench_function("columnar/accuracy/rows_1000x32", |b| {
+        b.iter(|| accuracy_rows(&aig, &ds))
+    });
+    c.bench_function("columnar/accuracy/columns_1000x32", |b| {
+        b.iter(|| sim::accuracy_columns(&aig, &cols))
+    });
+    c.bench_function("columnar/split_scores/rows_1000x32", |b| {
+        b.iter(|| split_scores_rows(&ds))
+    });
+    c.bench_function("columnar/split_scores/columns_1000x32", |b| {
+        b.iter(|| split_scores_columns(&cols))
+    });
+    c.bench_function("columnar/chi2_scores/columns_1000x32", |b| {
+        b.iter(|| cols.chi2_scores())
+    });
+    c.bench_function("columnar/transpose_build_1000x32", |b| {
+        b.iter(|| BitColumns::build(&ds))
+    });
+
+    let results = c.results();
+    let ns = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let acc_speedup =
+        ns("columnar/accuracy/rows_1000x32") / ns("columnar/accuracy/columns_1000x32");
+    let split_speedup =
+        ns("columnar/split_scores/rows_1000x32") / ns("columnar/split_scores/columns_1000x32");
+    println!("accuracy speedup (rows/columns):      {acc_speedup:.1}x");
+    println!("split scoring speedup (rows/columns): {split_speedup:.1}x");
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+            r.name,
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"accuracy_speedup\": {acc_speedup:.2},\n  \"split_scoring_speedup\": {split_speedup:.2},\n  \"examples\": {EXAMPLES},\n  \"inputs\": {INPUTS}\n}}\n"
+    ));
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_columnar.json");
+    std::fs::write(out, json).expect("write BENCH_columnar.json");
+    println!("wrote {out}");
+}

@@ -6,8 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use lsml_benchgen::{suite, SampleConfig};
 use lsml_core::teams::{Team1, Team10, Team7};
 use lsml_core::{Learner, Problem};
-use lsml_dtree::{DecisionTree, GradientBoost, GradientBoostConfig, RandomForest,
-                 RandomForestConfig, TreeConfig};
+use lsml_dtree::{
+    DecisionTree, GradientBoost, GradientBoostConfig, RandomForest, RandomForestConfig, TreeConfig,
+};
 use lsml_neural::{Mlp, MlpConfig};
 
 fn problem(id: usize, samples: usize) -> Problem {

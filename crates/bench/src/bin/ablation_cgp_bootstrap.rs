@@ -49,10 +49,7 @@ fn main() {
         if boot_acc >= rand_acc {
             improvements += 1;
         }
-        println!(
-            "{},{seed_acc:.4},{boot_acc:.4},{rand_acc:.4}",
-            bench.name
-        );
+        println!("{},{seed_acc:.4},{boot_acc:.4},{rand_acc:.4}", bench.name);
     }
     println!();
     println!(

@@ -25,7 +25,12 @@ fn main() {
         );
     }
     let row = results.table_row();
-    let max_gates = results.scores.iter().map(|s| s.and_gates).max().unwrap_or(0);
+    let max_gates = results
+        .scores
+        .iter()
+        .map(|s| s.and_gates)
+        .max()
+        .unwrap_or(0);
     println!();
     println!(
         "mean accuracy {:.2}%  mean gates {}  max gates {}",

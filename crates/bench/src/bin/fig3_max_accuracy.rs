@@ -22,7 +22,12 @@ fn main() {
     let values: Vec<f64> = best.iter().map(|a| 100.0 * a).collect();
     print!(
         "{}",
-        ascii_series("Fig. 3: max test accuracy per benchmark", &labels, &values, "%")
+        ascii_series(
+            "Fig. 3: max test accuracy per benchmark",
+            &labels,
+            &values,
+            "%"
+        )
     );
     let solved = best.iter().filter(|&&a| a > 0.99).count();
     let hard = best.iter().filter(|&&a| a < 0.6).count();

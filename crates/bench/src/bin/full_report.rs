@@ -54,9 +54,14 @@ fn main() {
                 .collect()
         })
         .collect();
-    let budgets = vec![25, 50, 100, 200, 300, 500, 750, 1000, 1500, 2000, 3000, 5000];
+    let budgets = vec![
+        25, 50, 100, 200, 300, 500, 750, 1000, 1500, 2000, 3000, 5000,
+    ];
     println!("virtual-best Pareto:");
-    for (budget, pt) in budgets.iter().zip(virtual_best_pareto(&candidates, &budgets)) {
+    for (budget, pt) in budgets
+        .iter()
+        .zip(virtual_best_pareto(&candidates, &budgets))
+    {
         println!(
             "  budget {budget:>5}: avg gates {:>8.1}  avg accuracy {:>6.2}%",
             pt.avg_gates, pt.avg_accuracy

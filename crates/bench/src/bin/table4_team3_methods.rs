@@ -108,7 +108,12 @@ fn main() {
 
     println!("== Table IV (ours) ==");
     println!("method      train%   valid%   test%    avg_size");
-    for (name, rows) in [("DT", &dt), ("Fr-DT", &fr), ("NN", &nn), ("LUT-Net", &lutnet)] {
+    for (name, rows) in [
+        ("DT", &dt),
+        ("Fr-DT", &fr),
+        ("NN", &nn),
+        ("LUT-Net", &lutnet),
+    ] {
         let n = rows.len().max(1) as f64;
         println!(
             "{name:<10} {:>7.2} {:>8.2} {:>7.2} {:>11.2}",

@@ -29,19 +29,22 @@ fn main() {
         let c = team.learn(&problem);
         eprintln!("{}: {}", bench.name, c.method);
         let m = &c.method;
-        *tool.entry(if m.starts_with("dt(") {
-            "DT"
-        } else if m.starts_with("rf") {
-            "RF"
-        } else if m.starts_with("nn") {
-            "NN"
-        } else {
-            "fallback"
-        })
-        .or_insert(0) += 1;
+        *tool
+            .entry(if m.starts_with("dt(") {
+                "DT"
+            } else if m.starts_with("rf") {
+                "RF"
+            } else if m.starts_with("nn") {
+                "NN"
+            } else {
+                "fallback"
+            })
+            .or_insert(0) += 1;
         *selection
             .entry(if m.contains("sel=chi2") {
                 "chi2"
+            } else if m.contains("sel=ftest") {
+                "f-test"
             } else if m.contains("sel=mi") {
                 "mutual-info"
             } else if m.contains("sel=none") {

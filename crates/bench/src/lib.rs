@@ -10,12 +10,10 @@
 //!   100);
 //! * `LSML_SEED` — global seed (default 0).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use lsml_benchgen::{suite, BenchData, Benchmark, SampleConfig};
 use lsml_core::report::TeamResults;
 use lsml_core::{eval, Learner, Problem};
+use rayon::prelude::*;
 
 /// Run-scale parameters read from the environment.
 #[derive(Copy, Clone, Debug)]
@@ -58,47 +56,27 @@ impl RunScale {
     }
 }
 
-/// Runs one learner over the selected benchmarks (two worker threads),
-/// printing progress to stderr.
+/// Runs one learner over the selected benchmarks (rayon fan-out, one task
+/// per benchmark), printing progress to stderr.
 pub fn run_team(learner: &dyn Learner, scale: &RunScale) -> TeamResults {
     let benches = scale.benchmarks();
-    let scores = Mutex::new(vec![None; benches.len()]);
-    let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(benches.len().max(1));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= benches.len() {
-                    break;
-                }
-                let bench = &benches[i];
-                let data = scale.sample(bench);
-                let problem = Problem::new(data.train.clone(), data.valid.clone(), scale.seed);
-                let circuit = learner.learn(&problem);
-                let score = eval::evaluate(&circuit, &data);
-                eprintln!(
-                    "[{}] {}: acc {:.2}% gates {} ({})",
-                    learner.name(),
-                    bench.name,
-                    100.0 * score.test_accuracy,
-                    score.and_gates,
-                    circuit.method
-                );
-                if let Some(slot) = scores.lock().expect("poisoned").get_mut(i) {
-                    *slot = Some(score);
-                }
-            });
-        }
-    });
-    let scores = scores
-        .into_inner()
-        .expect("poisoned")
-        .into_iter()
-        .map(|s| s.expect("all benchmarks scored"))
+    let scores = benches
+        .par_iter()
+        .map(|bench| {
+            let data = scale.sample(bench);
+            let problem = Problem::new(data.train.clone(), data.valid.clone(), scale.seed);
+            let circuit = learner.learn(&problem);
+            let score = eval::evaluate(&circuit, &data);
+            eprintln!(
+                "[{}] {}: acc {:.2}% gates {} ({})",
+                learner.name(),
+                bench.name,
+                100.0 * score.test_accuracy,
+                score.and_gates,
+                circuit.method
+            );
+            score
+        })
         .collect();
     TeamResults {
         team: learner.name().to_owned(),
@@ -108,7 +86,10 @@ pub fn run_team(learner: &dyn Learner, scale: &RunScale) -> TeamResults {
 
 /// Runs several learners and collects their results.
 pub fn run_teams(learners: &[Box<dyn Learner>], scale: &RunScale) -> Vec<TeamResults> {
-    learners.iter().map(|l| run_team(l.as_ref(), scale)).collect()
+    learners
+        .iter()
+        .map(|l| run_team(l.as_ref(), scale))
+        .collect()
 }
 
 /// A crude ASCII scatter/series plot for figure binaries: one line per
@@ -145,12 +126,7 @@ mod tests {
 
     #[test]
     fn ascii_series_renders_bars() {
-        let s = ascii_series(
-            "demo",
-            &["a".to_owned(), "b".to_owned()],
-            &[1.0, 2.0],
-            "u",
-        );
+        let s = ascii_series("demo", &["a".to_owned(), "b".to_owned()], &[1.0, 2.0], "u");
         assert!(s.contains("demo"));
         assert!(s.matches('|').count() == 2);
     }

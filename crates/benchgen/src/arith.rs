@@ -166,7 +166,12 @@ mod tests {
 
     #[test]
     fn mul_matches_u128() {
-        for (a, b) in [(0u128, 7), (123, 456), (u64::MAX as u128, 3), (1 << 40, 1 << 23)] {
+        for (a, b) in [
+            (0u128, 7),
+            (123, 456),
+            (u64::MAX as u128, 3),
+            (1 << 40, 1 << 23),
+        ] {
             assert_eq!(v(&mul(&w(a), &w(b))[..2]), a * b);
         }
     }
@@ -197,7 +202,20 @@ mod tests {
 
     #[test]
     fn isqrt_matches_reference() {
-        for a in [0u128, 1, 2, 3, 4, 15, 16, 17, 99, 100, 1 << 50, (1 << 50) + 12345] {
+        for a in [
+            0u128,
+            1,
+            2,
+            3,
+            4,
+            15,
+            16,
+            17,
+            99,
+            100,
+            1 << 50,
+            (1 << 50) + 12345,
+        ] {
             let root = v(&isqrt(&w(a), 128));
             assert!(root * root <= a, "a={a} root={root}");
             assert!((root + 1) * (root + 1) > a, "a={a} root={root}");

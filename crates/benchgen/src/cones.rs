@@ -45,10 +45,8 @@ fn build_candidate(num_inputs: usize, seed: u64) -> Aig {
     let mut signals: Vec<Lit> = aig.inputs();
     let gates = (num_inputs * 3).clamp(48, 640);
     for _ in 0..gates {
-        let a = signals[rng.gen_range(0..signals.len())]
-            .complement_if(rng.gen_bool(0.5));
-        let b = signals[rng.gen_range(0..signals.len())]
-            .complement_if(rng.gen_bool(0.5));
+        let a = signals[rng.gen_range(0..signals.len())].complement_if(rng.gen_bool(0.5));
+        let b = signals[rng.gen_range(0..signals.len())].complement_if(rng.gen_bool(0.5));
         let s = match rng.gen_range(0..5) {
             0 | 1 => aig.and(a, b),
             2 | 3 => aig.or(a, b),

@@ -511,7 +511,9 @@ mod tests {
             samples_per_split: 50,
             seed: 3,
         };
-        for b in [&s[0], &s[12], &s[25], &s[33], &s[44], &s[55], &s[74], &s[77]] {
+        for b in [
+            &s[0], &s[12], &s[25], &s[33], &s[44], &s[55], &s[74], &s[77],
+        ] {
             let data = b.sample(&cfg);
             for (p, o) in data.train.iter() {
                 assert_eq!(b.oracle_eval(p), Some(o), "inconsistent {}", b.name);

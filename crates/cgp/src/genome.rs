@@ -243,32 +243,30 @@ impl Genome {
         // Constant literals are encoded as x AND NOT x (false) via two genes
         // when needed — rare in practice because learners avoid constants.
         let mut const_false: Option<u32> = None;
-        let mut resolve = |lit: Lit,
-                           genes: &mut Vec<Gene>,
-                           node_signal: &mut Vec<Option<u32>>|
-         -> u32 {
-            let base = if lit.is_constant() {
-                *const_false.get_or_insert_with(|| {
-                    let not0 = emit_not(genes, num_inputs, 0);
-                    genes.push(Gene {
-                        func: NodeFn::And,
-                        a: 0,
-                        b: not0,
-                    });
-                    (num_inputs + genes.len() - 1) as u32
-                })
-            } else {
-                node_signal[lit.node() as usize].expect("topological order")
+        let mut resolve =
+            |lit: Lit, genes: &mut Vec<Gene>, node_signal: &mut Vec<Option<u32>>| -> u32 {
+                let base = if lit.is_constant() {
+                    *const_false.get_or_insert_with(|| {
+                        let not0 = emit_not(genes, num_inputs, 0);
+                        genes.push(Gene {
+                            func: NodeFn::And,
+                            a: 0,
+                            b: not0,
+                        });
+                        (num_inputs + genes.len() - 1) as u32
+                    })
+                } else {
+                    node_signal[lit.node() as usize].expect("topological order")
+                };
+                // Constant FALSE (raw 0) maps to the base; TRUE (raw 1, i.e. the
+                // complemented constant) and complemented node edges invert it.
+                let want_invert = lit.is_complemented();
+                if want_invert {
+                    emit_not(genes, num_inputs, base)
+                } else {
+                    base
+                }
             };
-            // Constant FALSE (raw 0) maps to the base; TRUE (raw 1, i.e. the
-            // complemented constant) and complemented node edges invert it.
-            let want_invert = lit.is_complemented();
-            if want_invert {
-                emit_not(genes, num_inputs, base)
-            } else {
-                base
-            }
-        };
 
         for n in (num_inputs + 1)..aig.num_nodes() {
             let (f0, f1) = aig.fanins(n as u32);

@@ -46,22 +46,20 @@ pub fn average(scores: &[Score]) -> Score {
         test_accuracy: scores.iter().map(|s| s.test_accuracy).sum::<f64>() / n,
         valid_accuracy: scores.iter().map(|s| s.valid_accuracy).sum::<f64>() / n,
         train_accuracy: scores.iter().map(|s| s.train_accuracy).sum::<f64>() / n,
-        and_gates: (scores.iter().map(|s| s.and_gates).sum::<usize>() as f64 / n).round()
-            as usize,
-        levels: (scores.iter().map(|s| u64::from(s.levels)).sum::<u64>() as f64 / n).round()
-            as u32,
+        and_gates: (scores.iter().map(|s| s.and_gates).sum::<usize>() as f64 / n).round() as usize,
+        levels: (scores.iter().map(|s| u64::from(s.levels)).sum::<u64>() as f64 / n).round() as u32,
         overfit: scores.iter().map(|s| s.overfit).sum::<f64>() / n,
     }
 }
 
 /// Accuracy of a bare AIG over a dataset (convenience wrapper used by team
-/// pipelines when ranking internal candidates).
+/// pipelines when ranking internal candidates). Column-fed: repeated calls
+/// against the same dataset reuse its cached bit columns.
 pub fn aig_accuracy(aig: &lsml_aig::Aig, ds: &Dataset) -> f64 {
     if ds.is_empty() {
         return 1.0;
     }
-    let preds = lsml_aig::sim::eval_patterns(aig, ds.patterns());
-    ds.accuracy_of_slice(&preds)
+    lsml_aig::sim::accuracy_columns(aig, &ds.bit_columns())
 }
 
 #[cfg(test)]

@@ -36,4 +36,4 @@ pub mod teams;
 
 pub use eval::Score;
 pub use portfolio::select_best;
-pub use problem::{Learner, LearnedCircuit, Problem};
+pub use problem::{LearnedCircuit, Learner, Problem};

@@ -7,6 +7,7 @@
 //! validation accuracy under the node limit; this module is that selector.
 
 use lsml_pla::Dataset;
+use rayon::prelude::*;
 
 use crate::problem::LearnedCircuit;
 
@@ -14,18 +15,32 @@ use crate::problem::LearnedCircuit;
 /// `node_limit`, breaking ties towards fewer gates. When *no* candidate
 /// fits, returns the constant circuit matching the validation majority (the
 /// safe fallback every team kept in its pocket).
+///
+/// Candidates are scored in parallel against the validation set's cached
+/// bit columns (the scan is embarrassingly parallel and read-only); the
+/// winner is then chosen by a sequential pass so tie-breaking stays
+/// deterministic and identical to the serial order.
 pub fn select_best(
-    candidates: Vec<LearnedCircuit>,
+    mut candidates: Vec<LearnedCircuit>,
     valid: &Dataset,
     node_limit: usize,
 ) -> LearnedCircuit {
-    let mut best: Option<(f64, usize, LearnedCircuit)> = None;
-    for c in candidates {
-        if !c.fits(node_limit) {
-            continue;
-        }
-        let acc = c.accuracy(valid);
-        let size = c.and_gates();
+    // Materialize the columns once before fanning out, so workers share the
+    // cached transpose instead of racing to build it.
+    let _ = valid.bit_columns();
+    let scored: Vec<Option<(f64, usize)>> = candidates
+        .par_iter()
+        .map(|c| {
+            if c.fits(node_limit) {
+                Some((c.accuracy(valid), c.and_gates()))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let mut best: Option<(f64, usize, usize)> = None;
+    for (i, &score) in scored.iter().enumerate() {
+        let Some((acc, size)) = score else { continue };
         let better = match &best {
             None => true,
             Some((bacc, bsize, _)) => {
@@ -33,11 +48,11 @@ pub fn select_best(
             }
         };
         if better {
-            best = Some((acc, size, c));
+            best = Some((acc, size, i));
         }
     }
     match best {
-        Some((_, _, c)) => c,
+        Some((_, _, i)) => candidates.swap_remove(i),
         None => {
             let majority = valid.majority();
             LearnedCircuit::new(

@@ -71,13 +71,14 @@ impl LearnedCircuit {
         }
     }
 
-    /// Accuracy of the circuit over a dataset (word-parallel simulation).
+    /// Accuracy of the circuit over a dataset: word-parallel simulation fed
+    /// directly from the dataset's cached bit columns (no per-call
+    /// transposition).
     pub fn accuracy(&self, ds: &Dataset) -> f64 {
         if ds.is_empty() {
             return 1.0;
         }
-        let preds = lsml_aig::sim::eval_patterns(&self.aig, ds.patterns());
-        ds.accuracy_of_slice(&preds)
+        lsml_aig::sim::accuracy_columns(&self.aig, &ds.bit_columns())
     }
 
     /// AND-node count (the contest size metric).

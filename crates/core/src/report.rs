@@ -105,14 +105,11 @@ pub fn virtual_best_pareto(
             let mut sizes = 0.0;
             let mut count = 0usize;
             for bench in candidates {
-                let best = bench
-                    .iter()
-                    .filter(|&&(_, g)| g <= budget)
-                    .max_by(|a, b| {
-                        a.0.partial_cmp(&b.0)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(b.1.cmp(&a.1).reverse())
-                    });
+                let best = bench.iter().filter(|&&(_, g)| g <= budget).max_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.1.cmp(&a.1).reverse())
+                });
                 if let Some(&(acc, gates)) = best {
                     accs += acc;
                     sizes += gates as f64;
@@ -132,14 +129,43 @@ pub fn virtual_best_pareto(
 /// pipeline uses (static metadata, printed alongside Table III).
 pub fn technique_matrix() -> Vec<(&'static str, Vec<&'static str>)> {
     vec![
-        ("team1", vec!["espresso", "lut-network", "random-forest", "function-matching", "approximation"]),
+        (
+            "team1",
+            vec![
+                "espresso",
+                "lut-network",
+                "random-forest",
+                "function-matching",
+                "approximation",
+            ],
+        ),
         ("team2", vec!["decision-tree(J48)", "rule-list(PART)"]),
-        ("team3", vec!["decision-tree", "fringe-features", "neural-net->lut", "ensemble"]),
-        ("team4", vec!["feature-selection", "neural-net", "subspace-expansion"]),
-        ("team5", vec!["decision-tree", "random-forest", "nn-feature-search"]),
+        (
+            "team3",
+            vec![
+                "decision-tree",
+                "fringe-features",
+                "neural-net->lut",
+                "ensemble",
+            ],
+        ),
+        (
+            "team4",
+            vec!["feature-selection", "neural-net", "subspace-expansion"],
+        ),
+        (
+            "team5",
+            vec!["decision-tree", "random-forest", "nn-feature-search"],
+        ),
         ("team6", vec!["lut-network"]),
-        ("team7", vec!["decision-tree", "gradient-boosting", "function-matching"]),
-        ("team8", vec!["decision-tree(funcdec)", "random-forest", "mlp(sine)"]),
+        (
+            "team7",
+            vec!["decision-tree", "gradient-boosting", "function-matching"],
+        ),
+        (
+            "team8",
+            vec!["decision-tree(funcdec)", "random-forest", "mlp(sine)"],
+        ),
         ("team9", vec!["cgp", "bootstrap(dt/espresso)"]),
         ("team10", vec!["decision-tree(depth8)"]),
     ]
@@ -205,10 +231,7 @@ mod tests {
     #[test]
     fn pareto_trades_size_for_accuracy() {
         // bench 0: (0.9, 100) or (0.8, 10); bench 1: (0.7, 20) or (0.6, 50).
-        let candidates = vec![
-            vec![(0.9, 100), (0.8, 10)],
-            vec![(0.7, 20), (0.6, 50)],
-        ];
+        let candidates = vec![vec![(0.9, 100), (0.8, 10)], vec![(0.7, 20), (0.6, 50)]];
         let pts = virtual_best_pareto(&candidates, &[10, 20, 100]);
         // Budget 10: only (0.8,10) fits on bench 0, nothing on bench 1 -> avg over 1.
         assert!((pts[0].avg_accuracy - 80.0).abs() < 1e-9);

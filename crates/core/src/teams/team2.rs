@@ -84,9 +84,7 @@ impl Learner for Team2 {
         // Stage 1: pick family and confidence factor on the held-out split.
         let mut best: Option<(f64, Family, f64)> = None; // (acc, family, cf)
         for &cf in &self.confidence_factors {
-            let j48_acc = self
-                .j48(&fit, cf, 2, problem.seed)
-                .accuracy(&held);
+            let j48_acc = self.j48(&fit, cf, 2, problem.seed).accuracy(&held);
             let part_acc = self.part(&fit, cf, 2, problem.seed).accuracy(&held);
             for (family, acc) in [(Family::J48, j48_acc), (Family::Part, part_acc)] {
                 if best.is_none_or(|(bacc, _, _)| acc > bacc) {

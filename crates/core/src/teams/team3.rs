@@ -45,12 +45,7 @@ impl Default for Team3 {
 impl Team3 {
     /// Trains the three member types on one fold configuration and returns
     /// the best by held-out accuracy.
-    fn best_member(
-        &self,
-        train: &Dataset,
-        held: &Dataset,
-        seed: u64,
-    ) -> (Aig, &'static str, f64) {
+    fn best_member(&self, train: &Dataset, held: &Dataset, seed: u64) -> (Aig, &'static str, f64) {
         let tree_cfg = TreeConfig {
             criterion: Criterion::Entropy,
             max_depth: Some(self.max_depth),

@@ -110,9 +110,7 @@ impl Team4 {
             match pos[cell].cmp(&neg[cell]) {
                 std::cmp::Ordering::Greater => true,
                 std::cmp::Ordering::Less => false,
-                std::cmp::Ordering::Equal => {
-                    mlp.predict(&Pattern::from_index(u64::from(m), k))
-                }
+                std::cmp::Ordering::Equal => mlp.predict(&Pattern::from_index(u64::from(m), k)),
             }
         });
         let mut aig = Aig::new(problem.num_inputs());
@@ -132,9 +130,7 @@ mod tests {
     #[test]
     fn selects_relevant_subspace() {
         // 24 inputs, function depends on 3 of them.
-        let (problem, test) = problem_from(24, 500, 41, |p| {
-            p.get(20) && (p.get(3) || !p.get(11))
-        });
+        let (problem, test) = problem_from(24, 500, 41, |p| p.get(20) && (p.get(3) || !p.get(11)));
         let c = Team4::default().learn(&problem);
         assert!(c.accuracy(&test) > 0.85, "acc {}", c.accuracy(&test));
         assert!(c.fits(5000));

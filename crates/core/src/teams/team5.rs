@@ -11,7 +11,9 @@
 
 use lsml_aig::circuits::truth_table_cone;
 use lsml_aig::Aig;
-use lsml_dtree::select::{chi2_scores, mutual_info_scores, select_k_best, select_percentile};
+use lsml_dtree::select::{
+    chi2_scores, f_test_scores, mutual_info_scores, select_k_best, select_percentile,
+};
 use lsml_dtree::{DecisionTree, RandomForest, RandomForestConfig, TreeConfig};
 use lsml_neural::{Mlp, MlpConfig};
 use lsml_pla::{Dataset, TruthTable};
@@ -148,7 +150,8 @@ impl Team5 {
 }
 
 /// The feature-selection front-ends of the sweep: none, chi² top-half,
-/// mutual-information top-half.
+/// ANOVA-F top-half, mutual-information top-half (the three `SelectKBest`
+/// scoring functions the team ran).
 fn feature_selections(train: &Dataset) -> Vec<(String, Option<Vec<usize>>)> {
     let k = (train.num_inputs() / 2).max(1);
     vec![
@@ -156,6 +159,10 @@ fn feature_selections(train: &Dataset) -> Vec<(String, Option<Vec<usize>>)> {
         (
             "sel=chi2".to_owned(),
             Some(select_k_best(&chi2_scores(train), k)),
+        ),
+        (
+            "sel=ftest".to_owned(),
+            Some(select_k_best(&f_test_scores(train), k)),
         ),
         (
             "sel=mi".to_owned(),

@@ -106,9 +106,8 @@ mod tests {
 
     #[test]
     fn matching_catches_parity() {
-        let (problem, test) = problem_from(12, 400, 7, |p| {
-            (0..12).fold(false, |acc, v| acc ^ p.get(v))
-        });
+        let (problem, test) =
+            problem_from(12, 400, 7, |p| (0..12).fold(false, |acc, v| acc ^ p.get(v)));
         let c = Team7::default().learn(&problem);
         assert!(c.method.starts_with("match:"), "method {}", c.method);
         assert!((c.accuracy(&test) - 1.0).abs() < 1e-12);

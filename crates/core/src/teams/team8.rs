@@ -128,9 +128,8 @@ mod tests {
     #[test]
     fn sine_mlp_or_funcdec_handles_parity_like_data() {
         // Parity of 4 variables over a 12-input space.
-        let (problem, test) = problem_from(12, 700, 82, |p| {
-            p.get(0) ^ p.get(3) ^ p.get(6) ^ p.get(9)
-        });
+        let (problem, test) =
+            problem_from(12, 700, 82, |p| p.get(0) ^ p.get(3) ^ p.get(6) ^ p.get(9));
         let c = Team8::default().learn(&problem);
         // Plain info-gain trees flounder here; the bucket should do clearly
         // better than chance.

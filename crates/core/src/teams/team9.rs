@@ -78,29 +78,25 @@ impl Learner for Team9 {
             seed: stage_seed(problem, 99),
             ..CgpConfig::default()
         };
-        let (result, method) = if seed_acc >= self.bootstrap_threshold
-            && seed_aig.num_ands() * 3 < 60_000
-        {
-            (
-                evolve_bootstrapped(&tune_half, &seed_aig, &cfg),
-                format!("cgp-bootstrap({seed_tag})"),
-            )
-        } else {
-            let random_cfg = CgpConfig {
-                n_nodes: 500,
-                batch_size: Some(1024.min(problem.train.len())),
-                batch_refresh: 1000,
-                ..cfg
+        let (result, method) =
+            if seed_acc >= self.bootstrap_threshold && seed_aig.num_ands() * 3 < 60_000 {
+                (
+                    evolve_bootstrapped(&tune_half, &seed_aig, &cfg),
+                    format!("cgp-bootstrap({seed_tag})"),
+                )
+            } else {
+                let random_cfg = CgpConfig {
+                    n_nodes: 500,
+                    batch_size: Some(1024.min(problem.train.len())),
+                    batch_refresh: 1000,
+                    ..cfg
+                };
+                (evolve(&problem.train, &random_cfg), "cgp-random".to_owned())
             };
-            (evolve(&problem.train, &random_cfg), "cgp-random".to_owned())
-        };
 
         let evolved = result.to_aig();
         // Keep whichever of {seed, evolved} validates better within budget.
-        let candidates = [
-            (evolved, method),
-            (seed_aig, format!("seed-{seed_tag}")),
-        ];
+        let candidates = [(evolved, method), (seed_aig, format!("seed-{seed_tag}"))];
         let mut best: Option<(f64, LearnedCircuit)> = None;
         for (aig, m) in candidates {
             if aig.num_ands() > problem.node_limit {

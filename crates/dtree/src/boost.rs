@@ -165,8 +165,7 @@ impl GradientBoost {
 
     /// The raw margin (log-odds) for a pattern.
     pub fn score(&self, p: &Pattern) -> f64 {
-        self.base_score
-            + self.learning_rate * self.trees.iter().map(|t| t.score(p)).sum::<f64>()
+        self.base_score + self.learning_rate * self.trees.iter().map(|t| t.score(p)).sum::<f64>()
     }
 
     /// Exact (floating-point) classification: margin > 0.

@@ -101,7 +101,10 @@ impl FeatureSet {
         match feature {
             Feature::Var(v) => assert!(v < self.num_inputs, "raw var out of range"),
             Feature::And { a, b, .. } | Feature::Xor { a, b } => {
-                assert!(a < next && b < next, "composite must reference earlier features");
+                assert!(
+                    a < next && b < next,
+                    "composite must reference earlier features"
+                );
             }
         }
         if let Some(i) = self.features.iter().position(|&f| f == feature) {
@@ -120,9 +123,7 @@ impl FeatureSet {
         assert_eq!(p.len(), self.num_inputs, "pattern arity mismatch");
         match self.features[index] {
             Feature::Var(v) => p.get(v),
-            Feature::And { a, na, b, nb } => {
-                (self.eval(a, p) ^ na) && (self.eval(b, p) ^ nb)
-            }
+            Feature::And { a, na, b, nb } => (self.eval(a, p) ^ na) && (self.eval(b, p) ^ nb),
             Feature::Xor { a, b } => self.eval(a, p) ^ self.eval(b, p),
         }
     }
@@ -158,37 +159,60 @@ impl FeatureSet {
 }
 
 /// Bit-packed feature columns over a dataset: `column[f]` packs the value of
-/// feature `f` on every example, and `labels` packs the outputs. Trees train
-/// against this materialized view instead of re-evaluating composites.
+/// feature `f` on every example (bit `k % 64` of word `k / 64` = example
+/// `k`, the [`lsml_pla::BitColumns`] layout), and `labels` packs the
+/// outputs. Trees train against this materialized view instead of
+/// re-evaluating composites.
+///
+/// Construction is fully word-parallel: raw variables are copied from the
+/// dataset's cached [`lsml_pla::BitColumns`], and composite features are
+/// computed by word-wise AND/XOR over earlier columns — no per-example
+/// `Pattern::get` calls anywhere.
 #[derive(Clone, Debug)]
 pub struct FeatureMatrix {
     num_examples: usize,
     columns: Vec<Vec<u64>>,
     labels: Vec<u64>,
+    tail_mask: u64,
 }
 
 impl FeatureMatrix {
     /// Materializes all features of `fs` over `ds`.
     pub fn build(fs: &FeatureSet, ds: &Dataset) -> Self {
-        let n = ds.len();
-        let words = n.div_ceil(64).max(1);
-        let mut columns = vec![vec![0u64; words]; fs.len()];
-        let mut labels = vec![0u64; words];
-        for (i, (p, o)) in ds.iter().enumerate() {
-            if o {
-                labels[i / 64] |= 1u64 << (i % 64);
-            }
-            for (f, col) in columns.iter_mut().enumerate() {
-                if fs.eval(f, p) {
-                    col[i / 64] |= 1u64 << (i % 64);
-                }
-            }
+        let bits = ds.bit_columns();
+        let mut matrix = FeatureMatrix {
+            num_examples: ds.len(),
+            columns: Vec::with_capacity(fs.len()),
+            labels: bits.labels().to_vec(),
+            tail_mask: bits.tail_mask(),
+        };
+        for f in 0..fs.len() {
+            let col = matrix.combine(fs.feature(f), &bits);
+            matrix.columns.push(col);
         }
-        FeatureMatrix {
-            num_examples: n,
-            columns,
-            labels,
+        matrix
+    }
+
+    /// Computes one feature column by word-wise combination of input
+    /// columns and earlier feature columns.
+    fn combine(&self, feature: Feature, bits: &lsml_pla::BitColumns) -> Vec<u64> {
+        let words = self.words_per_column();
+        let mut out = match feature {
+            Feature::Var(v) => bits.column(v).to_vec(),
+            Feature::And { a, na, b, nb } => {
+                let (ma, mb) = (mask_of(na), mask_of(nb));
+                let (ca, cb) = (&self.columns[a], &self.columns[b]);
+                (0..words).map(|w| (ca[w] ^ ma) & (cb[w] ^ mb)).collect()
+            }
+            Feature::Xor { a, b } => {
+                let (ca, cb) = (&self.columns[a], &self.columns[b]);
+                (0..words).map(|w| ca[w] ^ cb[w]).collect()
+            }
+        };
+        if let Some(last) = out.last_mut() {
+            *last &= self.tail_mask;
         }
+        out
     }
 
     /// Number of examples.
@@ -199,6 +223,40 @@ impl FeatureMatrix {
     /// Number of feature columns.
     pub fn num_features(&self) -> usize {
         self.columns.len()
+    }
+
+    /// Words per packed column (`ceil(num_examples / 64)`, at least 1).
+    #[inline]
+    pub fn words_per_column(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Mask selecting the valid example bits of the last word of a column.
+    #[inline]
+    pub fn tail_mask(&self) -> u64 {
+        self.tail_mask
+    }
+
+    /// The packed column of feature `f`.
+    #[inline]
+    pub fn column(&self, f: usize) -> &[u64] {
+        &self.columns[f]
+    }
+
+    /// The packed label column.
+    #[inline]
+    pub fn labels(&self) -> &[u64] {
+        &self.labels
+    }
+
+    /// An all-ones example mask (tail bits cleared; `tail_mask` is already
+    /// zero on an empty matrix).
+    pub fn full_mask(&self) -> Vec<u64> {
+        let mut mask = vec![u64::MAX; self.words_per_column()];
+        if let Some(last) = mask.last_mut() {
+            *last = self.tail_mask;
+        }
+        mask
     }
 
     /// Value of feature `f` on example `i`.
@@ -215,14 +273,18 @@ impl FeatureMatrix {
 
     /// Appends one more materialized column (for incremental fringe growth).
     pub fn push_column(&mut self, fs: &FeatureSet, f: usize, ds: &Dataset) {
-        let words = self.num_examples.div_ceil(64).max(1);
-        let mut col = vec![0u64; words];
-        for (i, (p, _)) in ds.iter().enumerate() {
-            if fs.eval(f, p) {
-                col[i / 64] |= 1u64 << (i % 64);
-            }
-        }
+        let col = self.combine(fs.feature(f), &ds.bit_columns());
         self.columns.push(col);
+    }
+}
+
+/// All-ones word when `negate`, else zero (word-wise complement selector).
+#[inline]
+fn mask_of(negate: bool) -> u64 {
+    if negate {
+        u64::MAX
+    } else {
+        0
     }
 }
 

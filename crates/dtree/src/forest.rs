@@ -70,9 +70,10 @@ impl RandomForest {
     /// doesn't pin one).
     pub fn train(ds: &Dataset, cfg: &RandomForestConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let subsample = cfg.tree.feature_subsample.unwrap_or_else(|| {
-            (ds.num_inputs() as f64).sqrt().ceil().max(1.0) as usize
-        });
+        let subsample = cfg
+            .tree
+            .feature_subsample
+            .unwrap_or_else(|| (ds.num_inputs() as f64).sqrt().ceil().max(1.0) as usize);
         let n_boot = ((ds.len() as f64) * cfg.sample_ratio).round().max(1.0) as usize;
         let trees = (0..cfg.n_trees)
             .map(|t| {
@@ -106,9 +107,45 @@ impl RandomForest {
         2 * votes > self.trees.len()
     }
 
-    /// Accuracy over a dataset.
+    /// Accuracy over a dataset, evaluated column-wise: each tree produces a
+    /// packed prediction column against the dataset's cached bit columns,
+    /// votes accumulate per example, and the majority vector is compared to
+    /// the packed labels by popcount.
     pub fn accuracy(&self, ds: &Dataset) -> f64 {
-        ds.accuracy_of(|p| self.predict(p))
+        if ds.is_empty() {
+            return 1.0;
+        }
+        let packed = self.predict_columns(ds);
+        ds.bit_columns().accuracy_of_packed(&packed)
+    }
+
+    /// Packed majority-vote predictions over a dataset (bit `k` of word
+    /// `k / 64` = prediction for example `k`, the `BitColumns` layout).
+    pub fn predict_columns(&self, ds: &Dataset) -> Vec<u64> {
+        let bits = ds.bit_columns();
+        let words = bits.words_per_column();
+        let mut votes = vec![0u32; ds.len()];
+        for tree in &self.trees {
+            let preds = if tree.features().is_plain() {
+                // All forest trees split on raw variables, so the dataset's
+                // cached columns feed them directly.
+                tree.predict_bit_columns(&bits)
+            } else {
+                let matrix = crate::features::FeatureMatrix::build(tree.features(), ds);
+                tree.predict_columns(&matrix)
+            };
+            for (k, vote) in votes.iter_mut().enumerate() {
+                *vote += ((preds[k / 64] >> (k % 64)) & 1) as u32;
+            }
+        }
+        let majority = self.trees.len() as u32;
+        let mut out = vec![0u64; words];
+        for (k, &v) in votes.iter().enumerate() {
+            if 2 * v > majority {
+                out[k / 64] |= 1u64 << (k % 64);
+            }
+        }
+        out
     }
 
     /// Aggregated gain importance across trees, normalized to sum to one

@@ -16,7 +16,10 @@ use crate::tree::{DecisionTree, Node};
 ///
 /// Panics if `cf` is not within `(0.0, 0.5]`.
 pub fn prune_c45(tree: &mut DecisionTree, cf: f64) -> usize {
-    assert!(cf > 0.0 && cf <= 0.5, "confidence factor must be in (0, 0.5]");
+    assert!(
+        cf > 0.0 && cf <= 0.5,
+        "confidence factor must be in (0, 0.5]"
+    );
     let before = tree.split_count();
     let root = tree.root;
     let pruned_root = prune_node(&mut tree.nodes, root, cf);
@@ -98,8 +101,7 @@ pub fn add_errs(n: f64, e: f64, cf: f64) -> f64 {
     }
     let z = normal_inverse(1.0 - cf);
     let f = (e + 0.5) / n;
-    let r = (f + z * z / (2.0 * n)
-        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+    let r = (f + z * z / (2.0 * n) + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
         / (1.0 + z * z / n);
     (r * n) - e
 }

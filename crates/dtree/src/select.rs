@@ -14,70 +14,23 @@ use rand::SeedableRng;
 use crate::forest::{RandomForest, RandomForestConfig};
 
 /// χ² statistic of each input against the label (2×2 contingency tables
-/// with Yates-free Pearson χ²). Higher = more dependent.
+/// with Yates-free Pearson χ²). Higher = more dependent. Computed from the
+/// dataset's cached bit columns: one popcount contingency table per input.
 pub fn chi2_scores(ds: &Dataset) -> Vec<f64> {
-    let n = ds.len() as f64;
-    let pos = ds.count_positive() as f64;
-    let neg = n - pos;
-    (0..ds.num_inputs())
-        .map(|f| {
-            if n == 0.0 {
-                return 0.0;
-            }
-            let mut on_pos = 0.0;
-            let mut on_n = 0.0;
-            for (p, o) in ds.iter() {
-                if p.get(f) {
-                    on_n += 1.0;
-                    if o {
-                        on_pos += 1.0;
-                    }
-                }
-            }
-            let off_n = n - on_n;
-            if on_n == 0.0 || off_n == 0.0 || pos == 0.0 || neg == 0.0 {
-                return 0.0;
-            }
-            let cells = [
-                (on_pos, on_n * pos / n),
-                (on_n - on_pos, on_n * neg / n),
-                (pos - on_pos, off_n * pos / n),
-                (neg - (on_n - on_pos), off_n * neg / n),
-            ];
-            cells
-                .iter()
-                .map(|&(obs, exp)| (obs - exp) * (obs - exp) / exp)
-                .sum()
-        })
-        .collect()
+    ds.bit_columns().chi2_scores()
 }
 
-/// Empirical mutual information (bits) between each input and the label.
+/// Empirical mutual information (bits) between each input and the label,
+/// from popcount contingency tables over the cached bit columns.
 pub fn mutual_info_scores(ds: &Dataset) -> Vec<f64> {
-    let n = ds.len() as f64;
-    (0..ds.num_inputs())
-        .map(|f| {
-            if n == 0.0 {
-                return 0.0;
-            }
-            let mut joint = [[0.0f64; 2]; 2];
-            for (p, o) in ds.iter() {
-                joint[usize::from(p.get(f))][usize::from(o)] += 1.0;
-            }
-            let px = [joint[0][0] + joint[0][1], joint[1][0] + joint[1][1]];
-            let py = [joint[0][0] + joint[1][0], joint[0][1] + joint[1][1]];
-            let mut mi = 0.0;
-            for x in 0..2 {
-                for y in 0..2 {
-                    let pxy = joint[x][y] / n;
-                    if pxy > 0.0 {
-                        mi += pxy * (pxy * n * n / (px[x] * py[y])).log2();
-                    }
-                }
-            }
-            mi.max(0.0)
-        })
-        .collect()
+    ds.bit_columns().mutual_info_scores()
+}
+
+/// One-way ANOVA F statistic of each input against the label
+/// (scikit-learn's `f_classif`, the third scoring function Team 5 ran
+/// under `SelectKBest`), from popcount contingency tables.
+pub fn f_test_scores(ds: &Dataset) -> Vec<f64> {
+    ds.bit_columns().f_test_scores()
 }
 
 /// Gain-based importance from a small random forest (Team 4's level-1
@@ -116,7 +69,11 @@ pub fn permutation_importance(
                         predict(&p) == ds.output(i)
                     })
                     .count();
-                let acc = if n == 0 { 1.0 } else { correct as f64 / n as f64 };
+                let acc = if n == 0 {
+                    1.0
+                } else {
+                    correct as f64 / n as f64
+                };
                 drop_total += baseline - acc;
             }
             drop_total / repeats.max(1) as f64
@@ -142,8 +99,8 @@ pub fn select_k_best(scores: &[f64], k: usize) -> Vec<usize> {
 /// Indices of the top `percentile` (0–100) of features by score
 /// (scikit-learn's `SelectPercentile`). Always keeps at least one feature.
 pub fn select_percentile(scores: &[f64], percentile: f64) -> Vec<usize> {
-    let k = ((scores.len() as f64 * percentile / 100.0).round() as usize)
-        .clamp(1, scores.len().max(1));
+    let k =
+        ((scores.len() as f64 * percentile / 100.0).round() as usize).clamp(1, scores.len().max(1));
     select_k_best(scores, k)
 }
 

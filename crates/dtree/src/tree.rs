@@ -1,7 +1,7 @@
 //! CART-style binary decision trees.
 
 use lsml_aig::{Aig, Lit};
-use lsml_pla::{Cover, Cube, Dataset, Pattern, Trit};
+use lsml_pla::{BitColumns, Cover, Cube, Dataset, Pattern, Trit};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -133,9 +133,9 @@ impl DecisionTree {
             importance: vec![0.0; features.len()],
             total: matrix.num_examples().max(1) as f64,
         };
-        let all: Vec<u32> = (0..matrix.num_examples() as u32).collect();
+        let all = matrix.full_mask();
         let used = vec![false; features.len()];
-        let root = trainer.grow(&all, 0, &used);
+        let root = trainer.grow(&all, matrix.num_examples(), 0, &used);
         DecisionTree {
             nodes: trainer.nodes,
             root,
@@ -163,9 +163,83 @@ impl DecisionTree {
         }
     }
 
-    /// Accuracy over a dataset.
+    /// Accuracy over a dataset, evaluated column-wise: the tree is applied
+    /// to the dataset's cached bit columns (building composite columns
+    /// word-parallel when needed) and compared to the packed labels by
+    /// popcount.
     pub fn accuracy(&self, ds: &Dataset) -> f64 {
-        ds.accuracy_of(|p| self.predict(p))
+        if ds.is_empty() {
+            return 1.0;
+        }
+        let bits = ds.bit_columns();
+        if self.features.is_plain() {
+            let preds = self.predict_packed(|f| bits.column(f), bits.full_mask());
+            bits.accuracy_of_packed(&preds)
+        } else {
+            let matrix = FeatureMatrix::build(&self.features, ds);
+            let preds = self.predict_columns(&matrix);
+            bits.accuracy_of_packed(&preds)
+        }
+    }
+
+    /// Packed predictions over a pre-materialized feature matrix (bit `k`
+    /// of word `k / 64` = prediction for example `k`).
+    pub fn predict_columns(&self, matrix: &FeatureMatrix) -> Vec<u64> {
+        self.predict_packed(|f| matrix.column(f), matrix.full_mask())
+    }
+
+    /// Packed predictions straight off a dataset's bit columns. Only valid
+    /// for trees over plain (raw-variable) feature sets, where feature
+    /// indices are input indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree splits on composite features.
+    pub fn predict_bit_columns(&self, bits: &BitColumns) -> Vec<u64> {
+        assert!(
+            self.features.is_plain(),
+            "predict_bit_columns needs a plain feature set"
+        );
+        self.predict_packed(|f| bits.column(f), bits.full_mask())
+    }
+
+    /// Shared packed-prediction driver: walks the tree once, splitting a
+    /// reach mask at every node (`hi = mask ∧ col`, `lo = mask ∧ ¬col`) and
+    /// OR-ing positive-leaf masks into the prediction — O(nodes × words)
+    /// with no per-example branching.
+    fn predict_packed<'a, F: Fn(usize) -> &'a [u64]>(
+        &self,
+        column: F,
+        full_mask: Vec<u64>,
+    ) -> Vec<u64> {
+        let words = full_mask.len();
+        let mut preds = vec![0u64; words];
+        let mut stack = vec![(self.root, full_mask)];
+        while let Some((at, mask)) = stack.pop() {
+            match &self.nodes[at as usize] {
+                Node::Leaf { value, .. } => {
+                    if *value {
+                        for (p, m) in preds.iter_mut().zip(&mask) {
+                            *p |= m;
+                        }
+                    }
+                }
+                Node::Split {
+                    feature, lo, hi, ..
+                } => {
+                    let col = column(*feature as usize);
+                    let hi_mask: Vec<u64> = mask.iter().zip(col).map(|(&m, &c)| m & c).collect();
+                    let lo_mask: Vec<u64> = mask.iter().zip(col).map(|(&m, &c)| m & !c).collect();
+                    if hi_mask.iter().any(|&w| w != 0) {
+                        stack.push((*hi, hi_mask));
+                    }
+                    if lo_mask.iter().any(|&w| w != 0) {
+                        stack.push((*lo, lo_mask));
+                    }
+                }
+            }
+        }
+        preds
     }
 
     /// Number of internal (split) nodes.
@@ -285,9 +359,11 @@ struct Trainer<'a> {
 }
 
 impl Trainer<'_> {
-    fn grow(&mut self, subset: &[u32], depth: usize, used: &[bool]) -> u32 {
-        let pos = subset.iter().filter(|&&i| self.matrix.label(i as usize)).count();
-        let neg = subset.len() - pos;
+    /// Grows a node over the examples selected by `mask` (packed,
+    /// `count` set bits). All counting is popcount over column words.
+    fn grow(&mut self, mask: &[u64], count: usize, depth: usize, used: &[bool]) -> u32 {
+        let pos = BitColumns::count_and(mask, self.matrix.labels()) as usize;
+        let neg = count - pos;
         let make_leaf = |nodes: &mut Vec<Node>| {
             nodes.push(Node::Leaf {
                 value: pos > neg,
@@ -299,21 +375,21 @@ impl Trainer<'_> {
 
         if pos == 0
             || neg == 0
-            || subset.len() < self.cfg.min_samples_split
+            || count < self.cfg.min_samples_split
             || self.cfg.max_depth.is_some_and(|d| depth >= d)
         {
             return make_leaf(&mut self.nodes);
         }
 
         let candidates = self.candidate_features(used);
-        let best = self.best_split(subset, pos, neg, &candidates);
+        let best = self.best_split(mask, count, pos, &candidates);
         let chosen = match (self.cfg.funcdec_threshold, best) {
             // Weak (or missing) best split: prefer a decomposition split,
             // falling back to the weak one if none is found.
             (Some(tau), Some((f, g))) if g < tau => {
-                self.funcdec_split(subset, used).or(Some((f, g)))
+                self.funcdec_split(mask, count, pos, used).or(Some((f, g)))
             }
-            (Some(_), None) => self.funcdec_split(subset, used),
+            (Some(_), None) => self.funcdec_split(mask, count, pos, used),
             (None, b) => b,
             (_, b) => b,
         };
@@ -322,19 +398,21 @@ impl Trainer<'_> {
             return make_leaf(&mut self.nodes);
         };
 
-        let (lo_set, hi_set): (Vec<u32>, Vec<u32>) = subset
-            .iter()
-            .partition(|&&i| !self.matrix.feature(feature, i as usize));
-        if lo_set.len() < self.cfg.min_samples_leaf || hi_set.len() < self.cfg.min_samples_leaf {
+        let col = self.matrix.column(feature);
+        let hi_mask: Vec<u64> = mask.iter().zip(col).map(|(&m, &c)| m & c).collect();
+        let lo_mask: Vec<u64> = mask.iter().zip(col).map(|(&m, &c)| m & !c).collect();
+        let hi_n = BitColumns::count_ones(&hi_mask) as usize;
+        let lo_n = count - hi_n;
+        if lo_n < self.cfg.min_samples_leaf || hi_n < self.cfg.min_samples_leaf {
             return make_leaf(&mut self.nodes);
         }
 
-        self.importance[feature] += gain * subset.len() as f64 / self.total;
+        self.importance[feature] += gain * count as f64 / self.total;
 
         let mut child_used = used.to_vec();
         child_used[feature] = true;
-        let lo = self.grow(&lo_set, depth + 1, &child_used);
-        let hi = self.grow(&hi_set, depth + 1, &child_used);
+        let lo = self.grow(&lo_mask, lo_n, depth + 1, &child_used);
+        let hi = self.grow(&hi_mask, hi_n, depth + 1, &child_used);
         self.nodes.push(Node::Split {
             feature: feature as u32,
             lo,
@@ -364,37 +442,32 @@ impl Trainer<'_> {
 
     /// The best gain split among candidates, if any clears the thresholds
     /// (and, when funcdec is enabled, the funcdec trigger threshold).
+    /// Per-candidate cost is two popcount passes over the subset mask.
     fn best_split(
         &mut self,
-        subset: &[u32],
+        mask: &[u64],
+        count: usize,
         pos: usize,
-        neg: usize,
         candidates: &[usize],
     ) -> Option<(usize, f64)> {
         let criterion = self.cfg.criterion;
+        let neg = count - pos;
         let parent = criterion.impurity(pos as f64, neg as f64);
-        let n = subset.len() as f64;
+        let n = count as f64;
+        let labels = self.matrix.labels();
         let mut best: Option<(usize, f64)> = None;
         for &f in candidates {
-            let mut hi_pos = 0usize;
-            let mut hi_n = 0usize;
-            for &i in subset {
-                if self.matrix.feature(f, i as usize) {
-                    hi_n += 1;
-                    if self.matrix.label(i as usize) {
-                        hi_pos += 1;
-                    }
-                }
-            }
-            let lo_n = subset.len() - hi_n;
+            let col = self.matrix.column(f);
+            let hi_n = BitColumns::count_and(mask, col) as usize;
+            let lo_n = count - hi_n;
             if hi_n == 0 || lo_n == 0 {
                 continue;
             }
+            let hi_pos = BitColumns::count_and3(mask, col, labels) as usize;
             let lo_pos = pos - hi_pos;
             let child = (hi_n as f64 / n)
                 * criterion.impurity(hi_pos as f64, (hi_n - hi_pos) as f64)
-                + (lo_n as f64 / n)
-                    * criterion.impurity(lo_pos as f64, (lo_n - lo_pos) as f64);
+                + (lo_n as f64 / n) * criterion.impurity(lo_pos as f64, (lo_n - lo_pos) as f64);
             let gain = parent - child;
             // Tolerate floating-point jitter around exactly-zero gains so an
             // impure node still splits (CART semantics).
@@ -409,19 +482,30 @@ impl Trainer<'_> {
     /// the last index backwards (reproducing their tie-breaking quirk) for a
     /// feature whose split leaves one branch constant, or whose branches are
     /// plausibly complementary (no counterexample pair in the data).
-    fn funcdec_split(&mut self, subset: &[u32], used: &[bool]) -> Option<(usize, f64)> {
+    ///
+    /// Branch counts come from mask popcounts; only the row-hash complement
+    /// test still walks individual examples (it is inherently row-major:
+    /// each example's whole feature vector is hashed).
+    fn funcdec_split(
+        &mut self,
+        mask: &[u64],
+        count: usize,
+        pos: usize,
+        used: &[bool],
+    ) -> Option<(usize, f64)> {
         self.cfg.funcdec_threshold?;
+        let subset = mask_indices(mask);
         // Removable XOR row hashes: masking any one feature out of a row's
         // hash is O(1), so each candidate's complement test is O(|subset|).
         let row_hashes: Vec<u64> = subset
             .iter()
             .map(|&i| {
-                let i = i as usize;
                 (0..self.matrix.num_features())
                     .map(|g| feature_mix(g, self.matrix.feature(g, i)))
                     .fold(0u64, |acc, h| acc ^ h)
             })
             .collect();
+        let labels = self.matrix.labels();
         let mut tested = 0usize;
         for f in (0..self.matrix.num_features()).rev() {
             if used[f] {
@@ -431,29 +515,18 @@ impl Trainer<'_> {
                 break;
             }
             tested += 1;
-            let mut hi_pos = 0usize;
-            let mut hi_n = 0usize;
-            let mut lo_pos = 0usize;
-            for &i in subset {
-                let y = self.matrix.label(i as usize);
-                if self.matrix.feature(f, i as usize) {
-                    hi_n += 1;
-                    hi_pos += usize::from(y);
-                } else {
-                    lo_pos += usize::from(y);
-                }
-            }
-            let lo_n = subset.len() - hi_n;
+            let col = self.matrix.column(f);
+            let hi_n = BitColumns::count_and(mask, col) as usize;
+            let lo_n = count - hi_n;
             if hi_n == 0 || lo_n == 0 {
                 continue;
             }
+            let hi_pos = BitColumns::count_and3(mask, col, labels) as usize;
+            let lo_pos = pos - hi_pos;
             let lo_neg = lo_n - lo_pos;
             let hi_neg = hi_n - hi_pos;
-            let branch_constant =
-                hi_pos == 0 || hi_neg == 0 || lo_pos == 0 || lo_neg == 0;
-            if branch_constant
-                || self.branches_plausibly_complementary(subset, f, &row_hashes)
-            {
+            let branch_constant = hi_pos == 0 || hi_neg == 0 || lo_pos == 0 || lo_neg == 0;
+            if branch_constant || self.branches_plausibly_complementary(&subset, f, &row_hashes) {
                 return Some((f, 0.0));
             }
         }
@@ -465,7 +538,7 @@ impl Trainer<'_> {
     /// label (a counterexample).
     fn branches_plausibly_complementary(
         &self,
-        subset: &[u32],
+        subset: &[usize],
         f: usize,
         row_hashes: &[u64],
     ) -> bool {
@@ -473,7 +546,6 @@ impl Trainer<'_> {
         // Key = example's feature vector with feature f masked out.
         let mut seen: HashMap<u64, (bool, bool)> = HashMap::new();
         for (k, &i) in subset.iter().enumerate() {
-            let i = i as usize;
             let side = self.matrix.feature(f, i);
             let hash = row_hashes[k] ^ feature_mix(f, side);
             let label = self.matrix.label(i);
@@ -490,6 +562,19 @@ impl Trainer<'_> {
         }
         true
     }
+}
+
+/// Example indices selected by a packed mask, ascending.
+fn mask_indices(mask: &[u64]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (w, &word) in mask.iter().enumerate() {
+        let mut rest = word;
+        while rest != 0 {
+            out.push(w * 64 + rest.trailing_zeros() as usize);
+            rest &= rest - 1;
+        }
+    }
+    out
 }
 
 /// SplitMix64-style hash of a `(feature, value)` pair, used for removable

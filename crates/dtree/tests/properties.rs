@@ -25,7 +25,9 @@ fn make_dataset(seed: u64, n: usize) -> Dataset {
 }
 
 fn exhaustive_patterns() -> Vec<Pattern> {
-    (0..(1u64 << NV)).map(|m| Pattern::from_index(m, NV)).collect()
+    (0..(1u64 << NV))
+        .map(|m| Pattern::from_index(m, NV))
+        .collect()
 }
 
 proptest! {

@@ -113,7 +113,13 @@ fn minimize(
     let mut best = cover.clone();
     for _ in 0..cfg.max_loops {
         reduce(&mut cover, positives);
-        cover = expand(num_vars, cover.into_iter().collect(), positives, negatives, cfg);
+        cover = expand(
+            num_vars,
+            cover.into_iter().collect(),
+            positives,
+            negatives,
+            cfg,
+        );
         irredundant(&mut cover, positives);
         if cost(&cover) < cost(&best) {
             best = cover.clone();

@@ -77,7 +77,10 @@ mod tests {
         // Two identical cubes produce the same AND term once.
         let cover = Cover::from_cubes(
             2,
-            vec!["11".parse::<Cube>().expect("cube"), "11".parse::<Cube>().expect("cube")],
+            vec![
+                "11".parse::<Cube>().expect("cube"),
+                "11".parse::<Cube>().expect("cube"),
+            ],
         );
         let aig = cover_to_aig(&cover);
         assert_eq!(aig.num_ands(), 1);

@@ -167,8 +167,7 @@ impl LutNetwork {
             lits = layer
                 .iter()
                 .map(|lut| {
-                    let srcs: Vec<Lit> =
-                        lut.sources.iter().map(|&s| lits[s as usize]).collect();
+                    let srcs: Vec<Lit> = lut.sources.iter().map(|&s| lits[s as usize]).collect();
                     truth_table_cone(&mut aig, &lut.table, &srcs)
                 })
                 .collect();

@@ -45,9 +45,7 @@ pub fn beam_search(
             let net = LutNetwork::train(train, &candidate);
             tried += 1;
             let acc = net.accuracy(valid);
-            if acc > best_acc
-                && round_best.as_ref().is_none_or(|(_, _, a)| acc > *a)
-            {
+            if acc > best_acc && round_best.as_ref().is_none_or(|(_, _, a)| acc > *a) {
                 round_best = Some((candidate, net, acc));
             }
         }

@@ -188,11 +188,7 @@ fn match_affine(ds: &Dataset) -> Option<Match> {
     let lits: Vec<Lit> = vars.iter().map(|&v| aig.input(v)).collect();
     let x = aig.xor_many(&lits);
     aig.add_output(x.complement_if(invert));
-    verified(
-        ds,
-        MatchedKind::Affine { vars, invert },
-        aig,
-    )
+    verified(ds, MatchedKind::Affine { vars, invert }, aig)
 }
 
 fn match_symmetric(ds: &Dataset) -> Option<Match> {
@@ -333,15 +329,7 @@ fn match_adder_bit(ds: &Dataset) -> Option<Match> {
             let out = if bit == k { carry } else { sum[bit] };
             aig.add_output(out);
             aig.cleanup();
-            return verified(
-                ds,
-                MatchedKind::AdderBit {
-                    k,
-                    bit,
-                    msb_first,
-                },
-                aig,
-            );
+            return verified(ds, MatchedKind::AdderBit { k, bit, msb_first }, aig);
         }
     }
     None
@@ -412,7 +400,11 @@ mod tests {
             other => panic!("wrong kind {other:?}"),
         }
         // The emitted AIG generalizes beyond the samples.
-        assert_eq!(m.aig.eval(&[false, true, false, false, false, false, false, false]), vec![true]);
+        assert_eq!(
+            m.aig
+                .eval(&[false, true, false, false, false, false, false, false]),
+            vec![true]
+        );
     }
 
     #[test]

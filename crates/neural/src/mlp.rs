@@ -380,7 +380,11 @@ mod tests {
             ..MlpConfig::default()
         };
         let mlp = Mlp::train(&ds, &cfg);
-        assert!((mlp.accuracy(&ds) - 1.0).abs() < 1e-12, "acc {}", mlp.accuracy(&ds));
+        assert!(
+            (mlp.accuracy(&ds) - 1.0).abs() < 1e-12,
+            "acc {}",
+            mlp.accuracy(&ds)
+        );
     }
 
     #[test]

@@ -1,0 +1,530 @@
+//! Column-major bit-packed dataset views with popcount statistics.
+//!
+//! A [`Dataset`] stores its examples row-major: one [`Pattern`] per example,
+//! with the example's *variables* packed into words. Every statistical hot
+//! path in the workspace — χ²/MI feature scoring, decision-tree split
+//! counting, candidate accuracy scoring — instead wants the transpose:
+//! for one variable, the value of *every example*, so that counting reduces
+//! to `popcount` over machine words. [`BitColumns`] is that transpose,
+//! computed once per dataset and cached (see [`Dataset::bit_columns`]).
+//!
+//! # Layout
+//!
+//! All bit vectors in this module share one convention: **bit `k % 64` of
+//! word `k / 64` is example `k`** (low example = low bit of word 0,
+//! mirroring how [`Pattern`] packs variables). A [`BitColumns`] over `n`
+//! examples and `m` input variables holds:
+//!
+//! * `m` input columns of `ceil(n / 64)` words each, stored contiguously
+//!   (column `f` at words `f * stride .. (f + 1) * stride`);
+//! * one label column in the same layout;
+//! * a *tail mask* selecting the valid bits of the last word when `n` is not
+//!   a multiple of 64 (all columns keep their dead tail bits zero, so plain
+//!   `count_ones` over a column is already exact).
+//!
+//! The word layout is intentionally identical to the stimulus format of
+//! `lsml_aig::sim::simulate_words`: word `w` of the input columns *is* the
+//! simulation input word for examples `64w .. 64w+63`, so column-fed AIG
+//! evaluation needs no per-call transposition.
+//!
+//! # Statistics
+//!
+//! The 2×2 feature/label [`Contingency`] table is three popcounts
+//! (`|f ∧ y|`, `|f|`, `|y|` — the rest follows by subtraction), and every
+//! masked-subset variant (`contingency_masked`) adds one `AND` per word.
+//! χ², mutual information, the ANOVA F statistic and Gini/entropy split
+//! gains all derive from a table without touching examples again.
+
+use crate::dataset::Dataset;
+use crate::{last_word_mask, words_for};
+
+/// A 2×2 contingency table of a binary feature against a binary label,
+/// with counts `n11 = |f ∧ y|`, `n10 = |f ∧ ¬y|`, `n01 = |¬f ∧ y|`,
+/// `n00 = |¬f ∧ ¬y|`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Contingency {
+    /// Feature one, label one.
+    pub n11: u64,
+    /// Feature one, label zero.
+    pub n10: u64,
+    /// Feature zero, label one.
+    pub n01: u64,
+    /// Feature zero, label zero.
+    pub n00: u64,
+}
+
+impl Contingency {
+    /// Total example count.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.n11 + self.n10 + self.n01 + self.n00
+    }
+
+    /// Examples where the feature is one.
+    #[inline]
+    pub fn feature_ones(&self) -> u64 {
+        self.n11 + self.n10
+    }
+
+    /// Examples where the label is one.
+    #[inline]
+    pub fn label_ones(&self) -> u64 {
+        self.n11 + self.n01
+    }
+
+    /// Pearson χ² statistic of the table (Yates-free), 0.0 for degenerate
+    /// tables (an empty margin).
+    pub fn chi2(&self) -> f64 {
+        let n = self.total() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let on = self.feature_ones() as f64;
+        let off = n - on;
+        let pos = self.label_ones() as f64;
+        let neg = n - pos;
+        if on == 0.0 || off == 0.0 || pos == 0.0 || neg == 0.0 {
+            return 0.0;
+        }
+        let cells = [
+            (self.n11 as f64, on * pos / n),
+            (self.n10 as f64, on * neg / n),
+            (self.n01 as f64, off * pos / n),
+            (self.n00 as f64, off * neg / n),
+        ];
+        cells
+            .iter()
+            .map(|&(obs, exp)| (obs - exp) * (obs - exp) / exp)
+            .sum()
+    }
+
+    /// Empirical mutual information (bits) between feature and label.
+    pub fn mutual_info(&self) -> f64 {
+        let n = self.total() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let joint = [
+            [self.n00 as f64, self.n01 as f64],
+            [self.n10 as f64, self.n11 as f64],
+        ];
+        let px = [joint[0][0] + joint[0][1], joint[1][0] + joint[1][1]];
+        let py = [joint[0][0] + joint[1][0], joint[0][1] + joint[1][1]];
+        let mut mi = 0.0;
+        for x in 0..2 {
+            for y in 0..2 {
+                let pxy = joint[x][y] / n;
+                if pxy > 0.0 {
+                    mi += pxy * (pxy * n * n / (px[x] * py[y])).log2();
+                }
+            }
+        }
+        mi.max(0.0)
+    }
+
+    /// One-way ANOVA F statistic of the label grouped by the feature
+    /// (scikit-learn's `f_classif` on a binary feature), 0.0 for degenerate
+    /// tables or zero within-group variance.
+    pub fn f_test(&self) -> f64 {
+        let n = self.total() as f64;
+        let on = self.feature_ones() as f64;
+        let off = n - on;
+        if on == 0.0 || off == 0.0 || n <= 2.0 {
+            return 0.0;
+        }
+        let pos = self.label_ones() as f64;
+        let mean = pos / n;
+        let mean_on = self.n11 as f64 / on;
+        let mean_off = self.n01 as f64 / off;
+        // Between-group and within-group sums of squares for a 0/1 label.
+        let ss_between =
+            on * (mean_on - mean) * (mean_on - mean) + off * (mean_off - mean) * (mean_off - mean);
+        let ss_within = on * mean_on * (1.0 - mean_on) + off * mean_off * (1.0 - mean_off);
+        if ss_within <= 0.0 {
+            return 0.0;
+        }
+        (ss_between / 1.0) / (ss_within / (n - 2.0))
+    }
+}
+
+/// The transposed, bit-packed view of a [`Dataset`]: one packed column per
+/// input variable plus a packed label column. See the module docs for the
+/// layout and [`Dataset::bit_columns`] for the cached accessor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitColumns {
+    num_examples: usize,
+    num_inputs: usize,
+    /// Words per column.
+    stride: usize,
+    /// `num_inputs * stride` words, column-contiguous.
+    inputs: Vec<u64>,
+    labels: Vec<u64>,
+    tail_mask: u64,
+}
+
+impl BitColumns {
+    /// Transposes a dataset into packed columns. Prefer
+    /// [`Dataset::bit_columns`], which computes this once and caches it.
+    pub fn build(ds: &Dataset) -> Self {
+        let n = ds.len();
+        let m = ds.num_inputs();
+        let stride = words_for(n).max(1);
+        let mut inputs = vec![0u64; m * stride];
+        let mut labels = vec![0u64; stride];
+        for (k, (p, o)) in ds.iter().enumerate() {
+            let (word, bit) = (k / 64, 1u64 << (k % 64));
+            if o {
+                labels[word] |= bit;
+            }
+            // Walk the pattern's words directly instead of calling
+            // `Pattern::get` per variable: scatter each set variable bit.
+            for (pw, &w) in p.words().iter().enumerate() {
+                let mut rest = w;
+                while rest != 0 {
+                    let f = pw * 64 + rest.trailing_zeros() as usize;
+                    inputs[f * stride + word] |= bit;
+                    rest &= rest - 1;
+                }
+            }
+        }
+        BitColumns {
+            num_examples: n,
+            num_inputs: m,
+            stride,
+            inputs,
+            labels,
+            tail_mask: if n == 0 { 0 } else { last_word_mask(n) },
+        }
+    }
+
+    /// Number of examples.
+    #[inline]
+    pub fn num_examples(&self) -> usize {
+        self.num_examples
+    }
+
+    /// Number of input variables.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Words per column (`ceil(num_examples / 64)`, at least 1).
+    #[inline]
+    pub fn words_per_column(&self) -> usize {
+        self.stride
+    }
+
+    /// Mask selecting the valid example bits of the last word of a column
+    /// (zero on an empty dataset).
+    #[inline]
+    pub fn tail_mask(&self) -> u64 {
+        self.tail_mask
+    }
+
+    /// The packed column of input variable `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= num_inputs()`.
+    #[inline]
+    pub fn column(&self, f: usize) -> &[u64] {
+        assert!(f < self.num_inputs, "input column {f} out of range");
+        &self.inputs[f * self.stride..(f + 1) * self.stride]
+    }
+
+    /// The packed label column.
+    #[inline]
+    pub fn labels(&self) -> &[u64] {
+        &self.labels
+    }
+
+    /// An all-ones subset mask over the examples (tail bits cleared).
+    pub fn full_mask(&self) -> Vec<u64> {
+        let mut mask = vec![u64::MAX; self.stride];
+        if let Some(last) = mask.last_mut() {
+            *last = self.tail_mask;
+        }
+        mask
+    }
+
+    /// Number of set bits in a packed vector (a column or a subset mask).
+    #[inline]
+    pub fn count_ones(words: &[u64]) -> u64 {
+        words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// `|a ∧ b|` over two packed vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    #[inline]
+    pub fn count_and(a: &[u64], b: &[u64]) -> u64 {
+        assert_eq!(a.len(), b.len(), "packed length mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| u64::from((x & y).count_ones()))
+            .sum()
+    }
+
+    /// `|a ∧ b ∧ c|` over three packed vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    #[inline]
+    pub fn count_and3(a: &[u64], b: &[u64], c: &[u64]) -> u64 {
+        assert_eq!(a.len(), b.len(), "packed length mismatch");
+        assert_eq!(a.len(), c.len(), "packed length mismatch");
+        a.iter()
+            .zip(b.iter().zip(c))
+            .map(|(&x, (&y, &z))| u64::from((x & y & z).count_ones()))
+            .sum()
+    }
+
+    /// Number of ones in input column `f` (number of examples with that
+    /// variable set).
+    pub fn column_ones(&self, f: usize) -> u64 {
+        Self::count_ones(self.column(f))
+    }
+
+    /// Number of positive labels.
+    pub fn label_ones(&self) -> u64 {
+        Self::count_ones(&self.labels)
+    }
+
+    /// The 2×2 contingency table of input `f` against the label, over the
+    /// whole dataset.
+    pub fn contingency(&self, f: usize) -> Contingency {
+        let col = self.column(f);
+        let n11 = Self::count_and(col, &self.labels);
+        let n1x = Self::count_ones(col);
+        let nx1 = self.label_ones();
+        let n = self.num_examples as u64;
+        Contingency {
+            n11,
+            n10: n1x - n11,
+            n01: nx1 - n11,
+            n00: n + n11 - n1x - nx1,
+        }
+    }
+
+    /// The 2×2 contingency table of input `f` against the label, restricted
+    /// to the examples selected by `mask` (same packed layout; bits beyond
+    /// the tail must be zero, as produced by [`BitColumns::full_mask`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != words_per_column()`.
+    pub fn contingency_masked(&self, f: usize, mask: &[u64]) -> Contingency {
+        let col = self.column(f);
+        let n11 = Self::count_and3(col, &self.labels, mask);
+        let n1x = Self::count_and(col, mask);
+        let nx1 = Self::count_and(&self.labels, mask);
+        let n = Self::count_ones(mask);
+        Contingency {
+            n11,
+            n10: n1x - n11,
+            n01: nx1 - n11,
+            n00: n + n11 - n1x - nx1,
+        }
+    }
+
+    /// χ² score of every input column against the label.
+    pub fn chi2_scores(&self) -> Vec<f64> {
+        (0..self.num_inputs)
+            .map(|f| self.contingency(f).chi2())
+            .collect()
+    }
+
+    /// Mutual-information score (bits) of every input column against the
+    /// label.
+    pub fn mutual_info_scores(&self) -> Vec<f64> {
+        (0..self.num_inputs)
+            .map(|f| self.contingency(f).mutual_info())
+            .collect()
+    }
+
+    /// ANOVA F score of every input column against the label.
+    pub fn f_test_scores(&self) -> Vec<f64> {
+        (0..self.num_inputs)
+            .map(|f| self.contingency(f).f_test())
+            .collect()
+    }
+
+    /// Fraction of examples where `predictions` (packed, same layout)
+    /// matches the label column; 1.0 on an empty dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictions.len() != words_per_column()`.
+    pub fn accuracy_of_packed(&self, predictions: &[u64]) -> f64 {
+        assert_eq!(
+            predictions.len(),
+            self.stride,
+            "packed prediction length mismatch"
+        );
+        if self.num_examples == 0 {
+            return 1.0;
+        }
+        let mut wrong = 0u64;
+        for (w, (&p, &l)) in predictions.iter().zip(&self.labels).enumerate() {
+            let mut diff = p ^ l;
+            if w + 1 == self.stride {
+                diff &= self.tail_mask;
+            }
+            wrong += u64::from(diff.count_ones());
+        }
+        (self.num_examples as u64 - wrong) as f64 / self.num_examples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(n: usize, m: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(m);
+        for _ in 0..n {
+            let p = Pattern::random(&mut rng, m);
+            let label: bool = rng.gen();
+            ds.push(p, label);
+        }
+        ds
+    }
+
+    #[test]
+    fn columns_transpose_rows() {
+        for &(n, m) in &[
+            (0usize, 3usize),
+            (1, 1),
+            (63, 5),
+            (64, 2),
+            (65, 130),
+            (200, 7),
+        ] {
+            let ds = random_dataset(n, m, n as u64 * 31 + m as u64);
+            let cols = BitColumns::build(&ds);
+            assert_eq!(cols.num_examples(), n);
+            assert_eq!(cols.num_inputs(), m);
+            for f in 0..m {
+                let col = cols.column(f);
+                for (k, (p, _)) in ds.iter().enumerate() {
+                    let bit = (col[k / 64] >> (k % 64)) & 1 == 1;
+                    assert_eq!(bit, p.get(f), "example {k} var {f}");
+                }
+                // Tail bits beyond the dataset must be zero.
+                if n > 0 && n % 64 != 0 {
+                    assert_eq!(col[n / 64] & !cols.tail_mask(), 0);
+                }
+            }
+            for (k, (_, o)) in ds.iter().enumerate() {
+                let bit = (cols.labels()[k / 64] >> (k % 64)) & 1 == 1;
+                assert_eq!(bit, o, "label {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn contingency_matches_scalar_count() {
+        let ds = random_dataset(150, 9, 42);
+        let cols = BitColumns::build(&ds);
+        for f in 0..9 {
+            let t = cols.contingency(f);
+            let mut scalar = Contingency {
+                n11: 0,
+                n10: 0,
+                n01: 0,
+                n00: 0,
+            };
+            for (p, o) in ds.iter() {
+                match (p.get(f), o) {
+                    (true, true) => scalar.n11 += 1,
+                    (true, false) => scalar.n10 += 1,
+                    (false, true) => scalar.n01 += 1,
+                    (false, false) => scalar.n00 += 1,
+                }
+            }
+            assert_eq!(t, scalar);
+            assert_eq!(t.total(), 150);
+        }
+    }
+
+    #[test]
+    fn masked_contingency_restricts() {
+        let ds = random_dataset(130, 4, 7);
+        let cols = BitColumns::build(&ds);
+        // Mask = even examples only.
+        let mut mask = vec![0u64; cols.words_per_column()];
+        for k in (0..130).step_by(2) {
+            mask[k / 64] |= 1u64 << (k % 64);
+        }
+        for f in 0..4 {
+            let t = cols.contingency_masked(f, &mask);
+            let mut n11 = 0;
+            let mut total = 0;
+            for (k, (p, o)) in ds.iter().enumerate() {
+                if k % 2 == 0 {
+                    total += 1;
+                    if p.get(f) && o {
+                        n11 += 1;
+                    }
+                }
+            }
+            assert_eq!(t.n11, n11);
+            assert_eq!(t.total(), total);
+        }
+    }
+
+    #[test]
+    fn full_mask_selects_everything() {
+        for n in [0usize, 1, 64, 100] {
+            let ds = random_dataset(n, 3, n as u64);
+            let cols = BitColumns::build(&ds);
+            assert_eq!(BitColumns::count_ones(&cols.full_mask()), n as u64);
+        }
+    }
+
+    #[test]
+    fn accuracy_of_packed_counts_matches() {
+        let ds = random_dataset(100, 2, 5);
+        let cols = BitColumns::build(&ds);
+        // Predicting the labels themselves is perfect.
+        assert!((cols.accuracy_of_packed(cols.labels()) - 1.0).abs() < 1e-12);
+        // Complement is exactly zero (tail bits must not leak in).
+        let inverted: Vec<u64> = cols.labels().iter().map(|w| !w).collect();
+        assert!(cols.accuracy_of_packed(&inverted).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_is_benign() {
+        let ds = Dataset::new(4);
+        let cols = BitColumns::build(&ds);
+        assert_eq!(cols.num_examples(), 0);
+        assert_eq!(cols.words_per_column(), 1);
+        assert_eq!(cols.tail_mask(), 0);
+        assert_eq!(cols.chi2_scores(), vec![0.0; 4]);
+        assert!((cols.accuracy_of_packed(&[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_test_separates_informative_feature() {
+        // Label = x0 exactly: infinite separation clipped by zero within-group
+        // variance → guarded to 0.0; add noise to get a finite F.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ds = Dataset::new(3);
+        for _ in 0..400 {
+            let p = Pattern::random(&mut rng, 3);
+            let label = p.get(0) ^ (rng.gen::<f64>() < 0.1);
+            ds.push(p, label);
+        }
+        let scores = BitColumns::build(&ds).f_test_scores();
+        assert!(scores[0] > scores[1] * 10.0, "scores = {scores:?}");
+        assert!(scores[0] > scores[2] * 10.0, "scores = {scores:?}");
+    }
+}

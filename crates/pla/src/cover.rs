@@ -205,8 +205,7 @@ impl Cover {
         match self.most_binate_var() {
             None => false, // no literals and no universal cube is impossible here
             Some(var) => {
-                self.cofactor(var, false).is_tautology()
-                    && self.cofactor(var, true).is_tautology()
+                self.cofactor(var, false).is_tautology() && self.cofactor(var, true).is_tautology()
             }
         }
     }

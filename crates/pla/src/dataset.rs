@@ -1,10 +1,12 @@
 //! Labelled minterm datasets (training / validation / test sets).
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::columns::BitColumns;
 use crate::cover::Cover;
 use crate::cube::Cube;
 use crate::pattern::Pattern;
@@ -25,12 +27,25 @@ use crate::pattern::Pattern;
 /// assert_eq!(ds.len(), 3);
 /// assert_eq!(ds.count_positive(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone, Default)]
 pub struct Dataset {
     num_inputs: usize,
     patterns: Vec<Pattern>,
     outputs: Vec<bool>,
+    /// Lazily built transposed bit-packed view (see [`BitColumns`]).
+    /// Mutating methods reset it; equality and hashing ignore it.
+    columns: OnceLock<Arc<BitColumns>>,
 }
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_inputs == other.num_inputs
+            && self.patterns == other.patterns
+            && self.outputs == other.outputs
+    }
+}
+
+impl Eq for Dataset {}
 
 impl Dataset {
     /// Creates an empty dataset over `num_inputs` variables.
@@ -39,6 +54,7 @@ impl Dataset {
             num_inputs,
             patterns: Vec::new(),
             outputs: Vec::new(),
+            columns: OnceLock::new(),
         }
     }
 
@@ -57,6 +73,7 @@ impl Dataset {
             num_inputs,
             patterns,
             outputs,
+            columns: OnceLock::new(),
         }
     }
 
@@ -85,8 +102,20 @@ impl Dataset {
     /// Panics if the pattern arity differs from `num_inputs()`.
     pub fn push(&mut self, pattern: Pattern, output: bool) {
         assert_eq!(pattern.len(), self.num_inputs, "pattern arity mismatch");
+        self.columns.take();
         self.patterns.push(pattern);
         self.outputs.push(output);
+    }
+
+    /// The transposed, bit-packed view of this dataset (one packed column
+    /// per input variable plus a packed label column), built on first use
+    /// and cached until the dataset is mutated. Every popcount-based hot
+    /// path (feature scoring, split counting, column-fed AIG evaluation)
+    /// starts here.
+    pub fn bit_columns(&self) -> Arc<BitColumns> {
+        self.columns
+            .get_or_init(|| Arc::new(BitColumns::build(self)))
+            .clone()
     }
 
     /// The input pattern of example `i`.
@@ -144,6 +173,7 @@ impl Dataset {
     /// Panics if the arities differ.
     pub fn extend_from(&mut self, other: &Dataset) {
         assert_eq!(other.num_inputs, self.num_inputs, "arity mismatch");
+        self.columns.take();
         self.patterns.extend_from_slice(&other.patterns);
         self.outputs.extend_from_slice(&other.outputs);
     }
@@ -227,10 +257,7 @@ impl Dataset {
         if self.is_empty() {
             return 1.0;
         }
-        let correct = self
-            .iter()
-            .filter(|(p, o)| predict(p) == *o)
-            .count();
+        let correct = self.iter().filter(|(p, o)| predict(p) == *o).count();
         correct as f64 / self.len() as f64
     }
 
@@ -295,6 +322,7 @@ impl Dataset {
             num_inputs: self.num_inputs,
             patterns: self.patterns.clone(),
             outputs,
+            columns: OnceLock::new(),
         }
     }
 }

@@ -133,10 +133,8 @@ impl PlaFile {
                     "type" | "phase" | "pair" | "symbolic" => { /* ignored */ }
                     "e" | "end" => break,
                     other => {
-                        return Err(
-                            ParseError::new(format!("unknown directive `.{other}`"))
-                                .at_line(lineno),
-                        )
+                        return Err(ParseError::new(format!("unknown directive `.{other}`"))
+                            .at_line(lineno))
                     }
                 }
                 continue;
@@ -148,10 +146,10 @@ impl PlaFile {
                 Some(p) => p,
                 None => {
                     let (Some(i), Some(o)) = (declared_inputs, declared_outputs) else {
-                        return Err(ParseError::new(
-                            "data row before `.i`/`.o` header".to_owned(),
-                        )
-                        .at_line(lineno));
+                        return Err(
+                            ParseError::new("data row before `.i`/`.o` header".to_owned())
+                                .at_line(lineno),
+                        );
                     };
                     pla = Some(PlaFile::new(i, o));
                     pla.as_mut().expect("just set")
@@ -168,9 +166,7 @@ impl PlaFile {
                 .at_line(lineno));
             }
             let (inp, outp) = compact.split_at(pla_ref.num_inputs);
-            let cube: Cube = inp
-                .parse()
-                .map_err(|e: ParseError| e.at_line(lineno))?;
+            let cube: Cube = inp.parse().map_err(|e: ParseError| e.at_line(lineno))?;
             let mut outputs = Vec::with_capacity(pla_ref.num_outputs);
             for ch in outp.chars() {
                 outputs.push(match ch {
@@ -178,10 +174,10 @@ impl PlaFile {
                     '1' | '4' => OutputValue::One,
                     '-' | '~' | '2' | '3' => OutputValue::DontCare,
                     other => {
-                        return Err(ParseError::new(format!(
-                            "invalid output character `{other}`"
-                        ))
-                        .at_line(lineno))
+                        return Err(
+                            ParseError::new(format!("invalid output character `{other}`"))
+                                .at_line(lineno),
+                        )
                     }
                 });
             }
@@ -283,7 +279,11 @@ impl PlaFile {
         for (p, o) in ds.iter() {
             pla.push_row(
                 Cube::from_pattern(p),
-                vec![if o { OutputValue::One } else { OutputValue::Zero }],
+                vec![if o {
+                    OutputValue::One
+                } else {
+                    OutputValue::Zero
+                }],
             );
         }
         pla
@@ -304,7 +304,9 @@ fn parse_count(token: Option<&str>, directive: &str, lineno: usize) -> Result<us
     token
         .ok_or_else(|| ParseError::new(format!("`.{directive}` missing count")).at_line(lineno))?
         .parse()
-        .map_err(|_| ParseError::new(format!("`.{directive}` count is not a number")).at_line(lineno))
+        .map_err(|_| {
+            ParseError::new(format!("`.{directive}` count is not a number")).at_line(lineno)
+        })
 }
 
 #[cfg(test)]

@@ -11,6 +11,9 @@
 //!   variables, used for LUTs and neuron enumeration.
 //! * [`Dataset`] — a labelled set of minterms (the contest's training,
 //!   validation and test sets).
+//! * [`BitColumns`] — the transposed, bit-packed view of a dataset (one
+//!   packed column per variable), cached on the dataset and consumed by
+//!   every popcount-based statistics and evaluation hot path.
 //! * [`PlaFile`] — reader/writer for the Berkeley PLA exchange format used by
 //!   the IWLS 2020 contest.
 //!
@@ -26,6 +29,7 @@
 //! # Ok::<(), lsml_pla::ParseError>(())
 //! ```
 
+pub mod columns;
 pub mod cover;
 pub mod cube;
 pub mod dataset;
@@ -34,6 +38,7 @@ pub mod format;
 pub mod pattern;
 pub mod truth;
 
+pub use columns::{BitColumns, Contingency};
 pub use cover::Cover;
 pub use cube::{Cube, Trit};
 pub use dataset::Dataset;

@@ -1,0 +1,158 @@
+//! Property tests: the bit-packed columnar statistics agree *exactly* with
+//! row-major scalar computation on random datasets, including lengths that
+//! are not multiples of 64 and the empty dataset.
+
+use lsml_pla::{BitColumns, Dataset, Pattern};
+use proptest::prelude::*;
+
+/// Random dataset strategy: arity 1..10, length 0..200 (deliberately
+/// crossing the 64/128-example word boundaries and including empty).
+fn arb_dataset() -> ArbDataset {
+    ArbDataset
+}
+
+/// A custom dataset strategy (arity and length are dependent draws).
+struct ArbDataset;
+
+impl Strategy for ArbDataset {
+    type Value = Dataset;
+
+    fn generate(&self, rng: &mut TestRng) -> Dataset {
+        use rand::Rng;
+        let arity = rng.gen_range(1usize..10);
+        let len = rng.gen_range(0usize..200);
+        let mut ds = Dataset::new(arity);
+        for _ in 0..len {
+            let p: Pattern = (0..arity).map(|_| rng.gen::<bool>()).collect();
+            ds.push(p, rng.gen());
+        }
+        ds
+    }
+}
+
+/// Scalar (row-major) 2×2 contingency counts for feature `f`.
+fn scalar_contingency(ds: &Dataset, f: usize) -> (u64, u64, u64, u64) {
+    let (mut n11, mut n10, mut n01, mut n00) = (0, 0, 0, 0);
+    for (p, o) in ds.iter() {
+        match (p.get(f), o) {
+            (true, true) => n11 += 1,
+            (true, false) => n10 += 1,
+            (false, true) => n01 += 1,
+            (false, false) => n00 += 1,
+        }
+    }
+    (n11, n10, n01, n00)
+}
+
+/// Scalar χ² from raw counts (the pre-columnar implementation).
+fn scalar_chi2(ds: &Dataset, f: usize) -> f64 {
+    let n = ds.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let (n11, n10, n01, n00) = scalar_contingency(ds, f);
+    let on = (n11 + n10) as f64;
+    let off = n - on;
+    let pos = (n11 + n01) as f64;
+    let neg = n - pos;
+    if on == 0.0 || off == 0.0 || pos == 0.0 || neg == 0.0 {
+        return 0.0;
+    }
+    let cells = [
+        (n11 as f64, on * pos / n),
+        (n10 as f64, on * neg / n),
+        (n01 as f64, off * pos / n),
+        (n00 as f64, off * neg / n),
+    ];
+    cells
+        .iter()
+        .map(|&(obs, exp)| (obs - exp) * (obs - exp) / exp)
+        .sum()
+}
+
+/// Scalar mutual information from raw counts.
+fn scalar_mi(ds: &Dataset, f: usize) -> f64 {
+    let n = ds.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let (n11, n10, n01, n00) = scalar_contingency(ds, f);
+    let joint = [[n00 as f64, n01 as f64], [n10 as f64, n11 as f64]];
+    let px = [joint[0][0] + joint[0][1], joint[1][0] + joint[1][1]];
+    let py = [joint[0][0] + joint[1][0], joint[0][1] + joint[1][1]];
+    let mut mi = 0.0;
+    for x in 0..2 {
+        for y in 0..2 {
+            let pxy = joint[x][y] / n;
+            if pxy > 0.0 {
+                mi += pxy * (pxy * n * n / (px[x] * py[y])).log2();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn contingency_tables_match_scalar(ds in arb_dataset()) {
+        let cols = BitColumns::build(&ds);
+        for f in 0..ds.num_inputs() {
+            let t = cols.contingency(f);
+            let (n11, n10, n01, n00) = scalar_contingency(&ds, f);
+            prop_assert_eq!((t.n11, t.n10, t.n01, t.n00), (n11, n10, n01, n00));
+        }
+    }
+
+    #[test]
+    fn cached_columns_match_fresh_build(ds in arb_dataset()) {
+        // The Dataset-level cache returns the same transpose as a direct
+        // build, and repeated calls hit the same Arc.
+        let a = ds.bit_columns();
+        let b = ds.bit_columns();
+        prop_assert!(std::sync::Arc::ptr_eq(&a, &b));
+        prop_assert_eq!(&*a, &BitColumns::build(&ds));
+    }
+
+    #[test]
+    fn chi2_and_mi_match_scalar(ds in arb_dataset()) {
+        let cols = ds.bit_columns();
+        let chi2 = cols.chi2_scores();
+        let mi = cols.mutual_info_scores();
+        for f in 0..ds.num_inputs() {
+            // Same counts, same float expression → bitwise-equal results.
+            prop_assert_eq!(chi2[f].to_bits(), scalar_chi2(&ds, f).to_bits());
+            prop_assert_eq!(mi[f].to_bits(), scalar_mi(&ds, f).to_bits());
+        }
+    }
+
+    #[test]
+    fn packed_accuracy_matches_row_major(ds in arb_dataset(), flip_seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let cols = ds.bit_columns();
+        // A predictor that gets a random subset of examples right.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(flip_seed);
+        let preds_row: Vec<bool> = ds.outputs().iter().map(|&o| o ^ rng.gen_bool(0.3)).collect();
+        let mut preds_packed = vec![0u64; cols.words_per_column()];
+        for (k, &p) in preds_row.iter().enumerate() {
+            if p {
+                preds_packed[k / 64] |= 1u64 << (k % 64);
+            }
+        }
+        let packed = cols.accuracy_of_packed(&preds_packed);
+        let row = ds.accuracy_of_slice(&preds_row);
+        prop_assert_eq!(packed.to_bits(), row.to_bits());
+    }
+
+    #[test]
+    fn mutation_invalidates_cache(ds in arb_dataset()) {
+        let mut ds = ds;
+        let before = ds.bit_columns();
+        prop_assert_eq!(before.num_examples(), ds.len());
+        ds.push(Pattern::zeros(ds.num_inputs()), true);
+        let after = ds.bit_columns();
+        prop_assert_eq!(after.num_examples(), ds.len());
+        prop_assert_eq!(&*after, &BitColumns::build(&ds));
+    }
+}

@@ -1,0 +1,17 @@
+//! Meta-crate tying the `boolean-lsml` workspace together.
+//!
+//! The real functionality lives in the `lsml-*` member crates; this crate
+//! exists so the workspace-level integration tests in `tests/` and the
+//! `examples/` directory have a package to hang off.
+
+pub use lsml_aig as aig;
+pub use lsml_bdd as bdd;
+pub use lsml_benchgen as benchgen;
+pub use lsml_cgp as cgp;
+pub use lsml_core as core;
+pub use lsml_dtree as dtree;
+pub use lsml_espresso as espresso;
+pub use lsml_lutnet as lutnet;
+pub use lsml_matching as matching;
+pub use lsml_neural as neural;
+pub use lsml_pla as pla;

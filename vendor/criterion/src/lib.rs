@@ -1,0 +1,198 @@
+//! Vendored stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small wall-clock benchmarking harness with the same call-site API:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], `criterion_group!`, and `criterion_main!`.
+//! Measurements are median ns/iteration over `sample_size` samples, each
+//! sample auto-calibrated to run long enough for a stable clock reading.
+//! Results accumulate in [`Criterion::results`] so callers can export them
+//! (e.g. `BENCH_columnar.json`).
+
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest observed sample (ns/iteration).
+    pub min_ns: f64,
+    /// Slowest observed sample (ns/iteration).
+    pub max_ns: f64,
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; batching is always per-iteration here).
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    /// Small inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(20),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        // Warm-up + calibration pass.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let iters_per_sample = (self.target_sample_time.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, u32::MAX as u128) as u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let result = BenchResult {
+            name: name.to_owned(),
+            median_ns,
+            min_ns: samples_ns[0],
+            max_ns: samples_ns[samples_ns.len() - 1],
+        };
+        println!(
+            "{name:<50} time: [{} .. {} .. {}]",
+            fmt_ns(result.min_ns),
+            fmt_ns(result.median_ns),
+            fmt_ns(result.max_ns)
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times closures for one sample.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with per-iteration inputs built by `setup` (setup
+    /// time is excluded from the measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Declares a group of benchmark functions (both the plain and the
+/// `name/config/targets` forms of the real macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results()[0].median_ns >= 0.0);
+        assert_eq!(c.results()[1].name, "batched");
+    }
+}

@@ -1,0 +1,296 @@
+//! Vendored stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no registry access, so this crate provides an
+//! order-preserving parallel map over slices and ranges on top of
+//! `std::thread::scope`: `par_iter()` / `into_par_iter()`, `map`, `collect`,
+//! `for_each`, and [`join`]. There is no work-stealing pool — each `collect`
+//! fans work out over `available_parallelism` scoped threads pulling
+//! fixed-size chunks off a shared atomic counter, which is plenty for the
+//! coarse-grained fan-outs here (portfolio candidates, benchmark suites).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// An indexable source of parallel work: adapters compose by wrapping the
+/// evaluation of one index.
+pub trait ParallelSource: Sync + Sized {
+    /// The per-index item type.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluates item `i` (called from worker threads).
+    fn eval(&self, i: usize) -> Self::Item;
+}
+
+/// Adapters and drivers available on every parallel iterator.
+pub trait ParallelIterator: ParallelSource {
+    /// Maps each item through `f` in parallel.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Materializes all items in order, fanning evaluation out over threads.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_vec(drive(self))
+    }
+
+    /// Runs `f` on every item (parallel, no result).
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        drive(Map {
+            base: self,
+            f: |x| f(x),
+        });
+    }
+}
+
+impl<S: ParallelSource> ParallelIterator for S {}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from items already in order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Evaluates every index of `src` across worker threads, preserving order.
+fn drive<S: ParallelSource>(src: S) -> Vec<S::Item> {
+    let n = src.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(|i| src.eval(i)).collect();
+    }
+    // Chunked dynamic scheduling: small enough chunks to balance, large
+    // enough to keep the atomic counter off the hot path.
+    let chunk = (n / (workers * 4)).max(1);
+    let next = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<S::Item>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let items: Vec<S::Item> = (start..end).map(|i| src.eval(i)).collect();
+                parts
+                    .lock()
+                    .expect("rayon worker poisoned")
+                    .push((start, items));
+            });
+        }
+    });
+    let mut parts = parts.into_inner().expect("rayon worker poisoned");
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, items) in parts {
+        out.extend(items);
+    }
+    out
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T: Sync> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync + Send> ParallelSource for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn eval(&self, i: usize) -> &'a T {
+        &self.items[i]
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelSource for ParRange {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn eval(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// The adapter returned by [`ParallelIterator::map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: ParallelSource, U: Send, F: Fn(S::Item) -> U + Sync> ParallelSource for Map<S, F> {
+    type Item = U;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn eval(&self, i: usize) -> U {
+        (self.f)(self.base.eval(i))
+    }
+}
+
+/// The adapter returned by [`ParallelIterator::enumerate`].
+pub struct Enumerate<S> {
+    base: S,
+}
+
+impl<S: ParallelSource> ParallelSource for Enumerate<S> {
+    type Item = (usize, S::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn eval(&self, i: usize) -> (usize, S::Item) {
+        (i, self.base.eval(i))
+    }
+}
+
+/// `.par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowing iterator type.
+    type Iter: ParallelIterator;
+
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `.into_par_iter()` on owned values (ranges here).
+pub trait IntoParallelIterator {
+    /// The produced iterator type.
+    type Iter: ParallelIterator;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual glob import.
+
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSource,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[31], 961);
+        assert_eq!(squares.len(), 1000);
+    }
+
+    #[test]
+    fn enumerate_matches_index() {
+        let items = vec!["a", "b", "c"];
+        let tagged: Vec<(usize, &&str)> = items.par_iter().enumerate().collect();
+        assert_eq!(tagged[2].0, 2);
+        assert_eq!(*tagged[0].1, "a");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&b| b).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+}
