@@ -84,10 +84,14 @@ pub fn run_team(learner: &dyn Learner, scale: &RunScale) -> TeamResults {
     }
 }
 
-/// Runs several learners and collects their results.
+/// Runs several learners and collects their results. The team fan-out
+/// nests inside each team's per-benchmark fan-out (and the learners'
+/// internal parallelism below that); the work-stealing pool schedules all
+/// three levels over one fixed worker set, so this no longer multiplies
+/// thread counts the way the scoped-thread runtime did.
 pub fn run_teams(learners: &[Box<dyn Learner>], scale: &RunScale) -> Vec<TeamResults> {
     learners
-        .iter()
+        .par_iter()
         .map(|l| run_team(l.as_ref(), scale))
         .collect()
 }

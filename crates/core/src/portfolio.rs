@@ -19,7 +19,10 @@ use crate::problem::LearnedCircuit;
 /// Candidates are scored in parallel against the validation set's cached
 /// bit columns (the scan is embarrassingly parallel and read-only); the
 /// winner is then chosen by a sequential pass so tie-breaking stays
-/// deterministic and identical to the serial order.
+/// deterministic and identical to the serial order. The fan-out rides the
+/// work-stealing pool, so calling this from inside an already-parallel
+/// context (one learner per benchmark, one benchmark per team) reuses the
+/// same fixed worker set instead of oversubscribing threads.
 pub fn select_best(
     mut candidates: Vec<LearnedCircuit>,
     valid: &Dataset,

@@ -7,7 +7,7 @@
 //! 7's implementation of an efficient AIG for the boosted ensemble.
 
 use lsml_aig::{circuits, Aig, Lit};
-use lsml_pla::{Dataset, Pattern};
+use lsml_pla::{BitColumns, Dataset, Pattern};
 
 /// Gradient-boosting configuration.
 #[derive(Clone, Debug)]
@@ -40,14 +40,14 @@ impl Default for GradientBoostConfig {
 }
 
 /// One regression-tree node.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 enum RegNode {
     Leaf { value: f64 },
     Split { feature: u32, lo: u32, hi: u32 },
 }
 
 /// A regression tree over binary features.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 struct RegTree {
     nodes: Vec<RegNode>,
     root: u32,
@@ -116,7 +116,29 @@ pub struct GradientBoost {
 
 impl GradientBoost {
     /// Trains with logistic loss and second-order (Newton) leaf values.
+    ///
+    /// The weighted split search runs bit-sliced: each node's example subset
+    /// is a packed mask over the dataset's cached [`BitColumns`], the
+    /// per-feature ⟨grad, hess⟩ sums gather over the set bits of
+    /// `mask ∧ column`, and the candidate-feature scan fans out over
+    /// `rayon::join`. The result is bitwise identical to the retained
+    /// row-major reference ([`GradientBoost::train_row_major`]): both visit
+    /// examples in ascending order, so every floating-point accumulation
+    /// happens in the same order.
     pub fn train(ds: &Dataset, cfg: &GradientBoostConfig) -> Self {
+        Self::train_impl(ds, cfg, true)
+    }
+
+    /// The pre-columnar trainer: row-by-row `Pattern::get` scans per
+    /// candidate feature. Kept as the reference implementation for
+    /// differential tests and the `pool` benchmark baseline; prefer
+    /// [`GradientBoost::train`].
+    #[doc(hidden)]
+    pub fn train_row_major(ds: &Dataset, cfg: &GradientBoostConfig) -> Self {
+        Self::train_impl(ds, cfg, false)
+    }
+
+    fn train_impl(ds: &Dataset, cfg: &GradientBoostConfig, columnar: bool) -> Self {
         let n = ds.len();
         let prior = ds.positive_rate().clamp(1e-6, 1.0 - 1e-6);
         let base_score = (prior / (1.0 - prior)).ln();
@@ -124,6 +146,9 @@ impl GradientBoost {
         let mut trees = Vec::with_capacity(cfg.n_rounds);
         let mut grad = vec![0.0f64; n];
         let mut hess = vec![0.0f64; n];
+        // Only the bit-sliced path reads the transpose; the row-major
+        // reference must not pay (or warm) the cache it exists to baseline.
+        let cols = columnar.then(|| ds.bit_columns());
 
         for _ in 0..cfg.n_rounds {
             for i in 0..n {
@@ -132,18 +157,33 @@ impl GradientBoost {
                 grad[i] = p - y;
                 hess[i] = (p * (1.0 - p)).max(1e-16);
             }
-            let indices: Vec<u32> = (0..n as u32).collect();
-            let mut builder = RegBuilder {
-                ds,
-                grad: &grad,
-                hess: &hess,
-                cfg,
-                nodes: Vec::new(),
-            };
-            let root = builder.grow(&indices, 0);
-            let tree = RegTree {
-                nodes: builder.nodes,
-                root,
+            let tree = if let Some(cols) = &cols {
+                let mut builder = RegBuilder {
+                    cols,
+                    grad: &grad,
+                    hess: &hess,
+                    cfg,
+                    nodes: Vec::new(),
+                };
+                let root = builder.grow(&cols.full_mask(), n as u64, 0);
+                RegTree {
+                    nodes: builder.nodes,
+                    root,
+                }
+            } else {
+                let indices: Vec<u32> = (0..n as u32).collect();
+                let mut builder = RegBuilderRows {
+                    ds,
+                    grad: &grad,
+                    hess: &hess,
+                    cfg,
+                    nodes: Vec::new(),
+                };
+                let root = builder.grow(&indices, 0);
+                RegTree {
+                    nodes: builder.nodes,
+                    root,
+                }
             };
             for (i, s) in scores.iter_mut().enumerate() {
                 *s += cfg.learning_rate * tree.score(ds.pattern(i));
@@ -177,6 +217,14 @@ impl GradientBoost {
     /// synthesized AIG computes): majority over per-tree leaf-sign bits,
     /// grouped 5-at-a-time in up to three layers.
     pub fn predict_quantized(&self, p: &Pattern) -> bool {
+        if self.trees.is_empty() {
+            // Mirror `to_aig`, which compiles the empty forest to the
+            // constant prior `base_score > 0.0`: before this fallback the
+            // quantized predictor answered `false` while the circuit
+            // answered the prior, and the two disagreed whenever
+            // `n_rounds = 0` with a positive-majority training set.
+            return self.base_score > 0.0;
+        }
         let mut bits: Vec<bool> = self.trees.iter().map(|t| t.score(p) > 0.0).collect();
         while bits.len() > 1 {
             bits = bits
@@ -187,7 +235,7 @@ impl GradientBoost {
                 })
                 .collect();
         }
-        bits.first().copied().unwrap_or(false)
+        bits[0]
     }
 
     /// Accuracy of the exact classifier over a dataset.
@@ -223,7 +271,122 @@ fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }
 
+/// The bit-sliced regression-tree builder: node subsets are packed masks
+/// over the dataset's [`BitColumns`]; the weighted split search accumulates
+/// ⟨grad, hess⟩ per (feature, side) by gathering over set bits of
+/// `mask ∧ column`, with the candidate-feature scan fanned out over
+/// `rayon::join`.
 struct RegBuilder<'a> {
+    cols: &'a BitColumns,
+    grad: &'a [f64],
+    hess: &'a [f64],
+    cfg: &'a GradientBoostConfig,
+    nodes: Vec<RegNode>,
+}
+
+/// The winning candidate of a split search.
+#[derive(Copy, Clone)]
+struct SplitCand {
+    feature: usize,
+    gain: f64,
+}
+
+/// Shared read-only context for the parallel feature scan of one node.
+struct SplitCtx<'a> {
+    cols: &'a BitColumns,
+    mask: &'a [u64],
+    grad: &'a [f64],
+    hess: &'a [f64],
+    cfg: &'a GradientBoostConfig,
+    /// Parent ⟨grad, hess⟩ sums over `mask`.
+    g: f64,
+    h: f64,
+    parent_obj: f64,
+}
+
+/// Feature ranges at most this wide are scanned serially; wider ranges
+/// split via `join` so idle workers can steal half the scan.
+const SPLIT_SCAN_GRAIN: usize = 8;
+
+/// Best split over features `lo..hi`, lowest feature index winning ties
+/// (the same tie-break as a serial ascending scan, independent of how the
+/// range was split).
+fn best_split(ctx: &SplitCtx<'_>, lo: usize, hi: usize) -> Option<SplitCand> {
+    if hi - lo > SPLIT_SCAN_GRAIN {
+        let mid = lo + (hi - lo) / 2;
+        let (left, right) = rayon::join(|| best_split(ctx, lo, mid), || best_split(ctx, mid, hi));
+        return match (left, right) {
+            (Some(a), Some(b)) => Some(if b.gain > a.gain { b } else { a }),
+            (a, None) => a,
+            (None, b) => b,
+        };
+    }
+    let mut best: Option<SplitCand> = None;
+    for f in lo..hi {
+        let (gh, hh) = ctx
+            .cols
+            .masked_column_weight_sums(f, ctx.mask, ctx.grad, ctx.hess);
+        let gl = ctx.g - gh;
+        let hl = ctx.h - hh;
+        if hh < ctx.cfg.min_child_weight || hl < ctx.cfg.min_child_weight {
+            continue;
+        }
+        let gain = 0.5
+            * (gl * gl / (hl + ctx.cfg.lambda) + gh * gh / (hh + ctx.cfg.lambda) - ctx.parent_obj)
+            - ctx.cfg.gamma;
+        if gain > 1e-12 && best.is_none_or(|b| gain > b.gain) {
+            best = Some(SplitCand { feature: f, gain });
+        }
+    }
+    best
+}
+
+impl RegBuilder<'_> {
+    fn grow(&mut self, mask: &[u64], count: u64, depth: usize) -> u32 {
+        let (g, h) = BitColumns::masked_weight_sums(mask, self.grad, self.hess);
+        let leaf = |nodes: &mut Vec<RegNode>| {
+            nodes.push(RegNode::Leaf {
+                value: -g / (h + self.cfg.lambda),
+            });
+            (nodes.len() - 1) as u32
+        };
+        if depth >= self.cfg.max_depth || count < 2 {
+            return leaf(&mut self.nodes);
+        }
+        let ctx = SplitCtx {
+            cols: self.cols,
+            mask,
+            grad: self.grad,
+            hess: self.hess,
+            cfg: self.cfg,
+            g,
+            h,
+            parent_obj: g * g / (h + self.cfg.lambda),
+        };
+        let Some(SplitCand { feature, .. }) = best_split(&ctx, 0, self.cols.num_inputs()) else {
+            return leaf(&mut self.nodes);
+        };
+        let (lo_mask, hi_mask) = self.cols.split_mask(feature, mask);
+        let hi_count = BitColumns::count_ones(&hi_mask);
+        let lo_count = count - hi_count;
+        if lo_count == 0 || hi_count == 0 {
+            return leaf(&mut self.nodes);
+        }
+        let lo = self.grow(&lo_mask, lo_count, depth + 1);
+        let hi = self.grow(&hi_mask, hi_count, depth + 1);
+        self.nodes.push(RegNode::Split {
+            feature: feature as u32,
+            lo,
+            hi,
+        });
+        (self.nodes.len() - 1) as u32
+    }
+}
+
+/// The retained row-major builder (see
+/// [`GradientBoost::train_row_major`]): per-example `Pattern::get` scans,
+/// subsets as sorted index slices.
+struct RegBuilderRows<'a> {
     ds: &'a Dataset,
     grad: &'a [f64],
     hess: &'a [f64],
@@ -231,7 +394,7 @@ struct RegBuilder<'a> {
     nodes: Vec<RegNode>,
 }
 
-impl RegBuilder<'_> {
+impl RegBuilderRows<'_> {
     fn grow(&mut self, subset: &[u32], depth: usize) -> u32 {
         let g: f64 = subset.iter().map(|&i| self.grad[i as usize]).sum();
         let h: f64 = subset.iter().map(|&i| self.hess[i as usize]).sum();
@@ -387,6 +550,79 @@ mod tests {
         };
         let gb = GradientBoost::train(&ds, &cfg);
         assert_eq!(gb.n_trees(), 10);
+    }
+
+    #[test]
+    fn empty_forest_quantized_matches_compiled_circuit() {
+        // Regression: with n_rounds = 0 and a positive-majority training
+        // set, predict_quantized used to answer `false` while to_aig()
+        // compiled the constant prior `true`.
+        let ds = full_dataset(|m| m != 0, 3); // 7/8 positive -> base_score > 0
+        let cfg = GradientBoostConfig {
+            n_rounds: 0,
+            ..GradientBoostConfig::default()
+        };
+        let gb = GradientBoost::train(&ds, &cfg);
+        assert_eq!(gb.n_trees(), 0);
+        let aig = gb.to_aig();
+        for m in 0..8u64 {
+            let p = Pattern::from_index(m, 3);
+            let bits: Vec<bool> = p.iter().collect();
+            assert_eq!(aig.eval(&bits)[0], gb.predict_quantized(&p));
+            assert!(gb.predict_quantized(&p), "positive prior must predict 1");
+        }
+        // And the negative-majority prior still predicts 0 on both paths.
+        let ds = full_dataset(|m| m == 0, 3);
+        let gb = GradientBoost::train(&ds, &cfg);
+        let aig = gb.to_aig();
+        for m in 0..8u64 {
+            let p = Pattern::from_index(m, 3);
+            let bits: Vec<bool> = p.iter().collect();
+            assert_eq!(aig.eval(&bits)[0], gb.predict_quantized(&p));
+            assert!(!gb.predict_quantized(&p));
+        }
+    }
+
+    #[test]
+    fn bit_sliced_split_search_is_bitwise_identical_to_row_major() {
+        // The masked ⟨grad, hess⟩ gather visits examples in the same
+        // ascending order as the row-major subset scan, so the two trainers
+        // must agree bitwise: identical trees (leaf values included) and
+        // identical raw margins on every pattern.
+        let mut rng = StdRng::seed_from_u64(77);
+        for (n, arity, rounds) in [
+            (0usize, 4usize, 2usize),
+            (1, 3, 3),
+            (130, 9, 6),
+            (257, 17, 4),
+        ] {
+            let mut ds = Dataset::new(arity);
+            for _ in 0..n {
+                let p = Pattern::random(&mut rng, arity);
+                let label = p.get(0) ^ (rng.gen::<f64>() < 0.2);
+                ds.push(p, label);
+            }
+            let cfg = GradientBoostConfig {
+                n_rounds: rounds,
+                max_depth: 4,
+                min_child_weight: 0.05,
+                ..GradientBoostConfig::default()
+            };
+            let columnar = GradientBoost::train(&ds, &cfg);
+            let rows = GradientBoost::train_row_major(&ds, &cfg);
+            assert_eq!(
+                columnar.trees, rows.trees,
+                "trees diverge at n={n} arity={arity}"
+            );
+            for _ in 0..32 {
+                let p = Pattern::random(&mut rng, arity);
+                assert_eq!(
+                    columnar.score(&p).to_bits(),
+                    rows.score(&p).to_bits(),
+                    "margin diverges at n={n} arity={arity}"
+                );
+            }
+        }
     }
 
     #[test]

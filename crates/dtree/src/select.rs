@@ -10,6 +10,7 @@ use lsml_pla::{Dataset, Pattern};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use crate::forest::{RandomForest, RandomForestConfig};
 
@@ -47,17 +48,26 @@ pub fn forest_importance(ds: &Dataset, n_trees: usize, seed: u64) -> Vec<f64> {
 /// Permutation importance: for each feature, shuffle its column and measure
 /// the average accuracy drop of `predict` over `repeats` shuffles (Team 4's
 /// "10-repeat permutation importance").
+///
+/// The per-feature scans are independent, so they fan out over the
+/// work-stealing pool; each feature derives its own deterministic RNG
+/// stream from `seed`, making the result a pure function of
+/// `(dataset, predict, repeats, seed)` regardless of thread count.
 pub fn permutation_importance(
     ds: &Dataset,
-    mut predict: impl FnMut(&Pattern) -> bool,
+    predict: impl Fn(&Pattern) -> bool + Sync,
     repeats: usize,
     seed: u64,
 ) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let baseline = ds.accuracy_of(&mut predict);
+    let baseline = ds.accuracy_of(&predict);
     let n = ds.len();
     (0..ds.num_inputs())
+        .into_par_iter()
         .map(|f| {
+            // SplitMix64-style stream derivation keeps feature streams
+            // decorrelated even for adjacent seeds.
+            let stream = seed ^ (f as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut rng = StdRng::seed_from_u64(stream);
             let mut drop_total = 0.0;
             for _ in 0..repeats.max(1) {
                 let mut perm: Vec<usize> = (0..n).collect();

@@ -353,6 +353,79 @@ impl BitColumns {
             .collect()
     }
 
+    /// Sums `a[i]` and `b[i]` over the examples selected by `mask` (packed,
+    /// bits beyond the tail zero). Visits set bits in ascending example
+    /// order, so the floating-point accumulation order is identical to a
+    /// row-major scan over the same (sorted) subset — callers relying on
+    /// bitwise reproducibility (the boosted split search) depend on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a set bit indexes past `a`/`b`.
+    pub fn masked_weight_sums(mask: &[u64], a: &[f64], b: &[f64]) -> (f64, f64) {
+        let mut sum_a = 0.0;
+        let mut sum_b = 0.0;
+        for (w, &m) in mask.iter().enumerate() {
+            let mut rest = m;
+            while rest != 0 {
+                let i = w * 64 + rest.trailing_zeros() as usize;
+                sum_a += a[i];
+                sum_b += b[i];
+                rest &= rest - 1;
+            }
+        }
+        (sum_a, sum_b)
+    }
+
+    /// Sums `a[i]` and `b[i]` over the examples where input `f` is one *and*
+    /// `mask` selects the example — the ⟨grad, hess⟩ kernel of the boosted
+    /// split search: one `AND` per word, then a set-bit gather. Ascending
+    /// example order, as [`BitColumns::masked_weight_sums`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= num_inputs()` or `mask.len() != words_per_column()`.
+    pub fn masked_column_weight_sums(
+        &self,
+        f: usize,
+        mask: &[u64],
+        a: &[f64],
+        b: &[f64],
+    ) -> (f64, f64) {
+        let col = self.column(f);
+        assert_eq!(mask.len(), col.len(), "packed mask length mismatch");
+        let mut sum_a = 0.0;
+        let mut sum_b = 0.0;
+        for (w, (&c, &m)) in col.iter().zip(mask).enumerate() {
+            let mut rest = c & m;
+            while rest != 0 {
+                let i = w * 64 + rest.trailing_zeros() as usize;
+                sum_a += a[i];
+                sum_b += b[i];
+                rest &= rest - 1;
+            }
+        }
+        (sum_a, sum_b)
+    }
+
+    /// Splits a subset mask by input `f`: returns `(mask ∧ ¬column(f),
+    /// mask ∧ column(f))` — the packed lo/hi child subsets of a split node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= num_inputs()` or `mask.len() != words_per_column()`.
+    pub fn split_mask(&self, f: usize, mask: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        let col = self.column(f);
+        assert_eq!(mask.len(), col.len(), "packed mask length mismatch");
+        let mut lo = Vec::with_capacity(mask.len());
+        let mut hi = Vec::with_capacity(mask.len());
+        for (&c, &m) in col.iter().zip(mask) {
+            lo.push(m & !c);
+            hi.push(m & c);
+        }
+        (lo, hi)
+    }
+
     /// Fraction of examples where `predictions` (packed, same layout)
     /// matches the label column; 1.0 on an empty dataset.
     ///
@@ -510,6 +583,63 @@ mod tests {
         assert_eq!(cols.tail_mask(), 0);
         assert_eq!(cols.chi2_scores(), vec![0.0; 4]);
         assert!((cols.accuracy_of_packed(&[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_weight_sums_match_scalar_gather() {
+        let ds = random_dataset(201, 6, 17);
+        let cols = BitColumns::build(&ds);
+        let mut rng = StdRng::seed_from_u64(99);
+        let a: Vec<f64> = (0..201).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let b: Vec<f64> = (0..201).map(|_| rng.gen::<f64>()).collect();
+        // Odd examples only.
+        let mut mask = vec![0u64; cols.words_per_column()];
+        for k in (1..201).step_by(2) {
+            mask[k / 64] |= 1u64 << (k % 64);
+        }
+        let (sa, sb) = BitColumns::masked_weight_sums(&mask, &a, &b);
+        let (mut ra, mut rb) = (0.0, 0.0);
+        for k in (1..201).step_by(2) {
+            ra += a[k];
+            rb += b[k];
+        }
+        // Same ascending visit order => bitwise equality, not just epsilon.
+        assert_eq!(sa.to_bits(), ra.to_bits());
+        assert_eq!(sb.to_bits(), rb.to_bits());
+        for f in 0..6 {
+            let (ca, cb) = cols.masked_column_weight_sums(f, &mask, &a, &b);
+            let (mut ea, mut eb) = (0.0, 0.0);
+            for (k, (p, _)) in ds.iter().enumerate() {
+                if k % 2 == 1 && p.get(f) {
+                    ea += a[k];
+                    eb += b[k];
+                }
+            }
+            assert_eq!(ca.to_bits(), ea.to_bits(), "feature {f}");
+            assert_eq!(cb.to_bits(), eb.to_bits(), "feature {f}");
+        }
+    }
+
+    #[test]
+    fn split_mask_partitions_subset() {
+        let ds = random_dataset(150, 5, 23);
+        let cols = BitColumns::build(&ds);
+        let mask = cols.full_mask();
+        for f in 0..5 {
+            let (lo, hi) = cols.split_mask(f, &mask);
+            // Disjoint, covering, and consistent with the column popcount.
+            for w in 0..mask.len() {
+                assert_eq!(lo[w] & hi[w], 0);
+                assert_eq!(lo[w] | hi[w], mask[w]);
+            }
+            assert_eq!(BitColumns::count_ones(&hi), cols.column_ones(f));
+            // Recursive split of a child keeps tail bits clean.
+            let (lo2, hi2) = cols.split_mask((f + 1) % 5, &hi);
+            assert_eq!(
+                BitColumns::count_ones(&lo2) + BitColumns::count_ones(&hi2),
+                BitColumns::count_ones(&hi)
+            );
+        }
     }
 
     #[test]

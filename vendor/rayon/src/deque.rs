@@ -1,0 +1,229 @@
+//! A Chase–Lev work-stealing deque specialized to [`JobRef`].
+//!
+//! One deque per worker: the owning worker pushes and pops at the *bottom*
+//! (LIFO, so nested `join`s run cache-hot and depth-first), thieves steal
+//! from the *top* (FIFO, so they take the oldest — typically largest —
+//! pending task). The implementation follows Chase & Lev, "Dynamic Circular
+//! Work-Stealing Deque" (SPAA '05), with the C11 memory orderings of Lê,
+//! Pop, Cohen & Zappa Nardelli, "Correct and Efficient Work-Stealing for
+//! Weak Memory Models" (PPoPP '13).
+//!
+//! Two Rust-specific points:
+//!
+//! * Slots store the two words of a [`JobRef`] as relaxed atomics. The
+//!   classic algorithm lets a thief read a slot that the owner may
+//!   concurrently overwrite (the thief's CAS on `top` then fails and the
+//!   value is discarded); making the accesses atomic keeps that benign race
+//!   defined behavior. A torn read across the two words can only be
+//!   observed on a failed CAS, never used.
+//! * Growing replaces the buffer but *retires* the old one instead of
+//!   freeing it (a stalled thief may still hold the stale pointer; its CAS
+//!   will fail, but the read must stay valid). Retired buffers are freed
+//!   when the deque drops; total retired memory is bounded by twice the
+//!   final capacity.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::job::JobRef;
+
+const MIN_CAPACITY: usize = 32;
+
+/// One deque slot: the two words of a `JobRef`, individually atomic.
+struct Slot {
+    data: AtomicUsize,
+    execute: AtomicUsize,
+}
+
+/// A circular buffer of slots; capacity is always a power of two.
+struct Buffer {
+    slots: Box<[Slot]>,
+}
+
+impl Buffer {
+    fn new(capacity: usize) -> Box<Buffer> {
+        debug_assert!(capacity.is_power_of_two());
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                data: AtomicUsize::new(0),
+                execute: AtomicUsize::new(0),
+            })
+            .collect();
+        Box::new(Buffer { slots })
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> &Slot {
+        // Power-of-two capacity: the circular index is a mask.
+        &self.slots[index as usize & (self.capacity() - 1)]
+    }
+
+    #[inline]
+    fn read(&self, index: isize) -> (usize, usize) {
+        let slot = self.slot(index);
+        (
+            slot.data.load(Ordering::Relaxed),
+            slot.execute.load(Ordering::Relaxed),
+        )
+    }
+
+    #[inline]
+    fn write(&self, index: isize, words: (usize, usize)) {
+        let slot = self.slot(index);
+        slot.data.store(words.0, Ordering::Relaxed);
+        slot.execute.store(words.1, Ordering::Relaxed);
+    }
+}
+
+/// Result of a steal attempt.
+pub(crate) enum Steal {
+    /// The deque looked empty.
+    Empty,
+    /// Lost a race; the thief may retry.
+    Retry,
+    /// Took the oldest job.
+    Success(JobRef),
+}
+
+/// The work-stealing deque. `push`/`pop` must only be called by the owning
+/// worker thread (the registry upholds this); `steal` is safe from any
+/// thread.
+pub(crate) struct Deque {
+    /// Next index the owner pushes at. Only the owner writes it.
+    bottom: AtomicIsize,
+    /// Next index thieves steal from. Monotonically increasing.
+    top: AtomicIsize,
+    buffer: AtomicPtr<Buffer>,
+    /// Buffers replaced by growth, kept alive for stale thief reads. The
+    /// boxes are load-bearing: thieves hold raw pointers to these exact
+    /// allocations, so the buffers must stay pinned, not be moved into the
+    /// Vec's storage.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<Buffer>>>,
+}
+
+// The raw buffer pointer is managed entirely inside this module.
+unsafe impl Send for Deque {}
+unsafe impl Sync for Deque {}
+
+impl Deque {
+    pub(crate) fn new() -> Deque {
+        Deque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(Buffer::new(MIN_CAPACITY))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Cheap emptiness probe for sleep/wake decisions (racy by nature; a
+    /// false "non-empty" just costs a failed steal).
+    #[inline]
+    pub(crate) fn looks_empty(&self) -> bool {
+        let t = self.top.load(Ordering::Relaxed);
+        let b = self.bottom.load(Ordering::Relaxed);
+        t >= b
+    }
+
+    /// Pushes a job at the bottom. Owner only.
+    pub(crate) fn push(&self, job: JobRef) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buffer = self.buffer.load(Ordering::Relaxed);
+        if b - t >= unsafe { (*buffer).capacity() } as isize {
+            buffer = self.grow(t, b, buffer);
+        }
+        unsafe { (*buffer).write(b, job.to_words()) };
+        // Publish the slot before the new bottom becomes visible to thieves.
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Doubles the buffer, copying the live range `top..bottom`. Owner only.
+    fn grow(&self, top: isize, bottom: isize, old: *mut Buffer) -> *mut Buffer {
+        let old_ref = unsafe { &*old };
+        let new = Buffer::new(old_ref.capacity() * 2);
+        for i in top..bottom {
+            new.write(i, old_ref.read(i));
+        }
+        let new_ptr = Box::into_raw(new);
+        self.buffer.store(new_ptr, Ordering::Release);
+        // A thief holding the stale pointer may still read from `old`; its
+        // CAS on `top` decides ownership, so the memory just has to stay
+        // alive. Retire it; freed on drop.
+        self.retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(unsafe { Box::from_raw(old) });
+        new_ptr
+    }
+
+    /// Pops the most recently pushed job. Owner only.
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buffer = self.buffer.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the bottom decrement against the top read: a concurrent
+        // thief must either see the reservation or we must see its steal.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let words = unsafe { (*buffer).read(b) };
+            if t == b {
+                // Last element: race the thieves for it via `top`.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if !won {
+                    return None;
+                }
+            }
+            Some(unsafe { JobRef::from_words(words.0, words.1) })
+        } else {
+            // Already empty; undo the reservation.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Attempts to steal the oldest job. Any thread.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let buffer = self.buffer.load(Ordering::Acquire);
+            // Read before the CAS: after a successful CAS the owner may
+            // reuse the slot. The read value is only used if the CAS wins
+            // (a concurrent overwrite implies the CAS loses — see module
+            // docs).
+            let words = unsafe { (*buffer).read(t) };
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(unsafe { JobRef::from_words(words.0, words.1) })
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+impl Drop for Deque {
+    fn drop(&mut self) {
+        let buffer = *self.buffer.get_mut();
+        drop(unsafe { Box::from_raw(buffer) });
+        // `retired` boxes drop with the Mutex.
+    }
+}

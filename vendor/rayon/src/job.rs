@@ -1,0 +1,205 @@
+//! Type-erased jobs and completion latches.
+//!
+//! A [`StackJob`] lives on the stack of the thread that called
+//! [`crate::join`]; worker threads only ever see a [`JobRef`] — a raw
+//! pointer plus a monomorphized execute function — so the runtime moves no
+//! closures and allocates nothing per task. The caller guarantees the job
+//! outlives its execution by waiting on the job's [`Latch`] before
+//! returning (this is the same contract real rayon uses).
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::registry::Registry;
+
+/// Something a worker can execute exactly once through a raw pointer.
+pub(crate) trait Job {
+    /// Runs the job.
+    ///
+    /// # Safety
+    ///
+    /// `this` must point to a live job that has not been executed yet, and
+    /// no other thread may execute it concurrently.
+    unsafe fn execute(this: *const Self);
+}
+
+/// A type-erased pointer to a pending job. `Copy` so it can sit in the
+/// lock-free deques as two machine words.
+#[derive(Copy, Clone)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// A JobRef crosses threads by design; the `Job::execute` safety contract
+// (execute exactly once, before the owner's stack frame dies) is upheld by
+// `join`, which waits on the latch before returning.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Erases a job pointer.
+    ///
+    /// # Safety
+    ///
+    /// `data` must stay valid until the job has been executed.
+    pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
+        unsafe fn execute_erased<T: Job>(ptr: *const ()) {
+            T::execute(ptr as *const T)
+        }
+        JobRef {
+            data: data as *const (),
+            execute: execute_erased::<T>,
+        }
+    }
+
+    /// Runs the job.
+    ///
+    /// # Safety
+    ///
+    /// See [`Job::execute`]; additionally every `JobRef` must be executed
+    /// at most once across all of its copies.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute)(self.data)
+    }
+
+    /// The two words a deque slot stores.
+    pub(crate) fn to_words(self) -> (usize, usize) {
+        (self.data as usize, self.execute as usize)
+    }
+
+    /// Rebuilds a `JobRef` from deque-slot words.
+    ///
+    /// # Safety
+    ///
+    /// The words must come from [`JobRef::to_words`] on a still-pending job.
+    pub(crate) unsafe fn from_words(data: usize, execute: usize) -> JobRef {
+        JobRef {
+            data: data as *const (),
+            execute: std::mem::transmute::<usize, unsafe fn(*const ())>(execute),
+        }
+    }
+}
+
+/// A one-shot completion flag.
+///
+/// Deliberately *just* an atomic: the instant `set` stores the flag, the
+/// `join` caller polling [`Latch::probe`] may take the result and destroy
+/// the stack frame holding this latch, so `set` must never touch `self`
+/// afterwards — in particular it cannot own a Mutex/Condvar for waiter
+/// wakeups. Parked waiters sleep on the *registry's* condvar instead
+/// (which outlives every job), notified by [`Job::execute`] after the
+/// flag store.
+///
+/// `set` happens-after the result write in [`Job::execute`] (release
+/// store), so a waiter that observes `probe()` (acquire load) may read the
+/// result without further synchronization.
+pub(crate) struct Latch {
+    set: AtomicBool,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Latch {
+        Latch {
+            set: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the latch has been set.
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    /// Sets the latch. After this store returns, `self` may already be
+    /// freed by the waiter — the caller must not dereference the job again.
+    pub(crate) fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+/// Outcome of a job: the closure's value or its panic payload.
+pub(crate) enum JobResult<R> {
+    Pending,
+    Ok(R),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A `join` arm awaiting execution, allocated on the caller's stack. Holds
+/// a reference to its registry so the executor can wake parked waiters
+/// through registry-owned state (which outlives the job) after the latch
+/// flips.
+pub(crate) struct StackJob<'r, F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    pub(crate) latch: Latch,
+    registry: &'r Registry,
+}
+
+// The job is handed to at most one executor at a time (enforced by the
+// deque/injector: a JobRef is popped or stolen exactly once), so the
+// UnsafeCell accesses never overlap; the latch orders the result hand-off.
+unsafe impl<F: Send, R: Send> Sync for StackJob<'_, F, R> {}
+
+impl<'r, F, R> StackJob<'r, F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F, registry: &'r Registry) -> StackJob<'r, F, R> {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+            latch: Latch::new(),
+            registry,
+        }
+    }
+
+    /// Erases this job.
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `self` alive until the latch is set.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self)
+    }
+
+    /// Extracts the result after the latch has been observed set.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called once, after `latch.probe()` returned true.
+    pub(crate) unsafe fn take_result(&self) -> JobResult<R> {
+        std::ptr::replace(self.result.get(), JobResult::Pending)
+    }
+}
+
+impl<F, R> Job for StackJob<'_, F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = &*this;
+        let func = (*this.func.get())
+            .take()
+            .expect("StackJob executed more than once");
+        // Copy the registry reference out *before* setting the latch: the
+        // instant the latch flips, the waiter may free the job's stack
+        // frame, so nothing may touch `this` afterwards.
+        let registry = this.registry;
+        // Capture the panic instead of unwinding through the worker's call
+        // stack: the payload is re-raised on the join caller by
+        // `resume_unwind`, preserving real-rayon semantics (and the original
+        // assertion message).
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(value) => JobResult::Ok(value),
+            Err(payload) => JobResult::Panicked(payload),
+        };
+        *this.result.get() = result;
+        this.latch.set();
+        // `this` is dead to us now; wake waiters via registry-owned state.
+        registry.notify_sleepers();
+    }
+}

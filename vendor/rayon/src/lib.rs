@@ -1,24 +1,79 @@
-//! Vendored stand-in for the subset of `rayon` this workspace uses.
+//! Vendored stand-in for the subset of `rayon` this workspace uses, backed
+//! by a real work-stealing runtime.
 //!
-//! The build environment has no registry access, so this crate provides an
-//! order-preserving parallel map over slices and ranges on top of
-//! `std::thread::scope`: `par_iter()` / `into_par_iter()`, `map`, `collect`,
-//! `for_each`, and [`join`]. There is no work-stealing pool — each `collect`
-//! fans work out over `available_parallelism` scoped threads pulling
-//! fixed-size chunks off a shared atomic counter, which is plenty for the
-//! coarse-grained fan-outs here (portfolio candidates, benchmark suites).
+//! The build environment has no registry access, so this crate provides the
+//! `rayon` API surface the workspace needs — `par_iter()` /
+//! `into_par_iter()`, `map`, `enumerate`, `collect`, `for_each`, and
+//! [`join`] — on top of a persistent worker pool instead of ad-hoc scoped
+//! threads.
+//!
+//! # The pool
+//!
+//! A process-wide pool is spawned lazily on first use and lives for the
+//! rest of the process. Its size is **`LSML_NUM_THREADS`** when that
+//! environment variable is set to a positive integer, otherwise
+//! `available_parallelism()`. The variable is read once, when the pool
+//! starts; `LSML_NUM_THREADS=1` disables the pool entirely and every
+//! operation runs strictly inline on the caller — a fully deterministic
+//! schedule, which CI uses to separate logic bugs from scheduling bugs.
+//!
+//! # Stealing discipline
+//!
+//! Each worker owns a Chase–Lev deque (see [`mod@deque`] for the memory-model
+//! details). Work is pushed and popped at the *bottom* by the owner (LIFO:
+//! nested tasks run depth-first and cache-hot) and stolen from the *top* by
+//! other workers (FIFO: thieves take the oldest, typically largest, pending
+//! task — exactly the splits that amortize a steal). An idle worker scans
+//! in the order *own deque → shared injector → steal round-robin from
+//! siblings*, spins briefly when everything is dry, then parks on a condvar
+//! that pushes notify (a 1 ms park timeout bounds the only lost-wakeup
+//! race). Threads from outside the pool hand work to the *injector* — a
+//! shared FIFO the workers poll between deque scans — and help execute pool
+//! work while they wait for their own results, so a blocked external caller
+//! never idles the machine.
+//!
+//! # Nested `join`
+//!
+//! [`join`] is the only spawning primitive, and it composes: `join(a, b)`
+//! pushes `b` onto the calling worker's own deque, runs `a` inline, then
+//! *pops* — when nobody stole `b` it executes inline straight off the
+//! deque (no synchronization beyond the pop), and when it was stolen the
+//! caller executes other pending jobs while it waits for the thief's
+//! latch. Because waiting threads always prefer draining work over
+//! blocking, arbitrarily deep nests (portfolio → benchmark → learner
+//! internals) use the same fixed set of pool threads: parallelism composes
+//! without oversubscription, and a `join` issued from a non-pool thread
+//! simply injects its second closure and helps out. (Chained stolen
+//! executions pile frames onto the waiter's stack, so each thread caps
+//! them and parks past the cap; workers get 16 MiB stacks on top.) Worker panics are
+//! caught, carried back, and re-raised on the `join` caller via
+//! [`std::panic::resume_unwind`], preserving the original payload (real
+//! `rayon` semantics — assertion messages from parallel tests survive).
+//! When the first closure panics, `join` still waits for the second to
+//! finish before unwinding, so no worker is left running a job whose stack
+//! frame died.
+//!
+//! Parallel-iterator `collect`s are driven by recursive binary splitting
+//! over [`join`] into a preallocated output buffer, so they inherit the
+//! same nesting and panic behavior and preserve item order.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+mod deque;
+mod job;
+mod registry;
 
-/// Number of worker threads a parallel operation will use.
+/// Number of worker threads the pool runs (`LSML_NUM_THREADS` or
+/// `available_parallelism`; see the crate docs). Starts the pool if it is
+/// not yet running.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    registry::Registry::global().num_threads()
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
+///
+/// The second closure is published to the work-stealing pool while the
+/// first runs on the caller; if no other worker steals it, the caller
+/// executes it inline. Panics in either closure propagate to the caller
+/// with their original payload (after both closures have come to rest).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -26,11 +81,7 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon::join worker panicked"))
-    })
+    registry::Registry::global().join(a, b)
 }
 
 /// An indexable source of parallel work: adapters compose by wrapping the
@@ -63,14 +114,15 @@ pub trait ParallelIterator: ParallelSource {
         Enumerate { base: self }
     }
 
-    /// Materializes all items in order, fanning evaluation out over threads.
+    /// Materializes all items in order, fanning evaluation out over the
+    /// work-stealing pool.
     fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
-        C::from_ordered_vec(drive(self))
+        C::from_ordered_vec(registry::drive(self))
     }
 
     /// Runs `f` on every item (parallel, no result).
     fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
-        drive(Map {
+        registry::drive(Map {
             base: self,
             f: |x| f(x),
         });
@@ -89,46 +141,6 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
     fn from_ordered_vec(items: Vec<T>) -> Self {
         items
     }
-}
-
-/// Evaluates every index of `src` across worker threads, preserving order.
-fn drive<S: ParallelSource>(src: S) -> Vec<S::Item> {
-    let n = src.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = current_num_threads().min(n);
-    if workers <= 1 {
-        return (0..n).map(|i| src.eval(i)).collect();
-    }
-    // Chunked dynamic scheduling: small enough chunks to balance, large
-    // enough to keep the atomic counter off the hot path.
-    let chunk = (n / (workers * 4)).max(1);
-    let next = AtomicUsize::new(0);
-    let parts: Mutex<Vec<(usize, Vec<S::Item>)>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                let items: Vec<S::Item> = (start..end).map(|i| src.eval(i)).collect();
-                parts
-                    .lock()
-                    .expect("rayon worker poisoned")
-                    .push((start, items));
-            });
-        }
-    });
-    let mut parts = parts.into_inner().expect("rayon worker poisoned");
-    parts.sort_unstable_by_key(|&(start, _)| start);
-    let mut out = Vec::with_capacity(n);
-    for (_, items) in parts {
-        out.extend(items);
-    }
-    out
 }
 
 /// Borrowing parallel iterator over a slice.
@@ -292,5 +304,44 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_propagates_panic_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            super::join(|| 7, || panic!("kept message"));
+        })
+        .expect_err("worker panic must surface");
+        let text = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| caught.downcast_ref::<String>().cloned());
+        assert_eq!(text.as_deref(), Some("kept message"));
+    }
+
+    #[test]
+    fn nested_joins_through_collect() {
+        // collect drives through join; each item issues its own join, so
+        // this nests portfolio-style without oversubscribing.
+        let sums: Vec<u64> = (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                let (a, b) = super::join(
+                    || (0..=i as u64).sum::<u64>(),
+                    || (0..=i as u64).map(|x| x * 2).sum::<u64>(),
+                );
+                a + b
+            })
+            .collect();
+        for (i, &s) in sums.iter().enumerate() {
+            let tri = (i as u64) * (i as u64 + 1) / 2;
+            assert_eq!(s, 3 * tri);
+        }
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 }

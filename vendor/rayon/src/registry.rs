@@ -1,0 +1,598 @@
+//! The persistent worker pool: registry, stealing discipline, `join`, and
+//! the parallel-iterator drive.
+//!
+//! See the crate docs for the user-facing contract. Internally:
+//!
+//! * [`Registry::global`] lazily spawns `LSML_NUM_THREADS` (or
+//!   `available_parallelism`) detached workers, each owning one Chase–Lev
+//!   [`Deque`]; a mutex-protected FIFO *injector* receives jobs from
+//!   threads outside the pool.
+//! * A worker looks for work in the order: own deque (LIFO) → injector →
+//!   steal from siblings (FIFO, round-robin starting after itself). Idle
+//!   workers spin briefly, then park on a condvar with a 1 ms timeout —
+//!   pushes notify the condvar when sleepers are registered, and the
+//!   timeout bounds the latency of the one benign lost-wakeup race.
+//! * `join(a, b)` on a worker pushes `b`, runs `a` inline, then *pops* —
+//!   if `b` was not stolen it executes inline right off the deque (no
+//!   synchronization beyond the pop), otherwise the worker keeps executing
+//!   other jobs while it waits for the thief's latch. Callers outside the
+//!   pool inject `b` and help drain pool work while they wait.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::deque::{Deque, Steal};
+use crate::job::{JobRef, JobResult, Latch, StackJob};
+use crate::ParallelSource;
+
+/// Base park interval for threads re-checking for work on their own.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+/// Park-timeout doubling cap for continuously idle workers: 1 ms << 6 =
+/// 64 ms, dropping steady-state idle wakeups from 1 kHz to ~16 Hz per
+/// worker while keeping worst-case work-discovery latency bounded.
+const MAX_PARK_BACKOFF: u32 = 6;
+/// Yield-spin iterations before an idle worker parks.
+const SPINS_BEFORE_PARK: usize = 8;
+/// Worker stack size. Stolen jobs execute on top of the waiting frame, so
+/// worker stacks run deeper than the logical join nesting; make them roomy.
+const WORKER_STACK_BYTES: usize = 16 * 1024 * 1024;
+/// Cap on *chained* stolen-job executions per thread: a thread waiting in
+/// `join` may execute a stolen job, whose own waits may steal again, and so
+/// on — each link adds the full frame chain of a task to the host stack.
+/// Popping the thread's own deque stays uncapped (bounded by its own join
+/// nesting); past this depth a waiter parks instead of stealing, and the
+/// depth-0 worker loops keep the system draining.
+const MAX_STEAL_DEPTH: usize = 32;
+
+/// Reads the configured pool size: `LSML_NUM_THREADS` if set to a positive
+/// integer, otherwise `available_parallelism`.
+fn configured_num_threads() -> usize {
+    if let Ok(value) = std::env::var("LSML_NUM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The worker pool. One global instance serves the whole process (tests may
+/// build private instances to exercise specific pool sizes).
+pub(crate) struct Registry {
+    deques: Vec<Deque>,
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Lock-free length mirror of `injector`, for cheap emptiness probes.
+    injected: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cond: Condvar,
+    sleepers: AtomicUsize,
+    num_threads: usize,
+}
+
+thread_local! {
+    /// (registry address, worker index) when the current thread is a pool
+    /// worker. The address disambiguates private test registries from the
+    /// global one.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+    /// How many stolen-job executions are live on this thread's stack.
+    static STEAL_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Executes a stolen job with the chained-steal accounting that
+/// [`MAX_STEAL_DEPTH`] checks against.
+///
+/// # Safety
+///
+/// Same contract as [`JobRef::execute`].
+unsafe fn execute_stolen(job: JobRef) {
+    STEAL_DEPTH.with(|d| d.set(d.get() + 1));
+    job.execute();
+    STEAL_DEPTH.with(|d| d.set(d.get() - 1));
+}
+
+/// Whether this thread may grow its stack with another stolen execution.
+fn may_steal_deeper() -> bool {
+    STEAL_DEPTH.with(|d| d.get()) < MAX_STEAL_DEPTH
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+impl Registry {
+    /// The process-wide pool, spawning its workers on first use.
+    pub(crate) fn global() -> &'static Arc<Registry> {
+        GLOBAL.get_or_init(|| Registry::new(configured_num_threads()))
+    }
+
+    /// Builds a pool with `num_threads` workers. With one thread no workers
+    /// are spawned at all: `join` and `drive` run strictly inline, which
+    /// gives the `LSML_NUM_THREADS=1` CI leg fully deterministic scheduling.
+    ///
+    /// Workers run until process exit — there is no shutdown path, so each
+    /// pool permanently pins its threads (and their deques). That is the
+    /// intended contract for the one process-wide pool this crate serves;
+    /// tests build small private pools and accept the leak. Grow a real
+    /// teardown before using this for anything per-request.
+    pub(crate) fn new(num_threads: usize) -> Arc<Registry> {
+        let registry = Arc::new(Registry {
+            deques: (0..num_threads).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            injected: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            num_threads,
+        });
+        if num_threads > 1 {
+            for index in 0..num_threads {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("lsml-worker-{index}"))
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn(move || worker_main(&registry, index))
+                    .expect("failed to spawn pool worker");
+            }
+        }
+        registry
+    }
+
+    #[inline]
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// The current thread's worker index in *this* registry, if any.
+    fn current_worker(&self) -> Option<usize> {
+        WORKER.with(|w| match w.get() {
+            Some((registry, index)) if registry == self as *const Registry as usize => Some(index),
+            _ => None,
+        })
+    }
+
+    /// Queues a job from outside the pool.
+    fn inject(&self, job: JobRef) {
+        self.injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(job);
+        self.injected.fetch_add(1, Ordering::SeqCst);
+        self.notify_sleepers();
+    }
+
+    fn pop_injected(&self) -> Option<JobRef> {
+        if self.injected.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let job = self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front();
+        if job.is_some() {
+            self.injected.fetch_sub(1, Ordering::SeqCst);
+        }
+        job
+    }
+
+    /// Finds work for `thief` (a worker index, or `usize::MAX` for an
+    /// external helper): injector first, then steal round-robin from the
+    /// other deques, retrying while any steal races.
+    fn find_work(&self, thief: usize) -> Option<JobRef> {
+        if let Some(job) = self.pop_injected() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        if n == 0 {
+            return None;
+        }
+        let start = if thief == usize::MAX { 0 } else { thief + 1 };
+        loop {
+            let mut contended = false;
+            for k in 0..n {
+                let victim = (start + k) % n;
+                if victim == thief {
+                    continue;
+                }
+                match self.deques[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !contended {
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Racy check used before parking; a stale answer is corrected by the
+    /// park timeout.
+    fn has_pending_work(&self) -> bool {
+        self.injected.load(Ordering::SeqCst) > 0 || self.deques.iter().any(|d| !d.looks_empty())
+    }
+
+    /// Wakes parked threads after new work was made visible or a job
+    /// completed. Job executors call this *after* the job's latch flipped —
+    /// it touches registry-owned state only, because the job's stack frame
+    /// may already be gone.
+    pub(crate) fn notify_sleepers(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.sleep_cond.notify_all();
+        }
+    }
+
+    /// Parks a thread waiting on `latch` until a job-completion (or new
+    /// work) notification arrives or the base timeout elapses; callers
+    /// re-check the latch in a loop. Registering in `sleepers` under the
+    /// lock makes the executor's post-set notify reliable; the timeout
+    /// bounds the one remaining registration race.
+    fn wait_latch(&self, latch: &Latch) {
+        let guard = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+        if latch.probe() {
+            return;
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let _ = self.sleep_cond.wait_timeout(guard, PARK_TIMEOUT);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Parks the calling worker until notified or a backed-off timeout
+    /// elapses (`backoff` doubles the base interval, capped).
+    fn park(&self, backoff: u32) {
+        let guard = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+        // Register before the pending-work re-check so a pusher that sees
+        // an empty `sleepers` either preceded our check (we find its work)
+        // or will see our registration and notify.
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if !self.has_pending_work() {
+            let timeout = PARK_TIMEOUT.saturating_mul(1 << backoff.min(MAX_PARK_BACKOFF));
+            let _ = self.sleep_cond.wait_timeout(guard, timeout);
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// `join` against this registry. Public API entry is [`crate::join`].
+    pub(crate) fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.num_threads <= 1 {
+            // Inline execution must keep the pooled path's panic contract
+            // (the second closure always runs to completion; the first
+            // closure's payload wins), or the deterministic
+            // LSML_NUM_THREADS=1 CI leg would diverge from the pooled legs
+            // on panic paths.
+            let ra = panic::catch_unwind(AssertUnwindSafe(a));
+            let rb = panic::catch_unwind(AssertUnwindSafe(b));
+            let ra = match ra {
+                Ok(value) => value,
+                Err(payload) => panic::resume_unwind(payload),
+            };
+            return match rb {
+                Ok(value) => (ra, value),
+                Err(payload) => panic::resume_unwind(payload),
+            };
+        }
+        let job_b = StackJob::new(b, self);
+        // Safety: we wait on `job_b.latch` below before returning, so the
+        // stack job outlives every JobRef pointing at it.
+        let job_ref = unsafe { job_b.as_job_ref() };
+        let ra = match self.current_worker() {
+            Some(index) => {
+                self.deques[index].push(job_ref);
+                self.notify_sleepers();
+                let ra = panic::catch_unwind(AssertUnwindSafe(a));
+                // Drain our own deque while waiting: the LIFO pop returns
+                // `b` itself when nobody stole it (inline execution), or
+                // jobs pushed by enclosing joins — executing those here is
+                // what lets nested parallelism compose without extra
+                // threads. Only when our deque is dry do we steal.
+                while !job_b.latch.probe() {
+                    if let Some(job) = self.deques[index].pop() {
+                        // Safety: popped jobs are pending and exclusively
+                        // ours; own-deque work adds at most our own join
+                        // nesting to the stack.
+                        unsafe { job.execute() };
+                    } else if may_steal_deeper() {
+                        if let Some(job) = self.find_work(index) {
+                            // Safety: stolen jobs are pending and exclusively
+                            // ours once the steal CAS succeeds.
+                            unsafe { execute_stolen(job) };
+                        } else {
+                            self.wait_latch(&job_b.latch);
+                        }
+                    } else {
+                        self.wait_latch(&job_b.latch);
+                    }
+                }
+                ra
+            }
+            None => {
+                // A thread outside the pool: hand `b` to the workers and
+                // help drain the pool while it is in flight.
+                self.inject(job_ref);
+                let ra = panic::catch_unwind(AssertUnwindSafe(a));
+                while !job_b.latch.probe() {
+                    if may_steal_deeper() {
+                        if let Some(job) = self.find_work(usize::MAX) {
+                            // Safety: as above.
+                            unsafe { execute_stolen(job) };
+                        } else {
+                            self.wait_latch(&job_b.latch);
+                        }
+                    } else {
+                        self.wait_latch(&job_b.latch);
+                    }
+                }
+                ra
+            }
+        };
+        // Safety: the latch is set; the result is published.
+        let rb = unsafe { job_b.take_result() };
+        // `b` has fully completed, so unwinding `a`'s panic can no longer
+        // leave a worker reading our dead stack frame.
+        let ra = match ra {
+            Ok(value) => value,
+            Err(payload) => panic::resume_unwind(payload),
+        };
+        match rb {
+            JobResult::Ok(value) => (ra, value),
+            JobResult::Panicked(payload) => panic::resume_unwind(payload),
+            JobResult::Pending => unreachable!("latch set but join result still pending"),
+        }
+    }
+}
+
+/// The worker main loop: run own work, else injected work, else steal, else
+/// spin briefly and park.
+fn worker_main(registry: &Arc<Registry>, index: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(registry) as usize, index))));
+    let mut idle = 0usize;
+    loop {
+        match registry.deques[index]
+            .pop()
+            .or_else(|| registry.find_work(index))
+        {
+            Some(job) => {
+                idle = 0;
+                // Safety: popped/stolen jobs are pending and exclusively ours.
+                unsafe { job.execute() };
+            }
+            None => {
+                idle += 1;
+                if idle <= SPINS_BEFORE_PARK {
+                    std::thread::yield_now();
+                } else {
+                    registry.park((idle - SPINS_BEFORE_PARK - 1) as u32);
+                }
+            }
+        }
+    }
+}
+
+/// A raw output pointer that may cross threads: every parallel task writes
+/// a disjoint index range, so the aliasing is safe by construction.
+struct OutPtr<T>(*mut T);
+
+impl<T> Clone for OutPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for OutPtr<T> {}
+unsafe impl<T: Send> Send for OutPtr<T> {}
+unsafe impl<T: Send> Sync for OutPtr<T> {}
+
+/// Evaluates every index of `src` across the pool via recursive binary
+/// splitting over `join`, preserving order.
+///
+/// If a closure panics, the panic propagates to the caller once in-flight
+/// tasks have completed; items already produced are leaked (not dropped),
+/// which is safe but loses their heap storage — acceptable for this
+/// vendored stand-in.
+pub(crate) fn drive<S: ParallelSource>(src: S) -> Vec<S::Item> {
+    let n = src.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let registry = Registry::global();
+    if registry.num_threads() <= 1 {
+        return (0..n).map(|i| src.eval(i)).collect();
+    }
+    let mut out: Vec<MaybeUninit<S::Item>> = Vec::with_capacity(n);
+    // Safety: MaybeUninit needs no initialization; length tracks capacity.
+    unsafe { out.set_len(n) };
+    let ptr = OutPtr(out.as_mut_ptr());
+    // Split down to chunks small enough to balance across the pool but
+    // large enough that deque traffic stays off the per-item path.
+    let grain = (n / (registry.num_threads() * 8)).max(1);
+    split_eval(registry, &src, 0, n, grain, ptr);
+    // Safety: split_eval wrote every index exactly once.
+    let mut out = std::mem::ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut S::Item, n, out.capacity()) }
+}
+
+fn split_eval<S: ParallelSource>(
+    registry: &Registry,
+    src: &S,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+    out: OutPtr<MaybeUninit<S::Item>>,
+) {
+    if hi - lo <= grain {
+        for i in lo..hi {
+            // Safety: disjoint indices, each written exactly once.
+            unsafe { (*out.0.add(i)).write(src.eval(i)) };
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    registry.join(
+        || split_eval(registry, src, lo, mid, grain, out),
+        || split_eval(registry, src, mid, hi, grain, out),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Recursive parallel sum over a private registry, to exercise pushes,
+    /// inline pops, and steals at a controlled pool size regardless of the
+    /// host's core count.
+    fn par_sum(registry: &Registry, lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 64 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = registry.join(|| par_sum(registry, lo, mid), || par_sum(registry, mid, hi));
+        a + b
+    }
+
+    #[test]
+    fn private_pool_joins_nest() {
+        for threads in [1, 2, 4] {
+            let registry = Registry::new(threads);
+            let total = par_sum(&registry, 0, 100_000);
+            assert_eq!(total, 100_000 * 99_999 / 2, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn external_thread_helps_instead_of_deadlocking() {
+        // Every join below is issued from this (non-worker) thread against
+        // a 2-worker pool; the caller must help drain the injector.
+        let registry = Registry::new(2);
+        for round in 0..50 {
+            let (a, b) = registry.join(|| round * 2, || round * 2 + 1);
+            assert_eq!((a, b), (round * 2, round * 2 + 1));
+        }
+    }
+
+    #[test]
+    fn deep_nesting_completes() {
+        let registry = Registry::new(3);
+        fn depth(registry: &Registry, d: usize) -> usize {
+            if d == 0 {
+                return 0;
+            }
+            let (a, b) = registry.join(|| depth(registry, d - 1), || depth(registry, d - 1));
+            1 + a.max(b)
+        }
+        assert_eq!(depth(&registry, 10), 10);
+    }
+
+    #[test]
+    fn side_effects_run_exactly_once() {
+        let registry = Registry::new(4);
+        let counter = AtomicU64::new(0);
+        fn spray(registry: &Registry, counter: &AtomicU64, n: u64) {
+            if n == 0 {
+                counter.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            registry.join(
+                || spray(registry, counter, n - 1),
+                || spray(registry, counter, n - 1),
+            );
+        }
+        spray(&registry, &counter, 12);
+        assert_eq!(counter.load(Ordering::Relaxed), 1 << 12);
+    }
+
+    #[test]
+    fn worker_panic_payload_survives() {
+        let registry = Registry::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            registry.join(|| 1, || panic!("original assertion text"));
+        }))
+        .expect_err("join should propagate the worker panic");
+        let message = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("original assertion text"),
+            "payload lost: {message:?}"
+        );
+    }
+
+    #[test]
+    fn first_closure_panic_waits_for_second() {
+        // `a` panics while `b` is potentially stolen; join must not unwind
+        // until `b` completed, and must then re-raise `a`'s payload.
+        let registry = Registry::new(2);
+        let b_ran = AtomicU64::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            registry.join(
+                || panic!("a exploded"),
+                || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    b_ran.fetch_add(1, Ordering::SeqCst);
+                },
+            );
+        }))
+        .expect_err("a's panic must propagate");
+        assert_eq!(b_ran.load(Ordering::SeqCst), 1, "b must have completed");
+        assert!(caught
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("a exploded")));
+    }
+
+    #[test]
+    fn inline_pool_keeps_pooled_panic_contract() {
+        // The strictly-inline single-thread path must behave like the
+        // pooled path on panics: b still runs to completion, a's payload
+        // wins.
+        let registry = Registry::new(1);
+        let b_ran = AtomicU64::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            registry.join(
+                || panic!("inline a"),
+                || {
+                    b_ran.fetch_add(1, Ordering::SeqCst);
+                },
+            );
+        }))
+        .expect_err("a's panic must propagate");
+        assert_eq!(b_ran.load(Ordering::SeqCst), 1, "b must have completed");
+        assert!(caught
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("inline a")));
+    }
+
+    #[test]
+    fn both_closures_panicking_reports_first() {
+        let registry = Registry::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            registry.join(|| panic!("first"), || panic!("second"));
+        }))
+        .expect_err("panic must propagate");
+        assert!(caught
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("first")));
+    }
+
+    #[test]
+    fn configured_thread_count_prefers_env_parsing() {
+        // Exercise the parser only: mutating the process environment would
+        // race other tests, and the global pool latches its size anyway.
+        assert!(configured_num_threads() >= 1);
+    }
+}
