@@ -137,6 +137,26 @@ impl Aig {
         Lit::new(n, false)
     }
 
+    /// Non-mutating probe of [`Aig::and`]: returns the literal the AND of
+    /// `a` and `b` *would* resolve to — via constant folding, the unit rules
+    /// or a structural-hash hit — without creating any node. `None` means a
+    /// call to [`Aig::and`] would allocate a fresh node. Used by the
+    /// rewriting pass to price candidate structures against logic the graph
+    /// already contains.
+    pub fn lookup_and(&self, a: Lit, b: Lit) -> Option<Lit> {
+        let (a, b) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        if a == Lit::FALSE || a == !b {
+            return Some(Lit::FALSE);
+        }
+        if a == Lit::TRUE {
+            return Some(b);
+        }
+        if a == b {
+            return Some(a);
+        }
+        self.strash.get(&(a, b)).map(|&n| Lit::new(n, false))
+    }
+
     /// OR of two literals (De Morgan on [`Aig::and`]).
     pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
         !self.and(!a, !b)

@@ -6,6 +6,13 @@
 //! is almost always 1 with constant-1), excluding nodes close to the outputs
 //! via a level threshold. The paper reports the accuracy drops by about 5%
 //! while removing 3000–5000 nodes.
+//!
+//! Accuracy is the scarce resource here, so [`reduce`] spends the *free*
+//! reductions first: the exact optimization pipeline
+//! ([`crate::opt::Pipeline::resyn`]) runs before any node is sacrificed and
+//! again after every dropping round — constant propagation from a dropped
+//! node exposes new rewriting/sweeping opportunities, and every gate the
+//! pipeline reclaims is a gate node-dropping does not have to pay for.
 
 use std::collections::HashMap;
 
@@ -14,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::aig::Aig;
+use crate::opt::Pipeline;
 use crate::sim::{pattern_one_counts, random_one_counts};
 
 /// Configuration for [`approximate`].
@@ -38,6 +46,15 @@ pub struct ApproxConfig {
     pub seed: u64,
     /// Upper bound on the number of nodes replaced per simulation round.
     pub batch: usize,
+    /// Fixpoint rounds of the exact pipeline run before node-dropping and
+    /// after each dropping round (`0` disables the exact passes and
+    /// recovers the raw Team-1 dropping loop).
+    pub pipeline_rounds: usize,
+    /// Skip the initial exact run (the interleaved post-dropping runs still
+    /// happen). Set by callers that already ran the pipeline to a fixpoint
+    /// — the compile path in `lsml-core` — so the converged graph is not
+    /// re-optimized.
+    pub skip_initial_pipeline: bool,
 }
 
 impl Default for ApproxConfig {
@@ -49,20 +66,37 @@ impl Default for ApproxConfig {
             level_guard: 4,
             seed: 0,
             batch: 64,
+            pipeline_rounds: 2,
+            skip_initial_pipeline: false,
         }
     }
 }
 
-/// Shrinks the AIG below `cfg.node_limit` by constant-replacing the most
-/// constant-biased internal nodes, Team-1 style. Returns the approximated
-/// graph (the input is unchanged). If the AIG is already small enough it is
-/// returned as-is (after a cleanup).
+/// Shrinks the AIG below `cfg.node_limit`, spending exact optimization
+/// before accuracy: the resyn pipeline runs first, and only if the graph is
+/// still over budget does Team-1-style constant replacement kick in — with
+/// the pipeline re-run after every dropping round to reclaim the exact
+/// gates constant propagation exposes. Returns the reduced graph (the input
+/// is unchanged). If the AIG is already small enough, only the exact
+/// passes run.
 ///
-/// The returned AIG computes an *approximation* of the original function —
-/// callers trade accuracy for size, which is the paper's central theme.
-pub fn approximate(aig: &Aig, cfg: &ApproxConfig) -> Aig {
+/// When node-dropping engages, the returned AIG computes an *approximation*
+/// of the original function — callers trade accuracy for size, which is the
+/// paper's central theme.
+pub fn reduce(aig: &Aig, cfg: &ApproxConfig) -> Aig {
+    reduce_traced(aig, cfg).0
+}
+
+/// [`reduce`] plus a flag reporting whether node-dropping actually happened
+/// (i.e. whether the result may approximate rather than equal the input).
+pub fn reduce_traced(aig: &Aig, cfg: &ApproxConfig) -> (Aig, bool) {
+    let pipeline = Pipeline::resyn(cfg.seed);
     let mut current = aig.clone();
     current.cleanup();
+    if cfg.pipeline_rounds > 0 && !cfg.skip_initial_pipeline {
+        current = pipeline.run_fixpoint(&current, cfg.pipeline_rounds);
+    }
+    let mut dropped = false;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut guard = cfg.level_guard;
     while current.num_ands() > cfg.node_limit {
@@ -130,19 +164,29 @@ pub fn approximate(aig: &Aig, cfg: &ApproxConfig) -> Aig {
                 if next.is_none() {
                     // No survivable replacement left; accept the best
                     // constant-free graph we have.
-                    return current;
+                    return (current, dropped);
                 }
             }
         }
-        let next = next.expect("loop sets next");
+        let mut next = next.expect("loop sets next");
+        // Reclaim exact gates the constants exposed before dropping more.
+        if cfg.pipeline_rounds > 0 {
+            next = pipeline.run_fixpoint(&next, 1);
+        }
         // substitute_constants + cleanup must make progress; if constant
         // propagation somehow removed nothing, force progress by giving up.
         if next.num_ands() >= current.num_ands() {
             break;
         }
+        dropped = true;
         current = next;
     }
-    current
+    (current, dropped)
+}
+
+/// Legacy name for [`reduce`], kept for existing call sites.
+pub fn approximate(aig: &Aig, cfg: &ApproxConfig) -> Aig {
+    reduce(aig, cfg)
 }
 
 /// Whether every primary output is a constant literal.
@@ -216,6 +260,48 @@ mod tests {
             let bits = [(v & 1) != 0, (v & 2) != 0];
             assert_eq!(g.eval(&bits), out.eval(&bits));
         }
+    }
+
+    #[test]
+    fn exact_pipeline_runs_before_dropping() {
+        // Two structurally different parity cones combined: the duplicate
+        // is exact redundancy, so the budget between the optimized and the
+        // raw size must be met with *zero* error — no node-dropping.
+        let mut g = Aig::new(12);
+        let ins = g.inputs();
+        let mut acc = ins[0];
+        for &x in &ins[1..] {
+            acc = g.xor(acc, x); // left-deep chain
+        }
+        let balanced = g.xor_many(&ins); // balanced tree, different shape
+        let f = g.and(acc, balanced); // == parity
+        g.add_output(f);
+        let raw = g.num_ands();
+        let cfg = ApproxConfig {
+            node_limit: raw * 3 / 4,
+            ..ApproxConfig::default()
+        };
+        let small = reduce(&g, &cfg);
+        assert!(small.num_ands() <= cfg.node_limit);
+        for m in 0..(1u64 << 12) {
+            let bits: Vec<bool> = (0..12).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(g.eval(&bits), small.eval(&bits), "accuracy was sacrificed");
+        }
+        // The raw dropping loop (pipeline disabled) cannot do that.
+        let raw_cfg = ApproxConfig {
+            pipeline_rounds: 0,
+            ..cfg
+        };
+        let dropped = reduce(&g, &raw_cfg);
+        let mut mismatch = false;
+        for m in (0..(1u64 << 12)).step_by(7) {
+            let bits: Vec<bool> = (0..12).map(|i| (m >> i) & 1 == 1).collect();
+            if g.eval(&bits) != dropped.eval(&bits) {
+                mismatch = true;
+                break;
+            }
+        }
+        assert!(mismatch, "node-dropping alone should have cost accuracy");
     }
 
     #[test]

@@ -10,12 +10,19 @@
 //! * [`Aig`] — the graph itself, with structural hashing, constant folding,
 //!   levels and dangling-node cleanup.
 //! * [`sim`] — word-parallel (64 patterns per word) simulation.
-//! * [`aiger`] — ASCII AIGER (`.aag`) reader/writer.
+//! * [`aiger`] — ASCII (`.aag`) and binary (`.aig`) AIGER reader/writer.
 //! * [`circuits`] — bit-vector circuit builders (adders, comparators,
 //!   multipliers, popcount, symmetric functions, majority).
+//! * [`cut`] / [`npn`] — k-feasible cut enumeration with truth tables and
+//!   NPN canonization with the optimal-structure library.
+//! * [`rewrite`] — DAG-aware cut/NPN rewriting (ABC's `rewrite`).
+//! * [`sweep`] — simulation-guided equivalence sweeping.
+//! * [`opt`] — the composable [`Pass`](opt::Pass) /
+//!   [`Pipeline`](opt::Pipeline) layer chaining the exact passes
+//!   (`balance | rewrite | sweep | cleanup`, iterated to fixpoint).
 //! * [`approx`] — the random-simulation approximation pass Team 1 used to
-//!   push oversized AIGs under the contest's node limit.
-//! * [`opt`] — light restructuring (balance) for depth reduction.
+//!   push oversized AIGs under the contest's node limit, now interleaved
+//!   with the exact pipeline (see [`approx::reduce`]).
 //!
 //! # Examples
 //!
@@ -38,10 +45,31 @@ pub mod aig;
 pub mod aiger;
 pub mod approx;
 pub mod circuits;
+pub mod cut;
 pub mod lit;
+pub mod npn;
 pub mod opt;
+pub mod rewrite;
 pub mod sim;
+pub mod sweep;
 
 pub use aig::Aig;
-pub use approx::{approximate, ApproxConfig};
+pub use approx::{approximate, reduce, ApproxConfig};
 pub use lit::Lit;
+pub use opt::{Pass, Pipeline};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::aig::Aig;
+
+    /// Asserts two AIGs agree on every input assignment (exhaustive, so
+    /// capped at 12 inputs). Shared by the rewrite/sweep/opt test modules.
+    pub(crate) fn equivalent_exhaustive(a: &Aig, b: &Aig) {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        assert!(a.num_inputs() <= 12, "exhaustive check limited");
+        for m in 0..(1u64 << a.num_inputs()) {
+            let bits: Vec<bool> = (0..a.num_inputs()).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(a.eval(&bits), b.eval(&bits), "mismatch at {m:b}");
+        }
+    }
+}

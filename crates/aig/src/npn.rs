@@ -1,0 +1,367 @@
+//! NPN canonization of 4-input functions and the optimal-structure library.
+//!
+//! Two 4-input functions are NPN-equivalent when one becomes the other under
+//! some input **N**egation, input **P**ermutation, and output **N**egation.
+//! The 65 536 four-input functions collapse into 222 NPN classes, so a
+//! rewriting engine only needs one good AIG structure per *class*: a cut
+//! whose function canonizes into a known class is replaced by the class
+//! structure with the inverse transform applied at its boundary (ABC's
+//! `rewrite -K 4` keeps exactly such a library).
+//!
+//! Canonization here is exact brute force over all 768 transforms (24
+//! permutations x 16 input-negation masks x 2 output phases), memoized per
+//! truth table. Class structures are synthesized once per process — Shannon
+//! decomposition over every variable order and output phase, structurally
+//! hashed, keeping the cheapest — and shared behind a global [`NpnLibrary`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::aig::Aig;
+use crate::cut::{cofactor0, cofactor1};
+use crate::lit::Lit;
+
+/// All 24 permutations of four elements, generated in lexicographic order.
+fn permutations() -> &'static [[u8; 4]; 24] {
+    static PERMS: OnceLock<[[u8; 4]; 24]> = OnceLock::new();
+    PERMS.get_or_init(|| {
+        let mut out = [[0u8; 4]; 24];
+        let mut k = 0;
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                for c in 0..4u8 {
+                    for d in 0..4u8 {
+                        if a != b && a != c && a != d && b != c && b != d && c != d {
+                            out[k] = [a, b, c, d];
+                            k += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    })
+}
+
+/// One NPN transform: `apply(tt, t)` computes `g` with
+/// `g(y0..y3) = tt(x0..x3) ^ output_neg` where
+/// `x_i = y[perm[i]] ^ input_neg[i]`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct NpnTransform {
+    /// `perm[i]` is the canonical variable feeding original variable `i`.
+    pub perm: [u8; 4],
+    /// Bit `i` complements original variable `i` on the way in.
+    pub input_neg: u8,
+    /// Whether the output is complemented.
+    pub output_neg: bool,
+}
+
+impl NpnTransform {
+    /// The identity transform.
+    pub const IDENTITY: NpnTransform = NpnTransform {
+        perm: [0, 1, 2, 3],
+        input_neg: 0,
+        output_neg: false,
+    };
+}
+
+/// A canonized function: the class representative and the transform that
+/// maps the original table onto it (`canon == apply(tt, transform)`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct NpnClass {
+    /// The class-representative truth table (minimum over all transforms).
+    pub canon: u16,
+    /// The transform achieving it.
+    pub transform: NpnTransform,
+}
+
+/// Applies an NPN transform to a truth table (see [`NpnTransform`]).
+pub fn apply(tt: u16, t: &NpnTransform) -> u16 {
+    let mut g = 0u16;
+    for m in 0..16u16 {
+        let mut idx = 0u16;
+        for i in 0..4 {
+            let y = (m >> t.perm[i]) & 1;
+            let x = y ^ ((u16::from(t.input_neg) >> i) & 1);
+            idx |= x << i;
+        }
+        let bit = ((tt >> idx) & 1) ^ u16::from(t.output_neg);
+        g |= bit << m;
+    }
+    g
+}
+
+/// Exact NPN canonization: the minimum table over all 768 transforms.
+pub fn canonize(tt: u16) -> NpnClass {
+    let mut best = NpnClass {
+        canon: u16::MAX,
+        transform: NpnTransform::IDENTITY,
+    };
+    for perm in permutations() {
+        for input_neg in 0..16u8 {
+            for output_neg in [false, true] {
+                let t = NpnTransform {
+                    perm: *perm,
+                    input_neg,
+                    output_neg,
+                };
+                let cand = apply(tt, &t);
+                if cand < best.canon {
+                    best = NpnClass {
+                        canon: cand,
+                        transform: t,
+                    };
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Synthesizes a small AIG (4 inputs, 1 output) computing `tt`: Shannon
+/// decomposition tried over all 24 variable orders and both output phases,
+/// with structural hashing sharing cofactor cones; the cheapest (fewest
+/// ANDs, then shallowest) wins.
+fn synthesize(tt: u16) -> Aig {
+    let mut best: Option<Aig> = None;
+    for perm in permutations() {
+        for flip in [false, true] {
+            let target = if flip { !tt } else { tt };
+            let mut g = Aig::new(4);
+            let srcs: [Lit; 4] = [g.input(0), g.input(1), g.input(2), g.input(3)];
+            let out = shannon(&mut g, target, &srcs, perm, 4);
+            g.add_output(out.complement_if(flip));
+            g.cleanup();
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    g.num_ands() < b.num_ands()
+                        || (g.num_ands() == b.num_ands() && g.depth() < b.depth())
+                }
+            };
+            if better {
+                best = Some(g);
+            }
+        }
+    }
+    best.expect("at least one synthesis attempt")
+}
+
+/// Recursive Shannon expansion of `tt` decomposing on `order[k - 1]`,
+/// skipping variables the table does not depend on. Complementary cofactors
+/// become an XOR with the decomposition variable (Davio-style), which keeps
+/// parity-like classes at their optimal size instead of duplicating cones.
+fn shannon(g: &mut Aig, tt: u16, srcs: &[Lit; 4], order: &[u8; 4], k: usize) -> Lit {
+    if tt == 0 {
+        return Lit::FALSE;
+    }
+    if tt == 0xFFFF {
+        return Lit::TRUE;
+    }
+    debug_assert!(k > 0, "non-constant table with no variables left");
+    let var = order[k - 1] as usize;
+    let lo = cofactor0(tt, var);
+    let hi = cofactor1(tt, var);
+    if lo == hi {
+        return shannon(g, lo, srcs, order, k - 1);
+    }
+    if lo == !hi {
+        let l = shannon(g, lo, srcs, order, k - 1);
+        return g.xor(srcs[var], l);
+    }
+    let l = shannon(g, lo, srcs, order, k - 1);
+    let h = shannon(g, hi, srcs, order, k - 1);
+    g.mux(srcs[var], h, l)
+}
+
+/// One library lookup: the canonization of a cut function plus the shared
+/// structure implementing its class representative.
+#[derive(Clone)]
+pub struct LibEntry {
+    /// The canonization of the looked-up table.
+    pub class: NpnClass,
+    /// A 4-input, 1-output AIG computing `class.canon`.
+    pub structure: Arc<Aig>,
+}
+
+impl LibEntry {
+    /// Maps cut-leaf literals onto the structure's four inputs: canonical
+    /// input `perm[i]` is fed `leaf_lits[i] ^ input_neg[i]`. Unused
+    /// canonical inputs receive whatever placeholder sits in `leaf_lits`
+    /// (the structure provably does not read them).
+    pub fn input_map(&self, leaf_lits: &[Lit; 4]) -> [Lit; 4] {
+        let t = &self.class.transform;
+        let mut m = [Lit::FALSE; 4];
+        for i in 0..4 {
+            m[t.perm[i] as usize] = leaf_lits[i].complement_if((t.input_neg >> i) & 1 == 1);
+        }
+        m
+    }
+
+    /// Whether the structure's output must be complemented to recover the
+    /// original function.
+    pub fn output_complement(&self) -> bool {
+        self.class.transform.output_neg
+    }
+}
+
+/// The process-wide structure library: canonization results and class
+/// structures are computed once and memoized. Every rewriting call shares
+/// the same instance via [`NpnLibrary::global`].
+#[derive(Default)]
+pub struct NpnLibrary {
+    canon_memo: Mutex<HashMap<u16, NpnClass>>,
+    structures: Mutex<HashMap<u16, Arc<Aig>>>,
+}
+
+impl NpnLibrary {
+    /// The shared process-wide library.
+    pub fn global() -> &'static NpnLibrary {
+        static LIB: OnceLock<NpnLibrary> = OnceLock::new();
+        LIB.get_or_init(NpnLibrary::default)
+    }
+
+    /// Number of distinct NPN classes materialized so far.
+    pub fn num_classes(&self) -> usize {
+        self.structures.lock().expect("library lock").len()
+    }
+
+    /// Canonizes `tt` (memoized) and returns the class structure
+    /// (synthesized on first encounter of the class). Both locks are held
+    /// only for the map probe/insert — canonization and synthesis run
+    /// unlocked, so concurrent rewriting passes never serialize behind a
+    /// 48-attempt synthesis (a racing thread may compute a duplicate, which
+    /// is discarded; results are deterministic either way). Callers in a
+    /// hot loop should additionally keep a pass-local cache keyed by raw
+    /// table to avoid repeated lock traffic.
+    pub fn entry(&self, tt: u16) -> LibEntry {
+        let cached = self
+            .canon_memo
+            .lock()
+            .expect("library lock")
+            .get(&tt)
+            .copied();
+        let class = cached.unwrap_or_else(|| {
+            let c = canonize(tt);
+            self.canon_memo.lock().expect("library lock").insert(tt, c);
+            c
+        });
+        let cached = self
+            .structures
+            .lock()
+            .expect("library lock")
+            .get(&class.canon)
+            .cloned();
+        let structure = cached.unwrap_or_else(|| {
+            let s = Arc::new(synthesize(class.canon));
+            self.structures
+                .lock()
+                .expect("library lock")
+                .entry(class.canon)
+                .or_insert(s)
+                .clone()
+        });
+        LibEntry { class, structure }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Truth table computed by a 4-input, 1-output AIG.
+    fn aig_tt(g: &Aig) -> u16 {
+        let mut tt = 0u16;
+        for m in 0..16u16 {
+            let bits: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            if g.eval(&bits)[0] {
+                tt |= 1 << m;
+            }
+        }
+        tt
+    }
+
+    #[test]
+    fn apply_identity_is_identity() {
+        for tt in [0x0000u16, 0xFFFF, 0x6996, 0x8000, 0x1234] {
+            assert_eq!(apply(tt, &NpnTransform::IDENTITY), tt);
+        }
+    }
+
+    #[test]
+    fn canonization_is_class_invariant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let tt: u16 = rng.gen();
+            let canon = canonize(tt).canon;
+            // Any transform of tt canonizes to the same representative.
+            let t = NpnTransform {
+                perm: permutations()[rng.gen_range(0..24usize)],
+                input_neg: rng.gen_range(0..16u8),
+                output_neg: rng.gen(),
+            };
+            assert_eq!(canonize(apply(tt, &t)).canon, canon, "tt {tt:04x}");
+            // And the recorded transform reproduces the representative.
+            let c = canonize(tt);
+            assert_eq!(apply(tt, &c.transform), c.canon);
+        }
+    }
+
+    #[test]
+    fn structures_compute_their_class() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let lib = NpnLibrary::global();
+        for _ in 0..40 {
+            let tt: u16 = rng.gen();
+            let entry = lib.entry(tt);
+            assert_eq!(aig_tt(&entry.structure), entry.class.canon, "tt {tt:04x}");
+        }
+    }
+
+    #[test]
+    fn instantiation_recovers_original_function() {
+        // Feeding the structure through input_map + output_complement must
+        // reproduce the *original* (pre-canonization) function exactly.
+        let mut rng = StdRng::seed_from_u64(11);
+        let lib = NpnLibrary::global();
+        for _ in 0..40 {
+            let tt: u16 = rng.gen();
+            let entry = lib.entry(tt);
+            let mut host = Aig::new(4);
+            let leaves = [host.input(0), host.input(1), host.input(2), host.input(3)];
+            let imap = entry.input_map(&leaves);
+            let outs = host.append(&entry.structure, &imap);
+            host.add_output(outs[0].complement_if(entry.output_complement()));
+            assert_eq!(aig_tt(&host), tt, "tt {tt:04x}");
+        }
+    }
+
+    #[test]
+    fn known_structures_are_tight() {
+        let lib = NpnLibrary::global();
+        // AND2 (tt over vars 0,1) costs one node; XOR2 three; MUX three.
+        let and2 = 0xAAAA & 0xCCCC;
+        let xor2 = 0xAAAA ^ 0xCCCC;
+        let mux = (0xF0F0 & 0xAAAA) | (!0xF0F0 & 0xCCCCu16);
+        for (tt, max) in [(and2, 1), (xor2, 3), (mux, 3), (0x6996u16, 9)] {
+            let e = lib.entry(tt);
+            assert!(
+                e.structure.num_ands() <= max,
+                "class {:04x} uses {} ANDs (max {max})",
+                e.class.canon,
+                e.structure.num_ands()
+            );
+        }
+    }
+
+    #[test]
+    fn constant_and_degenerate_tables() {
+        let lib = NpnLibrary::global();
+        assert_eq!(lib.entry(0x0000).structure.num_ands(), 0);
+        assert_eq!(lib.entry(0xFFFF).structure.num_ands(), 0);
+        assert_eq!(lib.entry(0xAAAA).structure.num_ands(), 0); // f = x0
+        assert_eq!(lib.entry(!0xAAAAu16).structure.num_ands(), 0); // f = !x0
+    }
+}

@@ -1,15 +1,225 @@
-//! Light AIG restructuring.
+//! Composable AIG optimization passes.
 //!
-//! The contest teams post-processed their AIGs with ABC (`resyn2`,
-//! `compress2rs`, …). We provide the pass that matters most for the reported
-//! metrics: **balance**, which rebuilds maximal AND-trees as depth-minimal
-//! trees with fanins combined in level order (ABC's `balance`), plus a
-//! convenience [`compress`] that alternates balancing and cleanup.
+//! The contest teams post-processed their AIGs with ABC scripts (`resyn2`,
+//! `compress2rs`, …) — *sequences* of DAG-aware passes iterated to a
+//! fixpoint. This module is the equivalent: a [`Pass`] is one semantics-
+//! preserving graph-to-graph transformation, a [`Pipeline`] chains them, and
+//! [`Pipeline::run_fixpoint`] iterates the chain while it keeps helping.
+//!
+//! Available passes:
+//!
+//! * [`BalancePass`] — depth-minimal restructuring of maximal AND trees
+//!   (ABC's `balance`), via [`balance`];
+//! * [`RewritePass`] — DAG-aware cut/NPN rewriting with shared-logic gain
+//!   accounting ([`crate::rewrite`]), optionally zero-gain;
+//! * [`SweepPass`] — simulation-guided equivalence sweeping
+//!   ([`crate::sweep`]);
+//! * [`CleanupPass`] — drop logic unreachable from the outputs.
+//!
+//! # Examples
+//!
+//! Build the default `resyn2`-style pipeline and run it to a fixpoint:
+//!
+//! ```
+//! use lsml_aig::opt::{BalancePass, CleanupPass, Pipeline, RewritePass, SweepPass};
+//! use lsml_aig::Aig;
+//!
+//! // A deliberately redundant graph: two structurally different XORs.
+//! let mut g = Aig::new(3);
+//! let (a, b, c) = (g.input(0), g.input(1), g.input(2));
+//! let x1 = g.xor(a, b);
+//! let o = g.or(a, b);
+//! let n = g.and(a, b);
+//! let x2 = g.and(o, !n); // also a XOR b
+//! let f = g.mux(c, x1, !x2);
+//! g.add_output(f);
+//!
+//! let pipeline = Pipeline::resyn(0); // balance | rewrite | sweep | cleanup
+//! let h = pipeline.run_fixpoint(&g, 4);
+//! assert!(h.num_ands() < g.num_ands());
+//! assert_eq!(h.eval(&[true, false, true]), g.eval(&[true, false, true]));
+//!
+//! // Pipelines compose freely:
+//! let custom = Pipeline::new()
+//!     .then(BalancePass)
+//!     .then(RewritePass::default())
+//!     .then(SweepPass::seeded(7))
+//!     .then(CleanupPass);
+//! assert_eq!(custom.describe(), "balance | rewrite | sweep | cleanup");
+//! ```
 
 use std::collections::HashMap;
 
 use crate::aig::Aig;
 use crate::lit::Lit;
+use crate::rewrite::{rewrite, RewriteConfig};
+use crate::sweep::{sweep, SweepConfig};
+
+/// One semantics-preserving AIG transformation.
+pub trait Pass: Send + Sync {
+    /// Short display name (`"balance"`, `"rewrite"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass. Implementations must preserve functionality exactly.
+    fn run(&self, aig: &Aig) -> Aig;
+}
+
+/// ABC-style `balance` as a [`Pass`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BalancePass;
+
+impl Pass for BalancePass {
+    fn name(&self) -> &'static str {
+        "balance"
+    }
+    fn run(&self, aig: &Aig) -> Aig {
+        balance(aig)
+    }
+}
+
+/// DAG-aware cut/NPN rewriting as a [`Pass`].
+#[derive(Clone, Debug, Default)]
+pub struct RewritePass(pub RewriteConfig);
+
+impl RewritePass {
+    /// The zero-gain variant (ABC's `rwz`): accepts reshaping replacements
+    /// that do not change the node count.
+    pub fn zero_gain() -> RewritePass {
+        RewritePass(RewriteConfig {
+            zero_gain: true,
+            ..RewriteConfig::default()
+        })
+    }
+}
+
+impl Pass for RewritePass {
+    fn name(&self) -> &'static str {
+        if self.0.zero_gain {
+            "rewrite -z"
+        } else {
+            "rewrite"
+        }
+    }
+    fn run(&self, aig: &Aig) -> Aig {
+        rewrite(aig, &self.0)
+    }
+}
+
+/// Simulation-guided equivalence sweeping as a [`Pass`].
+#[derive(Clone, Debug, Default)]
+pub struct SweepPass(pub SweepConfig);
+
+impl SweepPass {
+    /// A sweep with the given signature seed and default limits.
+    pub fn seeded(seed: u64) -> SweepPass {
+        SweepPass(SweepConfig {
+            seed,
+            ..SweepConfig::default()
+        })
+    }
+}
+
+impl Pass for SweepPass {
+    fn name(&self) -> &'static str {
+        "sweep"
+    }
+    fn run(&self, aig: &Aig) -> Aig {
+        sweep(aig, &self.0)
+    }
+}
+
+/// Dangling-logic removal as a [`Pass`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CleanupPass;
+
+impl Pass for CleanupPass {
+    fn name(&self) -> &'static str {
+        "cleanup"
+    }
+    fn run(&self, aig: &Aig) -> Aig {
+        let mut g = aig.clone();
+        g.cleanup();
+        g
+    }
+}
+
+/// A sequence of passes applied in order.
+#[derive(Default)]
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Pipeline {
+    /// An empty pipeline (identity).
+    pub fn new() -> Pipeline {
+        Pipeline { passes: Vec::new() }
+    }
+
+    /// Appends a pass.
+    pub fn then(mut self, pass: impl Pass + 'static) -> Pipeline {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// The default synthesis script, modeled on ABC's `resyn2`:
+    /// `balance | rewrite | rewrite -z | sweep | cleanup`. The seed feeds
+    /// the sweep's random signature stimulus.
+    pub fn resyn(seed: u64) -> Pipeline {
+        Pipeline::resyn_with_sweep(SweepConfig {
+            seed,
+            ..SweepConfig::default()
+        })
+    }
+
+    /// [`Pipeline::resyn`] with a caller-provided sweep configuration (e.g.
+    /// application [`BitColumns`](lsml_pla::BitColumns) stimulus feeding the
+    /// signatures) — the single source of truth for the resyn pass list.
+    pub fn resyn_with_sweep(sweep: SweepConfig) -> Pipeline {
+        Pipeline::new()
+            .then(BalancePass)
+            .then(RewritePass::default())
+            .then(RewritePass::zero_gain())
+            .then(SweepPass(sweep))
+            .then(CleanupPass)
+    }
+
+    /// `name | name | …` for logs and tests.
+    pub fn describe(&self) -> String {
+        self.passes
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+
+    /// Runs every pass once, in order.
+    pub fn run(&self, aig: &Aig) -> Aig {
+        let mut current = aig.clone();
+        for pass in &self.passes {
+            current = pass.run(&current);
+        }
+        current
+    }
+
+    /// Iterates the pipeline until the AND count (then the depth) stops
+    /// improving, at most `max_rounds` times. Never returns a graph larger
+    /// than the cleaned-up input.
+    pub fn run_fixpoint(&self, aig: &Aig, max_rounds: usize) -> Aig {
+        let mut best = aig.clone();
+        best.cleanup();
+        for _ in 0..max_rounds {
+            let next = self.run(&best);
+            let smaller = next.num_ands() < best.num_ands();
+            let same_but_shallower =
+                next.num_ands() == best.num_ands() && next.depth() < best.depth();
+            if !(smaller || same_but_shallower) {
+                break;
+            }
+            best = next;
+        }
+        best
+    }
+}
 
 /// Rebuilds the AIG with every maximal conjunction restructured as a balanced
 /// tree (deepest operands combined last). Functionality is preserved; depth
@@ -84,35 +294,19 @@ fn collect_conjunction(aig: &Aig, root: Lit, leaves: &mut Vec<Lit>) {
 }
 
 /// Balance + cleanup until the size stops improving (at most `rounds`
-/// iterations). A cheap stand-in for ABC's `compress2rs` script.
+/// iterations). A cheap stand-in for ABC's `compress2rs`; for the full
+/// DAG-aware script use [`Pipeline::resyn`].
 pub fn compress(aig: &Aig, rounds: usize) -> Aig {
-    let mut best = aig.clone();
-    best.cleanup();
-    for _ in 0..rounds {
-        let mut next = balance(&best);
-        next.cleanup();
-        let smaller = next.num_ands() < best.num_ands();
-        let same_size_shallower = next.num_ands() == best.num_ands() && next.depth() < best.depth();
-        if !(smaller || same_size_shallower) {
-            break;
-        }
-        best = next;
-    }
-    best
+    Pipeline::new()
+        .then(BalancePass)
+        .then(CleanupPass)
+        .run_fixpoint(aig, rounds)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn equivalent_exhaustive(a: &Aig, b: &Aig) {
-        assert_eq!(a.num_inputs(), b.num_inputs());
-        assert!(a.num_inputs() <= 12, "exhaustive check limited");
-        for m in 0..(1u64 << a.num_inputs()) {
-            let bits: Vec<bool> = (0..a.num_inputs()).map(|i| (m >> i) & 1 == 1).collect();
-            assert_eq!(a.eval(&bits), b.eval(&bits), "mismatch at {m:b}");
-        }
-    }
+    use crate::testutil::equivalent_exhaustive;
 
     #[test]
     fn balance_flattens_chains() {
@@ -171,6 +365,71 @@ mod tests {
         let before = g.num_ands();
         let h = compress(&g, 3);
         assert!(h.num_ands() <= before);
+        equivalent_exhaustive(&g, &h);
+    }
+
+    #[test]
+    fn pipeline_composes_and_describes() {
+        let p = Pipeline::resyn(0);
+        assert_eq!(
+            p.describe(),
+            "balance | rewrite | rewrite -z | sweep | cleanup"
+        );
+        assert_eq!(Pipeline::new().describe(), "");
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let mut g = Aig::new(2);
+        let (a, b) = (g.input(0), g.input(1));
+        let f = g.xor(a, b);
+        g.add_output(f);
+        let h = Pipeline::new().run(&g);
+        equivalent_exhaustive(&g, &h);
+        assert_eq!(h.num_ands(), g.num_ands());
+    }
+
+    #[test]
+    fn resyn_beats_balance_on_redundant_graph() {
+        // Three structurally distinct copies of the same function, muxed.
+        let mut g = Aig::new(4);
+        let (a, b, c, d) = (g.input(0), g.input(1), g.input(2), g.input(3));
+        let x1 = g.xor(a, b);
+        let o = g.or(a, b);
+        let n = g.and(a, b);
+        let x2 = g.and(o, !n);
+        let p = g.and(a, !b);
+        let q = g.and(!a, b);
+        let x3 = g.or(p, q);
+        let m1 = g.mux(c, x1, x2);
+        let f = g.mux(d, m1, x3);
+        g.add_output(f);
+
+        let balanced = balance(&g);
+        let piped = Pipeline::resyn(0).run_fixpoint(&g, 4);
+        assert!(
+            piped.num_ands() < balanced.num_ands(),
+            "pipeline {} vs balance {}",
+            piped.num_ands(),
+            balanced.num_ands()
+        );
+        equivalent_exhaustive(&g, &piped);
+        // The whole graph is one XOR: 3 ANDs.
+        assert_eq!(piped.num_ands(), 3);
+    }
+
+    #[test]
+    fn fixpoint_never_grows() {
+        let mut g = Aig::new(6);
+        let ins = g.inputs();
+        let x = g.xor_many(&ins);
+        let y = g.and_many(&ins[1..]);
+        let f = g.mux(ins[0], x, y);
+        g.add_output(f);
+        let mut cleaned = g.clone();
+        cleaned.cleanup();
+        let h = Pipeline::resyn(3).run_fixpoint(&g, 4);
+        assert!(h.num_ands() <= cleaned.num_ands());
         equivalent_exhaustive(&g, &h);
     }
 }

@@ -2,7 +2,7 @@
 //! simulation, serialization, cleanup and balancing.
 
 use lsml_aig::aig::Aig;
-use lsml_aig::aiger::{read_aag, write_aag};
+use lsml_aig::aiger::{read_aag, read_aig, write_aag, write_aig};
 use lsml_aig::opt::balance;
 use lsml_aig::sim::eval_patterns;
 use lsml_aig::Lit;
@@ -99,6 +99,16 @@ proptest! {
         let mut buf = Vec::new();
         write_aag(&g, &mut buf).expect("write");
         let h = read_aag(buf.as_slice()).expect("read");
+        prop_assert_eq!(truth_vector(&h), truth_vector(&g));
+    }
+
+    #[test]
+    fn binary_aiger_roundtrip_preserves_function(ops in arb_ops(30)) {
+        let g = build(&ops);
+        let mut buf = Vec::new();
+        write_aig(&g, &mut buf).expect("write");
+        let h = read_aig(buf.as_slice()).expect("read");
+        prop_assert_eq!(h.num_ands(), g.num_ands());
         prop_assert_eq!(truth_vector(&h), truth_vector(&g));
     }
 

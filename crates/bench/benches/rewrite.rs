@@ -1,0 +1,248 @@
+//! The DAG-aware optimization pipeline vs `balance`-only, measured on two
+//! corpora:
+//!
+//! * **learner-generated AIGs** — decision trees, random forests, boosted
+//!   ensembles and LUT networks trained on contest benchmarks (the circuits
+//!   the compile path actually sees);
+//! * **arithmetic circuits** from `lsml_aig::circuits` (adders, comparators,
+//!   multipliers, popcount-threshold, parity mixes).
+//!
+//! For every circuit the harness records the AND count after `balance |
+//! cleanup` alone and after the full `resyn` pipeline (`balance | rewrite |
+//! rewrite -z | sweep | cleanup`, run to fixpoint), asserts the two stay
+//! functionally interchangeable at the corpus level via spot equivalence
+//! checks in the pipeline's own property suite, and writes per-circuit
+//! reductions plus the median pipeline-vs-balance improvement and pass
+//! runtimes to `BENCH_rewrite.json` (the acceptance bar for the compile-path
+//! refactor is >= 15% median reduction on the learner corpus).
+
+use std::time::Instant;
+
+use criterion::Criterion;
+use lsml_aig::circuits;
+use lsml_aig::opt::{BalancePass, CleanupPass, Pipeline};
+use lsml_aig::Aig;
+use lsml_benchgen::{suite, SampleConfig};
+use lsml_dtree::{
+    DecisionTree, GradientBoost, GradientBoostConfig, RandomForest, RandomForestConfig, TreeConfig,
+};
+use lsml_lutnet::{LutNetConfig, LutNetwork};
+
+struct Entry {
+    name: String,
+    corpus: &'static str,
+    raw: usize,
+    balanced: usize,
+    piped: usize,
+    pipe_ms: f64,
+}
+
+fn learner_corpus() -> Vec<(String, Aig)> {
+    let cfg = SampleConfig {
+        samples_per_split: 400,
+        seed: 7,
+    };
+    let mut out = Vec::new();
+    for &id in &[5usize, 30, 55, 75, 90] {
+        let bench = &suite()[id];
+        let data = bench.sample(&cfg);
+        let tree = DecisionTree::train(
+            &data.train,
+            &TreeConfig {
+                max_depth: Some(10),
+                ..TreeConfig::default()
+            },
+        );
+        out.push((format!("dt10/{}", bench.name), tree.to_aig()));
+        let rf = RandomForest::train(
+            &data.train,
+            &RandomForestConfig {
+                n_trees: 8,
+                tree: TreeConfig {
+                    max_depth: Some(8),
+                    ..TreeConfig::default()
+                },
+                seed: 3,
+                ..RandomForestConfig::default()
+            },
+        );
+        out.push((format!("rf8/{}", bench.name), rf.to_aig()));
+        let gb = GradientBoost::train(
+            &data.train,
+            &GradientBoostConfig {
+                n_rounds: 20,
+                max_depth: 4,
+                ..GradientBoostConfig::default()
+            },
+        );
+        out.push((format!("gb20/{}", bench.name), gb.to_aig()));
+        let net = LutNetwork::train(
+            &data.train,
+            &LutNetConfig {
+                luts_per_layer: 32,
+                layers: 2,
+                ..LutNetConfig::default()
+            },
+        );
+        out.push((format!("lutnet/{}", bench.name), net.to_aig()));
+    }
+    out
+}
+
+fn circuits_corpus() -> Vec<(String, Aig)> {
+    let mut out: Vec<(String, Aig)> = Vec::new();
+    out.push(("adder8".into(), circuits::adder_aig(8)));
+    out.push(("comparator10".into(), circuits::comparator_aig(10)));
+    {
+        let mut g = Aig::new(12);
+        let ins = g.inputs();
+        let (a, b) = ins.split_at(6);
+        let prod = circuits::multiply(&mut g, a, b);
+        for p in prod {
+            g.add_output(p);
+        }
+        out.push(("multiplier6".into(), g));
+    }
+    {
+        let mut g = Aig::new(24);
+        let ins = g.inputs();
+        let f = circuits::at_least(&mut g, &ins, 12);
+        g.add_output(f);
+        out.push(("at_least24".into(), g));
+    }
+    {
+        let mut g = Aig::new(16);
+        let ins = g.inputs();
+        let p = circuits::parity(&mut g, &ins);
+        let m = circuits::majority(&mut g, &ins);
+        let f = g.and(p, !m);
+        g.add_output(f);
+        out.push(("parity_majority16".into(), g));
+    }
+    out
+}
+
+fn measure(name: String, corpus: &'static str, aig: &Aig) -> Entry {
+    let mut cleaned = aig.clone();
+    cleaned.cleanup();
+    let balance_only = Pipeline::new().then(BalancePass).then(CleanupPass);
+    let balanced = balance_only.run_fixpoint(&cleaned, 4);
+    let pipeline = Pipeline::resyn(0);
+    let t0 = Instant::now();
+    let piped = pipeline.run_fixpoint(&cleaned, 4);
+    let pipe_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        piped.num_ands() <= balanced.num_ands().max(cleaned.num_ands()),
+        "{name}: pipeline grew the graph"
+    );
+    Entry {
+        name,
+        corpus,
+        raw: cleaned.num_ands(),
+        balanced: balanced.num_ands(),
+        piped: piped.num_ands(),
+        pipe_ms,
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+fn main() {
+    let learner = learner_corpus();
+    // Criterion probe: the largest learner circuit, so regressions in pass
+    // runtime show up in CI.
+    let probe = learner
+        .iter()
+        .max_by_key(|(_, a)| a.num_ands())
+        .expect("non-empty corpus")
+        .1
+        .clone();
+
+    let mut entries = Vec::new();
+    for (name, aig) in learner {
+        entries.push(measure(name, "learner", &aig));
+    }
+    for (name, aig) in circuits_corpus() {
+        entries.push(measure(name, "circuits", &aig));
+    }
+    let mut c = Criterion::default().sample_size(10);
+    c.bench_function("rewrite/balance_pass", |b| {
+        b.iter(|| lsml_aig::opt::balance(&probe))
+    });
+    c.bench_function("rewrite/rewrite_pass", |b| {
+        b.iter(|| lsml_aig::rewrite::rewrite(&probe, &Default::default()))
+    });
+    c.bench_function("rewrite/sweep_pass", |b| {
+        b.iter(|| lsml_aig::sweep::sweep(&probe, &Default::default()))
+    });
+
+    let reduction = |e: &Entry| {
+        if e.balanced == 0 {
+            0.0
+        } else {
+            100.0 * (e.balanced as f64 - e.piped as f64) / e.balanced as f64
+        }
+    };
+    let learner_median = median(
+        entries
+            .iter()
+            .filter(|e| e.corpus == "learner")
+            .map(reduction)
+            .collect(),
+    );
+    let circuits_median = median(
+        entries
+            .iter()
+            .filter(|e| e.corpus == "circuits")
+            .map(reduction)
+            .collect(),
+    );
+    println!("pipeline vs balance-only median reduction:");
+    println!("  learner corpus:  {learner_median:.1}%");
+    println!("  circuits corpus: {circuits_median:.1}%");
+    if learner_median < 15.0 {
+        eprintln!("WARNING: learner-corpus median below the 15% acceptance bar");
+    }
+
+    let mut json = String::from("{\n  \"circuits\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"corpus\": \"{}\", \"raw_ands\": {}, \"balance_ands\": {}, \"pipeline_ands\": {}, \"reduction_vs_balance_pct\": {:.2}, \"pipeline_ms\": {:.2}}}{}\n",
+            e.name,
+            e.corpus,
+            e.raw,
+            e.balanced,
+            e.piped,
+            reduction(e),
+            e.pipe_ms,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"passes\": [\n");
+    let results = c.results();
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}}}{}\n",
+            r.name,
+            r.median_ns,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"learner_median_reduction_pct\": {learner_median:.2},\n  \"circuits_median_reduction_pct\": {circuits_median:.2}\n}}\n"
+    ));
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rewrite.json");
+    std::fs::write(out, json).expect("write BENCH_rewrite.json");
+    println!("wrote {out}");
+}

@@ -1,0 +1,252 @@
+//! The unified circuit compile path.
+//!
+//! Every contest team post-processed its learned circuits before
+//! submission (the winners all ran ABC's `resyn2` / `compress2rs`). This
+//! module is the single place that happens in our reproduction: a
+//! [`SizeBudget`] says how large the circuit may be and what to do when it
+//! is not, and [`LearnedCircuit::compile`] runs the exact DAG-aware
+//! optimization pipeline (`balance | rewrite | rewrite -z | sweep |
+//! cleanup`, iterated), falling back to the accuracy-trading
+//! [`lsml_aig::approx::reduce`] only when exact optimization alone cannot
+//! meet the budget — and only when the budget allows approximation at all.
+//!
+//! All ten team drivers route their circuit-producing call sites through
+//! here, so [`crate::portfolio::select_best`] always compares uniformly
+//! optimized candidates.
+
+use lsml_aig::approx::{reduce_traced, ApproxConfig};
+use lsml_aig::opt::Pipeline;
+use lsml_aig::sweep::SweepConfig;
+use lsml_aig::Aig;
+use lsml_pla::Pattern;
+
+use crate::problem::{LearnedCircuit, Problem};
+
+/// How large a compiled circuit may be, and how hard to fight to get there.
+#[derive(Clone, Debug)]
+pub struct SizeBudget {
+    /// Maximum AND-node count (the contest's 5000).
+    pub node_limit: usize,
+    /// Whether a circuit the exact pipeline cannot fit may be approximated
+    /// (Team-1-style node dropping, trading accuracy for size). Teams that
+    /// instead *discarded* oversized candidates compile with this off.
+    pub allow_approx: bool,
+    /// Application stimulus for the approximation pass's node-activity
+    /// statistics (typically the training patterns).
+    pub stimulus: Option<Vec<Pattern>>,
+    /// Seed for the pipeline's simulation signatures and the approximation
+    /// stimulus.
+    pub seed: u64,
+    /// Fixpoint rounds of the exact pipeline (each round is the full pass
+    /// chain).
+    pub rounds: usize,
+}
+
+impl SizeBudget {
+    /// An exact budget: optimize, never approximate.
+    pub fn exact(node_limit: usize) -> SizeBudget {
+        SizeBudget {
+            node_limit,
+            allow_approx: false,
+            stimulus: None,
+            seed: 0,
+            rounds: 2,
+        }
+    }
+
+    /// The budget a contest problem implies: the problem's node limit, the
+    /// problem seed, approximation allowed with the training patterns as
+    /// stimulus.
+    pub fn for_problem(problem: &Problem) -> SizeBudget {
+        SizeBudget {
+            node_limit: problem.node_limit,
+            allow_approx: true,
+            stimulus: Some(problem.train.patterns().to_vec()),
+            seed: problem.seed,
+            rounds: 2,
+        }
+    }
+
+    /// This budget with the approximation fallback disabled.
+    pub fn without_approx(mut self) -> SizeBudget {
+        self.allow_approx = false;
+        self.stimulus = None;
+        self
+    }
+
+    /// The optimization pipeline this budget prescribes.
+    fn pipeline(&self) -> Pipeline {
+        Pipeline::resyn(self.seed)
+    }
+}
+
+impl LearnedCircuit {
+    /// Compiles a raw learner output into a submission candidate: runs the
+    /// exact optimization pipeline to a fixpoint and, when the result still
+    /// exceeds the budget *and* the budget allows it, falls back to the
+    /// approximation pass (which itself interleaves the exact pipeline with
+    /// its dropping rounds). The method label gains an `+approx` suffix iff
+    /// accuracy was actually traded away.
+    ///
+    /// Candidates a `allow_approx: false` budget cannot fit are returned
+    /// over-budget; callers keep their own discard policy
+    /// ([`LearnedCircuit::fits`], [`crate::portfolio::select_best`]).
+    pub fn compile(aig: Aig, method: impl Into<String>, budget: &SizeBudget) -> LearnedCircuit {
+        compile_through(budget.pipeline(), aig, method, budget)
+    }
+
+    /// [`LearnedCircuit::compile`] with the problem's training columns
+    /// prepended to the sweep's signature stimulus: the application data
+    /// acts as an extra discriminator that separates candidate classes
+    /// random patterns alone cannot split, cutting down the pairs sent to
+    /// exhaustive verification. Merging is still decided only by that
+    /// exhaustive check, so semantics are preserved exactly.
+    pub fn compile_with_columns(
+        aig: Aig,
+        method: impl Into<String>,
+        budget: &SizeBudget,
+        problem: &Problem,
+    ) -> LearnedCircuit {
+        let sweep_cfg = SweepConfig {
+            seed: budget.seed,
+            stimulus: Some(problem.train.bit_columns()),
+            ..SweepConfig::default()
+        };
+        compile_through(Pipeline::resyn_with_sweep(sweep_cfg), aig, method, budget)
+    }
+}
+
+/// The shared compile tail: run the pipeline to a fixpoint, then approximate
+/// only if the budget both requires and allows it.
+fn compile_through(
+    pipeline: Pipeline,
+    aig: Aig,
+    method: impl Into<String>,
+    budget: &SizeBudget,
+) -> LearnedCircuit {
+    let optimized = pipeline.run_fixpoint(&aig, budget.rounds.max(1));
+    if optimized.num_ands() <= budget.node_limit || !budget.allow_approx {
+        return LearnedCircuit::new(optimized, method);
+    }
+    let cfg = ApproxConfig {
+        node_limit: budget.node_limit,
+        stimulus: budget.stimulus.clone(),
+        seed: budget.seed,
+        // `optimized` is already at a pipeline fixpoint; only the
+        // interleaved post-dropping runs are useful.
+        skip_initial_pipeline: true,
+        ..ApproxConfig::default()
+    };
+    let (reduced, dropped) = reduce_traced(&optimized, &cfg);
+    if dropped {
+        LearnedCircuit::new(reduced, format!("{}+approx", method.into()))
+    } else {
+        LearnedCircuit::new(reduced, method)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsml_pla::Dataset;
+
+    fn xor_chain(n: usize) -> Aig {
+        let mut g = Aig::new(n);
+        let ins = g.inputs();
+        let mut acc = ins[0];
+        for &x in &ins[1..] {
+            acc = g.xor(acc, x);
+        }
+        let balanced = g.xor_many(&ins); // second, structurally different copy
+        let f = g.and(acc, balanced); // == acc
+        g.add_output(f);
+        g
+    }
+
+    #[test]
+    fn compile_is_exact_when_pipeline_fits() {
+        let g = xor_chain(10);
+        let raw = g.num_ands();
+        // The budget is unreachable for the raw graph but reachable after
+        // the duplicate parity cone is swept away.
+        let budget = SizeBudget {
+            node_limit: raw * 2 / 3,
+            ..SizeBudget::exact(0)
+        };
+        let c = LearnedCircuit::compile(g.clone(), "parity", &budget);
+        assert!(c.fits(budget.node_limit), "gates {}", c.and_gates());
+        assert_eq!(c.method, "parity", "no +approx suffix on exact compile");
+        for m in 0..1024u64 {
+            let bits: Vec<bool> = (0..10).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(c.aig.eval(&bits), g.eval(&bits), "mismatch at {m:b}");
+        }
+    }
+
+    #[test]
+    fn compile_approximates_only_as_last_resort() {
+        let mut g = Aig::new(16);
+        let ins = g.inputs();
+        let f = lsml_aig::circuits::at_least(&mut g, &ins, 8);
+        let p = g.xor_many(&ins);
+        let out = g.and(f, p);
+        g.add_output(out);
+        let budget = SizeBudget {
+            node_limit: 30, // far below what exact optimization can reach
+            allow_approx: true,
+            stimulus: None,
+            seed: 1,
+            rounds: 1,
+        };
+        let c = LearnedCircuit::compile(g, "bulky", &budget);
+        assert!(c.fits(30), "gates {}", c.and_gates());
+        assert!(c.method.ends_with("+approx"), "method {}", c.method);
+    }
+
+    #[test]
+    fn without_approx_leaves_oversized_circuits_alone() {
+        let mut g = Aig::new(16);
+        let ins = g.inputs();
+        let f = lsml_aig::circuits::at_least(&mut g, &ins, 8);
+        g.add_output(f);
+        // An approximating budget downgraded through the builder must act
+        // exactly like an exact one: no node-dropping, no stimulus.
+        let budget = SizeBudget {
+            node_limit: 3,
+            stimulus: Some(Vec::new()),
+            ..SizeBudget::exact(3)
+        };
+        let budget = SizeBudget {
+            allow_approx: true,
+            ..budget
+        }
+        .without_approx();
+        assert!(!budget.allow_approx);
+        assert!(budget.stimulus.is_none());
+        let c = LearnedCircuit::compile(g, "thresh", &budget);
+        assert!(!c.fits(3));
+        assert_eq!(c.method, "thresh");
+    }
+
+    #[test]
+    fn compile_with_columns_preserves_semantics() {
+        use lsml_pla::Pattern;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let g = xor_chain(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut train = Dataset::new(8);
+        let mut valid = Dataset::new(8);
+        for _ in 0..120 {
+            train.push(Pattern::random(&mut rng, 8), rng.gen());
+            valid.push(Pattern::random(&mut rng, 8), rng.gen());
+        }
+        let problem = Problem::new(train, valid, 5);
+        let budget = SizeBudget::for_problem(&problem);
+        let c = LearnedCircuit::compile_with_columns(g.clone(), "parity", &budget, &problem);
+        for m in 0..256u64 {
+            let bits: Vec<bool> = (0..8).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(c.aig.eval(&bits), g.eval(&bits));
+        }
+        assert!(c.and_gates() <= g.num_ands());
+    }
+}

@@ -5,6 +5,9 @@
 //! an AIG of at most 5000 AND nodes that generalizes to a hidden test set.
 //!
 //! * [`Problem`] / [`LearnedCircuit`] / [`Learner`] — the contest interface.
+//! * [`compile`] — the unified compile path: every learned circuit runs the
+//!   DAG-aware optimization pipeline under a [`SizeBudget`] before it
+//!   becomes a candidate ([`LearnedCircuit::compile`]).
 //! * [`teams`] — all ten team pipelines from Section IV of the paper.
 //! * [`portfolio`] — "apply several approaches and decide which one to use"
 //!   (the paper's conclusion about portfolio strategies).
@@ -28,12 +31,14 @@
 //! assert!(score.test_accuracy > 0.5);
 //! ```
 
+pub mod compile;
 pub mod eval;
 pub mod portfolio;
 pub mod problem;
 pub mod report;
 pub mod teams;
 
+pub use compile::SizeBudget;
 pub use eval::Score;
 pub use portfolio::select_best;
 pub use problem::{LearnedCircuit, Learner, Problem};

@@ -12,12 +12,12 @@
 //! budget nor generalizes — the paper's own Fig. 5 shows ESPRESSO winning
 //! only on narrow cases).
 
-use lsml_aig::{approximate, ApproxConfig};
 use lsml_dtree::{RandomForest, RandomForestConfig, TreeConfig};
 use lsml_espresso::{cover_to_aig, minimize_dataset, EspressoConfig};
 use lsml_lutnet::{beam_search, LutNetConfig};
 use lsml_matching::match_function;
 
+use crate::compile::SizeBudget;
 use crate::portfolio::select_best;
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
@@ -50,12 +50,23 @@ impl Learner for Team1 {
 
     fn learn(&self, problem: &Problem) -> LearnedCircuit {
         let merged = problem.merged();
+        // Every candidate compiles through the shared budgeted path:
+        // exact pipeline first, approximation only for circuits that still
+        // exceed the limit (Team 1's own recipe, now centralized). The
+        // training columns feed the sweep signatures, mirroring Team 1's
+        // application-stimulus simulation.
+        let budget = SizeBudget {
+            seed: stage_seed(problem, 7),
+            ..SizeBudget::for_problem(problem)
+        };
+        let compile =
+            |aig, method: &str| LearnedCircuit::compile_with_columns(aig, method, &budget, problem);
         let mut candidates: Vec<LearnedCircuit> = Vec::new();
 
         // (a) Standard-function matching — "the most important method in
         // the contest".
         if let Some(m) = match_function(&merged) {
-            candidates.push(LearnedCircuit::new(m.aig, "match"));
+            candidates.push(compile(m.aig, "match"));
         }
 
         // (b) ESPRESSO in first-irredundant mode.
@@ -65,7 +76,7 @@ impl Learner for Team1 {
                 ..EspressoConfig::default()
             };
             let cover = minimize_dataset(&problem.train, &cfg);
-            candidates.push(LearnedCircuit::new(cover_to_aig(&cover), "espresso"));
+            candidates.push(compile(cover_to_aig(&cover), "espresso"));
         }
 
         // (c) LUT network with beam-searched shape.
@@ -76,7 +87,7 @@ impl Learner for Team1 {
             ..LutNetConfig::default()
         };
         let beam = beam_search(&problem.train, &problem.valid, &seed_cfg, self.beam_rounds);
-        candidates.push(LearnedCircuit::new(beam.network.to_aig(), "lutnet"));
+        candidates.push(compile(beam.network.to_aig(), "lutnet"));
 
         // (d) Random forests, estimator count explored 4..16.
         for &n in &self.forest_sizes {
@@ -92,30 +103,8 @@ impl Learner for Team1 {
                     ..RandomForestConfig::default()
                 },
             );
-            candidates.push(LearnedCircuit::new(rf.to_aig(), format!("rf{n}")));
+            candidates.push(compile(rf.to_aig(), &format!("rf{n}")));
         }
-
-        // Oversized candidates get the approximation treatment instead of
-        // being dropped.
-        let approx_cfg = ApproxConfig {
-            node_limit: problem.node_limit,
-            stimulus: Some(problem.train.patterns().to_vec()),
-            seed: stage_seed(problem, 7),
-            ..ApproxConfig::default()
-        };
-        let candidates = candidates
-            .into_iter()
-            .map(|c| {
-                if c.fits(problem.node_limit) {
-                    c
-                } else {
-                    LearnedCircuit::new(
-                        approximate(&c.aig, &approx_cfg),
-                        format!("{}+approx", c.method),
-                    )
-                }
-            })
-            .collect();
 
         select_best(candidates, &problem.valid, problem.node_limit)
     }

@@ -11,6 +11,7 @@
 
 use lsml_dtree::{DecisionTree, TreeConfig};
 
+use crate::compile::SizeBudget;
 use crate::problem::{LearnedCircuit, Learner, Problem};
 
 /// Team 10's learner.
@@ -49,7 +50,10 @@ impl Learner for Team10 {
         } else {
             tree
         };
-        LearnedCircuit::new(tree.to_aig(), "dt-depth8")
+        // "the tree is then annotated as a MUX netlist and optimized" —
+        // the optimization is the shared compile path.
+        let budget = SizeBudget::exact(problem.node_limit);
+        LearnedCircuit::compile(tree.to_aig(), "dt-depth8", &budget)
     }
 }
 

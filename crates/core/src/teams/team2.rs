@@ -15,6 +15,7 @@ use lsml_pla::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::compile::SizeBudget;
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
 
@@ -118,14 +119,18 @@ impl Learner for Team2 {
                 format!("part(cf={cf},m={m})"),
             ),
         };
-        // The contest requires the size cap; J48 trees on noisy wide data
-        // can exceed it, in which case a harder-pruned fallback applies.
-        if aig.num_ands() > problem.node_limit {
-            let mut tree = self.j48(&merged, 0.001, 10, problem.seed);
-            prune_c45(&mut tree, 0.001);
-            return LearnedCircuit::new(tree.to_aig(), "j48-hard-pruned");
+        // Team 2 never approximated — an over-budget model means harder
+        // pruning (a modeling decision), so the compile budget is exact.
+        let budget = SizeBudget::exact(problem.node_limit);
+        let compiled = LearnedCircuit::compile(aig, method, &budget);
+        if compiled.fits(problem.node_limit) {
+            return compiled;
         }
-        LearnedCircuit::new(aig, method)
+        // J48 trees on noisy wide data can stay over the cap even after
+        // optimization; retrain with hard pruning.
+        let mut tree = self.j48(&merged, 0.001, 10, problem.seed);
+        prune_c45(&mut tree, 0.001);
+        LearnedCircuit::compile(tree.to_aig(), "j48-hard-pruned", &budget)
     }
 }
 

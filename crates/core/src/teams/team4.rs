@@ -14,6 +14,7 @@ use lsml_dtree::select::{chi2_scores, forest_importance, select_k_best};
 use lsml_neural::{Mlp, MlpConfig};
 use lsml_pla::{Pattern, TruthTable};
 
+use crate::compile::SizeBudget;
 use crate::portfolio::select_best;
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
@@ -117,8 +118,11 @@ impl Team4 {
         let srcs: Vec<_> = vars.iter().map(|&v| aig.input(v)).collect();
         let out = truth_table_cone(&mut aig, &table, &srcs);
         aig.add_output(out);
-        aig.cleanup();
-        LearnedCircuit::new(aig, "afn-sub")
+        // Team 4 kept "the best PLA that synthesizes under the node budget"
+        // — oversized candidates are discarded, not approximated, so the
+        // compile budget is exact.
+        let budget = SizeBudget::exact(problem.node_limit);
+        LearnedCircuit::compile(aig, "afn-sub", &budget)
     }
 }
 

@@ -20,6 +20,7 @@ use lsml_pla::{Dataset, TruthTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::compile::SizeBudget;
 use crate::portfolio::select_best;
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
@@ -58,6 +59,8 @@ impl Learner for Team5 {
         let (train80, valid20) = merged.stratified_split(0.8, &mut rng);
         let (train40, _) = train80.stratified_split(0.5, &mut rng);
 
+        // Team 5 discarded oversized candidates rather than approximating.
+        let budget = SizeBudget::exact(problem.node_limit);
         let mut candidates = Vec::new();
         for (ratio_tag, train) in [("80", &train80), ("40", &train40)] {
             let selections = feature_selections(train);
@@ -75,9 +78,10 @@ impl Learner for Team5 {
                             lift_aig(&tree.to_aig(), vs, problem.num_inputs())
                         }
                     };
-                    candidates.push(LearnedCircuit::new(
+                    candidates.push(LearnedCircuit::compile(
                         aig,
                         format!("dt(d={depth},{sel_tag},r={ratio_tag})"),
+                        &budget,
                     ));
                 }
             }
@@ -94,14 +98,15 @@ impl Learner for Team5 {
                     ..RandomForestConfig::default()
                 },
             );
-            candidates.push(LearnedCircuit::new(
+            candidates.push(LearnedCircuit::compile(
                 rf.to_aig(),
                 format!("rf3(r={ratio_tag})"),
+                &budget,
             ));
         }
 
         // NN-guided four-feature exhaustive search.
-        candidates.push(self.nn_feature_search(problem, &train80));
+        candidates.push(self.nn_feature_search(problem, &train80, &budget));
 
         let candidates = candidates
             .into_iter()
@@ -114,7 +119,12 @@ impl Learner for Team5 {
 impl Team5 {
     /// Trains an MLP, takes its four highest-importance inputs, and finds
     /// the best four-input Boolean function on the training histogram.
-    fn nn_feature_search(&self, problem: &Problem, train: &Dataset) -> LearnedCircuit {
+    fn nn_feature_search(
+        &self,
+        problem: &Problem,
+        train: &Dataset,
+        budget: &SizeBudget,
+    ) -> LearnedCircuit {
         let cfg = MlpConfig {
             hidden: vec![16],
             epochs: self.nn_epochs,
@@ -144,8 +154,7 @@ impl Team5 {
         let srcs: Vec<_> = vars.iter().map(|&v| aig.input(v)).collect();
         let out = truth_table_cone(&mut aig, &table, &srcs);
         aig.add_output(out);
-        aig.cleanup();
-        LearnedCircuit::new(aig, "nn-4feature-search")
+        LearnedCircuit::compile(aig, "nn-4feature-search", budget)
     }
 }
 

@@ -8,6 +8,7 @@
 
 use lsml_lutnet::{LutNetConfig, LutNetwork, Wiring};
 
+use crate::compile::SizeBudget;
 use crate::portfolio::select_best;
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
@@ -41,7 +42,9 @@ impl Learner for Team6 {
     fn learn(&self, problem: &Problem) -> LearnedCircuit {
         // "We have used '0.4' part of the minterms in our training" — Team 6
         // trained on the training set and kept the validation set for
-        // selection.
+        // selection. Oversized candidates were discarded, so the compile
+        // budget is exact; the discard check runs on the compiled size.
+        let budget = SizeBudget::exact(problem.node_limit);
         let mut candidates = Vec::new();
         for &width in &self.widths {
             for &depth in &self.depths {
@@ -54,12 +57,13 @@ impl Learner for Team6 {
                         seed: stage_seed(problem, 6 + width as u64 * 31 + depth as u64),
                     };
                     let net = LutNetwork::train(&problem.train, &cfg);
-                    let aig = net.to_aig();
-                    if aig.num_ands() <= problem.node_limit {
-                        candidates.push(LearnedCircuit::new(
-                            aig,
-                            format!("lutnet(w={width},d={depth},{wiring:?})"),
-                        ));
+                    let c = LearnedCircuit::compile(
+                        net.to_aig(),
+                        format!("lutnet(w={width},d={depth},{wiring:?})"),
+                        &budget,
+                    );
+                    if c.fits(problem.node_limit) {
+                        candidates.push(c);
                     }
                 }
             }

@@ -10,6 +10,7 @@
 use lsml_dtree::{DecisionTree, GradientBoost, GradientBoostConfig, TreeConfig};
 use lsml_matching::match_function;
 
+use crate::compile::SizeBudget;
 use crate::problem::{LearnedCircuit, Learner, Problem};
 
 /// Team 7's learner.
@@ -37,11 +38,17 @@ impl Learner for Team7 {
 
     fn learn(&self, problem: &Problem) -> LearnedCircuit {
         let merged = problem.merged();
+        // Team 7's over-budget remedy is retraining shallower, not
+        // approximating, so the compile budget is exact.
+        let budget = SizeBudget::exact(problem.node_limit);
         // Standard-function matching comes first: symmetric functions,
-        // adders, comparators, XOR patterns.
+        // adders, comparators, XOR patterns. The budget check runs on the
+        // *compiled* circuit, so a match the pipeline can fit still wins.
         if let Some(m) = match_function(&merged) {
-            if m.aig.num_ands() <= problem.node_limit {
-                return LearnedCircuit::new(m.aig, format!("match:{:?}", kind_tag(&m.kind)));
+            let c =
+                LearnedCircuit::compile(m.aig, format!("match:{:?}", kind_tag(&m.kind)), &budget);
+            if c.fits(problem.node_limit) {
+                return c;
             }
         }
 
@@ -70,7 +77,8 @@ impl Learner for Team7 {
         } else {
             (tree.to_aig(), "decision-tree")
         };
-        if aig.num_ands() > problem.node_limit {
+        let compiled = LearnedCircuit::compile(aig, method, &budget);
+        if !compiled.fits(problem.node_limit) {
             // "the maximum depth ... can be reduced at the cost of potential
             // loss of accuracy".
             let shallow = DecisionTree::train(
@@ -81,9 +89,9 @@ impl Learner for Team7 {
                     ..TreeConfig::default()
                 },
             );
-            return LearnedCircuit::new(shallow.to_aig(), "decision-tree-capped");
+            return LearnedCircuit::compile(shallow.to_aig(), "decision-tree-capped", &budget);
         }
-        LearnedCircuit::new(aig, method)
+        compiled
     }
 }
 

@@ -13,6 +13,7 @@ use lsml_aig::Aig;
 use lsml_dtree::{Criterion, DecisionTree, RandomForest, RandomForestConfig, TreeConfig};
 use lsml_neural::{Activation, Mlp, MlpConfig};
 
+use crate::compile::SizeBudget;
 use crate::portfolio::select_best;
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
@@ -48,6 +49,8 @@ impl Learner for Team8 {
     }
 
     fn learn(&self, problem: &Problem) -> LearnedCircuit {
+        // Team 8 discarded over-budget models, so the budget is exact.
+        let budget = SizeBudget::exact(problem.node_limit);
         let mut candidates = Vec::new();
 
         // Bucket 1: BDT with functional decomposition (grid over τ and N).
@@ -61,9 +64,10 @@ impl Learner for Team8 {
                     ..TreeConfig::default()
                 };
                 let tree = DecisionTree::train(&problem.train, &cfg);
-                candidates.push(LearnedCircuit::new(
+                candidates.push(LearnedCircuit::compile(
                     tree.to_aig(),
                     format!("bdt-funcdec(tau={tau},N={n})"),
+                    &budget,
                 ));
             }
         }
@@ -81,7 +85,7 @@ impl Learner for Team8 {
                 ..RandomForestConfig::default()
             },
         );
-        candidates.push(LearnedCircuit::new(rf.to_aig(), "rf17"));
+        candidates.push(LearnedCircuit::compile(rf.to_aig(), "rf17", &budget));
 
         // Bucket 3: sine MLP, enumerated when the input count permits.
         if problem.num_inputs() <= self.mlp_max_inputs {
@@ -99,8 +103,7 @@ impl Learner for Team8 {
                 let srcs = aig.inputs();
                 let out = truth_table_cone(&mut aig, &table, &srcs);
                 aig.add_output(out);
-                aig.cleanup();
-                candidates.push(LearnedCircuit::new(aig, "mlp-sine-enum"));
+                candidates.push(LearnedCircuit::compile(aig, "mlp-sine-enum", &budget));
             }
         }
 

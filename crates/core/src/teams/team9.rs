@@ -12,6 +12,7 @@ use lsml_espresso::{cover_to_aig, minimize_dataset, EspressoConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::compile::SizeBudget;
 use crate::eval::aig_accuracy;
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
@@ -95,16 +96,19 @@ impl Learner for Team9 {
             };
 
         let evolved = result.to_aig();
-        // Keep whichever of {seed, evolved} validates better within budget.
+        // Keep whichever of {seed, evolved} validates better within budget;
+        // both compile through the shared exact pipeline first.
+        let budget = SizeBudget::exact(problem.node_limit);
         let candidates = [(evolved, method), (seed_aig, format!("seed-{seed_tag}"))];
         let mut best: Option<(f64, LearnedCircuit)> = None;
         for (aig, m) in candidates {
-            if aig.num_ands() > problem.node_limit {
+            let c = LearnedCircuit::compile(aig, m, &budget);
+            if !c.fits(problem.node_limit) {
                 continue;
             }
-            let acc = aig_accuracy(&aig, &problem.valid);
+            let acc = aig_accuracy(&c.aig, &problem.valid);
             if best.as_ref().is_none_or(|(bacc, _)| acc > *bacc) {
-                best = Some((acc, LearnedCircuit::new(aig, m)));
+                best = Some((acc, c));
             }
         }
         best.map(|(_, c)| c).unwrap_or_else(|| {
