@@ -12,7 +12,7 @@
 //!   (`Dataset::bit_columns`), making repeated candidate scoring against the
 //!   same split almost pure popcount work.
 
-use lsml_pla::{BitColumns, Pattern};
+use lsml_pla::{kernels, BitColumns, Pattern};
 use rand::Rng;
 
 use crate::aig::Aig;
@@ -190,9 +190,7 @@ pub fn pattern_one_counts(aig: &Aig, patterns: &[Pattern]) -> (Vec<u64>, u64) {
             (1u64 << chunk.len()) - 1
         };
         let values = node_values_words(aig, &input_words);
-        for (c, v) in counts.iter_mut().zip(values.iter()) {
-            *c += (v & mask).count_ones() as u64;
-        }
+        kernels::accumulate_and_counts(&values, mask, &mut counts);
     }
     (counts, patterns.len() as u64)
 }
@@ -211,9 +209,7 @@ pub fn random_one_counts<R: Rng + ?Sized>(
             *w = rng.gen();
         }
         let values = node_values_words(aig, &input_words);
-        for (c, v) in counts.iter_mut().zip(values.iter()) {
-            *c += v.count_ones() as u64;
-        }
+        kernels::accumulate_and_counts(&values, u64::MAX, &mut counts);
     }
     (counts, rounds as u64 * 64)
 }

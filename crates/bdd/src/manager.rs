@@ -258,7 +258,38 @@ impl BddManager {
 
     /// Builds `(onset, careset)` BDDs from a labelled dataset: the onset is
     /// the OR of positive minterms, the care set the OR of all minterms.
+    ///
+    /// Construction is *columnar*: instead of building one minterm BDD per
+    /// row and OR-ing them together (quadratic apply-cache churn), the
+    /// dataset's cached [`BitColumns`] transpose is cofactored top-down —
+    /// the example subset reaching each recursion is a packed mask, split
+    /// by the current variable's column with one `AND`/`ANDNOT` pass, and a
+    /// leaf is positive iff `|mask ∧ labels| > 0` (one popcount). BDDs are
+    /// canonical per manager, so the result is node-for-node identical to
+    /// the row-major construction (retained as
+    /// [`BddManager::from_dataset_row_major`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset arity differs from `num_vars()`.
     pub fn from_dataset(&mut self, ds: &Dataset) -> (BddRef, BddRef) {
+        assert_eq!(ds.num_inputs(), self.num_vars, "dataset arity mismatch");
+        if ds.is_empty() {
+            return (BDD_FALSE, BDD_FALSE);
+        }
+        let cols = ds.bit_columns();
+        let mask = cols.full_mask();
+        // Buffer pool for the per-level child masks: the recursion depth is
+        // `num_vars`, so at most two live buffers per level.
+        let mut pool: Vec<Vec<u64>> = Vec::new();
+        self.cofactor_build(&cols, &mask, 0, &mut pool)
+    }
+
+    /// The pre-columnar construction: one minterm BDD per row, OR-ed in
+    /// dataset order. Kept as the reference for differential tests and the
+    /// `kernels` benchmark baseline; prefer [`BddManager::from_dataset`].
+    #[doc(hidden)]
+    pub fn from_dataset_row_major(&mut self, ds: &Dataset) -> (BddRef, BddRef) {
         let mut onset = BDD_FALSE;
         let mut care = BDD_FALSE;
         for (p, o) in ds.iter() {
@@ -269,6 +300,40 @@ impl BddManager {
             }
         }
         (onset, care)
+    }
+
+    /// Shannon-expands the example subset in `mask` on variable `var`,
+    /// returning `(onset, care)` for the cofactor. Empty subsets terminate
+    /// immediately, so the recursion visits only the trie of distinct
+    /// example prefixes.
+    fn cofactor_build(
+        &mut self,
+        cols: &lsml_pla::BitColumns,
+        mask: &[u64],
+        var: usize,
+        pool: &mut Vec<Vec<u64>>,
+    ) -> (BddRef, BddRef) {
+        let count = lsml_pla::BitColumns::count_ones(mask);
+        if count == 0 {
+            return (BDD_FALSE, BDD_FALSE);
+        }
+        if var == self.num_vars {
+            // All variables assigned: the subset is one repeated minterm.
+            // It is care, and on iff any occurrence is labelled positive.
+            let on = lsml_pla::BitColumns::count_and(mask, cols.labels()) > 0;
+            return (if on { BDD_TRUE } else { BDD_FALSE }, BDD_TRUE);
+        }
+        let mut lo_mask = pool.pop().unwrap_or_default();
+        let mut hi_mask = pool.pop().unwrap_or_default();
+        cols.split_mask_into(var, mask, &mut lo_mask, &mut hi_mask);
+        let (on_lo, care_lo) = self.cofactor_build(cols, &lo_mask, var + 1, pool);
+        let (on_hi, care_hi) = self.cofactor_build(cols, &hi_mask, var + 1, pool);
+        pool.push(lo_mask);
+        pool.push(hi_mask);
+        (
+            self.mk(var as u32, on_lo, on_hi),
+            self.mk(var as u32, care_lo, care_hi),
+        )
     }
 
     /// Evaluates a BDD on a pattern.
@@ -551,6 +616,27 @@ mod tests {
         let f = mgr.minimize(onset, care, MinimizeStyle::ComplementedTwoSided);
         exhaustive_check(&mgr, f, 4, |m| (m ^ (m >> 1)) & 1 == 1);
         assert!(mgr.size(f) <= 3);
+    }
+
+    #[test]
+    fn columnar_from_dataset_matches_row_major_node_for_node() {
+        // BDDs are canonical per manager: building both ways in one
+        // manager must yield the *same refs*, not just equal functions.
+        for (nv, stride, salt) in [(1usize, 1u64, 1u64), (4, 3, 5), (6, 7, 11), (8, 5, 23)] {
+            let mut ds = Dataset::new(nv);
+            for k in 0..200u64 {
+                let x = (k * stride + salt) % (1 << nv);
+                ds.push(Pattern::from_index(x, nv), (x * 31 + salt) % 7 < 3);
+            }
+            let mut mgr = BddManager::new(nv);
+            let (on_rows, care_rows) = mgr.from_dataset_row_major(&ds);
+            let (on_cols, care_cols) = mgr.from_dataset(&ds);
+            assert_eq!(on_cols, on_rows, "onset diverges at nv={nv}");
+            assert_eq!(care_cols, care_rows, "careset diverges at nv={nv}");
+        }
+        // Empty dataset: both constant false.
+        let mut mgr = BddManager::new(3);
+        assert_eq!(mgr.from_dataset(&Dataset::new(3)), (BDD_FALSE, BDD_FALSE));
     }
 
     #[test]

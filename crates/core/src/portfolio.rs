@@ -11,6 +11,40 @@ use rayon::prelude::*;
 
 use crate::problem::LearnedCircuit;
 
+/// One deferred candidate construction: a boxed closure so heterogeneous
+/// model builders (matcher, ESPRESSO, forests, ...) can share a single
+/// fan-out. Returning `None` means the builder produced no candidate (for
+/// example, no standard function matched).
+pub type CandidateTask<'a> = Box<dyn FnOnce() -> Option<LearnedCircuit> + Send + 'a>;
+
+/// Runs candidate *constructions* in parallel over the work-stealing pool —
+/// the portfolio fan-out the ROADMAP asked for inside `Learner::learn`, not
+/// just candidate scoring. Tasks execute via recursive `join` splitting, so
+/// nesting inside an already-parallel context (one learner per benchmark,
+/// one benchmark per team) reuses the same fixed worker set. Results come
+/// back in task order with `None`s dropped, which keeps every downstream
+/// tie-break identical to the old sequential construction.
+pub fn construct_candidates(tasks: Vec<CandidateTask<'_>>) -> Vec<LearnedCircuit> {
+    let mut slots: Vec<Option<CandidateTask<'_>>> = tasks.into_iter().map(Some).collect();
+    let mut out: Vec<Option<LearnedCircuit>> =
+        std::iter::repeat_with(|| None).take(slots.len()).collect();
+    fan_out(&mut slots, &mut out);
+    out.into_iter().flatten().collect()
+}
+
+fn fan_out<'a>(tasks: &mut [Option<CandidateTask<'a>>], out: &mut [Option<LearnedCircuit>]) {
+    match tasks.len() {
+        0 => {}
+        1 => out[0] = (tasks[0].take().expect("task present"))(),
+        n => {
+            let mid = n / 2;
+            let (t_lo, t_hi) = tasks.split_at_mut(mid);
+            let (o_lo, o_hi) = out.split_at_mut(mid);
+            rayon::join(|| fan_out(t_lo, o_lo), || fan_out(t_hi, o_hi));
+        }
+    }
+}
+
 /// Picks the candidate with the best validation accuracy among those within
 /// `node_limit`, breaking ties towards fewer gates. When *no* candidate
 /// fits, returns the constant circuit matching the validation majority (the

@@ -18,7 +18,7 @@ use lsml_lutnet::{beam_search, LutNetConfig};
 use lsml_matching::match_function;
 
 use crate::compile::SizeBudget;
-use crate::portfolio::select_best;
+use crate::portfolio::{construct_candidates, select_best, CandidateTask};
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
 
@@ -61,52 +61,68 @@ impl Learner for Team1 {
         };
         let compile =
             |aig, method: &str| LearnedCircuit::compile_with_columns(aig, method, &budget, problem);
-        let mut candidates: Vec<LearnedCircuit> = Vec::new();
+        let compile = &compile;
+        // Candidate *construction* fans out over the work-stealing pool:
+        // each technique below is an independent boxed task, and the result
+        // order matches the old sequential push order exactly.
+        let mut tasks: Vec<CandidateTask<'_>> = Vec::new();
 
         // (a) Standard-function matching — "the most important method in
         // the contest".
-        if let Some(m) = match_function(&merged) {
-            candidates.push(compile(m.aig, "match"));
-        }
+        let merged_ref = &merged;
+        tasks.push(Box::new(move || {
+            match_function(merged_ref).map(|m| compile(m.aig, "match"))
+        }));
 
         // (b) ESPRESSO in first-irredundant mode.
         if problem.num_inputs() <= self.espresso_max_inputs {
-            let cfg = EspressoConfig {
-                first_irredundant: true,
-                ..EspressoConfig::default()
-            };
-            let cover = minimize_dataset(&problem.train, &cfg);
-            candidates.push(compile(cover_to_aig(&cover), "espresso"));
+            tasks.push(Box::new(move || {
+                let cfg = EspressoConfig {
+                    first_irredundant: true,
+                    ..EspressoConfig::default()
+                };
+                let cover = minimize_dataset(&problem.train, &cfg);
+                Some(compile(cover_to_aig(&cover), "espresso"))
+            }));
         }
 
         // (c) LUT network with beam-searched shape.
-        let seed_cfg = LutNetConfig {
-            luts_per_layer: 16,
-            layers: 1,
-            seed: stage_seed(problem, 1),
-            ..LutNetConfig::default()
-        };
-        let beam = beam_search(&problem.train, &problem.valid, &seed_cfg, self.beam_rounds);
-        candidates.push(compile(beam.network.to_aig(), "lutnet"));
+        let beam_rounds = self.beam_rounds;
+        tasks.push(Box::new(move || {
+            let seed_cfg = LutNetConfig {
+                luts_per_layer: 16,
+                layers: 1,
+                seed: stage_seed(problem, 1),
+                ..LutNetConfig::default()
+            };
+            let beam = beam_search(&problem.train, &problem.valid, &seed_cfg, beam_rounds);
+            Some(compile(beam.network.to_aig(), "lutnet"))
+        }));
 
         // (d) Random forests, estimator count explored 4..16.
         for &n in &self.forest_sizes {
-            let rf = RandomForest::train(
-                &problem.train,
-                &RandomForestConfig {
-                    n_trees: n,
-                    tree: TreeConfig {
-                        max_depth: Some(10),
-                        ..TreeConfig::default()
+            tasks.push(Box::new(move || {
+                let rf = RandomForest::train(
+                    &problem.train,
+                    &RandomForestConfig {
+                        n_trees: n,
+                        tree: TreeConfig {
+                            max_depth: Some(10),
+                            ..TreeConfig::default()
+                        },
+                        seed: stage_seed(problem, 100 + n as u64),
+                        ..RandomForestConfig::default()
                     },
-                    seed: stage_seed(problem, 100 + n as u64),
-                    ..RandomForestConfig::default()
-                },
-            );
-            candidates.push(compile(rf.to_aig(), &format!("rf{n}")));
+                );
+                Some(compile(rf.to_aig(), &format!("rf{n}")))
+            }));
         }
 
-        select_best(candidates, &problem.valid, problem.node_limit)
+        select_best(
+            construct_candidates(tasks),
+            &problem.valid,
+            problem.node_limit,
+        )
     }
 }
 

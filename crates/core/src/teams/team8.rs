@@ -14,7 +14,7 @@ use lsml_dtree::{Criterion, DecisionTree, RandomForest, RandomForestConfig, Tree
 use lsml_neural::{Activation, Mlp, MlpConfig};
 
 use crate::compile::SizeBudget;
-use crate::portfolio::select_best;
+use crate::portfolio::{construct_candidates, select_best, CandidateTask};
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
 
@@ -51,63 +51,72 @@ impl Learner for Team8 {
     fn learn(&self, problem: &Problem) -> LearnedCircuit {
         // Team 8 discarded over-budget models, so the budget is exact.
         let budget = SizeBudget::exact(problem.node_limit);
-        let mut candidates = Vec::new();
+        let budget = &budget;
+        // Every bucket model is independent; construction fans out over the
+        // pool, keeping the original push order.
+        let mut tasks: Vec<CandidateTask<'_>> = Vec::new();
 
         // Bucket 1: BDT with functional decomposition (grid over τ and N).
         for &tau in &self.taus {
             for &n in &self.min_leaves {
-                let cfg = TreeConfig {
-                    criterion: Criterion::Entropy,
-                    funcdec_threshold: Some(tau),
-                    min_samples_leaf: n,
-                    seed: problem.seed,
-                    ..TreeConfig::default()
-                };
-                let tree = DecisionTree::train(&problem.train, &cfg);
-                candidates.push(LearnedCircuit::compile(
-                    tree.to_aig(),
-                    format!("bdt-funcdec(tau={tau},N={n})"),
-                    &budget,
-                ));
+                tasks.push(Box::new(move || {
+                    let cfg = TreeConfig {
+                        criterion: Criterion::Entropy,
+                        funcdec_threshold: Some(tau),
+                        min_samples_leaf: n,
+                        seed: problem.seed,
+                        ..TreeConfig::default()
+                    };
+                    let tree = DecisionTree::train(&problem.train, &cfg);
+                    Some(LearnedCircuit::compile(
+                        tree.to_aig(),
+                        format!("bdt-funcdec(tau={tau},N={n})"),
+                        budget,
+                    ))
+                }));
             }
         }
 
         // Bucket 2: the 17-tree depth-8 forest.
-        let rf = RandomForest::train(
-            &problem.train,
-            &RandomForestConfig {
-                n_trees: 17,
-                tree: TreeConfig {
-                    max_depth: Some(8),
-                    ..TreeConfig::default()
+        tasks.push(Box::new(move || {
+            let rf = RandomForest::train(
+                &problem.train,
+                &RandomForestConfig {
+                    n_trees: 17,
+                    tree: TreeConfig {
+                        max_depth: Some(8),
+                        ..TreeConfig::default()
+                    },
+                    seed: stage_seed(problem, 8),
+                    ..RandomForestConfig::default()
                 },
-                seed: stage_seed(problem, 8),
-                ..RandomForestConfig::default()
-            },
-        );
-        candidates.push(LearnedCircuit::compile(rf.to_aig(), "rf17", &budget));
+            );
+            Some(LearnedCircuit::compile(rf.to_aig(), "rf17", budget))
+        }));
 
         // Bucket 3: sine MLP, enumerated when the input count permits.
         if problem.num_inputs() <= self.mlp_max_inputs {
-            let cfg = MlpConfig {
-                hidden: vec![16, 8],
-                activation: Activation::Sine,
-                epochs: self.mlp_epochs,
-                learning_rate: 1.0,
-                seed: stage_seed(problem, 88),
-                ..MlpConfig::default()
-            };
-            let mlp = Mlp::train(&problem.train, &cfg);
-            if let Some(table) = mlp.to_truth_table() {
+            let mlp_epochs = self.mlp_epochs;
+            tasks.push(Box::new(move || {
+                let cfg = MlpConfig {
+                    hidden: vec![16, 8],
+                    activation: Activation::Sine,
+                    epochs: mlp_epochs,
+                    learning_rate: 1.0,
+                    seed: stage_seed(problem, 88),
+                    ..MlpConfig::default()
+                };
+                let mlp = Mlp::train(&problem.train, &cfg);
+                let table = mlp.to_truth_table()?;
                 let mut aig = Aig::new(problem.num_inputs());
                 let srcs = aig.inputs();
                 let out = truth_table_cone(&mut aig, &table, &srcs);
                 aig.add_output(out);
-                candidates.push(LearnedCircuit::compile(aig, "mlp-sine-enum", &budget));
-            }
+                Some(LearnedCircuit::compile(aig, "mlp-sine-enum", budget))
+            }));
         }
 
-        let candidates = candidates
+        let candidates = construct_candidates(tasks)
             .into_iter()
             .filter(|c| c.fits(problem.node_limit))
             .collect();

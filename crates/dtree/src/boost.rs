@@ -149,6 +149,10 @@ impl GradientBoost {
         // Only the bit-sliced path reads the transpose; the row-major
         // reference must not pay (or warm) the cache it exists to baseline.
         let cols = columnar.then(|| ds.bit_columns());
+        // Mask buffers survive across rounds: the grower checks them out of
+        // this pool instead of allocating fresh `Vec<u64>`s per node.
+        let mut scratch: Vec<Vec<u64>> = Vec::new();
+        let mut root_mask: Vec<u64> = Vec::new();
 
         for _ in 0..cfg.n_rounds {
             for i in 0..n {
@@ -158,14 +162,17 @@ impl GradientBoost {
                 hess[i] = (p * (1.0 - p)).max(1e-16);
             }
             let tree = if let Some(cols) = &cols {
+                cols.full_mask_into(&mut root_mask);
                 let mut builder = RegBuilder {
                     cols,
                     grad: &grad,
                     hess: &hess,
                     cfg,
                     nodes: Vec::new(),
+                    scratch: std::mem::take(&mut scratch),
                 };
-                let root = builder.grow(&cols.full_mask(), n as u64, 0);
+                let root = builder.grow(&root_mask, n as u64, 0);
+                scratch = builder.scratch;
                 RegTree {
                     nodes: builder.nodes,
                     root,
@@ -282,6 +289,9 @@ struct RegBuilder<'a> {
     hess: &'a [f64],
     cfg: &'a GradientBoostConfig,
     nodes: Vec<RegNode>,
+    /// Free list of mask buffers, recycled across nodes and rounds so the
+    /// recursive split never allocates in steady state.
+    scratch: Vec<Vec<u64>>,
 }
 
 /// The winning candidate of a split search.
@@ -366,14 +376,21 @@ impl RegBuilder<'_> {
         let Some(SplitCand { feature, .. }) = best_split(&ctx, 0, self.cols.num_inputs()) else {
             return leaf(&mut self.nodes);
         };
-        let (lo_mask, hi_mask) = self.cols.split_mask(feature, mask);
+        let mut lo_mask = self.scratch.pop().unwrap_or_default();
+        let mut hi_mask = self.scratch.pop().unwrap_or_default();
+        self.cols
+            .split_mask_into(feature, mask, &mut lo_mask, &mut hi_mask);
         let hi_count = BitColumns::count_ones(&hi_mask);
         let lo_count = count - hi_count;
         if lo_count == 0 || hi_count == 0 {
+            self.scratch.push(lo_mask);
+            self.scratch.push(hi_mask);
             return leaf(&mut self.nodes);
         }
         let lo = self.grow(&lo_mask, lo_count, depth + 1);
         let hi = self.grow(&hi_mask, hi_count, depth + 1);
+        self.scratch.push(lo_mask);
+        self.scratch.push(hi_mask);
         self.nodes.push(RegNode::Split {
             feature: feature as u32,
             lo,

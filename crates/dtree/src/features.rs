@@ -259,6 +259,25 @@ impl FeatureMatrix {
         mask
     }
 
+    /// Splits a subset mask by feature `f` into reused buffers (each
+    /// resized to the mask length): `lo = mask ∧ ¬column(f)`,
+    /// `hi = mask ∧ column(f)` — the same contract as
+    /// [`lsml_pla::BitColumns::split_mask_into`], so both tree growers
+    /// share one split implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != words_per_column()`.
+    pub fn split_mask_into(&self, f: usize, mask: &[u64], lo: &mut Vec<u64>, hi: &mut Vec<u64>) {
+        let col = self.column(f);
+        assert_eq!(mask.len(), col.len(), "packed mask length mismatch");
+        lo.clear();
+        lo.resize(mask.len(), 0);
+        hi.clear();
+        hi.resize(mask.len(), 0);
+        lsml_pla::kernels::and_split_into(col, mask, lo, hi);
+    }
+
     /// Value of feature `f` on example `i`.
     #[inline]
     pub fn feature(&self, f: usize, i: usize) -> bool {

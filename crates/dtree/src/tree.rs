@@ -132,6 +132,7 @@ impl DecisionTree {
             nodes: Vec::new(),
             importance: vec![0.0; features.len()],
             total: matrix.num_examples().max(1) as f64,
+            scratch: Vec::new(),
         };
         let all = matrix.full_mask();
         let used = vec![false; features.len()];
@@ -356,6 +357,8 @@ struct Trainer<'a> {
     nodes: Vec<Node>,
     importance: Vec<f64>,
     total: f64,
+    /// Free list of mask buffers recycled across split nodes.
+    scratch: Vec<Vec<u64>>,
 }
 
 impl Trainer<'_> {
@@ -398,12 +401,15 @@ impl Trainer<'_> {
             return make_leaf(&mut self.nodes);
         };
 
-        let col = self.matrix.column(feature);
-        let hi_mask: Vec<u64> = mask.iter().zip(col).map(|(&m, &c)| m & c).collect();
-        let lo_mask: Vec<u64> = mask.iter().zip(col).map(|(&m, &c)| m & !c).collect();
+        let mut lo_mask = self.scratch.pop().unwrap_or_default();
+        let mut hi_mask = self.scratch.pop().unwrap_or_default();
+        self.matrix
+            .split_mask_into(feature, mask, &mut lo_mask, &mut hi_mask);
         let hi_n = BitColumns::count_ones(&hi_mask) as usize;
         let lo_n = count - hi_n;
         if lo_n < self.cfg.min_samples_leaf || hi_n < self.cfg.min_samples_leaf {
+            self.scratch.push(lo_mask);
+            self.scratch.push(hi_mask);
             return make_leaf(&mut self.nodes);
         }
 
@@ -413,6 +419,8 @@ impl Trainer<'_> {
         child_used[feature] = true;
         let lo = self.grow(&lo_mask, lo_n, depth + 1, &child_used);
         let hi = self.grow(&hi_mask, hi_n, depth + 1, &child_used);
+        self.scratch.push(lo_mask);
+        self.scratch.push(hi_mask);
         self.nodes.push(Node::Split {
             feature: feature as u32,
             lo,

@@ -36,5 +36,7 @@
 mod minimize;
 mod synth;
 
+#[doc(hidden)]
+pub use minimize::minimize_dataset_row_major;
 pub use minimize::{minimize_cover, minimize_dataset, supercube, EspressoConfig};
 pub use synth::cover_to_aig;

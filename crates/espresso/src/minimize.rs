@@ -1,6 +1,24 @@
 //! The EXPAND / IRREDUNDANT / REDUCE loop.
+//!
+//! # Columnar scans
+//!
+//! The minimizer's inner loops — "which positives does this cube cover",
+//! "does this enlarged cube swallow a negative", "how many offset minterms
+//! block this literal" — are all containment scans of one cube against a
+//! fixed pattern set. They run *columnar*: the on-set and off-set are
+//! transposed once into [`BitColumns`] (64 patterns per word), a cube's
+//! containment mask is the `AND` of its literals' columns, and every count
+//! is a popcount through `lsml_pla::kernels`. EXPAND tracks per-negative
+//! mismatch multiplicity with two bit planes (`ones` = ≥1 mismatch, `twos`
+//! = ≥2), so "can literal `v` go" is one fused popcount over
+//! `mismatchᵥ ∧ ones ∧ ¬twos` instead of a cube-by-cube offset walk.
+//!
+//! The pre-columnar row-major implementation is retained, bit-identical,
+//! as [`minimize_dataset_row_major`] — the differential-test oracle and
+//! the benchmark baseline.
 
-use lsml_pla::{Cover, Cube, Dataset, Pattern};
+use lsml_pla::kernels::for_each_set_bit;
+use lsml_pla::{BitColumns, Cover, Cube, Dataset, Pattern, Trit};
 
 /// Tuning knobs for the minimizer.
 #[derive(Clone, Debug)]
@@ -34,6 +52,18 @@ impl Default for EspressoConfig {
 /// Panics if the dataset contains the same pattern with both labels
 /// (contradictory care set).
 pub fn minimize_dataset(ds: &Dataset, cfg: &EspressoConfig) -> Cover {
+    minimize_dataset_impl(ds, cfg, true)
+}
+
+/// The pre-columnar minimizer: cube-by-cube `contains` walks over the
+/// pattern lists. Kept as the reference implementation for differential
+/// tests and the `kernels` benchmark baseline; prefer [`minimize_dataset`].
+#[doc(hidden)]
+pub fn minimize_dataset_row_major(ds: &Dataset, cfg: &EspressoConfig) -> Cover {
+    minimize_dataset_impl(ds, cfg, false)
+}
+
+fn minimize_dataset_impl(ds: &Dataset, cfg: &EspressoConfig, columnar: bool) -> Cover {
     let positives: Vec<Pattern> = ds
         .iter()
         .filter(|&(_, o)| o)
@@ -52,6 +82,7 @@ pub fn minimize_dataset(ds: &Dataset, cfg: &EspressoConfig) -> Cover {
         &negatives,
         cfg,
         /* verify_consistent = */ true,
+        columnar,
     )
 }
 
@@ -81,9 +112,57 @@ pub fn minimize_cover(seeds: &Cover, ds: &Dataset, cfg: &EspressoConfig) -> Cove
         &negatives,
         cfg,
         false,
+        true,
     )
 }
 
+/// The containment-scan engine: row-major cube walks or the columnar
+/// transpose. Both produce bit-identical covers; `minimize` is generic over
+/// the choice so the reference path stays exercised.
+enum Engine {
+    Rows,
+    Columns(Box<ColumnScan>),
+}
+
+impl Engine {
+    fn new(num_vars: usize, positives: &[Pattern], negatives: &[Pattern], columnar: bool) -> Self {
+        if columnar {
+            Engine::Columns(Box::new(ColumnScan::new(num_vars, positives, negatives)))
+        } else {
+            Engine::Rows
+        }
+    }
+
+    fn expand(
+        &mut self,
+        num_vars: usize,
+        seeds: Vec<Cube>,
+        positives: &[Pattern],
+        negatives: &[Pattern],
+        cfg: &EspressoConfig,
+    ) -> Cover {
+        match self {
+            Engine::Rows => expand_rows(num_vars, seeds, positives, negatives, cfg),
+            Engine::Columns(scan) => scan.expand(num_vars, seeds, cfg),
+        }
+    }
+
+    fn irredundant(&mut self, cover: &mut Cover, positives: &[Pattern]) {
+        match self {
+            Engine::Rows => irredundant_rows(cover, positives),
+            Engine::Columns(scan) => scan.irredundant(cover, positives.len()),
+        }
+    }
+
+    fn reduce(&mut self, cover: &mut Cover, positives: &[Pattern]) {
+        match self {
+            Engine::Rows => reduce_rows(cover, positives),
+            Engine::Columns(scan) => scan.reduce(cover, positives),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn minimize(
     num_vars: usize,
     seeds: Vec<Cube>,
@@ -91,6 +170,7 @@ fn minimize(
     negatives: &[Pattern],
     cfg: &EspressoConfig,
     verify_consistent: bool,
+    columnar: bool,
 ) -> Cover {
     if verify_consistent {
         for p in positives {
@@ -104,23 +184,24 @@ fn minimize(
         return Cover::new(num_vars);
     }
 
-    let mut cover = expand(num_vars, seeds, positives, negatives, cfg);
-    irredundant(&mut cover, positives);
+    let mut engine = Engine::new(num_vars, positives, negatives, columnar);
+    let mut cover = engine.expand(num_vars, seeds, positives, negatives, cfg);
+    engine.irredundant(&mut cover, positives);
     if cfg.first_irredundant {
         return cover;
     }
 
     let mut best = cover.clone();
     for _ in 0..cfg.max_loops {
-        reduce(&mut cover, positives);
-        cover = expand(
+        engine.reduce(&mut cover, positives);
+        cover = engine.expand(
             num_vars,
             cover.into_iter().collect(),
             positives,
             negatives,
             cfg,
         );
-        irredundant(&mut cover, positives);
+        engine.irredundant(&mut cover, positives);
         if cost(&cover) < cost(&best) {
             best = cover.clone();
         } else {
@@ -137,8 +218,8 @@ fn cost(cover: &Cover) -> (usize, usize) {
 
 /// EXPAND: enlarge each seed cube literal-by-literal, blocked by the offset.
 /// Seeds whose positive examples are already covered are skipped, so strong
-/// expansion keeps the cube count low.
-fn expand(
+/// expansion keeps the cube count low. (Row-major reference path.)
+fn expand_rows(
     num_vars: usize,
     seeds: Vec<Cube>,
     positives: &[Pattern],
@@ -160,7 +241,7 @@ fn expand(
         }
         let cube = if expanded < cfg.max_expanded_cubes {
             expanded += 1;
-            expand_cube(&seed, negatives)
+            expand_cube_rows(&seed, negatives)
         } else {
             seed
         };
@@ -177,8 +258,8 @@ fn expand(
 
 /// Expands one cube: greedily removes literals (in ascending order of how
 /// many distance-1 offset minterms block them) as long as the enlarged cube
-/// stays clear of every negative example.
-fn expand_cube(seed: &Cube, negatives: &[Pattern]) -> Cube {
+/// stays clear of every negative example. (Row-major reference path.)
+fn expand_cube_rows(seed: &Cube, negatives: &[Pattern]) -> Cube {
     let mut cube = seed.clone();
     // Count, per literal, the offset patterns at distance 1 clashing exactly
     // on that literal — these definitely block its removal, so try the least
@@ -214,7 +295,8 @@ fn expand_cube(seed: &Cube, negatives: &[Pattern]) -> Cube {
 
 /// IRREDUNDANT: drop cubes all of whose positive examples are multiply
 /// covered. Cubes with more literals (smaller cubes) are dropped first.
-fn irredundant(cover: &mut Cover, positives: &[Pattern]) {
+/// (Row-major reference path.)
+fn irredundant_rows(cover: &mut Cover, positives: &[Pattern]) {
     // multiplicity[i] = how many cubes cover positive example i.
     let mut multiplicity = vec![0u32; positives.len()];
     let mut covers: Vec<Vec<u32>> = Vec::with_capacity(cover.len());
@@ -228,6 +310,12 @@ fn irredundant(cover: &mut Cover, positives: &[Pattern]) {
         }
         covers.push(mine);
     }
+    drop_multiply_covered(cover, covers, &mut multiplicity);
+}
+
+/// Shared tail of IRREDUNDANT once per-cube coverage lists exist: drop
+/// cubes (most-literals first) whose positives are all multiply covered.
+fn drop_multiply_covered(cover: &mut Cover, covers: Vec<Vec<u32>>, multiplicity: &mut [u32]) {
     let mut order: Vec<usize> = (0..cover.len()).collect();
     order.sort_by_key(|&c| std::cmp::Reverse(cover[c].literal_count()));
 
@@ -247,7 +335,8 @@ fn irredundant(cover: &mut Cover, positives: &[Pattern]) {
 
 /// REDUCE: shrink every cube to the supercube of the positive examples that
 /// only it covers (dropping cubes that uniquely cover nothing).
-fn reduce(cover: &mut Cover, positives: &[Pattern]) {
+/// (Row-major reference path.)
+fn reduce_rows(cover: &mut Cover, positives: &[Pattern]) {
     let mut multiplicity = vec![0u32; positives.len()];
     for cube in cover.iter() {
         for (i, p) in positives.iter().enumerate() {
@@ -278,6 +367,212 @@ fn reduce(cover: &mut Cover, positives: &[Pattern]) {
         reduced.push(supercube(num_vars, unique.into_iter()));
     }
     *cover = Cover::from_cubes(num_vars, reduced);
+}
+
+/// The columnar containment engine: on-set and off-set transposed once into
+/// [`BitColumns`], every stage a batched mask scan. All counts and greedy
+/// orders are integers computed in the same order as the row-major
+/// reference, so the resulting covers are identical cube for cube.
+struct ColumnScan {
+    pos: BitColumns,
+    neg: BitColumns,
+    /// Valid-example mask over the off-set (tail bits cleared).
+    neg_valid: Vec<u64>,
+    /// Scratch planes for EXPAND's mismatch-multiplicity counting.
+    ones: Vec<u64>,
+    twos: Vec<u64>,
+    /// Scratch for cube containment masks.
+    matches: Vec<u64>,
+}
+
+impl ColumnScan {
+    fn new(num_vars: usize, positives: &[Pattern], negatives: &[Pattern]) -> Self {
+        let pos = BitColumns::from_patterns(num_vars, positives);
+        let neg = BitColumns::from_patterns(num_vars, negatives);
+        let neg_valid = neg.full_mask();
+        let nw = neg.words_per_column();
+        ColumnScan {
+            pos,
+            neg,
+            neg_valid,
+            ones: vec![0; nw],
+            twos: vec![0; nw],
+            matches: Vec::new(),
+        }
+    }
+
+    /// Packed mask of `cols` patterns contained in `cube`: the full mask
+    /// AND-ed with each literal's (possibly complemented) column. The tail
+    /// stays clean because the starting mask's tail is clean.
+    fn cube_match_into(cols: &BitColumns, cube: &Cube, out: &mut Vec<u64>) {
+        cols.full_mask_into(out);
+        for (var, pol) in cube.literals() {
+            let col = cols.column(var);
+            if pol {
+                for (o, &c) in out.iter_mut().zip(col) {
+                    *o &= c;
+                }
+            } else {
+                for (o, &c) in out.iter_mut().zip(col) {
+                    *o &= !c;
+                }
+            }
+        }
+    }
+
+    fn expand(&mut self, num_vars: usize, seeds: Vec<Cube>, cfg: &EspressoConfig) -> Cover {
+        let mut out = Cover::new(num_vars);
+        let mut covered = vec![0u64; self.pos.words_per_column()];
+        let mut expanded = 0usize;
+
+        for seed in seeds {
+            // Skip seeds that no longer contribute any uncovered positive.
+            Self::cube_match_into(&self.pos, &seed, &mut self.matches);
+            let contributes = self
+                .matches
+                .iter()
+                .zip(&covered)
+                .any(|(&m, &c)| m & !c != 0);
+            if !contributes {
+                continue;
+            }
+            let cube = if expanded < cfg.max_expanded_cubes {
+                expanded += 1;
+                self.expand_cube(&seed)
+            } else {
+                seed
+            };
+            Self::cube_match_into(&self.pos, &cube, &mut self.matches);
+            for (c, &m) in covered.iter_mut().zip(&self.matches) {
+                *c |= m;
+            }
+            out.push(cube);
+        }
+        out.remove_single_cube_containment();
+        out
+    }
+
+    /// The word of off-set patterns mismatching literal `(var, pol)` at
+    /// word index `w`: a pattern mismatches a positive literal where its
+    /// bit is zero, a negative literal where its bit is one.
+    #[inline]
+    fn mismatch_word(&self, var: usize, pol: bool, w: usize) -> u64 {
+        let flip = if pol { u64::MAX } else { 0 };
+        (self.neg.column(var)[w] ^ flip) & self.neg_valid[w]
+    }
+
+    /// Rebuilds the ≥1/≥2 mismatch-multiplicity planes over the literals
+    /// still alive.
+    fn rebuild_planes(&mut self, lits: &[(usize, bool)], alive: &[bool]) {
+        self.ones.iter_mut().for_each(|w| *w = 0);
+        self.twos.iter_mut().for_each(|w| *w = 0);
+        for (k, &(var, pol)) in lits.iter().enumerate() {
+            if !alive[k] {
+                continue;
+            }
+            for w in 0..self.ones.len() {
+                let m = self.mismatch_word(var, pol, w);
+                self.twos[w] |= self.ones[w] & m;
+                self.ones[w] |= m;
+            }
+        }
+    }
+
+    /// EXPAND one cube against the packed off-set. Greedy literal removal
+    /// in ascending (distance-1 block count, variable) order, exactly the
+    /// row-major heuristic: a removal is blocked iff some negative's *only*
+    /// remaining mismatch is that literal — one fused popcount over
+    /// `mismatchᵥ ∧ ones ∧ ¬twos` per candidate instead of an off-set walk.
+    fn expand_cube(&mut self, seed: &Cube) -> Cube {
+        let lits: Vec<(usize, bool)> = seed.literals().collect();
+        if lits.is_empty() {
+            return seed.clone();
+        }
+        let words = self.neg.words_per_column();
+        let mut alive = vec![true; lits.len()];
+        self.rebuild_planes(&lits, &alive);
+
+        // A negative with zero mismatches is already inside the cube; no
+        // removal can ever be accepted (enlarging keeps it inside), which
+        // is exactly what the row-major greedy concludes one candidate at
+        // a time.
+        if (0..words).any(|w| self.neg_valid[w] & !self.ones[w] != 0) {
+            return seed.clone();
+        }
+
+        // Distance-1 block counts per literal, for the removal order.
+        let mut order: Vec<usize> = (0..lits.len()).collect();
+        let block: Vec<u64> = lits
+            .iter()
+            .map(|&(var, pol)| {
+                (0..words)
+                    .map(|w| {
+                        u64::from(
+                            (self.mismatch_word(var, pol, w) & self.ones[w] & !self.twos[w])
+                                .count_ones(),
+                        )
+                    })
+                    .sum()
+            })
+            .collect();
+        order.sort_by_key(|&k| (block[k], lits[k].0));
+
+        let mut cube = seed.clone();
+        for k in order {
+            let (var, pol) = lits[k];
+            let blocked = (0..words)
+                .any(|w| self.mismatch_word(var, pol, w) & self.ones[w] & !self.twos[w] != 0);
+            if !blocked {
+                alive[k] = false;
+                cube.set(var, Trit::Dash);
+                self.rebuild_planes(&lits, &alive);
+            }
+        }
+        cube
+    }
+
+    fn irredundant(&mut self, cover: &mut Cover, num_positives: usize) {
+        let mut multiplicity = vec![0u32; num_positives];
+        let mut covers: Vec<Vec<u32>> = Vec::with_capacity(cover.len());
+        for cube in cover.iter() {
+            Self::cube_match_into(&self.pos, cube, &mut self.matches);
+            let mut mine = Vec::new();
+            for_each_set_bit(&self.matches, |i| {
+                multiplicity[i] += 1;
+                mine.push(i as u32);
+            });
+            covers.push(mine);
+        }
+        drop_multiply_covered(cover, covers, &mut multiplicity);
+    }
+
+    fn reduce(&mut self, cover: &mut Cover, positives: &[Pattern]) {
+        let mut multiplicity = vec![0u32; positives.len()];
+        let mut match_masks: Vec<Vec<u64>> = Vec::with_capacity(cover.len());
+        for cube in cover.iter() {
+            Self::cube_match_into(&self.pos, cube, &mut self.matches);
+            for_each_set_bit(&self.matches, |i| multiplicity[i] += 1);
+            match_masks.push(self.matches.clone());
+        }
+        let num_vars = cover.num_vars();
+        let mut reduced: Vec<Cube> = Vec::with_capacity(cover.len());
+        for cube_mask in &match_masks {
+            let mut unique: Vec<&Pattern> = Vec::new();
+            for_each_set_bit(cube_mask, |i| {
+                if multiplicity[i] == 1 {
+                    unique.push(&positives[i]);
+                }
+            });
+            if unique.is_empty() {
+                // Covered elsewhere: the cube would be redundant; drop it
+                // and release its shared examples.
+                for_each_set_bit(cube_mask, |i| multiplicity[i] -= 1);
+                continue;
+            }
+            reduced.push(supercube(num_vars, unique.into_iter()));
+        }
+        *cover = Cover::from_cubes(num_vars, reduced);
+    }
 }
 
 /// The smallest cube containing all given patterns: variables on which every
@@ -422,6 +717,64 @@ mod tests {
         assert_eq!(sc.to_string(), "0-01"); // LSB-first display: x0=0, x1 dash, x2=0? check below
         assert!(sc.contains(&a) && sc.contains(&b));
         assert_eq!(sc.literal_count(), 3);
+    }
+
+    #[test]
+    fn columnar_and_row_major_covers_are_identical() {
+        // The columnar engine is a pure scan rewrite: same greedy orders,
+        // same integer counts, so the covers must match cube for cube —
+        // across complete and sampled care sets, both espresso modes.
+        type Oracle = Box<dyn Fn(u64) -> bool>;
+        let oracles: Vec<(usize, Oracle)> = vec![
+            (4, Box::new(|m| m.count_ones() >= 2)),
+            (5, Box::new(|m| (m ^ (m >> 2)) & 1 == 1)),
+            (6, Box::new(|m| (m.wrapping_mul(37) >> 2) % 3 == 1)),
+        ];
+        for (nv, f) in oracles {
+            for first_irredundant in [false, true] {
+                let cfg = EspressoConfig {
+                    first_irredundant,
+                    ..EspressoConfig::default()
+                };
+                // Complete care set.
+                let full = dataset_from(&f, nv);
+                assert_eq!(
+                    minimize_dataset(&full, &cfg).cubes(),
+                    minimize_dataset_row_major(&full, &cfg).cubes(),
+                    "full {nv}-var care set, first_irredundant={first_irredundant}"
+                );
+                // Sparse care set (every third minterm).
+                let mut sparse = Dataset::new(nv);
+                for m in (0..(1u64 << nv)).step_by(3) {
+                    sparse.push(Pattern::from_index(m, nv), f(m));
+                }
+                assert_eq!(
+                    minimize_dataset(&sparse, &cfg).cubes(),
+                    minimize_dataset_row_major(&sparse, &cfg).cubes(),
+                    "sparse {nv}-var care set, first_irredundant={first_irredundant}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_handles_empty_offset_and_onset() {
+        // No negatives: every literal is removable; no positives: empty
+        // cover. Both extremes must agree with the row-major engine.
+        let mut all_pos = Dataset::new(3);
+        for m in 0..8u64 {
+            all_pos.push(Pattern::from_index(m, 3), true);
+        }
+        let cfg = EspressoConfig::default();
+        assert_eq!(
+            minimize_dataset(&all_pos, &cfg).cubes(),
+            minimize_dataset_row_major(&all_pos, &cfg).cubes()
+        );
+        let mut all_neg = Dataset::new(3);
+        for m in 0..8u64 {
+            all_neg.push(Pattern::from_index(m, 3), false);
+        }
+        assert!(minimize_dataset(&all_neg, &cfg).is_empty());
     }
 
     #[test]

@@ -36,6 +36,8 @@
 //! gains all derive from a table without touching examples again.
 
 use crate::dataset::Dataset;
+use crate::kernels;
+use crate::pattern::Pattern;
 use crate::{last_word_mask, words_for};
 
 /// A 2×2 contingency table of a binary feature against a binary label,
@@ -166,26 +168,39 @@ impl BitColumns {
     /// Transposes a dataset into packed columns. Prefer
     /// [`Dataset::bit_columns`], which computes this once and caches it.
     pub fn build(ds: &Dataset) -> Self {
-        let n = ds.len();
-        let m = ds.num_inputs();
+        Self::transpose(ds.num_inputs(), ds.len(), ds.iter())
+    }
+
+    /// Transposes a bare pattern list into packed columns (label column all
+    /// zero). This is how batch consumers without a labelled dataset — the
+    /// ESPRESSO on-set/off-set scans — get onto the columnar engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's arity differs from `num_inputs`.
+    pub fn from_patterns(num_inputs: usize, patterns: &[Pattern]) -> Self {
+        for p in patterns {
+            assert_eq!(p.len(), num_inputs, "pattern arity mismatch");
+        }
+        Self::transpose(
+            num_inputs,
+            patterns.len(),
+            patterns.iter().map(|p| (p, false)),
+        )
+    }
+
+    fn transpose<'a>(m: usize, n: usize, rows: impl Iterator<Item = (&'a Pattern, bool)>) -> Self {
         let stride = words_for(n).max(1);
         let mut inputs = vec![0u64; m * stride];
         let mut labels = vec![0u64; stride];
-        for (k, (p, o)) in ds.iter().enumerate() {
+        for (k, (p, o)) in rows.enumerate() {
             let (word, bit) = (k / 64, 1u64 << (k % 64));
             if o {
                 labels[word] |= bit;
             }
             // Walk the pattern's words directly instead of calling
             // `Pattern::get` per variable: scatter each set variable bit.
-            for (pw, &w) in p.words().iter().enumerate() {
-                let mut rest = w;
-                while rest != 0 {
-                    let f = pw * 64 + rest.trailing_zeros() as usize;
-                    inputs[f * stride + word] |= bit;
-                    rest &= rest - 1;
-                }
-            }
+            kernels::for_each_set_bit(p.words(), |f| inputs[f * stride + word] |= bit);
         }
         BitColumns {
             num_examples: n,
@@ -241,46 +256,47 @@ impl BitColumns {
 
     /// An all-ones subset mask over the examples (tail bits cleared).
     pub fn full_mask(&self) -> Vec<u64> {
-        let mut mask = vec![u64::MAX; self.stride];
-        if let Some(last) = mask.last_mut() {
-            *last = self.tail_mask;
-        }
+        let mut mask = Vec::new();
+        self.full_mask_into(&mut mask);
         mask
     }
 
-    /// Number of set bits in a packed vector (a column or a subset mask).
-    #[inline]
-    pub fn count_ones(words: &[u64]) -> u64 {
-        words.iter().map(|w| u64::from(w.count_ones())).sum()
+    /// [`BitColumns::full_mask`] into a reused buffer (resized to
+    /// `words_per_column()`), for callers that rebuild the root mask every
+    /// round.
+    pub fn full_mask_into(&self, mask: &mut Vec<u64>) {
+        mask.clear();
+        mask.resize(self.stride, u64::MAX);
+        if let Some(last) = mask.last_mut() {
+            *last = self.tail_mask;
+        }
     }
 
-    /// `|a ∧ b|` over two packed vectors.
+    /// Number of set bits in a packed vector (a column or a subset mask).
+    /// Dispatches through [`crate::kernels`].
+    #[inline]
+    pub fn count_ones(words: &[u64]) -> u64 {
+        kernels::popcount(words)
+    }
+
+    /// `|a ∧ b|` over two packed vectors, via [`crate::kernels`].
     ///
     /// # Panics
     ///
     /// Panics if the vectors have different lengths.
     #[inline]
     pub fn count_and(a: &[u64], b: &[u64]) -> u64 {
-        assert_eq!(a.len(), b.len(), "packed length mismatch");
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| u64::from((x & y).count_ones()))
-            .sum()
+        kernels::popcount_and(a, b)
     }
 
-    /// `|a ∧ b ∧ c|` over three packed vectors.
+    /// `|a ∧ b ∧ c|` over three packed vectors, via [`crate::kernels`].
     ///
     /// # Panics
     ///
     /// Panics if the vectors have different lengths.
     #[inline]
     pub fn count_and3(a: &[u64], b: &[u64], c: &[u64]) -> u64 {
-        assert_eq!(a.len(), b.len(), "packed length mismatch");
-        assert_eq!(a.len(), c.len(), "packed length mismatch");
-        a.iter()
-            .zip(b.iter().zip(c))
-            .map(|(&x, (&y, &z))| u64::from((x & y & z).count_ones()))
-            .sum()
+        kernels::popcount_and3(a, b, c)
     }
 
     /// Number of ones in input column `f` (number of examples with that
@@ -363,18 +379,7 @@ impl BitColumns {
     ///
     /// Panics in debug builds if a set bit indexes past `a`/`b`.
     pub fn masked_weight_sums(mask: &[u64], a: &[f64], b: &[f64]) -> (f64, f64) {
-        let mut sum_a = 0.0;
-        let mut sum_b = 0.0;
-        for (w, &m) in mask.iter().enumerate() {
-            let mut rest = m;
-            while rest != 0 {
-                let i = w * 64 + rest.trailing_zeros() as usize;
-                sum_a += a[i];
-                sum_b += b[i];
-                rest &= rest - 1;
-            }
-        }
-        (sum_a, sum_b)
+        kernels::masked_pair_sums(mask, a, b)
     }
 
     /// Sums `a[i]` and `b[i]` over the examples where input `f` is one *and*
@@ -394,36 +399,39 @@ impl BitColumns {
     ) -> (f64, f64) {
         let col = self.column(f);
         assert_eq!(mask.len(), col.len(), "packed mask length mismatch");
-        let mut sum_a = 0.0;
-        let mut sum_b = 0.0;
-        for (w, (&c, &m)) in col.iter().zip(mask).enumerate() {
-            let mut rest = c & m;
-            while rest != 0 {
-                let i = w * 64 + rest.trailing_zeros() as usize;
-                sum_a += a[i];
-                sum_b += b[i];
-                rest &= rest - 1;
-            }
-        }
-        (sum_a, sum_b)
+        kernels::masked_and_pair_sums(col, mask, a, b)
     }
 
     /// Splits a subset mask by input `f`: returns `(mask ∧ ¬column(f),
     /// mask ∧ column(f))` — the packed lo/hi child subsets of a split node.
+    /// Allocates both children; recursive hot loops should prefer
+    /// [`BitColumns::split_mask_into`] with reused buffers.
     ///
     /// # Panics
     ///
     /// Panics if `f >= num_inputs()` or `mask.len() != words_per_column()`.
     pub fn split_mask(&self, f: usize, mask: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        self.split_mask_into(f, mask, &mut lo, &mut hi);
+        (lo, hi)
+    }
+
+    /// [`BitColumns::split_mask`] into reused buffers (each resized to the
+    /// mask length), so recursive consumers (tree growers) can recycle
+    /// child masks instead of allocating per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= num_inputs()` or `mask.len() != words_per_column()`.
+    pub fn split_mask_into(&self, f: usize, mask: &[u64], lo: &mut Vec<u64>, hi: &mut Vec<u64>) {
         let col = self.column(f);
         assert_eq!(mask.len(), col.len(), "packed mask length mismatch");
-        let mut lo = Vec::with_capacity(mask.len());
-        let mut hi = Vec::with_capacity(mask.len());
-        for (&c, &m) in col.iter().zip(mask) {
-            lo.push(m & !c);
-            hi.push(m & c);
-        }
-        (lo, hi)
+        lo.clear();
+        lo.resize(mask.len(), 0);
+        hi.clear();
+        hi.resize(mask.len(), 0);
+        kernels::and_split_into(col, mask, lo, hi);
     }
 
     /// Fraction of examples where `predictions` (packed, same layout)
@@ -441,14 +449,11 @@ impl BitColumns {
         if self.num_examples == 0 {
             return 1.0;
         }
-        let mut wrong = 0u64;
-        for (w, (&p, &l)) in predictions.iter().zip(&self.labels).enumerate() {
-            let mut diff = p ^ l;
-            if w + 1 == self.stride {
-                diff &= self.tail_mask;
-            }
-            wrong += u64::from(diff.count_ones());
-        }
+        // Bulk XOR popcount over all full words, then the tail word masked —
+        // dead tail bits in `predictions` must never count as wrong.
+        let head = self.stride - 1;
+        let wrong = kernels::popcount_xor(&predictions[..head], &self.labels[..head])
+            + u64::from(((predictions[head] ^ self.labels[head]) & self.tail_mask).count_ones());
         (self.num_examples as u64 - wrong) as f64 / self.num_examples as f64
     }
 }

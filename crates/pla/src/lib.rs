@@ -14,6 +14,9 @@
 //! * [`BitColumns`] — the transposed, bit-packed view of a dataset (one
 //!   packed column per variable), cached on the dataset and consumed by
 //!   every popcount-based statistics and evaluation hot path.
+//! * [`kernels`] — the SIMD-dispatched bitwise kernel layer every packed
+//!   loop in the workspace routes through (AVX2/AVX-512/NEON with a scalar
+//!   reference, selected once at startup, `LSML_FORCE_SCALAR=1` override).
 //! * [`PlaFile`] — reader/writer for the Berkeley PLA exchange format used by
 //!   the IWLS 2020 contest.
 //!
@@ -35,6 +38,7 @@ pub mod cube;
 pub mod dataset;
 pub mod error;
 pub mod format;
+pub mod kernels;
 pub mod pattern;
 pub mod truth;
 

@@ -123,9 +123,10 @@ impl Pattern {
         self.words[i / 64] ^= 1u64 << (i % 64);
     }
 
-    /// Number of variables set to one.
+    /// Number of variables set to one (via the shared
+    /// [`crate::kernels`] popcount).
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        crate::kernels::popcount(&self.words) as usize
     }
 
     /// The underlying packed words (low variable = low bit of word 0).

@@ -119,9 +119,10 @@ impl TruthTable {
         }
     }
 
-    /// Number of onset minterms.
+    /// Number of onset minterms (via the shared [`crate::kernels`]
+    /// popcount).
     pub fn count_ones(&self) -> u64 {
-        self.words.iter().map(|w| w.count_ones() as u64).sum()
+        crate::kernels::popcount(&self.words)
     }
 
     /// Whether the table is constant false.

@@ -1,0 +1,157 @@
+//! Property tests for the SIMD-dispatched kernel layer: every backend the
+//! host can run is bit-identical to the scalar reference on random inputs
+//! (lengths deliberately crossing every vector-width remainder), and packed
+//! tail garbage never leaks into counts.
+
+use lsml_pla::kernels::{
+    self, accumulate_and_counts, and_split_into, masked_and_pair_sums, masked_pair_sums, Backend,
+};
+use lsml_pla::{BitColumns, Dataset, Pattern};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random word vectors of a shared random length 0..130 (covers the empty
+/// slice, sub-vector lengths, and every remainder mod 2/4/8 — the NEON,
+/// AVX2, and AVX-512 chunk widths).
+fn arb_words3() -> impl Strategy<Value = (Vec<u64>, Vec<u64>, Vec<u64>)> {
+    (any::<u64>(), 0usize..130).prop_map(|(seed, len)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut draw = || (0..len).map(|_| rng.gen()).collect::<Vec<u64>>();
+        (draw(), draw(), draw())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_backends_bit_identical_to_scalar((a, b, c) in arb_words3()) {
+        let want = (
+            kernels::popcount_with(Backend::Scalar, &a),
+            kernels::popcount_and_with(Backend::Scalar, &a, &b),
+            kernels::popcount_and3_with(Backend::Scalar, &a, &b, &c),
+            kernels::popcount_xor_with(Backend::Scalar, &a, &b),
+        );
+        // The scalar reference must itself agree with the naive per-word
+        // definition before it judges anyone else.
+        let naive: u64 = a.iter().map(|w| u64::from(w.count_ones())).sum();
+        prop_assert_eq!(want.0, naive);
+        for &backend in kernels::available_backends() {
+            let got = (
+                kernels::popcount_with(backend, &a),
+                kernels::popcount_and_with(backend, &a, &b),
+                kernels::popcount_and3_with(backend, &a, &b, &c),
+                kernels::popcount_xor_with(backend, &a, &b),
+            );
+            prop_assert_eq!(got, want, "backend {} diverges", backend.name());
+        }
+    }
+
+    #[test]
+    fn dispatched_entry_points_match_scalar((a, b, c) in arb_words3()) {
+        prop_assert_eq!(kernels::popcount(&a), kernels::popcount_with(Backend::Scalar, &a));
+        prop_assert_eq!(
+            kernels::popcount_and(&a, &b),
+            kernels::popcount_and_with(Backend::Scalar, &a, &b)
+        );
+        prop_assert_eq!(
+            kernels::popcount_and3(&a, &b, &c),
+            kernels::popcount_and3_with(Backend::Scalar, &a, &b, &c)
+        );
+        prop_assert_eq!(
+            kernels::popcount_xor(&a, &b),
+            kernels::popcount_xor_with(Backend::Scalar, &a, &b)
+        );
+    }
+
+    #[test]
+    fn accumulate_and_counts_is_per_word_popcount((a, _, _) in arb_words3(), mask in any::<u64>()) {
+        let mut counts = vec![7u64; a.len()];
+        accumulate_and_counts(&a, mask, &mut counts);
+        for (i, (&got, &v)) in counts.iter().zip(&a).enumerate() {
+            prop_assert_eq!(got, 7 + u64::from((v & mask).count_ones()), "word {}", i);
+        }
+    }
+
+    #[test]
+    fn and_split_partitions_every_mask((col, mask, _) in arb_words3()) {
+        let mut lo = vec![0u64; col.len()];
+        let mut hi = vec![0u64; col.len()];
+        and_split_into(&col, &mask, &mut lo, &mut hi);
+        for w in 0..col.len() {
+            prop_assert_eq!(lo[w] & hi[w], 0);
+            prop_assert_eq!(lo[w] | hi[w], mask[w]);
+            prop_assert_eq!(hi[w], mask[w] & col[w]);
+        }
+        prop_assert_eq!(
+            kernels::popcount(&lo) + kernels::popcount(&hi),
+            kernels::popcount(&mask)
+        );
+    }
+
+    #[test]
+    fn gathers_match_index_loops((sel, mask, _) in arb_words3(), wseed in any::<u64>()) {
+        let n = mask.len() * 64;
+        let mut rng = StdRng::seed_from_u64(wseed);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let (sa, sb) = masked_pair_sums(&mask, &a, &b);
+        let (mut ra, mut rb) = (0.0f64, 0.0f64);
+        for i in 0..n {
+            if (mask[i / 64] >> (i % 64)) & 1 == 1 {
+                ra += a[i];
+                rb += b[i];
+            }
+        }
+        // Same ascending visit order ⇒ bitwise equality, not epsilon.
+        prop_assert_eq!(sa.to_bits(), ra.to_bits());
+        prop_assert_eq!(sb.to_bits(), rb.to_bits());
+
+        let (ca, cb) = masked_and_pair_sums(&sel, &mask, &a, &b);
+        let (mut ea, mut eb) = (0.0f64, 0.0f64);
+        for i in 0..n {
+            if ((sel[i / 64] & mask[i / 64]) >> (i % 64)) & 1 == 1 {
+                ea += a[i];
+                eb += b[i];
+            }
+        }
+        prop_assert_eq!(ca.to_bits(), ea.to_bits());
+        prop_assert_eq!(cb.to_bits(), eb.to_bits());
+    }
+
+    #[test]
+    fn tail_garbage_never_leaks_into_accuracy(seed in any::<u64>(), n in 1usize..200) {
+        // Predictions whose dead tail bits are randomly filthy must score
+        // exactly like the clean copy: accuracy_of_packed masks the tail
+        // word before its XOR popcount.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(3);
+        for _ in 0..n {
+            ds.push(Pattern::random(&mut rng, 3), rng.gen());
+        }
+        let cols = BitColumns::build(&ds);
+        let mut clean: Vec<u64> = (0..cols.words_per_column())
+            .map(|_| rng.gen::<u64>())
+            .collect();
+        if let Some(last) = clean.last_mut() {
+            *last &= cols.tail_mask();
+        }
+        let mut dirty = clean.clone();
+        if let Some(last) = dirty.last_mut() {
+            *last |= rng.gen::<u64>() & !cols.tail_mask();
+        }
+        prop_assert_eq!(
+            cols.accuracy_of_packed(&clean).to_bits(),
+            cols.accuracy_of_packed(&dirty).to_bits()
+        );
+        // And a column's own popcount already excludes the tail: counting
+        // its valid bits via the tail-masked full mask changes nothing.
+        for f in 0..cols.num_inputs() {
+            prop_assert_eq!(
+                BitColumns::count_ones(cols.column(f)),
+                BitColumns::count_and(cols.column(f), &cols.full_mask())
+            );
+        }
+    }
+}

@@ -56,6 +56,20 @@
 //! Parallel-iterator `collect`s are driven by recursive binary splitting
 //! over [`join`] into a preallocated output buffer, so they inherit the
 //! same nesting and panic behavior and preserve item order.
+//!
+//! # Adaptive granularity
+//!
+//! The drive's split grain is not static: it starts coarse (four chunks
+//! per worker, derived from item count × worker count) so an uncontended
+//! `collect` pays almost no deque traffic, and *re-splits under observed
+//! steal pressure* — a chunk that executes on a different worker than the
+//! one that split it was necessarily stolen, which proves a thief was
+//! idle, so it halves its grain before deciding to run serially. Imbalanced
+//! schedules therefore break into progressively finer chunks exactly where
+//! the imbalance is, while uniform ones stay coarse. (A chunk that has
+//! already begun serial execution can never be re-split, which is why the
+//! starting grain stays a fraction of a worker's fair share: pathological
+//! per-item skew inside one chunk is bounded by that fraction.)
 
 mod deque;
 mod job;
@@ -343,5 +357,30 @@ mod tests {
     #[test]
     fn current_num_threads_is_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn skewed_workload_collects_every_item_once() {
+        // Severely imbalanced per-item cost, both front-loaded (lands in
+        // the first chunk the caller starts serially) and end-loaded
+        // (lands in ranges that get stolen and re-split): the adaptive
+        // splitter must keep the pool busy — and still write every index
+        // exactly once, in order.
+        let cost = |i: usize| -> u64 {
+            if (96..4000).contains(&i) {
+                10
+            } else {
+                20_000
+            }
+        };
+        let out: Vec<u64> = (0..4096usize)
+            .into_par_iter()
+            .map(|i| (0..cost(i)).fold(i as u64, |acc, x| acc.wrapping_add(x * x)))
+            .collect();
+        assert_eq!(out.len(), 4096);
+        for (i, &v) in out.iter().enumerate() {
+            let expect = (0..cost(i)).fold(i as u64, |acc, x| acc.wrapping_add(x * x));
+            assert_eq!(v, expect, "item {i}");
+        }
     }
 }

@@ -395,8 +395,45 @@ impl<T> Copy for OutPtr<T> {}
 unsafe impl<T: Send> Send for OutPtr<T> {}
 unsafe impl<T: Send> Sync for OutPtr<T> {}
 
+/// The adaptive splitting state threaded through `split_eval`, rayon-style.
+///
+/// The starting grain is coarse — `items / workers` — so an uncontended
+/// drive produces one task per worker and keeps deque traffic off the
+/// per-item path. *Observed steal pressure* refines it: a task discovers it
+/// was stolen when it executes on a different worker than the one that
+/// split it (`owner` mismatch), which proves some thief was idle; it then
+/// halves its grain so both halves of the migrated range can be re-stolen,
+/// converging toward fine-grained chunks exactly where the schedule is
+/// imbalanced and staying coarse everywhere else.
+#[derive(Copy, Clone)]
+struct Splitter {
+    /// Ranges at most this long evaluate serially.
+    grain: usize,
+    /// Worker index (or `None` for an external thread) that created this
+    /// splitter; a mismatch on execution means the task was stolen.
+    owner: Option<usize>,
+}
+
+impl Splitter {
+    /// Re-derives the grain if this task migrated since it was split off.
+    /// A drive issued from outside the pool starts with no owner — its
+    /// first placement on a worker is mandatory injection, not theft, so
+    /// it only claims ownership; halving is reserved for genuine
+    /// worker-to-worker migration.
+    fn adapt(&mut self, registry: &Registry) {
+        let here = registry.current_worker();
+        if here != self.owner {
+            if self.owner.is_some() {
+                self.grain = (self.grain / 2).max(1);
+            }
+            self.owner = here;
+        }
+    }
+}
+
 /// Evaluates every index of `src` across the pool via recursive binary
-/// splitting over `join`, preserving order.
+/// splitting over `join` with steal-adaptive granularity (see [`Splitter`]),
+/// preserving order.
 ///
 /// If a closure panics, the panic propagates to the caller once in-flight
 /// tasks have completed; items already produced are leaked (not dropped),
@@ -415,10 +452,16 @@ pub(crate) fn drive<S: ParallelSource>(src: S) -> Vec<S::Item> {
     // Safety: MaybeUninit needs no initialization; length tracks capacity.
     unsafe { out.set_len(n) };
     let ptr = OutPtr(out.as_mut_ptr());
-    // Split down to chunks small enough to balance across the pool but
-    // large enough that deque traffic stays off the per-item path.
-    let grain = (n / (registry.num_threads() * 8)).max(1);
-    split_eval(registry, &src, 0, n, grain, ptr);
+    // Four chunks per worker uncontended: coarse enough to keep deque
+    // traffic off the per-item path, fine enough that a chunk which starts
+    // executing serially (and therefore can never be re-split, however
+    // skewed its items turn out to be) holds at most 1/4 of a worker's
+    // fair share. Steal pressure refines from there.
+    let splitter = Splitter {
+        grain: (n / (registry.num_threads() * 4)).max(1),
+        owner: registry.current_worker(),
+    };
+    split_eval(registry, &src, 0, n, splitter, ptr);
     // Safety: split_eval wrote every index exactly once.
     let mut out = std::mem::ManuallyDrop::new(out);
     unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut S::Item, n, out.capacity()) }
@@ -429,10 +472,11 @@ fn split_eval<S: ParallelSource>(
     src: &S,
     lo: usize,
     hi: usize,
-    grain: usize,
+    mut splitter: Splitter,
     out: OutPtr<MaybeUninit<S::Item>>,
 ) {
-    if hi - lo <= grain {
+    splitter.adapt(registry);
+    if hi - lo <= splitter.grain {
         for i in lo..hi {
             // Safety: disjoint indices, each written exactly once.
             unsafe { (*out.0.add(i)).write(src.eval(i)) };
@@ -441,8 +485,8 @@ fn split_eval<S: ParallelSource>(
     }
     let mid = lo + (hi - lo) / 2;
     registry.join(
-        || split_eval(registry, src, lo, mid, grain, out),
-        || split_eval(registry, src, mid, hi, grain, out),
+        || split_eval(registry, src, lo, mid, splitter, out),
+        || split_eval(registry, src, mid, hi, splitter, out),
     );
 }
 
