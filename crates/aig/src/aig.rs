@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::fxhash::FxHashMap;
 use crate::lit::Lit;
 
 /// One AND node: two fanin literals. Constant and input nodes store
@@ -38,7 +39,7 @@ pub struct Aig {
     num_inputs: usize,
     pub(crate) nodes: Vec<Node>,
     outputs: Vec<Lit>,
-    strash: HashMap<(Lit, Lit), u32>,
+    strash: FxHashMap<(Lit, Lit), u32>,
 }
 
 impl Aig {
@@ -52,7 +53,7 @@ impl Aig {
             num_inputs,
             nodes: vec![sentinel; num_inputs + 1],
             outputs: Vec::new(),
-            strash: HashMap::new(),
+            strash: FxHashMap::default(),
         }
     }
 
@@ -400,6 +401,35 @@ impl Aig {
         aig.add_output(Lit::constant(value));
         aig
     }
+
+    /// A 128-bit structural fingerprint: two independent multiply-xor
+    /// streams over the input count, every AND node's fanin literals (in
+    /// index order), and the output literals. Graphs with equal
+    /// fingerprints are treated as structurally identical by the
+    /// optimization-fixpoint and compile caches; at 128 bits, an accidental
+    /// collision is beyond reach for any realistic workload, and a cache
+    /// collision would only ever swap in a *previously compiled* circuit,
+    /// never corrupt a graph.
+    pub fn structural_fingerprint(&self) -> u128 {
+        // Stream 1 is plain FNV-1a; stream 2 deliberately uses a different
+        // rotation and multiplier so the two halves stay independent.
+        let mut h1 = crate::fxhash::FNV_OFFSET;
+        let mut h2 = 0x9e37_79b9_7f4a_7c15u64; // golden-ratio basis
+        let mut feed = |v: u64| {
+            h1 = crate::fxhash::fnv1a_mix(h1, v);
+            h2 = (h2 ^ v.rotate_left(23)).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        };
+        feed(self.num_inputs as u64);
+        for n in (self.num_inputs + 1)..self.nodes.len() {
+            let Node { f0, f1 } = self.nodes[n];
+            feed((u64::from(f0.raw()) << 32) | u64::from(f1.raw()));
+        }
+        feed(u64::MAX); // separator: nodes vs outputs
+        for o in &self.outputs {
+            feed(u64::from(o.raw()));
+        }
+        (u128::from(h1) << 64) | u128::from(h2)
+    }
 }
 
 impl fmt::Debug for Aig {
@@ -567,6 +597,33 @@ mod tests {
         assert_eq!(forced.eval(&[false, false]), vec![true]);
         assert_eq!(forced.eval(&[true, false]), vec![true]);
         assert_eq!(forced.num_ands(), 0);
+    }
+
+    #[test]
+    fn structural_fingerprint_tracks_structure() {
+        let build = |swap: bool| {
+            let mut g = Aig::new(2);
+            let (a, b) = (g.input(0), g.input(1));
+            let f = if swap { g.or(a, b) } else { g.and(a, b) };
+            g.add_output(f);
+            g
+        };
+        assert_eq!(
+            build(false).structural_fingerprint(),
+            build(false).structural_fingerprint()
+        );
+        assert_ne!(
+            build(false).structural_fingerprint(),
+            build(true).structural_fingerprint()
+        );
+        // Dangling logic participates until cleaned up.
+        let mut g = build(false);
+        let fp = g.structural_fingerprint();
+        let (a, b) = (g.input(0), g.input(1));
+        let _dead = g.xor(a, b);
+        assert_ne!(g.structural_fingerprint(), fp);
+        g.cleanup();
+        assert_eq!(g.structural_fingerprint(), fp);
     }
 
     #[test]

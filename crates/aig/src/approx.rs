@@ -48,13 +48,13 @@ pub struct ApproxConfig {
     pub batch: usize,
     /// Fixpoint rounds of the exact pipeline run before node-dropping and
     /// after each dropping round (`0` disables the exact passes and
-    /// recovers the raw Team-1 dropping loop).
+    /// recovers the raw Team-1 dropping loop). The initial run consults the
+    /// process-wide fixpoint cache (see [`crate::opt`]): an input AIG that
+    /// was already driven to this pipeline's fixpoint — the compile path in
+    /// `lsml-core`, for example, always hands over converged graphs — is
+    /// recognized by structural fingerprint and skipped automatically, so
+    /// callers no longer thread a "skip the prelude" flag by hand.
     pub pipeline_rounds: usize,
-    /// Skip the initial exact run (the interleaved post-dropping runs still
-    /// happen). Set by callers that already ran the pipeline to a fixpoint
-    /// — the compile path in `lsml-core` — so the converged graph is not
-    /// re-optimized.
-    pub skip_initial_pipeline: bool,
 }
 
 impl Default for ApproxConfig {
@@ -67,7 +67,6 @@ impl Default for ApproxConfig {
             seed: 0,
             batch: 64,
             pipeline_rounds: 2,
-            skip_initial_pipeline: false,
         }
     }
 }
@@ -90,10 +89,22 @@ pub fn reduce(aig: &Aig, cfg: &ApproxConfig) -> Aig {
 /// [`reduce`] plus a flag reporting whether node-dropping actually happened
 /// (i.e. whether the result may approximate rather than equal the input).
 pub fn reduce_traced(aig: &Aig, cfg: &ApproxConfig) -> (Aig, bool) {
-    let pipeline = Pipeline::resyn(cfg.seed);
+    reduce_traced_with(aig, cfg, &Pipeline::resyn(cfg.seed))
+}
+
+/// [`reduce_traced`] against a caller-provided exact pipeline. The compile
+/// path passes the pipeline it already drove to a fixpoint (possibly the
+/// stimulus-bearing columns variant), so the prelude here is a guaranteed
+/// fixpoint-cache hit on a converged input rather than a re-optimization
+/// under a differently-fingerprinted pipeline, and the interleaved
+/// post-dropping runs stay consistent with the caller's configuration.
+pub fn reduce_traced_with(aig: &Aig, cfg: &ApproxConfig, pipeline: &Pipeline) -> (Aig, bool) {
     let mut current = aig.clone();
     current.cleanup();
-    if cfg.pipeline_rounds > 0 && !cfg.skip_initial_pipeline {
+    if cfg.pipeline_rounds > 0 {
+        // A no-op hash probe when the caller already ran this pipeline to a
+        // fixpoint on this graph — the fixpoint cache replaces the old
+        // manually threaded `skip_initial_pipeline` flag.
         current = pipeline.run_fixpoint(&current, cfg.pipeline_rounds);
     }
     let mut dropped = false;

@@ -1,11 +1,11 @@
-//! K-feasible cut enumeration with truth-table computation (k ≤ 4).
+//! K-feasible cut enumeration with truth-table computation (k ≤ 6).
 //!
 //! A *cut* of node `n` is a set of nodes (the *leaves*) such that every path
 //! from a primary input to `n` passes through a leaf. Cuts are the unit of
 //! local resynthesis: the cone between the leaves and `n` computes a Boolean
-//! function of at most `k` variables, recorded here as a 16-bit truth table,
+//! function of at most `k` variables, recorded here as a 64-bit truth table,
 //! and DAG-aware rewriting ([`crate::rewrite`]) replaces that cone with a
-//! precomputed optimal structure for the function's NPN class.
+//! precomputed structure for the function's NPN class.
 //!
 //! Enumeration is the standard bottom-up cross product (ABC's cut sweep):
 //! node indices are already topological (the graph is append-only), so one
@@ -14,33 +14,81 @@
 //! tables are *normalized*: a leaf the function does not actually depend on
 //! is dropped, which both shrinks the cut and exposes redundant cones
 //! (`f = leaf`, `f = const`) to the rewriter.
+//!
+//! # Priority-cut data layout
+//!
+//! The hot path stores cut sets in a per-pass bump arena ([`CutArena`])
+//! instead of per-node `Vec<Cut>`s. The arena is two flat buffers plus a CSR
+//! index:
+//!
+//! * **`leaf_buf`** — every cut's sorted leaf ids, back to back; cut `c`
+//!   owns `leaf_buf[starts[c] .. starts[c] + lens[c]]`;
+//! * **`tts`** — one 64-bit truth word per cut, parallel to `starts`/`lens`;
+//! * **`node_off`** — `node_off[n] .. node_off[n + 1]` is node `n`'s cut
+//!   range in the cut arrays (ascending node order, trivial cut last).
+//!
+//! One [`CutArena::enumerate`] call performs exactly three buffer growths in
+//! the steady state (the buffers are retained across passes via the rewrite
+//! scratch free list), and dominance filtering runs in-place on a small
+//! fixed-capacity candidate scratch before each node's set is committed to
+//! the arena. Truth tables are always stored *vacuous-extended*: variables
+//! at or above the cut's leaf count are don't-cares, so the low `2^len` bits
+//! replicate through all 64. That invariant is what lets the merge step remap
+//! a fanin table onto the union leaf set with a handful of bitwise
+//! adjacent-variable swaps ([`insert_vacuous`]) instead of a per-minterm
+//! rebuild.
+//!
+//! The pre-arena `Vec<Vec<Cut>>` enumeration is retained, behaviorally
+//! identical, as [`enumerate_cuts`] / [`enumerate_cuts_k`] — the
+//! differential-test oracle for the arena (see `tests/cut_npn_props.rs`).
 
 use crate::aig::Aig;
 
 /// Maximum number of leaves per cut.
-pub const MAX_LEAVES: usize = 4;
+pub const MAX_LEAVES: usize = 6;
 
-/// Truth table of variable `i` in a 4-variable table.
-const VAR_TT: [u16; 4] = [0xAAAA, 0xCCCC, 0xF0F0, 0xFF00];
+/// Truth table of variable `i` in a 6-variable table (shared with
+/// [`crate::npn`]'s canonizers).
+pub(crate) const VAR_TT: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
 
 /// One k-feasible cut: sorted leaf node ids plus the cone's function as a
-/// 4-variable truth table (leaf `i` = variable `i`; variables at or above
-/// [`Cut::len`] are don't-cares the table provably does not depend on).
+/// 6-variable truth table (leaf `i` = variable `i`; variables at or above
+/// [`Cut::len`] are don't-cares the table provably does not depend on, so
+/// the low `2^len` bits replicate through the full word).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct Cut {
     leaves: [u32; MAX_LEAVES],
     len: u8,
     /// The cone's function over the leaves.
-    pub tt: u16,
+    pub tt: u64,
 }
 
 impl Cut {
     /// The trivial cut `{n}` with function `f = leaf0`.
     pub fn trivial(n: u32) -> Cut {
         Cut {
-            leaves: [n, 0, 0, 0],
+            leaves: [n, 0, 0, 0, 0, 0],
             len: 1,
             tt: VAR_TT[0],
+        }
+    }
+
+    /// A cut from explicit parts (used by the arena's views and tests).
+    pub fn from_parts(leaves: &[u32], tt: u64) -> Cut {
+        assert!(leaves.len() <= MAX_LEAVES, "too many leaves");
+        let mut arr = [0u32; MAX_LEAVES];
+        arr[..leaves.len()].copy_from_slice(leaves);
+        Cut {
+            leaves: arr,
+            len: leaves.len() as u8,
+            tt,
         }
     }
 
@@ -62,9 +110,24 @@ impl Cut {
         self.len == 0
     }
 
-    /// Whether every leaf of `self` is also a leaf of `other`.
+    /// Whether every leaf of `self` is also a leaf of `other` (two-pointer
+    /// subset walk — both leaf lists are sorted).
     fn dominates(&self, other: &Cut) -> bool {
-        self.leaves().iter().all(|l| other.leaves().contains(l))
+        if self.len > other.len {
+            return false;
+        }
+        let (a, b) = (self.leaves(), other.leaves());
+        let mut j = 0usize;
+        for &l in a {
+            while j < b.len() && b[j] < l {
+                j += 1;
+            }
+            if j == b.len() || b[j] != l {
+                return false;
+            }
+            j += 1;
+        }
+        true
     }
 
     /// Drops leaves the truth table does not depend on, compacting both the
@@ -94,21 +157,21 @@ impl Cut {
 
 /// Negative cofactor of `tt` with respect to variable `v` (the result no
 /// longer depends on `v`).
-pub(crate) fn cofactor0(tt: u16, v: usize) -> u16 {
+pub(crate) fn cofactor0(tt: u64, v: usize) -> u64 {
     let lo = tt & !VAR_TT[v];
     lo | (lo << (1 << v))
 }
 
 /// Positive cofactor of `tt` with respect to variable `v`.
-pub(crate) fn cofactor1(tt: u16, v: usize) -> u16 {
+pub(crate) fn cofactor1(tt: u64, v: usize) -> u64 {
     let hi = tt & VAR_TT[v];
     hi | (hi >> (1 << v))
 }
 
 /// Swaps adjacent variables `v` and `v + 1` in the truth table — the
 /// primitive out of which every permutation is composed.
-fn swap_down(tt: u16, v: usize) -> u16 {
-    debug_assert!(v < 3);
+pub(crate) fn swap_down(tt: u64, v: usize) -> u64 {
+    debug_assert!(v < MAX_LEAVES - 1);
     let shift = 1 << v;
     // Bits where var v = 1 and var v+1 = 0 move up; the mirror bits move
     // down.  Masks for the four (v, v+1) value combinations:
@@ -117,31 +180,71 @@ fn swap_down(tt: u16, v: usize) -> u16 {
     (tt & !(a | b)) | ((tt & a) << shift) | ((tt & b) >> shift)
 }
 
-/// Re-expresses `tt` (over `from` leaves) over the `union` leaf set: every
-/// variable of `from` is mapped to the position of the same leaf in `union`.
-fn expand(tt: u16, from: &[u32], union: &[u32]) -> u16 {
-    let mut pos = [0usize; MAX_LEAVES];
-    for (i, leaf) in from.iter().enumerate() {
-        pos[i] = union.iter().position(|u| u == leaf).expect("leaf in union");
+/// Swaps arbitrary variables `a < b` via one delta swap (a table position
+/// with bit `a` set and bit `b` clear trades places with its mirror).
+pub(crate) fn swap_vars(tt: u64, a: usize, b: usize) -> u64 {
+    debug_assert!(a < b && b < MAX_LEAVES);
+    let shift = (1usize << b) - (1usize << a);
+    let up = VAR_TT[a] & !VAR_TT[b]; // a=1, b=0 moves up
+    let down = !VAR_TT[a] & VAR_TT[b]; // a=0, b=1 moves down
+    (tt & !(up | down)) | ((tt & up) << shift) | ((tt & down) >> shift)
+}
+
+/// Complements variable `v` (the table of `f(.., !x_v, ..)`).
+pub(crate) fn flip_var(tt: u64, v: usize) -> u64 {
+    let shift = 1 << v;
+    ((tt & VAR_TT[v]) >> shift) | ((tt & !VAR_TT[v]) << shift)
+}
+
+/// Inserts a vacuous (don't-care) variable at position `p` of a table whose
+/// active width (mapped variables so far) is `active`, shifting every
+/// variable in `p..active` one position up. Requires the table to be
+/// vacuous-extended above `active` (every stored cut table is): the
+/// rotation brings the vacuous variable at `active` down to `p` via
+/// adjacent swaps, and swaps entirely above `active` would be no-ops, so
+/// they are skipped.
+fn insert_vacuous(tt: u64, p: usize, active: usize) -> u64 {
+    let mut t = tt;
+    for v in (p..active.min(MAX_LEAVES - 1)).rev() {
+        t = swap_down(t, v);
     }
-    let mut out = 0u16;
-    for m in 0..16u16 {
-        let mut idx = 0u16;
-        for (i, &p) in pos.iter().enumerate().take(from.len()) {
-            idx |= ((m >> p) & 1) << i;
+    t
+}
+
+/// Re-expresses `tt` (over `from` leaves) over the `union` leaf set. `from`
+/// is always a sorted subsequence of `union` (the merge step unions sorted
+/// leaf lists), so the remap is a left-to-right walk inserting one vacuous
+/// variable per union position missing from `from`.
+fn expand(tt: u64, from: &[u32], union: &[u32]) -> u64 {
+    let mut out = tt;
+    let mut j = 0usize;
+    let mut active = from.len();
+    for (p, &u) in union.iter().enumerate() {
+        if j < from.len() && from[j] == u {
+            j += 1;
+        } else {
+            out = insert_vacuous(out, p, active);
+            active += 1;
         }
-        out |= ((tt >> idx) & 1) << m;
     }
+    debug_assert_eq!(j, from.len(), "from is not a subsequence of union");
     out
 }
 
-/// Merges two fanin cuts into a cut of the AND node, or `None` when the leaf
-/// union exceeds [`MAX_LEAVES`]. `c0_compl`/`c1_compl` are the fanin edge
-/// complements.
-fn merge(c0: &Cut, c0_compl: bool, c1: &Cut, c1_compl: bool) -> Option<Cut> {
+/// Merges two fanin cuts (leaf slices + vacuous-extended truth words) into
+/// a cut of the AND node, or `None` when the leaf union exceeds `k`.
+/// `c0_compl`/`c1_compl` are the fanin edge complements.
+fn merge_parts(
+    l0: &[u32],
+    t0: u64,
+    c0_compl: bool,
+    l1: &[u32],
+    t1: u64,
+    c1_compl: bool,
+    k: usize,
+) -> Option<Cut> {
     let mut union = [0u32; MAX_LEAVES];
     let mut len = 0usize;
-    let (l0, l1) = (c0.leaves(), c1.leaves());
     let (mut i, mut j) = (0usize, 0usize);
     while i < l0.len() || j < l1.len() {
         let next = match (l0.get(i), l1.get(j)) {
@@ -168,14 +271,14 @@ fn merge(c0: &Cut, c0_compl: bool, c1: &Cut, c1_compl: bool) -> Option<Cut> {
             }
             (None, None) => unreachable!(),
         };
-        if len == MAX_LEAVES {
+        if len == k {
             return None;
         }
         union[len] = next;
         len += 1;
     }
-    let t0 = expand(c0.tt, l0, &union[..len]) ^ if c0_compl { 0xFFFF } else { 0 };
-    let t1 = expand(c1.tt, l1, &union[..len]) ^ if c1_compl { 0xFFFF } else { 0 };
+    let t0 = expand(t0, l0, &union[..len]) ^ if c0_compl { u64::MAX } else { 0 };
+    let t1 = expand(t1, l1, &union[..len]) ^ if c1_compl { u64::MAX } else { 0 };
     let mut cut = Cut {
         leaves: union,
         len: len as u8,
@@ -185,11 +288,205 @@ fn merge(c0: &Cut, c0_compl: bool, c1: &Cut, c1_compl: bool) -> Option<Cut> {
     Some(cut)
 }
 
-/// Enumerates up to `max_cuts` cuts per node (the trivial cut included) for
-/// every node of the graph, indexed by node id. Constants and primary
-/// inputs carry only their trivial cut.
-pub fn enumerate_cuts(aig: &Aig, max_cuts: usize) -> Vec<Vec<Cut>> {
-    let max_cuts = max_cuts.max(2);
+/// [`merge_parts`] over owned [`Cut`]s (the reference enumeration).
+fn merge(c0: &Cut, c0_compl: bool, c1: &Cut, c1_compl: bool, k: usize) -> Option<Cut> {
+    merge_parts(
+        c0.leaves(),
+        c0.tt,
+        c0_compl,
+        c1.leaves(),
+        c1.tt,
+        c1_compl,
+        k,
+    )
+}
+
+/// Configuration for cut enumeration.
+#[derive(Copy, Clone, Debug)]
+pub struct CutConfig {
+    /// Maximum leaves per cut (clamped to `2..=MAX_LEAVES`).
+    pub k: usize,
+    /// Cuts kept per node, the trivial cut included (at least 2).
+    pub max_cuts: usize,
+}
+
+impl Default for CutConfig {
+    fn default() -> Self {
+        CutConfig { k: 4, max_cuts: 8 }
+    }
+}
+
+impl CutConfig {
+    fn clamped(self) -> CutConfig {
+        CutConfig {
+            k: self.k.clamp(2, MAX_LEAVES),
+            max_cuts: self.max_cuts.max(2),
+        }
+    }
+}
+
+/// A borrowed view of one cut stored in a [`CutArena`].
+#[derive(Copy, Clone, Debug)]
+pub struct CutView<'a> {
+    /// The sorted leaf node ids.
+    pub leaves: &'a [u32],
+    /// The cone's function over the leaves (vacuous-extended).
+    pub tt: u64,
+}
+
+impl CutView<'_> {
+    /// Number of leaves.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether the cut has no leaves (constant cone).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// An owned [`Cut`] copy (tests and the reference comparison).
+    pub fn to_cut(&self) -> Cut {
+        Cut::from_parts(self.leaves, self.tt)
+    }
+}
+
+/// Per-pass bump arena holding every node's cut set in flat buffers — see
+/// the module docs for the exact layout. Reusable across passes: buffers are
+/// cleared, not freed, by [`CutArena::enumerate`].
+#[derive(Default)]
+pub struct CutArena {
+    /// Flat leaf storage (all cuts back to back).
+    leaf_buf: Vec<u32>,
+    /// Truth word per cut.
+    tts: Vec<u64>,
+    /// Leaf-slice start per cut (into `leaf_buf`).
+    starts: Vec<u32>,
+    /// Leaf count per cut.
+    lens: Vec<u8>,
+    /// CSR offsets: node `n` owns cuts `node_off[n] .. node_off[n + 1]`.
+    node_off: Vec<u32>,
+    /// In-place dominance-filter scratch for the node under construction.
+    cand: Vec<Cut>,
+}
+
+impl CutArena {
+    /// An empty arena.
+    pub fn new() -> CutArena {
+        CutArena::default()
+    }
+
+    /// Enumerates up to `cfg.max_cuts` cuts per node (the trivial cut
+    /// included) for every node of the graph. Constants and primary inputs
+    /// carry only their trivial cut. Previous contents are discarded;
+    /// buffers are reused.
+    pub fn enumerate(&mut self, aig: &Aig, cfg: &CutConfig) {
+        let cfg = cfg.clamped();
+        let n_nodes = aig.num_nodes();
+        self.leaf_buf.clear();
+        self.tts.clear();
+        self.starts.clear();
+        self.lens.clear();
+        self.node_off.clear();
+        self.node_off.reserve(n_nodes + 1);
+        self.node_off.push(0);
+
+        let mut cand = std::mem::take(&mut self.cand);
+        for n in 0..n_nodes as u32 {
+            if !aig.is_and(n) {
+                self.push_cut(&Cut::trivial(n));
+                self.node_off.push(self.tts.len() as u32);
+                continue;
+            }
+            let (f0, f1) = aig.fanins(n);
+            cand.clear();
+            let (r0, r1) = (self.range(f0.node()), self.range(f1.node()));
+            'merge: for i0 in r0.clone() {
+                let s0 = self.starts[i0] as usize;
+                let l0 = &self.leaf_buf[s0..s0 + self.lens[i0] as usize];
+                for i1 in r1.clone() {
+                    let s1 = self.starts[i1] as usize;
+                    let l1 = &self.leaf_buf[s1..s1 + self.lens[i1] as usize];
+                    let Some(cut) = merge_parts(
+                        l0,
+                        self.tts[i0],
+                        f0.is_complemented(),
+                        l1,
+                        self.tts[i1],
+                        f1.is_complemented(),
+                        cfg.k,
+                    ) else {
+                        continue;
+                    };
+                    // Drop duplicates and dominated cuts; a new cut that is
+                    // dominated by an existing one is itself dropped.
+                    if cand.iter().any(|c| c.dominates(&cut)) {
+                        continue;
+                    }
+                    cand.retain(|c| !cut.dominates(c));
+                    cand.push(cut);
+                    if cand.len() >= cfg.max_cuts - 1 {
+                        break 'merge;
+                    }
+                }
+            }
+            cand.push(Cut::trivial(n));
+            for c in &cand {
+                self.push_cut(c);
+            }
+            self.node_off.push(self.tts.len() as u32);
+        }
+        self.cand = cand;
+    }
+
+    /// The cut index range of node `n`.
+    #[inline]
+    fn range(&self, n: u32) -> std::ops::Range<usize> {
+        self.node_off[n as usize] as usize..self.node_off[n as usize + 1] as usize
+    }
+
+    #[inline]
+    fn view(&self, c: usize) -> CutView<'_> {
+        let s = self.starts[c] as usize;
+        CutView {
+            leaves: &self.leaf_buf[s..s + self.lens[c] as usize],
+            tt: self.tts[c],
+        }
+    }
+
+    fn push_cut(&mut self, cut: &Cut) {
+        self.starts.push(self.leaf_buf.len() as u32);
+        self.lens.push(cut.len);
+        self.leaf_buf.extend_from_slice(cut.leaves());
+        self.tts.push(cut.tt);
+    }
+
+    /// Iterates the cuts of node `n` in enumeration order (trivial cut
+    /// last).
+    pub fn cuts(&self, n: u32) -> impl Iterator<Item = CutView<'_>> + '_ {
+        self.range(n).map(move |c| self.view(c))
+    }
+
+    /// Total number of cuts stored.
+    pub fn num_cuts(&self) -> usize {
+        self.tts.len()
+    }
+
+    /// Number of nodes enumerated.
+    pub fn num_nodes(&self) -> usize {
+        self.node_off.len().saturating_sub(1)
+    }
+}
+
+/// Reference enumeration returning per-node `Vec<Cut>`s — behaviorally
+/// identical to [`CutArena::enumerate`] (same merge order, dominance
+/// filtering and caps) but allocation-heavy. Kept as the differential-test
+/// oracle; hot paths use the arena.
+#[doc(hidden)]
+pub fn enumerate_cuts_k(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
+    let cfg = CutConfig { k, max_cuts }.clamped();
     let mut cuts: Vec<Vec<Cut>> = Vec::with_capacity(aig.num_nodes());
     for n in 0..aig.num_nodes() as u32 {
         if !aig.is_and(n) {
@@ -197,20 +494,19 @@ pub fn enumerate_cuts(aig: &Aig, max_cuts: usize) -> Vec<Vec<Cut>> {
             continue;
         }
         let (f0, f1) = aig.fanins(n);
-        let mut set: Vec<Cut> = Vec::with_capacity(max_cuts);
+        let mut set: Vec<Cut> = Vec::with_capacity(cfg.max_cuts);
         'merge: for c0 in &cuts[f0.node() as usize] {
             for c1 in &cuts[f1.node() as usize] {
-                let Some(cut) = merge(c0, f0.is_complemented(), c1, f1.is_complemented()) else {
+                let Some(cut) = merge(c0, f0.is_complemented(), c1, f1.is_complemented(), cfg.k)
+                else {
                     continue;
                 };
-                // Drop duplicates and dominated cuts; a new cut that is
-                // dominated by an existing one is itself dropped.
                 if set.iter().any(|c| c.dominates(&cut)) {
                     continue;
                 }
                 set.retain(|c| !cut.dominates(c));
                 set.push(cut);
-                if set.len() >= max_cuts - 1 {
+                if set.len() >= cfg.max_cuts - 1 {
                     break 'merge;
                 }
             }
@@ -221,13 +517,18 @@ pub fn enumerate_cuts(aig: &Aig, max_cuts: usize) -> Vec<Vec<Cut>> {
     cuts
 }
 
+/// [`enumerate_cuts_k`] at the full `k = MAX_LEAVES`.
+pub fn enumerate_cuts(aig: &Aig, max_cuts: usize) -> Vec<Vec<Cut>> {
+    enumerate_cuts_k(aig, MAX_LEAVES, max_cuts)
+}
+
 /// Evaluates a cut's truth table on one assignment of its leaves (used by
 /// tests and debug assertions).
 pub fn eval_cut(cut: &Cut, leaf_values: &[bool]) -> bool {
     assert_eq!(leaf_values.len(), cut.len());
-    let mut idx = 0u16;
+    let mut idx = 0u32;
     for (i, &v) in leaf_values.iter().enumerate() {
-        idx |= u16::from(v) << i;
+        idx |= u32::from(v) << i;
     }
     (cut.tt >> idx) & 1 == 1
 }
@@ -267,6 +568,18 @@ mod tests {
         }
     }
 
+    /// The arena must reproduce the reference sets cut for cut.
+    fn check_arena_matches_reference(g: &Aig, k: usize, max_cuts: usize) {
+        let reference = enumerate_cuts_k(g, k, max_cuts);
+        let mut arena = CutArena::new();
+        arena.enumerate(g, &CutConfig { k, max_cuts });
+        assert_eq!(arena.num_nodes(), g.num_nodes());
+        for n in 0..g.num_nodes() as u32 {
+            let got: Vec<Cut> = arena.cuts(n).map(|v| v.to_cut()).collect();
+            assert_eq!(got, reference[n as usize], "node {n} (k={k})");
+        }
+    }
+
     #[test]
     fn cut_truth_tables_match_simulation() {
         let mut g = Aig::new(4);
@@ -276,6 +589,9 @@ mod tests {
         let z = g.and(y, !x);
         g.add_output(z);
         check_all_cuts(&g);
+        for k in [2, 4, 6] {
+            check_arena_matches_reference(&g, k, 8);
+        }
     }
 
     #[test]
@@ -293,8 +609,34 @@ mod tests {
             .iter()
             .find(|c| c.leaves() == [1, 2, 3, 4])
             .expect("4-input cut");
-        let expect = 0x6996u16 ^ if p.is_complemented() { 0xFFFF } else { 0 };
+        // 4-var parity vacuous-extended through the 64-bit table.
+        let expect = 0x6996_6996_6996_6996u64 ^ if p.is_complemented() { u64::MAX } else { 0 };
         assert_eq!(parity_cut.tt, expect);
+    }
+
+    #[test]
+    fn six_input_parity_has_full_cut() {
+        let mut g = Aig::new(6);
+        let ins = g.inputs();
+        let p = g.xor_many(&ins);
+        g.add_output(p);
+        let cuts = enumerate_cuts(&g, 12);
+        let root = p.node() as usize;
+        let full = cuts[root]
+            .iter()
+            .find(|c| c.leaves() == [1, 2, 3, 4, 5, 6])
+            .expect("6-input cut");
+        // 6-var parity: popcount of the index, odd → 1.
+        let mut expect = 0u64;
+        for m in 0..64u64 {
+            if m.count_ones() % 2 == 1 {
+                expect |= 1 << m;
+            }
+        }
+        assert_eq!(
+            full.tt ^ if p.is_complemented() { u64::MAX } else { 0 },
+            expect
+        );
     }
 
     #[test]
@@ -329,19 +671,59 @@ mod tests {
                 assert!(cut.leaves().windows(2).all(|w| w[0] < w[1]));
             }
         }
+        check_arena_matches_reference(&g, 6, 6);
+        check_arena_matches_reference(&g, 4, 8);
     }
 
     #[test]
     fn cofactor_and_swap_primitives() {
-        // tt = x0 XOR x2 as a 4-var table.
+        // tt = x0 XOR x2 as a 6-var table.
         let tt = VAR_TT[0] ^ VAR_TT[2];
         assert_eq!(cofactor0(tt, 0), VAR_TT[2]);
         assert_eq!(cofactor1(tt, 0), !VAR_TT[2]);
         // Swapping vars 0 and 1 turns x0^x2 into x1^x2.
         assert_eq!(swap_down(tt, 0), VAR_TT[1] ^ VAR_TT[2]);
         // Swap is an involution.
-        for v in 0..3 {
-            assert_eq!(swap_down(swap_down(0x1234, v), v), 0x1234);
+        for v in 0..MAX_LEAVES - 1 {
+            assert_eq!(
+                swap_down(swap_down(0x1234_5678_9ABC_DEF0, v), v),
+                0x1234_5678_9ABC_DEF0
+            );
         }
+        // General delta swap agrees with a chain of adjacent swaps.
+        for (a, b) in [(0usize, 2usize), (1, 4), (0, 5), (2, 5)] {
+            let t = 0xDEAD_BEEF_0123_4567u64;
+            let mut chained = t;
+            for v in a..b {
+                chained = swap_down(chained, v);
+            }
+            for v in (a..b - 1).rev() {
+                chained = swap_down(chained, v);
+            }
+            assert_eq!(swap_vars(t, a, b), chained, "swap {a}<->{b}");
+        }
+        // flip_var is an involution and moves VAR_TT to its complement.
+        for (v, &var_tt) in VAR_TT.iter().enumerate() {
+            assert_eq!(flip_var(var_tt, v), !var_tt);
+            assert_eq!(
+                flip_var(flip_var(0x0F1E_2D3C_4B5A_6978, v), v),
+                0x0F1E_2D3C_4B5A_6978
+            );
+        }
+    }
+
+    #[test]
+    fn insert_vacuous_shifts_variables_up() {
+        // tt = x0 & x1 (vacuous-extended); inserting at 0 gives x1 & x2,
+        // inserting at 1 gives x0 & x2.
+        let tt = VAR_TT[0] & VAR_TT[1];
+        assert_eq!(insert_vacuous(tt, 0, 2), VAR_TT[1] & VAR_TT[2]);
+        assert_eq!(insert_vacuous(tt, 1, 2), VAR_TT[0] & VAR_TT[2]);
+        assert_eq!(insert_vacuous(tt, 2, 2), tt);
+        // Skipping swaps above the active width must not change behavior.
+        assert_eq!(insert_vacuous(tt, 0, MAX_LEAVES), VAR_TT[1] & VAR_TT[2]);
+        // expand maps a 2-leaf table onto a 4-leaf union.
+        let out = expand(tt, &[3, 7], &[1, 3, 5, 7]);
+        assert_eq!(out, VAR_TT[1] & VAR_TT[3]);
     }
 }

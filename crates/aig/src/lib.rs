@@ -13,8 +13,9 @@
 //! * [`aiger`] — ASCII (`.aag`) and binary (`.aig`) AIGER reader/writer.
 //! * [`circuits`] — bit-vector circuit builders (adders, comparators,
 //!   multipliers, popcount, symmetric functions, majority).
-//! * [`cut`] / [`npn`] — k-feasible cut enumeration with truth tables and
-//!   NPN canonization with the optimal-structure library.
+//! * [`cut`] / [`npn`] — k ≤ 6 priority-cut enumeration with 64-bit truth
+//!   tables (arena-backed) and semi-canonical NPN canonization with the
+//!   optimal-structure library.
 //! * [`rewrite`] — DAG-aware cut/NPN rewriting (ABC's `rewrite`).
 //! * [`sweep`] — simulation-guided equivalence sweeping.
 //! * [`opt`] — the composable [`Pass`](opt::Pass) /
@@ -46,6 +47,7 @@ pub mod aiger;
 pub mod approx;
 pub mod circuits;
 pub mod cut;
+pub mod fxhash;
 pub mod lit;
 pub mod npn;
 pub mod opt;

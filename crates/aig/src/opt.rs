@@ -11,10 +11,21 @@
 //! * [`BalancePass`] — depth-minimal restructuring of maximal AND trees
 //!   (ABC's `balance`), via [`balance`];
 //! * [`RewritePass`] — DAG-aware cut/NPN rewriting with shared-logic gain
-//!   accounting ([`crate::rewrite`]), optionally zero-gain;
+//!   accounting ([`crate::rewrite`]), optionally zero-gain, k ∈ 2..=6;
 //! * [`SweepPass`] — simulation-guided equivalence sweeping
 //!   ([`crate::sweep`]);
 //! * [`CleanupPass`] — drop logic unreachable from the outputs.
+//!
+//! # The fixpoint cache
+//!
+//! Pipelines are deterministic, so a graph that already sits at a pipeline's
+//! fixpoint will sit there forever. [`Pipeline::run_fixpoint`] therefore
+//! remembers, process-wide, every ([`Aig::structural_fingerprint`],
+//! [`Pipeline::fingerprint`]) pair it has driven to convergence, and returns
+//! immediately when asked to optimize such a graph again. That turns the
+//! redundant "exact prelude" of [`crate::approx::reduce`] — and any repeated
+//! compile of a structurally identical candidate — into a hash probe; no
+//! caller has to thread an "already optimized" flag by hand.
 //!
 //! # Examples
 //!
@@ -48,12 +59,18 @@
 //! assert_eq!(custom.describe(), "balance | rewrite | sweep | cleanup");
 //! ```
 
-use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
 
 use crate::aig::Aig;
+use crate::fxhash::{fnv1a_mix, FNV_OFFSET};
 use crate::lit::Lit;
 use crate::rewrite::{rewrite, RewriteConfig};
 use crate::sweep::{sweep, SweepConfig};
+
+fn fnv_str(h: u64, s: &str) -> u64 {
+    s.bytes().fold(h, |h, b| fnv1a_mix(h, u64::from(b)))
+}
 
 /// One semantics-preserving AIG transformation.
 pub trait Pass: Send + Sync {
@@ -62,6 +79,14 @@ pub trait Pass: Send + Sync {
 
     /// Runs the pass. Implementations must preserve functionality exactly.
     fn run(&self, aig: &Aig) -> Aig;
+
+    /// A stable fingerprint of the pass *configuration*: two passes with
+    /// equal fingerprints must transform every graph identically (the
+    /// fixpoint cache keys on it). The default hashes only the name —
+    /// passes with tunable configuration must fold that in too.
+    fn fingerprint(&self) -> u64 {
+        fnv_str(FNV_OFFSET, self.name())
+    }
 }
 
 /// ABC-style `balance` as a [`Pass`].
@@ -90,18 +115,31 @@ impl RewritePass {
             ..RewriteConfig::default()
         })
     }
+
+    /// This pass with the given maximum cut size (2..=6).
+    pub fn with_cut_size(mut self, cut_size: usize) -> RewritePass {
+        self.0.cut_size = cut_size;
+        self
+    }
 }
 
 impl Pass for RewritePass {
     fn name(&self) -> &'static str {
-        if self.0.zero_gain {
-            "rewrite -z"
-        } else {
-            "rewrite"
+        match (self.0.zero_gain, self.0.cut_size) {
+            (false, 6) => "rewrite -K 6",
+            (true, 6) => "rewrite -z -K 6",
+            (false, _) => "rewrite",
+            (true, _) => "rewrite -z",
         }
     }
     fn run(&self, aig: &Aig) -> Aig {
         rewrite(aig, &self.0)
+    }
+    fn fingerprint(&self) -> u64 {
+        let mut h = fnv_str(FNV_OFFSET, self.name());
+        h = fnv1a_mix(h, u64::from(self.0.zero_gain));
+        h = fnv1a_mix(h, self.0.max_cuts as u64);
+        fnv1a_mix(h, self.0.cut_size as u64)
     }
 }
 
@@ -126,6 +164,29 @@ impl Pass for SweepPass {
     fn run(&self, aig: &Aig) -> Aig {
         sweep(aig, &self.0)
     }
+    fn fingerprint(&self) -> u64 {
+        let cfg = &self.0;
+        let mut h = fnv_str(FNV_OFFSET, self.name());
+        for v in [
+            cfg.rounds as u64,
+            cfg.seed,
+            cfg.max_support as u64,
+            cfg.max_cone as u64,
+            cfg.max_pairs as u64,
+        ] {
+            h = fnv1a_mix(h, v);
+        }
+        if let Some(cols) = &cfg.stimulus {
+            h = fnv1a_mix(h, cols.num_inputs() as u64);
+            h = fnv1a_mix(h, cols.num_examples() as u64);
+            for i in 0..cols.num_inputs() {
+                for &w in cols.column(i) {
+                    h = fnv1a_mix(h, w);
+                }
+            }
+        }
+        h
+    }
 }
 
 /// Dangling-logic removal as a [`Pass`].
@@ -142,6 +203,16 @@ impl Pass for CleanupPass {
         g
     }
 }
+
+/// Process-wide set of (graph fingerprint, pipeline fingerprint) pairs known
+/// to be at a fixpoint. Bounded: cleared wholesale when it outgrows the cap
+/// (entries are one hash probe to recompute).
+fn fixpoint_cache() -> &'static Mutex<HashSet<(u128, u64)>> {
+    static CACHE: OnceLock<Mutex<HashSet<(u128, u64)>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+const FIXPOINT_CACHE_CAP: usize = 1 << 16;
 
 /// A sequence of passes applied in order.
 #[derive(Default)]
@@ -165,22 +236,51 @@ impl Pipeline {
     /// `balance | rewrite | rewrite -z | sweep | cleanup`. The seed feeds
     /// the sweep's random signature stimulus.
     pub fn resyn(seed: u64) -> Pipeline {
-        Pipeline::resyn_with_sweep(SweepConfig {
-            seed,
-            ..SweepConfig::default()
-        })
+        Pipeline::resyn_with(
+            SweepConfig {
+                seed,
+                ..SweepConfig::default()
+            },
+            RewriteConfig::default().cut_size,
+        )
+    }
+
+    /// [`Pipeline::resyn`] with k = 6 rewriting layered on top of the k = 4
+    /// passes (ABC-style `rw; rw -K 6`): the 64-bit-cut rounds only ever
+    /// refine what the classic rounds found, so the k = 6 script reduces at
+    /// least as much as [`Pipeline::resyn`], at higher per-round cost.
+    pub fn resyn_k6(seed: u64) -> Pipeline {
+        Pipeline::resyn_with(
+            SweepConfig {
+                seed,
+                ..SweepConfig::default()
+            },
+            6,
+        )
     }
 
     /// [`Pipeline::resyn`] with a caller-provided sweep configuration (e.g.
     /// application [`BitColumns`](lsml_pla::BitColumns) stimulus feeding the
-    /// signatures) — the single source of truth for the resyn pass list.
+    /// signatures).
     pub fn resyn_with_sweep(sweep: SweepConfig) -> Pipeline {
-        Pipeline::new()
+        Pipeline::resyn_with(sweep, RewriteConfig::default().cut_size)
+    }
+
+    /// The single source of truth for the resyn pass list: caller-provided
+    /// sweep configuration and rewrite cut size. A cut size above the
+    /// default appends wider-cut rewrite rounds after the classic ones
+    /// rather than replacing them.
+    pub fn resyn_with(sweep: SweepConfig, cut_size: usize) -> Pipeline {
+        let mut p = Pipeline::new()
             .then(BalancePass)
             .then(RewritePass::default())
-            .then(RewritePass::zero_gain())
-            .then(SweepPass(sweep))
-            .then(CleanupPass)
+            .then(RewritePass::zero_gain());
+        if cut_size > RewriteConfig::default().cut_size {
+            p = p
+                .then(RewritePass::default().with_cut_size(cut_size))
+                .then(RewritePass::zero_gain().with_cut_size(cut_size));
+        }
+        p.then(SweepPass(sweep)).then(CleanupPass)
     }
 
     /// `name | name | …` for logs and tests.
@@ -190,6 +290,14 @@ impl Pipeline {
             .map(|p| p.name())
             .collect::<Vec<_>>()
             .join(" | ")
+    }
+
+    /// A stable fingerprint of the full pass sequence and every pass's
+    /// configuration; the fixpoint cache and the compile cache key on it.
+    pub fn fingerprint(&self) -> u64 {
+        self.passes
+            .iter()
+            .fold(FNV_OFFSET, |h, p| fnv1a_mix(h, p.fingerprint()))
     }
 
     /// Runs every pass once, in order.
@@ -204,18 +312,42 @@ impl Pipeline {
     /// Iterates the pipeline until the AND count (then the depth) stops
     /// improving, at most `max_rounds` times. Never returns a graph larger
     /// than the cleaned-up input.
+    ///
+    /// Graphs already driven to this pipeline's fixpoint (in this process)
+    /// are recognized by structural fingerprint and returned without
+    /// re-running a single pass — see the module docs.
     pub fn run_fixpoint(&self, aig: &Aig, max_rounds: usize) -> Aig {
         let mut best = aig.clone();
         best.cleanup();
+        if max_rounds == 0 {
+            return best;
+        }
+        let pipe_fp = self.fingerprint();
+        if fixpoint_cache()
+            .lock()
+            .expect("fixpoint cache lock")
+            .contains(&(best.structural_fingerprint(), pipe_fp))
+        {
+            return best;
+        }
+        let mut converged = false;
         for _ in 0..max_rounds {
             let next = self.run(&best);
             let smaller = next.num_ands() < best.num_ands();
             let same_but_shallower =
                 next.num_ands() == best.num_ands() && next.depth() < best.depth();
             if !(smaller || same_but_shallower) {
+                converged = true;
                 break;
             }
             best = next;
+        }
+        if converged {
+            let mut cache = fixpoint_cache().lock().expect("fixpoint cache lock");
+            if cache.len() >= FIXPOINT_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert((best.structural_fingerprint(), pipe_fp));
         }
         best
     }
@@ -224,61 +356,89 @@ impl Pipeline {
 /// Rebuilds the AIG with every maximal conjunction restructured as a balanced
 /// tree (deepest operands combined last). Functionality is preserved; depth
 /// typically drops, node count never grows beyond the original cone sizes
-/// (structural hashing dedups shared sub-terms).
+/// (structural hashing dedups shared sub-terms). Levels of the fresh graph
+/// are tracked incrementally (one push per created node) instead of
+/// recomputed per combine, which is what makes the pass linear.
 pub fn balance(aig: &Aig) -> Aig {
-    let mut fresh = Aig::new(aig.num_inputs());
-    let mut memo: HashMap<u32, Lit> = HashMap::new();
+    let mut b = Balancer {
+        fresh: Aig::new(aig.num_inputs()),
+        levels: vec![0u32; aig.num_inputs() + 1],
+        memo: vec![None; aig.num_nodes()],
+    };
     let outputs: Vec<Lit> = aig.outputs().to_vec();
     let mut result = Vec::with_capacity(outputs.len());
     for o in outputs {
-        let l = build(aig, o.node(), &mut fresh, &mut memo).complement_if(o.is_complemented());
+        let l = b.build(aig, o.node()).complement_if(o.is_complemented());
         result.push(l);
     }
     for l in result {
-        fresh.add_output(l);
+        b.fresh.add_output(l);
     }
-    fresh
+    b.fresh
 }
 
-/// Recursively rebuilds node `n` of `old` inside `fresh`.
-fn build(old: &Aig, n: u32, fresh: &mut Aig, memo: &mut HashMap<u32, Lit>) -> Lit {
-    if let Some(&l) = memo.get(&n) {
-        return l;
-    }
-    let l = if !old.is_and(n) {
-        Lit::new(n, false) // constant or input: same index in `fresh`
-    } else {
-        // Collect the maximal AND-tree rooted here: leaves are edges that are
-        // complemented, non-AND, or AND nodes referenced through complements.
-        let mut leaves: Vec<Lit> = Vec::new();
-        collect_conjunction(old, Lit::new(n, false), &mut leaves);
-        // Rebuild each leaf, then combine from shallowest to deepest.
-        let mut built: Vec<Lit> = leaves
-            .iter()
-            .map(|&leaf| build(old, leaf.node(), fresh, memo).complement_if(leaf.is_complemented()))
-            .collect();
-        let levels = fresh.levels();
-        built.sort_by_key(|l| std::cmp::Reverse(levels[l.node() as usize]));
-        // Repeatedly AND the two shallowest operands (at the end after the
-        // descending sort). Recompute levels lazily: popping from the sorted
-        // tail plus pushing the fresh AND keeps the heap property well enough
-        // for a near-optimal tree, matching ABC's greedy balance.
-        while built.len() > 1 {
-            let a = built.pop().expect("len > 1");
-            let b = built.pop().expect("len > 1");
-            let ab = fresh.and(a, b);
-            // Insert keeping descending level order.
-            let lv = fresh.levels()[ab.node() as usize];
-            let pos = built
-                .iter()
-                .position(|l| fresh.levels()[l.node() as usize] <= lv)
-                .unwrap_or(built.len());
-            built.insert(pos, ab);
+/// The balancing rebuild state: the fresh graph plus its incrementally
+/// maintained levels (`levels.len() == fresh.num_nodes()` at all times) and
+/// the old-node → fresh-literal memo.
+struct Balancer {
+    fresh: Aig,
+    levels: Vec<u32>,
+    memo: Vec<Option<Lit>>,
+}
+
+impl Balancer {
+    /// `fresh.and` plus level bookkeeping for newly created nodes.
+    fn and_tracked(&mut self, a: Lit, b: Lit) -> Lit {
+        let before = self.fresh.num_nodes();
+        let l = self.fresh.and(a, b);
+        if self.fresh.num_nodes() > before {
+            let lv = 1 + self.levels[a.node() as usize].max(self.levels[b.node() as usize]);
+            self.levels.push(lv);
         }
-        built.pop().unwrap_or(Lit::TRUE)
-    };
-    memo.insert(n, l);
-    l
+        l
+    }
+
+    /// Recursively rebuilds node `n` of `old` inside `fresh`.
+    fn build(&mut self, old: &Aig, n: u32) -> Lit {
+        if let Some(l) = self.memo[n as usize] {
+            return l;
+        }
+        let l = if !old.is_and(n) {
+            Lit::new(n, false) // constant or input: same index in `fresh`
+        } else {
+            // Collect the maximal AND-tree rooted here: leaves are edges that
+            // are complemented, non-AND, or AND nodes referenced through
+            // complements.
+            let mut leaves: Vec<Lit> = Vec::new();
+            collect_conjunction(old, Lit::new(n, false), &mut leaves);
+            // Rebuild each leaf, then combine from shallowest to deepest.
+            let mut built: Vec<Lit> = leaves
+                .iter()
+                .map(|&leaf| {
+                    self.build(old, leaf.node())
+                        .complement_if(leaf.is_complemented())
+                })
+                .collect();
+            built.sort_by_key(|l| std::cmp::Reverse(self.levels[l.node() as usize]));
+            // Repeatedly AND the two shallowest operands (at the end after
+            // the descending sort), re-inserting the fresh AND in level
+            // order — the greedy near-optimal tree, matching ABC's balance.
+            while built.len() > 1 {
+                let a = built.pop().expect("len > 1");
+                let b = built.pop().expect("len > 1");
+                let ab = self.and_tracked(a, b);
+                let lv = self.levels[ab.node() as usize];
+                let pos = built
+                    .iter()
+                    .position(|l| self.levels[l.node() as usize] <= lv)
+                    .unwrap_or(built.len());
+                built.insert(pos, ab);
+            }
+            built.pop().unwrap_or(Lit::TRUE)
+        };
+        self.memo[n as usize] = Some(l);
+        l
+    }
 }
 
 /// Collects the leaves of the maximal conjunction reachable from `root`
@@ -352,6 +512,30 @@ mod tests {
     }
 
     #[test]
+    fn balance_levels_match_recomputed_levels() {
+        // The incremental level tracking must agree with Aig::levels on the
+        // finished graph.
+        let mut g = Aig::new(7);
+        let ins = g.inputs();
+        let x = g.xor_many(&ins[..5]);
+        let y = g.and_many(&ins[2..]);
+        let f = g.mux(ins[6], x, y);
+        g.add_output(f);
+        let h = balance(&g);
+        equivalent_exhaustive(&g, &h);
+        // Rebuild through the Balancer to inspect its levels.
+        let mut b = Balancer {
+            fresh: Aig::new(g.num_inputs()),
+            levels: vec![0u32; g.num_inputs() + 1],
+            memo: vec![None; g.num_nodes()],
+        };
+        for o in g.outputs().to_vec() {
+            b.build(&g, o.node());
+        }
+        assert_eq!(b.levels, b.fresh.levels());
+    }
+
+    #[test]
     fn compress_never_grows() {
         let mut g = Aig::new(10);
         let ins = g.inputs();
@@ -376,6 +560,26 @@ mod tests {
             "balance | rewrite | rewrite -z | sweep | cleanup"
         );
         assert_eq!(Pipeline::new().describe(), "");
+    }
+
+    #[test]
+    fn fingerprints_separate_configurations() {
+        assert_eq!(
+            Pipeline::resyn(3).fingerprint(),
+            Pipeline::resyn(3).fingerprint()
+        );
+        assert_ne!(
+            Pipeline::resyn(3).fingerprint(),
+            Pipeline::resyn(4).fingerprint()
+        );
+        assert_ne!(
+            Pipeline::resyn(3).fingerprint(),
+            Pipeline::resyn_k6(3).fingerprint()
+        );
+        assert_ne!(
+            Pipeline::new().then(BalancePass).fingerprint(),
+            Pipeline::new().then(CleanupPass).fingerprint()
+        );
     }
 
     #[test]
@@ -431,5 +635,28 @@ mod tests {
         let h = Pipeline::resyn(3).run_fixpoint(&g, 4);
         assert!(h.num_ands() <= cleaned.num_ands());
         equivalent_exhaustive(&g, &h);
+    }
+
+    #[test]
+    fn fixpoint_cache_returns_identical_results() {
+        let mut g = Aig::new(5);
+        let ins = g.inputs();
+        let x = g.xor_many(&ins[..4]);
+        let y = g.and_many(&ins[1..]);
+        let f = g.mux(ins[0], x, y);
+        g.add_output(f);
+        let p = Pipeline::resyn(41);
+        let first = p.run_fixpoint(&g, 4);
+        // Re-running on the converged result must be the cached no-op path
+        // and return the structurally identical graph.
+        let again = p.run_fixpoint(&first, 4);
+        assert_eq!(
+            first.structural_fingerprint(),
+            again.structural_fingerprint()
+        );
+        // A different pipeline seed is a different cache key; results must
+        // still be semantically equal.
+        let other = Pipeline::resyn(42).run_fixpoint(&first, 4);
+        equivalent_exhaustive(&first, &other);
     }
 }

@@ -18,11 +18,30 @@
 //! did become unreachable. The pass is purely structural — semantics are
 //! preserved exactly — and never returns a graph with more AND nodes than
 //! its input.
+//!
+//! # Allocation discipline
+//!
+//! The pass is allocation-free per node and per cut: cut sets live in a
+//! [`CutArena`] (two flat buffers), and every per-candidate buffer — the
+//! MFFC dereference stack, the decrement undo log, the dry-run value map,
+//! the pass-local library cache — lives in a [`Scratch`] bundle recycled
+//! through a thread-local free list (the same `_into` discipline the PR 4
+//! kernels introduced). Repeated passes on a pool worker therefore reuse
+//! one steady-state set of buffers.
+//!
+//! The pre-arena implementation — per-node `Vec<Cut>` sets, fresh buffers
+//! per candidate — is retained as [`rewrite_reference`], the
+//! differential-test oracle (`tests/cut_npn_props.rs` checks the two are
+//! node-identical on random graphs at k = 4 and k = 6).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 use crate::aig::Aig;
-use crate::cut::enumerate_cuts;
+use crate::cut::{enumerate_cuts_k, Cut, CutArena, CutConfig, MAX_LEAVES};
+use crate::fxhash::FxHashMap;
 use crate::lit::Lit;
-use crate::npn::{LibEntry, NpnLibrary};
+use crate::npn::{LibEntry6, NpnLibrary};
 
 /// Configuration for [`rewrite`].
 #[derive(Clone, Debug)]
@@ -33,6 +52,10 @@ pub struct RewriteConfig {
     pub zero_gain: bool,
     /// Cuts kept per node during enumeration.
     pub max_cuts: usize,
+    /// Maximum cut leaves (`2..=6`). `4` is the classic `rewrite -K 4`
+    /// sweet spot and the default; `6` finds strictly more reductions at
+    /// higher per-pass cost.
+    pub cut_size: usize,
 }
 
 impl Default for RewriteConfig {
@@ -40,6 +63,17 @@ impl Default for RewriteConfig {
         RewriteConfig {
             zero_gain: false,
             max_cuts: 8,
+            cut_size: 4,
+        }
+    }
+}
+
+impl RewriteConfig {
+    /// The k = 6 configuration (64-bit cut functions, wider cones).
+    pub fn k6() -> RewriteConfig {
+        RewriteConfig {
+            cut_size: 6,
+            ..RewriteConfig::default()
         }
     }
 }
@@ -48,14 +82,216 @@ impl Default for RewriteConfig {
 /// structure of `entry`.
 #[derive(Clone)]
 struct Decision {
-    leaves: [u32; 4],
+    leaves: [u32; MAX_LEAVES],
     len: u8,
-    entry: LibEntry,
+    entry: LibEntry6,
+}
+
+/// The recycled per-pass buffer bundle (see the module docs).
+#[derive(Default)]
+struct Scratch {
+    arena: CutArena,
+    refs: Vec<u32>,
+    claimed: Vec<bool>,
+    freed_mark: Vec<bool>,
+    freed: Vec<u32>,
+    touched: Vec<u32>,
+    vals: Vec<Option<Lit>>,
+    decisions: Vec<Option<Decision>>,
+    /// Pass-local library cache keyed by raw truth table: one lock
+    /// round-trip per *distinct* cut function per thread, retained across
+    /// passes (the table → entry mapping is process-stable).
+    lib_cache: FxHashMap<u64, LibEntry6>,
+}
+
+thread_local! {
+    static SCRATCH_POOL: RefCell<Vec<Scratch>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_scratch() -> Scratch {
+    SCRATCH_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+fn recycle_scratch(mut s: Scratch) {
+    // Drop per-pass contents but keep capacity; bound the memo so a long
+    // portfolio run cannot grow it without limit.
+    s.decisions.clear();
+    if s.lib_cache.len() > (1 << 16) {
+        s.lib_cache.clear();
+    }
+    SCRATCH_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < 2 {
+            pool.push(s);
+        }
+    });
+}
+
+/// Fills `refs` with the fanout reference counts of `aig` (AND fanin edges
+/// plus output references) and reports whether any AND node is dangling
+/// (unreferenced). A dangling-free graph needs no cleanup before a pass —
+/// and rebuilding it through `cleanup` would reproduce the identical node
+/// numbering anyway, so skipping the copy is behavior-preserving.
+fn fill_refs(aig: &Aig, refs: &mut Vec<u32>) -> bool {
+    let n_nodes = aig.num_nodes();
+    refs.clear();
+    refs.resize(n_nodes, 0);
+    for n in (aig.num_inputs() + 1)..n_nodes {
+        let (f0, f1) = aig.fanins(n as u32);
+        refs[f0.node() as usize] += 1;
+        refs[f1.node() as usize] += 1;
+    }
+    for o in aig.outputs() {
+        refs[o.node() as usize] += 1;
+    }
+    ((aig.num_inputs() + 1)..n_nodes).any(|n| refs[n] == 0)
 }
 
 /// One rewriting pass. Semantics are preserved exactly; the result never
 /// has more AND nodes than the (cleaned-up) input.
 pub fn rewrite(aig: &Aig, cfg: &RewriteConfig) -> Aig {
+    if aig.num_ands() == 0 {
+        let mut g = aig.clone();
+        g.cleanup();
+        return g;
+    }
+    let mut s = take_scratch();
+    let Scratch {
+        arena,
+        refs,
+        claimed,
+        freed_mark,
+        freed,
+        touched,
+        vals,
+        decisions,
+        lib_cache,
+    } = &mut s;
+
+    // Clone + clean only when the input actually has dangling logic.
+    let owned;
+    let g: &Aig = if fill_refs(aig, refs) {
+        owned = {
+            let mut c = aig.clone();
+            c.cleanup();
+            c
+        };
+        fill_refs(&owned, refs);
+        &owned
+    } else {
+        aig
+    };
+    let n_nodes = g.num_nodes();
+    let first_and = g.num_inputs() + 1;
+    arena.enumerate(
+        g,
+        &CutConfig {
+            k: cfg.cut_size,
+            max_cuts: cfg.max_cuts,
+        },
+    );
+
+    claimed.clear();
+    claimed.resize(n_nodes, false);
+    freed_mark.clear();
+    freed_mark.resize(n_nodes, false);
+    decisions.clear();
+    decisions.resize_with(n_nodes, || None);
+
+    let lib = NpnLibrary::global();
+    for n in first_and..n_nodes {
+        let root = n as u32;
+        if claimed[n] {
+            continue;
+        }
+        let mut best: Option<(i64, Decision)> = None;
+        for cut in arena.cuts(root) {
+            let len = cut.len();
+            if len == 1 && cut.leaves[0] == root {
+                continue; // the trivial cut rewrites nothing
+            }
+            if cut.leaves.iter().any(|&l| claimed[l as usize]) {
+                continue; // leaf may vanish with an earlier rewrite
+            }
+            // Borrow the cached entry; it is cloned (two `Arc` bumps) only
+            // when a candidate is actually accepted.
+            let entry = &*lib_cache
+                .entry(cut.tt)
+                .or_insert_with(|| lib.entry6(cut.tt));
+            let mut leaves = [0u32; MAX_LEAVES];
+            leaves[..len].copy_from_slice(cut.leaves);
+            let mut leaf_lits = [Lit::FALSE; MAX_LEAVES];
+            for (i, &l) in leaves[..len].iter().enumerate() {
+                leaf_lits[i] = Lit::new(l, false);
+            }
+            let imap = entry.input_map(&leaf_lits);
+
+            // Saved: dereference the cone between the cut and the root.
+            deref_cone_into(g, root, &leaves[..len], refs, freed, touched);
+            for &f in freed.iter() {
+                freed_mark[f as usize] = true;
+            }
+            // Added: dry-run the structure against the structural hash.
+            // Nodes claimed by earlier accepted rewrites are dead too —
+            // pricing them as free reuse would overstate the gain.
+            let (added, out) = dry_run_into(g, &entry.structure, &imap, freed_mark, claimed, vals);
+            for &f in freed.iter() {
+                freed_mark[f as usize] = false;
+            }
+            ref_cone(touched, refs);
+
+            // Re-expressing the root as itself is not a rewrite.
+            if out.map(|l| l.node()) == Some(root) {
+                continue;
+            }
+            let gain = freed.len() as i64 - added as i64;
+            let acceptable = gain > 0 || (cfg.zero_gain && gain == 0);
+            if acceptable && best.as_ref().is_none_or(|(bg, _)| gain > *bg) {
+                best = Some((
+                    gain,
+                    Decision {
+                        leaves,
+                        len: len as u8,
+                        entry: entry.clone(),
+                    },
+                ));
+            }
+        }
+        if let Some((_, dec)) = best {
+            // Re-dereference the winning cone permanently and claim it so
+            // overlapping rewrites are not double counted this pass.
+            deref_cone_into(
+                g,
+                root,
+                &dec.leaves[..dec.len as usize],
+                refs,
+                freed,
+                touched,
+            );
+            for &f in freed.iter() {
+                claimed[f as usize] = true;
+            }
+            decisions[n] = Some(dec);
+        }
+    }
+
+    let rebuilt = rebuild(g, decisions);
+    let result = if rebuilt.num_ands() <= g.num_ands() {
+        rebuilt
+    } else {
+        g.clone()
+    };
+    recycle_scratch(s);
+    result
+}
+
+/// The pre-arena rewriting pass: identical decision logic over per-node
+/// `Vec<Cut>` sets with freshly allocated candidate buffers. Kept as the
+/// differential-test oracle for [`rewrite`]; prefer the arena path.
+#[doc(hidden)]
+pub fn rewrite_reference(aig: &Aig, cfg: &RewriteConfig) -> Aig {
     let mut g = aig.clone();
     g.cleanup();
     if g.num_ands() == 0 {
@@ -63,9 +299,8 @@ pub fn rewrite(aig: &Aig, cfg: &RewriteConfig) -> Aig {
     }
     let n_nodes = g.num_nodes();
     let first_and = g.num_inputs() + 1;
-    let cuts = enumerate_cuts(&g, cfg.max_cuts);
+    let cuts: Vec<Vec<Cut>> = enumerate_cuts_k(&g, cfg.cut_size, cfg.max_cuts);
 
-    // Fanout reference counts (edges from AND nodes plus output references).
     let mut refs = vec![0u32; n_nodes];
     for n in first_and..n_nodes {
         let (f0, f1) = g.fanins(n as u32);
@@ -77,11 +312,9 @@ pub fn rewrite(aig: &Aig, cfg: &RewriteConfig) -> Aig {
     }
 
     let lib = NpnLibrary::global();
-    // Pass-local library cache: one lock round-trip per *distinct* cut
-    // function instead of one per cut.
-    let mut lib_cache: std::collections::HashMap<u16, LibEntry> = std::collections::HashMap::new();
-    let mut claimed = vec![false; n_nodes]; // nodes freed by an accepted rewrite
-    let mut freed_mark = vec![false; n_nodes]; // scratch: current candidate's cone
+    let mut lib_cache: HashMap<u64, LibEntry6> = HashMap::new();
+    let mut claimed = vec![false; n_nodes];
+    let mut freed_mark = vec![false; n_nodes];
     let mut decisions: Vec<Option<Decision>> = vec![None; n_nodes];
 
     for n in first_and..n_nodes {
@@ -92,43 +325,47 @@ pub fn rewrite(aig: &Aig, cfg: &RewriteConfig) -> Aig {
         let mut best: Option<(i64, Decision)> = None;
         for cut in &cuts[n] {
             if cut.len() == 1 && cut.leaves()[0] == root {
-                continue; // the trivial cut rewrites nothing
+                continue;
             }
             if cut.leaves().iter().any(|&l| claimed[l as usize]) {
-                continue; // leaf may vanish with an earlier rewrite
+                continue;
             }
             let entry = lib_cache
                 .entry(cut.tt)
-                .or_insert_with(|| lib.entry(cut.tt))
+                .or_insert_with(|| lib.entry6(cut.tt))
                 .clone();
-            let mut leaf_lits = [Lit::FALSE; 4];
+            let mut leaf_lits = [Lit::FALSE; MAX_LEAVES];
             for (i, &l) in cut.leaves().iter().enumerate() {
                 leaf_lits[i] = Lit::new(l, false);
             }
             let imap = entry.input_map(&leaf_lits);
 
-            // Saved: dereference the cone between the cut and the root.
-            let (freed, touched) = deref_cone(&g, root, cut.leaves(), &mut refs);
+            let (mut freed, mut touched) = (Vec::new(), Vec::new());
+            deref_cone_into(&g, root, cut.leaves(), &mut refs, &mut freed, &mut touched);
             for &f in &freed {
                 freed_mark[f as usize] = true;
             }
-            // Added: dry-run the structure against the structural hash.
-            // Nodes claimed by earlier accepted rewrites are dead too —
-            // pricing them as free reuse would overstate the gain.
-            let (added, out) = dry_run(&g, &entry.structure, &imap, &freed_mark, &claimed);
+            let mut vals = Vec::new();
+            let (added, out) = dry_run_into(
+                &g,
+                &entry.structure,
+                &imap,
+                &freed_mark,
+                &claimed,
+                &mut vals,
+            );
             for &f in &freed {
                 freed_mark[f as usize] = false;
             }
             ref_cone(&touched, &mut refs);
 
-            // Re-expressing the root as itself is not a rewrite.
             if out.map(|l| l.node()) == Some(root) {
                 continue;
             }
             let gain = freed.len() as i64 - added as i64;
             let acceptable = gain > 0 || (cfg.zero_gain && gain == 0);
             if acceptable && best.as_ref().is_none_or(|(bg, _)| gain > *bg) {
-                let mut leaves = [0u32; 4];
+                let mut leaves = [0u32; MAX_LEAVES];
                 leaves[..cut.len()].copy_from_slice(cut.leaves());
                 best = Some((
                     gain,
@@ -141,9 +378,15 @@ pub fn rewrite(aig: &Aig, cfg: &RewriteConfig) -> Aig {
             }
         }
         if let Some((_, dec)) = best {
-            // Re-dereference the winning cone permanently and claim it so
-            // overlapping rewrites are not double counted this pass.
-            let (freed, _) = deref_cone(&g, root, &dec.leaves[..dec.len as usize], &mut refs);
+            let (mut freed, mut touched) = (Vec::new(), Vec::new());
+            deref_cone_into(
+                &g,
+                root,
+                &dec.leaves[..dec.len as usize],
+                &mut refs,
+                &mut freed,
+                &mut touched,
+            );
             for f in freed {
                 claimed[f as usize] = true;
             }
@@ -163,11 +406,20 @@ pub fn rewrite(aig: &Aig, cfg: &RewriteConfig) -> Aig {
 /// fanout count of every non-leaf AND fanin of a dying node, collecting the
 /// nodes whose count reaches zero (plus the root itself) into `freed`.
 /// Fanins already at zero (killed by an earlier accepted rewrite) are left
-/// alone and not counted again. Returns `(freed, touched)` where `touched`
-/// lists every decrement performed, for [`ref_cone`] to undo.
-fn deref_cone(g: &Aig, root: u32, leaves: &[u32], refs: &mut [u32]) -> (Vec<u32>, Vec<u32>) {
-    let mut freed = vec![root];
-    let mut touched = Vec::new();
+/// alone and not counted again. `freed` and `touched` are cleared and
+/// refilled (`touched` lists every decrement performed, for [`ref_cone`] to
+/// undo).
+fn deref_cone_into(
+    g: &Aig,
+    root: u32,
+    leaves: &[u32],
+    refs: &mut [u32],
+    freed: &mut Vec<u32>,
+    touched: &mut Vec<u32>,
+) {
+    freed.clear();
+    touched.clear();
+    freed.push(root);
     let mut qi = 0;
     while qi < freed.len() {
         let n = freed[qi];
@@ -185,33 +437,34 @@ fn deref_cone(g: &Aig, root: u32, leaves: &[u32], refs: &mut [u32]) -> (Vec<u32>
             }
         }
     }
-    (freed, touched)
 }
 
-/// Exact inverse of [`deref_cone`] over the recorded decrement list.
+/// Exact inverse of [`deref_cone_into`] over the recorded decrement list.
 fn ref_cone(touched: &[u32], refs: &mut [u32]) {
     for &m in touched {
         refs[m as usize] += 1;
     }
 }
 
-/// Prices instantiating `structure` (4-input, 1-output) over `imap` against
-/// graph `g` without mutating it. Returns the number of nodes a real
-/// instantiation would create, and — when every step resolves to existing
-/// logic — the literal the output lands on. Existing nodes inside the
-/// candidate's own dying cone (`freed_mark`) or inside a cone claimed by an
-/// earlier accepted rewrite (`claimed`) are priced as new: reusing them
-/// would just keep dead logic alive.
-fn dry_run(
+/// Prices instantiating `structure` (4 or 6 inputs, 1 output) over `imap`
+/// against graph `g` without mutating it. Returns the number of nodes a
+/// real instantiation would create, and — when every step resolves to
+/// existing logic — the literal the output lands on. Existing nodes inside
+/// the candidate's own dying cone (`freed_mark`) or inside a cone claimed
+/// by an earlier accepted rewrite (`claimed`) are priced as new: reusing
+/// them would just keep dead logic alive. `vals` is the recycled value map.
+fn dry_run_into(
     g: &Aig,
     structure: &Aig,
-    imap: &[Lit; 4],
+    imap: &[Lit; MAX_LEAVES],
     freed_mark: &[bool],
     claimed: &[bool],
+    vals: &mut Vec<Option<Lit>>,
 ) -> (usize, Option<Lit>) {
-    let mut vals: Vec<Option<Lit>> = vec![None; structure.num_nodes()];
+    vals.clear();
+    vals.resize(structure.num_nodes(), None);
     vals[0] = Some(Lit::FALSE);
-    for (i, &l) in imap.iter().enumerate() {
+    for (i, &l) in imap.iter().enumerate().take(structure.num_inputs()) {
         vals[i + 1] = Some(l);
     }
     let mut added = 0usize;
@@ -267,15 +520,21 @@ fn rebuild(g: &Aig, decisions: &[Option<Decision>]) -> Aig {
             stack.pop();
             continue;
         }
-        let deps: Vec<u32> = match &decisions[n as usize] {
-            Some(dec) => dec.leaves[..dec.len as usize].to_vec(),
+        let mut deps = [0u32; MAX_LEAVES];
+        let nd = match &decisions[n as usize] {
+            Some(dec) => {
+                deps[..dec.len as usize].copy_from_slice(&dec.leaves[..dec.len as usize]);
+                dec.len as usize
+            }
             None => {
                 let (f0, f1) = g.fanins(n);
-                vec![f0.node(), f1.node()]
+                deps[0] = f0.node();
+                deps[1] = f1.node();
+                2
             }
         };
         let mut ready = true;
-        for &d in &deps {
+        for &d in &deps[..nd] {
             if map[d as usize].is_none() {
                 stack.push(d);
                 ready = false;
@@ -287,12 +546,13 @@ fn rebuild(g: &Aig, decisions: &[Option<Decision>]) -> Aig {
         stack.pop();
         let lit = match &decisions[n as usize] {
             Some(dec) => {
-                let mut leaf_lits = [Lit::FALSE; 4];
+                let mut leaf_lits = [Lit::FALSE; MAX_LEAVES];
                 for (i, &l) in dec.leaves[..dec.len as usize].iter().enumerate() {
                     leaf_lits[i] = map[l as usize].expect("leaf built");
                 }
                 let imap = dec.entry.input_map(&leaf_lits);
-                let outs = fresh.append(&dec.entry.structure, &imap);
+                let ni = dec.entry.structure.num_inputs();
+                let outs = fresh.append(&dec.entry.structure, &imap[..ni]);
                 outs[0].complement_if(dec.entry.output_complement())
             }
             None => {
@@ -378,15 +638,18 @@ mod tests {
             c.num_ands()
         };
         for zero_gain in [false, true] {
-            let h = rewrite(
-                &g,
-                &RewriteConfig {
-                    zero_gain,
-                    ..RewriteConfig::default()
-                },
-            );
-            assert!(h.num_ands() <= before);
-            equivalent_exhaustive(&g, &h);
+            for cut_size in [4, 6] {
+                let h = rewrite(
+                    &g,
+                    &RewriteConfig {
+                        zero_gain,
+                        cut_size,
+                        ..RewriteConfig::default()
+                    },
+                );
+                assert!(h.num_ands() <= before);
+                equivalent_exhaustive(&g, &h);
+            }
         }
     }
 
@@ -408,6 +671,54 @@ mod tests {
         let h = rewrite(&g, &RewriteConfig::default());
         equivalent_exhaustive(&g, &h);
         assert_eq!(h.num_ands(), 0, "constant cone should vanish");
+    }
+
+    #[test]
+    fn k6_cuts_reach_across_deeper_cones() {
+        // A 6-input redundant structure a 4-cut cannot span at once: two
+        // structurally different 6-input parities muxed together.
+        let mut g = Aig::new(6);
+        let ins = g.inputs();
+        let mut chain = ins[0];
+        for &x in &ins[1..] {
+            chain = g.xor(chain, x);
+        }
+        let tree = g.xor_many(&ins);
+        let f = g.and(chain, tree); // == parity
+        g.add_output(f);
+        for cfg in [RewriteConfig::default(), RewriteConfig::k6()] {
+            let h = rewrite(&g, &cfg);
+            assert!(h.num_ands() <= g.num_ands());
+            equivalent_exhaustive(&g, &h);
+        }
+    }
+
+    #[test]
+    fn reference_and_arena_paths_agree() {
+        let mut g = Aig::new(5);
+        let ins = g.inputs();
+        let x = g.xor_many(&ins[..4]);
+        let y = g.and_many(&ins[1..]);
+        let z = g.mux(ins[0], x, y);
+        let w = g.or(z, !x);
+        g.add_output(w);
+        g.add_output(!z);
+        for cfg in [
+            RewriteConfig::default(),
+            RewriteConfig::k6(),
+            RewriteConfig {
+                zero_gain: true,
+                ..RewriteConfig::k6()
+            },
+        ] {
+            let a = rewrite(&g, &cfg);
+            let b = rewrite_reference(&g, &cfg);
+            assert_eq!(
+                a.structural_fingerprint(),
+                b.structural_fingerprint(),
+                "arena and reference rewrites diverged"
+            );
+        }
     }
 
     #[test]

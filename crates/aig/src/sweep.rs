@@ -4,17 +4,21 @@
 //! different structures computing the same function survive it. This pass
 //! finds them the way fraiging does:
 //!
-//! 1. **Signatures** — every node is simulated word-parallel through the
-//!    existing [`crate::sim`] machinery (64 patterns per word). Stimulus is
-//!    random by default; [`sweep_with_columns`] prepends the application's
-//!    own [`BitColumns`] words as *additional discriminators*: nodes that
-//!    random patterns cannot tell apart but the real data does are split
-//!    into separate classes early, so fewer candidate pairs reach the
-//!    expensive verification step. (Signatures only ever *filter*
-//!    candidates — merging itself is always decided by the exhaustive
-//!    check below, never by on-distribution agreement.)
-//! 2. **Candidate classes** — nodes bucket by complement-canonical
-//!    signature, so `f` and `!f` share a class.
+//! 1. **Signatures** — every node is simulated word-parallel, all stimulus
+//!    words at once: the signature matrix is one flat buffer (node `n` owns
+//!    words `n*T .. (n+1)*T`), and each AND node's block is a single
+//!    [`lsml_pla::kernels::fanin_and_into`] call over its fanins' blocks —
+//!    64-word-style batched bitwise work instead of a per-round push onto
+//!    per-node `Vec`s. Stimulus is random by default; [`sweep_with_columns`]
+//!    prepends the application's own [`BitColumns`] words as *additional
+//!    discriminators*: nodes that random patterns cannot tell apart but the
+//!    real data does are split into separate classes early, so fewer
+//!    candidate pairs reach the expensive verification step. (Signatures
+//!    only ever *filter* candidates — merging itself is always decided by
+//!    the exhaustive check below, never by on-distribution agreement.)
+//! 2. **Candidate classes** — nodes bucket by a 64-bit hash of their
+//!    complement-canonical signature (so `f` and `!f` share a class); a
+//!    hash collision merely wastes a verification attempt, never merges.
 //! 3. **Verification** — a candidate pair is merged only after *exhaustive*
 //!    equivalence checking over the union support of the two cones, and only
 //!    when that support is small (`max_support`); everything else is left
@@ -23,16 +27,15 @@
 //!
 //! The result never has more AND nodes than the (cleaned-up) input.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use lsml_pla::BitColumns;
+use lsml_pla::{kernels, BitColumns};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::aig::Aig;
+use crate::fxhash::{fnv1a_mix, FxHashMap, FNV_OFFSET};
 use crate::lit::Lit;
-use crate::sim::node_values_words;
 
 /// Configuration for [`sweep`].
 #[derive(Clone, Debug, Default)]
@@ -56,7 +59,7 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    fn rounds(&self) -> usize {
+    pub(crate) fn rounds(&self) -> usize {
         if self.rounds == 0 {
             4
         } else {
@@ -97,50 +100,66 @@ pub fn sweep(aig: &Aig, cfg: &SweepConfig) -> Aig {
     let n_nodes = g.num_nodes();
     let ni = g.num_inputs();
 
-    // --- signatures -----------------------------------------------------
-    let mut sig: Vec<Vec<u64>> = vec![Vec::new(); n_nodes];
-    let mut masks: Vec<u64> = Vec::new();
-    let mut input_words = vec![0u64; ni];
-    if let Some(cols) = cfg
+    // --- block signatures ------------------------------------------------
+    // T words per node: the stimulus columns first, then the random rounds;
+    // one flat buffer, filled input blocks first, then one fanin_and_into
+    // per AND node in topological (= index) order.
+    let stim = cfg
         .stimulus
         .as_ref()
-        .filter(|c| c.num_examples() > 0 && c.num_inputs() == ni)
-    {
-        for w in 0..cols.words_per_column() {
-            for (i, word) in input_words.iter_mut().enumerate() {
-                *word = cols.column(i)[w];
-            }
-            let mask = if w + 1 == cols.words_per_column() {
-                cols.tail_mask()
-            } else {
-                u64::MAX
-            };
-            push_round(&g, &input_words, mask, &mut sig, &mut masks);
-        }
+        .filter(|c| c.num_examples() > 0 && c.num_inputs() == ni);
+    let stim_words = stim.map_or(0, |c| c.words_per_column());
+    let t = stim_words + cfg.rounds();
+    let mut masks = vec![u64::MAX; t];
+    if let Some(cols) = stim {
+        masks[stim_words - 1] = cols.tail_mask();
     }
+
+    let mut sig = vec![0u64; n_nodes * t];
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    for _ in 0..cfg.rounds() {
-        for w in input_words.iter_mut() {
+    for i in 0..ni {
+        let base = (i + 1) * t;
+        if let Some(cols) = stim {
+            // Tail bits are already clear (the BitColumns invariant).
+            sig[base..base + stim_words].copy_from_slice(cols.column(i));
+        }
+        for w in &mut sig[base + stim_words..base + t] {
             *w = rng.gen();
         }
-        push_round(&g, &input_words, u64::MAX, &mut sig, &mut masks);
+    }
+    for n in (ni + 1)..n_nodes {
+        let (f0, f1) = g.fanins(n as u32);
+        let (head, rest) = sig.split_at_mut(n * t);
+        let a = &head[f0.node() as usize * t..f0.node() as usize * t + t];
+        let b = &head[f1.node() as usize * t..f1.node() as usize * t + t];
+        kernels::fanin_and_into(
+            a,
+            f0.is_complemented(),
+            b,
+            f1.is_complemented(),
+            &mut rest[..t],
+        );
     }
 
     // --- candidate classes + verified merging ---------------------------
-    // Representative nodes per canonical signature; AND nodes that verify
-    // equivalent to an earlier node are substituted by it.
-    let mut buckets: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
+    // Representative nodes per canonical-signature hash; AND nodes that
+    // verify equivalent to an earlier node are substituted by it.
+    let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
     let mut subst: Vec<Option<Lit>> = vec![None; n_nodes];
     let mut attempts = 0usize;
-    let mut scratch = vec![0u64; n_nodes];
+    let mut scratch = VerifyScratch::sized(n_nodes);
     for n in 0..n_nodes as u32 {
-        let flip = sig[n as usize][0] & 1 == 1;
-        let canon: Vec<u64> = sig[n as usize]
-            .iter()
-            .zip(masks.iter())
-            .map(|(&w, &m)| if flip { !w & m } else { w })
-            .collect();
-        let reps = buckets.entry(canon).or_default();
+        let block = &sig[n as usize * t..(n as usize + 1) * t];
+        let flip = block[0] & 1 == 1;
+        let fm = if flip { u64::MAX } else { 0 };
+        // FNV-1a over the masked complement-canonical words. Complemented
+        // fanins can raise dead tail bits, so the per-word validity masks
+        // are applied here rather than during simulation.
+        let mut h = FNV_OFFSET;
+        for (&w, &m) in block.iter().zip(&masks) {
+            h = fnv1a_mix(h, (w ^ fm) & m);
+        }
+        let reps = buckets.entry(h).or_default();
         let mut merged = false;
         if g.is_and(n) {
             for &r in reps.iter().take(2) {
@@ -148,7 +167,7 @@ pub fn sweep(aig: &Aig, cfg: &SweepConfig) -> Aig {
                     break;
                 }
                 attempts += 1;
-                let r_flip = sig[r as usize][0] & 1 == 1;
+                let r_flip = sig[r as usize * t] & 1 == 1;
                 let inv = flip != r_flip;
                 if verify_pair(&g, r, n, inv, cfg, &mut scratch) {
                     subst[n as usize] = Some(Lit::new(r, false).complement_if(inv));
@@ -201,16 +220,6 @@ pub fn sweep_with_columns(aig: &Aig, cols: Arc<BitColumns>, cfg: &SweepConfig) -
     sweep(aig, &cfg)
 }
 
-/// Simulates one 64-pattern word and appends every node's value word to its
-/// signature.
-fn push_round(g: &Aig, input_words: &[u64], mask: u64, sig: &mut [Vec<u64>], masks: &mut Vec<u64>) {
-    let values = node_values_words(g, input_words);
-    for (s, v) in sig.iter_mut().zip(values.iter()) {
-        s.push(v & mask);
-    }
-    masks.push(mask);
-}
-
 /// Word `k` of the exhaustive enumeration of support variable `j`: patterns
 /// are numbered `chunk * 64 + bit`, variable `j`'s value is bit `j` of the
 /// pattern number.
@@ -232,19 +241,63 @@ fn support_word(j: usize, chunk: u64) -> u64 {
     }
 }
 
+/// Recycled buffers for the pair verifier: the union cone/support lists, a
+/// generation-stamped visited marker (no per-pair hash set), and the
+/// word-parallel value array.
+struct VerifyScratch {
+    cone: Vec<u32>,
+    support: Vec<u32>,
+    /// `seen[m] == stamp` means node `m` was visited for the current pair.
+    seen: Vec<u32>,
+    stamp: u32,
+    stack: Vec<u32>,
+    values: Vec<u64>,
+}
+
+impl VerifyScratch {
+    fn sized(n_nodes: usize) -> VerifyScratch {
+        VerifyScratch {
+            cone: Vec::new(),
+            support: Vec::new(),
+            seen: vec![0; n_nodes],
+            stamp: 0,
+            stack: Vec::new(),
+            values: vec![0; n_nodes],
+        }
+    }
+}
+
 /// Exhaustively verifies `value(r) == value(n) ^ inv` over the union support
 /// of the two cones. Returns `false` (no merge) when the support or cone is
 /// too large for exhaustive checking.
-fn verify_pair(g: &Aig, r: u32, n: u32, inv: bool, cfg: &SweepConfig, values: &mut [u64]) -> bool {
+fn verify_pair(
+    g: &Aig,
+    r: u32,
+    n: u32,
+    inv: bool,
+    cfg: &SweepConfig,
+    s: &mut VerifyScratch,
+) -> bool {
     // Collect the union cone (AND nodes) and support (primary inputs).
-    let mut cone: Vec<u32> = Vec::new();
-    let mut support: Vec<u32> = Vec::new();
-    let mut seen = HashMap::new();
-    let mut stack = vec![r, n];
+    s.stamp += 1;
+    s.cone.clear();
+    s.support.clear();
+    s.stack.clear();
+    s.stack.push(r);
+    s.stack.push(n);
+    let VerifyScratch {
+        cone,
+        support,
+        seen,
+        stamp,
+        stack,
+        values,
+    } = s;
     while let Some(m) = stack.pop() {
-        if seen.insert(m, ()).is_some() {
+        if seen[m as usize] == *stamp {
             continue;
         }
+        seen[m as usize] = *stamp;
         if g.is_and(m) {
             cone.push(m);
             if cone.len() > cfg.max_cone() {
@@ -274,7 +327,7 @@ fn verify_pair(g: &Aig, r: u32, n: u32, inv: bool, cfg: &SweepConfig, values: &m
         for (j, &input) in support.iter().enumerate() {
             values[input as usize] = support_word(j, chunk);
         }
-        for &m in &cone {
+        for &m in cone.iter() {
             let (f0, f1) = g.fanins(m);
             let v0 = values[f0.node() as usize] ^ if f0.is_complemented() { u64::MAX } else { 0 };
             let v1 = values[f1.node() as usize] ^ if f1.is_complemented() { u64::MAX } else { 0 };

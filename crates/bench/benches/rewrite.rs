@@ -7,14 +7,17 @@
 //! * **arithmetic circuits** from `lsml_aig::circuits` (adders, comparators,
 //!   multipliers, popcount-threshold, parity mixes).
 //!
-//! For every circuit the harness records the AND count after `balance |
-//! cleanup` alone and after the full `resyn` pipeline (`balance | rewrite |
-//! rewrite -z | sweep | cleanup`, run to fixpoint), asserts the two stay
-//! functionally interchangeable at the corpus level via spot equivalence
-//! checks in the pipeline's own property suite, and writes per-circuit
-//! reductions plus the median pipeline-vs-balance improvement and pass
-//! runtimes to `BENCH_rewrite.json` (the acceptance bar for the compile-path
-//! refactor is >= 15% median reduction on the learner corpus).
+//! For every circuit the harness records the AND count and wall time after
+//! `balance | cleanup` alone and after the full `resyn` pipeline at both
+//! cut sizes (k = 4, the default, and k = 6 with 64-bit cut functions), and
+//! writes per-circuit reductions plus the median pipeline-vs-balance
+//! improvement, pass runtimes, and cached-vs-uncached compile timings to
+//! `BENCH_rewrite.json`.
+//!
+//! Bench-smoke guard: the k = 4 learner-corpus median reduction must not
+//! regress below the PR 3 baseline (16%), and k = 6 must reduce the median
+//! learner AND count strictly below the k = 4 result — the run panics (and
+//! CI fails) otherwise.
 
 use std::time::Instant;
 
@@ -23,6 +26,7 @@ use lsml_aig::circuits;
 use lsml_aig::opt::{BalancePass, CleanupPass, Pipeline};
 use lsml_aig::Aig;
 use lsml_benchgen::{suite, SampleConfig};
+use lsml_core::{compile_cache_stats, LearnedCircuit, SizeBudget};
 use lsml_dtree::{
     DecisionTree, GradientBoost, GradientBoostConfig, RandomForest, RandomForestConfig, TreeConfig,
 };
@@ -33,8 +37,10 @@ struct Entry {
     corpus: &'static str,
     raw: usize,
     balanced: usize,
-    piped: usize,
-    pipe_ms: f64,
+    piped_k4: usize,
+    pipe_ms_k4: f64,
+    piped_k6: usize,
+    pipe_ms_k6: f64,
 }
 
 fn learner_corpus() -> Vec<(String, Aig)> {
@@ -127,21 +133,29 @@ fn measure(name: String, corpus: &'static str, aig: &Aig) -> Entry {
     cleaned.cleanup();
     let balance_only = Pipeline::new().then(BalancePass).then(CleanupPass);
     let balanced = balance_only.run_fixpoint(&cleaned, 4);
-    let pipeline = Pipeline::resyn(0);
+    let pipeline_k4 = Pipeline::resyn(0);
     let t0 = Instant::now();
-    let piped = pipeline.run_fixpoint(&cleaned, 4);
-    let pipe_ms = t0.elapsed().as_secs_f64() * 1e3;
-    assert!(
-        piped.num_ands() <= balanced.num_ands().max(cleaned.num_ands()),
-        "{name}: pipeline grew the graph"
-    );
+    let piped_k4 = pipeline_k4.run_fixpoint(&cleaned, 4);
+    let pipe_ms_k4 = t0.elapsed().as_secs_f64() * 1e3;
+    let pipeline_k6 = Pipeline::resyn_k6(0);
+    let t0 = Instant::now();
+    let piped_k6 = pipeline_k6.run_fixpoint(&cleaned, 4);
+    let pipe_ms_k6 = t0.elapsed().as_secs_f64() * 1e3;
+    for (k, piped) in [(4usize, &piped_k4), (6, &piped_k6)] {
+        assert!(
+            piped.num_ands() <= balanced.num_ands().max(cleaned.num_ands()),
+            "{name}: k={k} pipeline grew the graph"
+        );
+    }
     Entry {
         name,
         corpus,
         raw: cleaned.num_ands(),
         balanced: balanced.num_ands(),
-        piped: piped.num_ands(),
-        pipe_ms,
+        piped_k4: piped_k4.num_ands(),
+        pipe_ms_k4,
+        piped_k6: piped_k6.num_ands(),
+        pipe_ms_k6,
     }
 }
 
@@ -169,6 +183,26 @@ fn main() {
         .1
         .clone();
 
+    // Cached-vs-uncached compile timing, measured before anything touches
+    // the probe so the cold leg is genuinely cold (no fixpoint-cache help).
+    let budget = SizeBudget::exact(5000);
+    let t0 = Instant::now();
+    let cold = LearnedCircuit::compile(probe.clone(), "probe", &budget);
+    let compile_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let warm = LearnedCircuit::compile(probe.clone(), "probe", &budget);
+    let compile_warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        cold.and_gates(),
+        warm.and_gates(),
+        "cache changed the result"
+    );
+    let (cache_hits, cache_misses) = compile_cache_stats();
+    assert!(
+        cache_hits >= 1,
+        "second identical compile must hit the cache"
+    );
+
     let mut entries = Vec::new();
     for (name, aig) in learner {
         entries.push(measure(name, "learner", &aig));
@@ -183,49 +217,83 @@ fn main() {
     c.bench_function("rewrite/rewrite_pass", |b| {
         b.iter(|| lsml_aig::rewrite::rewrite(&probe, &Default::default()))
     });
+    c.bench_function("rewrite/rewrite_pass_k6", |b| {
+        b.iter(|| lsml_aig::rewrite::rewrite(&probe, &lsml_aig::rewrite::RewriteConfig::k6()))
+    });
     c.bench_function("rewrite/sweep_pass", |b| {
         b.iter(|| lsml_aig::sweep::sweep(&probe, &Default::default()))
     });
 
-    let reduction = |e: &Entry| {
-        if e.balanced == 0 {
+    let reduction = |balanced: usize, piped: usize| {
+        if balanced == 0 {
             0.0
         } else {
-            100.0 * (e.balanced as f64 - e.piped as f64) / e.balanced as f64
+            100.0 * (balanced as f64 - piped as f64) / balanced as f64
         }
     };
+    let learner_entries: Vec<&Entry> = entries.iter().filter(|e| e.corpus == "learner").collect();
     let learner_median = median(
-        entries
+        learner_entries
             .iter()
-            .filter(|e| e.corpus == "learner")
-            .map(reduction)
+            .map(|e| reduction(e.balanced, e.piped_k4))
+            .collect(),
+    );
+    let learner_median_k6 = median(
+        learner_entries
+            .iter()
+            .map(|e| reduction(e.balanced, e.piped_k6))
             .collect(),
     );
     let circuits_median = median(
         entries
             .iter()
             .filter(|e| e.corpus == "circuits")
-            .map(reduction)
+            .map(|e| reduction(e.balanced, e.piped_k4))
             .collect(),
     );
+    let learner_median_ands_k4 =
+        median(learner_entries.iter().map(|e| e.piped_k4 as f64).collect());
+    let learner_median_ands_k6 =
+        median(learner_entries.iter().map(|e| e.piped_k6 as f64).collect());
+    let learner_ms_k4: f64 = learner_entries.iter().map(|e| e.pipe_ms_k4).sum();
+    let learner_ms_k6: f64 = learner_entries.iter().map(|e| e.pipe_ms_k6).sum();
+
     println!("pipeline vs balance-only median reduction:");
-    println!("  learner corpus:  {learner_median:.1}%");
-    println!("  circuits corpus: {circuits_median:.1}%");
-    if learner_median < 15.0 {
-        eprintln!("WARNING: learner-corpus median below the 15% acceptance bar");
-    }
+    println!("  learner corpus (k=4): {learner_median:.1}%  ({learner_ms_k4:.0} ms total)");
+    println!("  learner corpus (k=6): {learner_median_k6:.1}%  ({learner_ms_k6:.0} ms total)");
+    println!("  circuits corpus:      {circuits_median:.1}%");
+    println!(
+        "  learner median ANDs:  k=4 {learner_median_ands_k4:.0} vs k=6 {learner_median_ands_k6:.0}"
+    );
+    println!(
+        "compile cache: cold {compile_cold_ms:.1} ms, warm {compile_warm_ms:.3} ms \
+         ({cache_hits} hits / {cache_misses} misses)"
+    );
+    // Bench-smoke regression guards (the PR 3 baseline was a 16% median
+    // learner-corpus reduction; k = 6 must buy strictly smaller medians).
+    assert!(
+        learner_median >= 16.0,
+        "k=4 learner-corpus median reduction {learner_median:.2}% regressed below the 16% baseline"
+    );
+    assert!(
+        learner_median_ands_k6 < learner_median_ands_k4,
+        "k=6 median AND count {learner_median_ands_k6} not below k=4 {learner_median_ands_k4}"
+    );
 
     let mut json = String::from("{\n  \"circuits\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"corpus\": \"{}\", \"raw_ands\": {}, \"balance_ands\": {}, \"pipeline_ands\": {}, \"reduction_vs_balance_pct\": {:.2}, \"pipeline_ms\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"corpus\": \"{}\", \"raw_ands\": {}, \"balance_ands\": {}, \"pipeline_ands\": {}, \"reduction_vs_balance_pct\": {:.2}, \"pipeline_ms\": {:.2}, \"pipeline_ands_k6\": {}, \"reduction_vs_balance_pct_k6\": {:.2}, \"pipeline_ms_k6\": {:.2}}}{}\n",
             e.name,
             e.corpus,
             e.raw,
             e.balanced,
-            e.piped,
-            reduction(e),
-            e.pipe_ms,
+            e.piped_k4,
+            reduction(e.balanced, e.piped_k4),
+            e.pipe_ms_k4,
+            e.piped_k6,
+            reduction(e.balanced, e.piped_k6),
+            e.pipe_ms_k6,
             if i + 1 == entries.len() { "" } else { "," }
         ));
     }
@@ -240,7 +308,11 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"learner_median_reduction_pct\": {learner_median:.2},\n  \"circuits_median_reduction_pct\": {circuits_median:.2}\n}}\n"
+        "  ],\n  \"compile_cache\": {{\"cold_ms\": {compile_cold_ms:.2}, \"warm_ms\": {compile_warm_ms:.4}, \"speedup\": {:.1}, \"hits\": {cache_hits}, \"misses\": {cache_misses}}},\n",
+        compile_cold_ms / compile_warm_ms.max(1e-9)
+    ));
+    json.push_str(&format!(
+        "  \"learner_median_reduction_pct\": {learner_median:.2},\n  \"learner_median_reduction_pct_k6\": {learner_median_k6:.2},\n  \"circuits_median_reduction_pct\": {circuits_median:.2},\n  \"learner_median_ands_k4\": {learner_median_ands_k4:.1},\n  \"learner_median_ands_k6\": {learner_median_ands_k6:.1},\n  \"learner_pipeline_ms_total_k4\": {learner_ms_k4:.2},\n  \"learner_pipeline_ms_total_k6\": {learner_ms_k6:.2}\n}}\n"
     ));
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rewrite.json");
     std::fs::write(out, json).expect("write BENCH_rewrite.json");

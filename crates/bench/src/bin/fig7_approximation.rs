@@ -42,13 +42,10 @@ fn main() {
             node_limit: 5000,
             ..ApproxConfig::default()
         };
-        // The exact prefix of the reduction, reported separately; dropping
-        // then continues from the converged graph rather than re-optimizing.
+        // The exact prefix of the reduction, reported separately; the
+        // fixpoint cache makes reduce's own prelude a no-op hash probe on
+        // the converged graph rather than a re-optimization.
         let rewritten = Pipeline::resyn(cfg.seed).run_fixpoint(&big, cfg.pipeline_rounds);
-        let cfg = ApproxConfig {
-            skip_initial_pipeline: true,
-            ..cfg
-        };
         let small = reduce(&rewritten, &cfg);
         let preds = lsml_aig::sim::eval_patterns(&small, data.test.patterns());
         let approx_acc = data.test.accuracy_of_slice(&preds);

@@ -13,8 +13,29 @@
 //! All ten team drivers route their circuit-producing call sites through
 //! here, so [`crate::portfolio::select_best`] always compares uniformly
 //! optimized candidates.
+//!
+//! # The compile cache
+//!
+//! The portfolio re-optimizes *structurally identical* candidates all the
+//! time: the same tree compiled for every cross-validation fold, the same
+//! matcher circuit re-emitted each portfolio round, ten team drivers
+//! converging on the same small model. Compilation is deterministic given
+//! the input graph, the budget and the pipeline, so its results are
+//! process-wide cacheable: the cache key is the pair
+//! ([`lsml_aig::Aig::structural_fingerprint`], a fingerprint of the budget
+//! knobs + approximation stimulus + [`lsml_aig::opt::Pipeline`]
+//! configuration), and the value is the optimized graph plus whether
+//! approximation actually dropped nodes. A hit costs one graph hash and one
+//! map probe instead of a full resyn/approx run; the caller's method label
+//! is applied after the fact, so heterogeneous teams share entries.
+//! [`compile_cache_stats`] exposes hit/miss counters (the `rewrite` bench
+//! records cached-vs-uncached compile timings from them).
 
-use lsml_aig::approx::{reduce_traced, ApproxConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use lsml_aig::approx::{reduce_traced_with, ApproxConfig};
 use lsml_aig::opt::Pipeline;
 use lsml_aig::sweep::SweepConfig;
 use lsml_aig::Aig;
@@ -78,6 +99,69 @@ impl SizeBudget {
     fn pipeline(&self) -> Pipeline {
         Pipeline::resyn(self.seed)
     }
+
+    /// A stable fingerprint of every compilation-relevant knob, combined
+    /// with the pipeline configuration (which covers the sweep stimulus of
+    /// [`LearnedCircuit::compile_with_columns`]).
+    fn fingerprint(&self, pipeline: &Pipeline) -> u64 {
+        let mut h = lsml_aig::fxhash::FNV_OFFSET;
+        let mut feed = |v: u64| h = lsml_aig::fxhash::fnv1a_mix(h, v);
+        feed(self.node_limit as u64);
+        feed(u64::from(self.allow_approx));
+        feed(self.seed);
+        feed(self.rounds as u64);
+        match &self.stimulus {
+            None => feed(u64::MAX),
+            Some(patterns) => {
+                feed(patterns.len() as u64);
+                for p in patterns {
+                    feed(p.len() as u64);
+                    for &w in p.words() {
+                        feed(w);
+                    }
+                }
+            }
+        }
+        feed(pipeline.fingerprint());
+        h
+    }
+}
+
+/// One memoized compilation: the optimized graph and whether node-dropping
+/// actually traded accuracy away (drives the `+approx` method suffix).
+struct CachedCompile {
+    aig: Aig,
+    approximated: bool,
+}
+
+/// The process-wide compile cache (see the module docs).
+struct CompileCache {
+    map: Mutex<HashMap<(u128, u64), Arc<CachedCompile>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Entry-count bound: the map is cleared wholesale when it outgrows this
+/// (entries re-fill in one compile each; portfolio workloads re-probe the
+/// live set within a round).
+const COMPILE_CACHE_CAP: usize = 512;
+
+fn cache() -> &'static CompileCache {
+    static CACHE: OnceLock<CompileCache> = OnceLock::new();
+    CACHE.get_or_init(|| CompileCache {
+        map: Mutex::new(HashMap::new()),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// `(hits, misses)` of the process-wide compile cache since process start.
+pub fn compile_cache_stats() -> (u64, u64) {
+    let c = cache();
+    (
+        c.hits.load(Ordering::Relaxed),
+        c.misses.load(Ordering::Relaxed),
+    )
 }
 
 impl LearnedCircuit {
@@ -87,6 +171,11 @@ impl LearnedCircuit {
     /// approximation pass (which itself interleaves the exact pipeline with
     /// its dropping rounds). The method label gains an `+approx` suffix iff
     /// accuracy was actually traded away.
+    ///
+    /// Structurally identical candidates compiled under an identical budget
+    /// are served from the process-wide compile cache — the ten team
+    /// drivers stop re-optimizing the same graph across folds and portfolio
+    /// rounds.
     ///
     /// Candidates a `allow_approx: false` budget cannot fit are returned
     /// over-budget; callers keep their own discard policy
@@ -116,32 +205,67 @@ impl LearnedCircuit {
     }
 }
 
-/// The shared compile tail: run the pipeline to a fixpoint, then approximate
-/// only if the budget both requires and allows it.
+/// The shared compile tail: probe the cache, else run the pipeline to a
+/// fixpoint, approximate only if the budget both requires and allows it,
+/// and memoize the outcome.
 fn compile_through(
     pipeline: Pipeline,
     aig: Aig,
     method: impl Into<String>,
     budget: &SizeBudget,
 ) -> LearnedCircuit {
-    let optimized = pipeline.run_fixpoint(&aig, budget.rounds.max(1));
-    if optimized.num_ands() <= budget.node_limit || !budget.allow_approx {
-        return LearnedCircuit::new(optimized, method);
+    let key = (aig.structural_fingerprint(), budget.fingerprint(&pipeline));
+    let cached = cache()
+        .map
+        .lock()
+        .expect("compile cache lock")
+        .get(&key)
+        .cloned();
+    if let Some(hit) = cached {
+        cache().hits.fetch_add(1, Ordering::Relaxed);
+        return labeled(hit.aig.clone(), hit.approximated, method);
     }
-    let cfg = ApproxConfig {
-        node_limit: budget.node_limit,
-        stimulus: budget.stimulus.clone(),
-        seed: budget.seed,
-        // `optimized` is already at a pipeline fixpoint; only the
-        // interleaved post-dropping runs are useful.
-        skip_initial_pipeline: true,
-        ..ApproxConfig::default()
-    };
-    let (reduced, dropped) = reduce_traced(&optimized, &cfg);
-    if dropped {
-        LearnedCircuit::new(reduced, format!("{}+approx", method.into()))
+    cache().misses.fetch_add(1, Ordering::Relaxed);
+
+    let optimized = pipeline.run_fixpoint(&aig, budget.rounds.max(1));
+    let (result, approximated) =
+        if optimized.num_ands() <= budget.node_limit || !budget.allow_approx {
+            (optimized, false)
+        } else {
+            let cfg = ApproxConfig {
+                node_limit: budget.node_limit,
+                stimulus: budget.stimulus.clone(),
+                seed: budget.seed,
+                ..ApproxConfig::default()
+            };
+            // Hand the reduction *this* pipeline (plain or columns-stimulus
+            // resyn): when the run above converged, the prelude inside is a
+            // fixpoint-cache hit; when it ran out of rounds, the prelude
+            // continues the useful optimization it would otherwise redo
+            // under a differently-fingerprinted default pipeline.
+            reduce_traced_with(&optimized, &cfg, &pipeline)
+        };
+
+    let entry = Arc::new(CachedCompile {
+        aig: result.clone(),
+        approximated,
+    });
+    {
+        let mut map = cache().map.lock().expect("compile cache lock");
+        if map.len() >= COMPILE_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(key, entry);
+    }
+    labeled(result, approximated, method)
+}
+
+/// Applies the caller's method label (cache entries are label-agnostic).
+fn labeled(aig: Aig, approximated: bool, method: impl Into<String>) -> LearnedCircuit {
+    if approximated {
+        LearnedCircuit::new(aig, format!("{}+approx", method.into()))
     } else {
-        LearnedCircuit::new(reduced, method)
+        LearnedCircuit::new(aig, method)
     }
 }
 
@@ -248,5 +372,30 @@ mod tests {
             assert_eq!(c.aig.eval(&bits), g.eval(&bits));
         }
         assert!(c.and_gates() <= g.num_ands());
+    }
+
+    #[test]
+    fn repeated_compiles_hit_the_cache_and_relabel() {
+        let g = xor_chain(9);
+        let budget = SizeBudget::exact(5000);
+        let (h0, _) = compile_cache_stats();
+        let a = LearnedCircuit::compile(g.clone(), "team-a", &budget);
+        let b = LearnedCircuit::compile(g.clone(), "team-b", &budget);
+        let (h1, _) = compile_cache_stats();
+        assert!(h1 > h0, "second identical compile must hit the cache");
+        // Identical optimized structure, caller-specific labels.
+        assert_eq!(
+            a.aig.structural_fingerprint(),
+            b.aig.structural_fingerprint()
+        );
+        assert_eq!(a.method, "team-a");
+        assert_eq!(b.method, "team-b");
+        // A different budget is a different key: no stale structure reuse.
+        let c = LearnedCircuit::compile(g.clone(), "team-c", &SizeBudget::exact(1));
+        assert_eq!(
+            c.aig.structural_fingerprint(),
+            a.aig.structural_fingerprint(),
+            "same exact pipeline, so same optimized graph"
+        );
     }
 }

@@ -160,6 +160,22 @@ impl Engine {
             Engine::Columns(scan) => scan.reduce(cover, positives),
         }
     }
+
+    /// The consistency pre-check: the index of a positive example that also
+    /// appears in the off-set, if any. The columnar engine scans each
+    /// negative's containment mask over the on-set columns (a full-pattern
+    /// cube contains exactly the equal patterns) — the last row-major scan
+    /// in the minimizer, widened onto columns.
+    fn find_contradiction(
+        &mut self,
+        positives: &[Pattern],
+        negatives: &[Pattern],
+    ) -> Option<usize> {
+        match self {
+            Engine::Rows => positives.iter().position(|p| negatives.contains(p)),
+            Engine::Columns(scan) => scan.find_contradiction(negatives),
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -172,19 +188,16 @@ fn minimize(
     verify_consistent: bool,
     columnar: bool,
 ) -> Cover {
-    if verify_consistent {
-        for p in positives {
-            assert!(
-                !negatives.contains(p),
-                "contradictory labels for pattern {p}"
-            );
-        }
-    }
     if positives.is_empty() {
         return Cover::new(num_vars);
     }
 
     let mut engine = Engine::new(num_vars, positives, negatives, columnar);
+    if verify_consistent {
+        if let Some(i) = engine.find_contradiction(positives, negatives) {
+            panic!("contradictory labels for pattern {}", positives[i]);
+        }
+    }
     let mut cover = engine.expand(num_vars, seeds, positives, negatives, cfg);
     engine.irredundant(&mut cover, positives);
     if cfg.first_irredundant {
@@ -546,6 +559,25 @@ impl ColumnScan {
         drop_multiply_covered(cover, covers, &mut multiplicity);
     }
 
+    /// Columnar consistency pre-check: for every negative pattern, AND the
+    /// on-set columns down to the mask of equal positives (the containment
+    /// mask of the negative's full-pattern cube); any set bit names a
+    /// contradictory example. Word-parallel over 64 positives at a time,
+    /// early-exiting on the first conflict.
+    fn find_contradiction(&mut self, negatives: &[Pattern]) -> Option<usize> {
+        let mut matches = std::mem::take(&mut self.matches);
+        let mut found = None;
+        for neg in negatives {
+            Self::cube_match_into(&self.pos, &Cube::from_pattern(neg), &mut matches);
+            if let Some(w) = matches.iter().position(|&m| m != 0) {
+                found = Some(w * 64 + matches[w].trailing_zeros() as usize);
+                break;
+            }
+        }
+        self.matches = matches;
+        found
+    }
+
     fn reduce(&mut self, cover: &mut Cover, positives: &[Pattern]) {
         let mut multiplicity = vec![0u32; positives.len()];
         let mut match_masks: Vec<Vec<u64>> = Vec::with_capacity(cover.len());
@@ -690,6 +722,42 @@ mod tests {
         ds.push(Pattern::from_index(0b01, 2), true);
         ds.push(Pattern::from_index(0b01, 2), false);
         minimize_dataset(&ds, &EspressoConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "contradictory labels")]
+    fn contradiction_panics_row_major() {
+        let mut ds = Dataset::new(2);
+        ds.push(Pattern::from_index(0b10, 2), true);
+        ds.push(Pattern::from_index(0b10, 2), false);
+        minimize_dataset_row_major(&ds, &EspressoConfig::default());
+    }
+
+    #[test]
+    fn columnar_contradiction_check_finds_deep_duplicates() {
+        // The duplicate sits past the first packed word (index >= 64) so
+        // the word scan and bit index both get exercised.
+        let mut ds = Dataset::new(7);
+        for m in 0..80u64 {
+            ds.push(Pattern::from_index(m, 7), true);
+        }
+        for m in 100..110u64 {
+            ds.push(Pattern::from_index(m, 7), false);
+        }
+        ds.push(Pattern::from_index(70, 7), false); // contradicts positive 70
+        let caught = std::panic::catch_unwind(|| {
+            minimize_dataset(&ds, &EspressoConfig::default());
+        });
+        let err = caught.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("contradictory labels"),
+            "unexpected panic: {msg}"
+        );
+        assert!(
+            msg.contains(&Pattern::from_index(70, 7).to_string()),
+            "panic must name the offending pattern: {msg}"
+        );
     }
 
     #[test]
