@@ -372,6 +372,28 @@ pub fn and_split_into(col: &[u64], mask: &[u64], lo: &mut [u64], hi: &mut [u64])
     }
 }
 
+/// `out[w] = (a[w] ^ a_compl) & (b[w] ^ b_compl)` for every word — the
+/// fanin-AND step of block AIG simulation (`lsml_aig::sweep` computes all
+/// of a node's signature words in one call instead of word-at-a-time).
+/// Memory-bound and auto-vectorized, so there is one implementation for
+/// every backend. Complements are applied as whole-word XOR masks, which
+/// can raise dead tail bits; callers mask at consumption time (the sweep
+/// hashes signatures under its per-word validity masks).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn fanin_and_into(a: &[u64], a_compl: bool, b: &[u64], b_compl: bool, out: &mut [u64]) {
+    assert_eq!(a.len(), b.len(), "packed length mismatch");
+    assert_eq!(a.len(), out.len(), "packed length mismatch");
+    let ax = if a_compl { u64::MAX } else { 0 };
+    let bx = if b_compl { u64::MAX } else { 0 };
+    for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = (x ^ ax) & (y ^ bx);
+    }
+}
+
 /// Calls `f` with the index of every set bit of one word (bit `k` of word
 /// `w_index` is index `64 * w_index + k`), ascending — the single set-bit
 /// walk every gather and scatter in the tree shares.
@@ -813,6 +835,19 @@ mod tests {
             assert_eq!(lo[w] & hi[w], 0);
             assert_eq!(lo[w] | hi[w], mask[w]);
         }
+    }
+
+    #[test]
+    fn fanin_and_into_applies_complements() {
+        let a = [0b1100u64, 0b0101u64];
+        let b = [0b1010u64, 0b0011u64];
+        let mut out = [0u64; 2];
+        fanin_and_into(&a, false, &b, false, &mut out);
+        assert_eq!(out, [0b1000, 0b0001]);
+        fanin_and_into(&a, true, &b, false, &mut out);
+        assert_eq!(out, [0b0010, 0b0010]);
+        fanin_and_into(&a, true, &b, true, &mut out);
+        assert_eq!(out, [!0b1100 & !0b1010, !0b0101 & !0b0011]);
     }
 
     #[test]
