@@ -395,6 +395,109 @@ impl Aig {
         fresh
     }
 
+    /// Extracts the logic cone of `outputs` into a fresh AIG with the same
+    /// input count, in a **canonical** node order: the result depends only
+    /// on the logical structure of the cone, not on the order in which the
+    /// source graph happened to create its nodes. Two structurally
+    /// isomorphic cones — e.g. the same candidate emitted into a fresh
+    /// builder versus into a shared strashed graph where half its nodes
+    /// were deduplicated against other candidates — extract to *identical*
+    /// graphs (equal [`Aig::structural_fingerprint`]).
+    ///
+    /// Canonicalization works bottom-up: every cone node gets a 128-bit
+    /// structural key (inputs keyed by index, ANDs by an order-insensitive
+    /// mix of their fanin keys), and the rebuild DFS visits the
+    /// smaller-keyed fanin first. Under structural hashing two distinct
+    /// nodes never share a key (equal keys would mean equal structure,
+    /// which strash collapses), so the visit order is well-defined.
+    ///
+    /// This is the entry point of the batched compile path: candidates
+    /// built into one shared graph are compiled via their extracted cone,
+    /// and canonicalization guarantees the result is bit-identical to
+    /// compiling the candidate from scratch.
+    pub fn extract_cone(&self, outputs: &[Lit]) -> Aig {
+        // Pass 1: collect the cone (iterative DFS, any order).
+        let mut in_cone = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for o in outputs {
+            stack.push(o.node());
+        }
+        while let Some(n) = stack.pop() {
+            if in_cone[n as usize] {
+                continue;
+            }
+            in_cone[n as usize] = true;
+            if self.is_and(n) {
+                let Node { f0, f1 } = self.nodes[n as usize];
+                stack.push(f0.node());
+                stack.push(f1.node());
+            }
+        }
+        // Pass 2: canonical keys, bottom-up (index order is topological).
+        let mix = |a: u128, b: u128| -> u128 {
+            let lo = crate::fxhash::fnv1a_mix(
+                crate::fxhash::fnv1a_mix(crate::fxhash::FNV_OFFSET, a as u64),
+                b as u64,
+            );
+            let hi = ((a >> 64) as u64 ^ (b >> 64) as u64 ^ lo.rotate_left(31))
+                .wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+            (u128::from(hi) << 64) | u128::from(lo)
+        };
+        let mut key = vec![0u128; self.nodes.len()];
+        for n in 0..self.nodes.len() {
+            if !in_cone[n] {
+                continue;
+            }
+            key[n] = if n == 0 {
+                1
+            } else if !self.is_and(n as u32) {
+                mix(2, n as u128)
+            } else {
+                let Node { f0, f1 } = self.nodes[n];
+                let k0 = (key[f0.node() as usize] << 1) | u128::from(f0.is_complemented());
+                let k1 = (key[f1.node() as usize] << 1) | u128::from(f1.is_complemented());
+                let (lo, hi) = if k0 <= k1 { (k0, k1) } else { (k1, k0) };
+                mix(lo, hi)
+            };
+        }
+        // Pass 3: canonical-order rebuild (post-order DFS, smaller key
+        // first), re-strashing through `and` so folding stays normalized.
+        let mut fresh = Aig::new(self.num_inputs);
+        let mut map = vec![Lit::FALSE; self.nodes.len()];
+        let mut mapped = vec![false; self.nodes.len()];
+        for (i, slot) in map.iter_mut().enumerate().take(self.num_inputs + 1) {
+            *slot = Lit::new(i as u32, false);
+            mapped[i] = true;
+        }
+        let mut dfs: Vec<(u32, bool)> = Vec::new();
+        for o in outputs {
+            dfs.push((o.node(), false));
+            while let Some((n, expanded)) = dfs.pop() {
+                if mapped[n as usize] {
+                    continue;
+                }
+                let Node { f0, f1 } = self.nodes[n as usize];
+                if expanded {
+                    let a = map[f0.node() as usize].complement_if(f0.is_complemented());
+                    let b = map[f1.node() as usize].complement_if(f1.is_complemented());
+                    map[n as usize] = fresh.and(a, b);
+                    mapped[n as usize] = true;
+                } else {
+                    dfs.push((n, true));
+                    let ka = key[f0.node() as usize];
+                    let kb = key[f1.node() as usize];
+                    let (first, second) = if ka <= kb { (f0, f1) } else { (f1, f0) };
+                    // Pushed in reverse so `first` pops (and maps) first.
+                    dfs.push((second.node(), false));
+                    dfs.push((first.node(), false));
+                }
+            }
+            let l = map[o.node() as usize].complement_if(o.is_complemented());
+            fresh.outputs.push(l);
+        }
+        fresh
+    }
+
     /// A constant-output AIG (useful as a fallback model).
     pub fn constant(num_inputs: usize, value: bool) -> Aig {
         let mut aig = Aig::new(num_inputs);
@@ -624,6 +727,63 @@ mod tests {
         assert_ne!(g.structural_fingerprint(), fp);
         g.cleanup();
         assert_eq!(g.structural_fingerprint(), fp);
+    }
+
+    #[test]
+    fn extract_cone_keeps_semantics_and_drops_dead_logic() {
+        let mut g = Aig::new(3);
+        let (a, b, c) = (g.input(0), g.input(1), g.input(2));
+        let _dead = g.xor(b, c);
+        let x = g.and(a, b);
+        let f = g.or(x, c);
+        g.add_output(f);
+        let cone = g.extract_cone(&[f]);
+        assert_eq!(cone.num_inputs(), 3);
+        assert_eq!(cone.num_ands(), 2);
+        for m in 0..8u32 {
+            let bits = [m & 1 != 0, m & 2 != 0, m & 4 != 0];
+            assert_eq!(cone.eval(&bits), g.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn extract_cone_is_creation_order_canonical() {
+        // The same candidate emitted standalone vs into a shared graph
+        // (where strash remaps its nodes to arbitrary indices) must extract
+        // to the identical graph.
+        let build_candidate = |g: &mut Aig| {
+            let (a, b, c) = (g.input(0), g.input(1), g.input(2));
+            let x = g.xor(a, b);
+            let y = g.and(x, c);
+            g.or(y, !a)
+        };
+        let mut standalone = Aig::new(3);
+        let f1 = build_candidate(&mut standalone);
+
+        let mut shared = Aig::new(3);
+        // Pre-populate with overlapping logic in a different order so the
+        // candidate's nodes land at different indices / orderings.
+        let (a, b, c) = (shared.input(0), shared.input(1), shared.input(2));
+        let pre = shared.and(b, c);
+        let _pre2 = shared.xor(a, pre);
+        let f2 = build_candidate(&mut shared);
+
+        let e1 = standalone.extract_cone(&[f1]);
+        let e2 = shared.extract_cone(&[f2]);
+        assert_eq!(e1.structural_fingerprint(), e2.structural_fingerprint());
+        assert_eq!(e1.num_ands(), e2.num_ands());
+        // And extraction is idempotent.
+        let e3 = e1.extract_cone(&[e1.outputs()[0]]);
+        assert_eq!(e1.structural_fingerprint(), e3.structural_fingerprint());
+    }
+
+    #[test]
+    fn extract_cone_handles_constant_and_input_outputs() {
+        let g = Aig::new(2);
+        let a = g.input(0);
+        let cone = g.extract_cone(&[Lit::TRUE, !a]);
+        assert_eq!(cone.num_ands(), 0);
+        assert_eq!(cone.eval(&[true, false]), vec![true, false]);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::aig::Aig;
 use crate::opt::Pipeline;
 use crate::sim::{pattern_one_counts, random_one_counts};
 
-/// Configuration for [`approximate`].
+/// Configuration for [`reduce`].
 #[derive(Clone, Debug)]
 pub struct ApproxConfig {
     /// Stop once `num_ands()` is at or below this limit.
@@ -195,11 +195,6 @@ pub fn reduce_traced_with(aig: &Aig, cfg: &ApproxConfig, pipeline: &Pipeline) ->
     (current, dropped)
 }
 
-/// Legacy name for [`reduce`], kept for existing call sites.
-pub fn approximate(aig: &Aig, cfg: &ApproxConfig) -> Aig {
-    reduce(aig, cfg)
-}
-
 /// Whether every primary output is a constant literal.
 fn all_outputs_constant(aig: &Aig) -> bool {
     aig.outputs().iter().all(|o| o.is_constant())
@@ -231,7 +226,7 @@ mod tests {
             node_limit: 100,
             ..ApproxConfig::default()
         };
-        let small = approximate(&g, &cfg);
+        let small = reduce(&g, &cfg);
         assert!(small.num_ands() <= 100, "got {}", small.num_ands());
         assert_eq!(small.num_inputs(), 48);
         assert_eq!(small.outputs().len(), 1);
@@ -244,7 +239,7 @@ mod tests {
             node_limit: g.num_ands() * 3 / 4,
             ..ApproxConfig::default()
         };
-        let small = approximate(&g, &cfg);
+        let small = reduce(&g, &cfg);
         let mut rng = StdRng::seed_from_u64(99);
         let mut agree = 0usize;
         let n = 2000;
@@ -265,7 +260,7 @@ mod tests {
         let (a, b) = (g.input(0), g.input(1));
         let x = g.xor(a, b);
         g.add_output(x);
-        let out = approximate(&g, &ApproxConfig::default());
+        let out = reduce(&g, &ApproxConfig::default());
         assert_eq!(out.num_ands(), 3);
         for v in 0..4u64 {
             let bits = [(v & 1) != 0, (v & 2) != 0];
@@ -323,8 +318,8 @@ mod tests {
             seed: 7,
             ..ApproxConfig::default()
         };
-        let a = approximate(&g, &cfg);
-        let b = approximate(&g, &cfg);
+        let a = reduce(&g, &cfg);
+        let b = reduce(&g, &cfg);
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..200 {
             let bits: Vec<bool> = (0..48).map(|_| rng.gen()).collect();

@@ -370,6 +370,23 @@ pub struct CutArena {
     node_off: Vec<u32>,
     /// In-place dominance-filter scratch for the node under construction.
     cand: Vec<Cut>,
+    /// Fanin snapshot of the last enumerated graph: `(f0.raw, f1.raw)` per
+    /// AND node, `(u32::MAX, u32::MAX)` for the constant and the inputs.
+    /// Drives the common-prefix check of the incremental path.
+    prev_fanins: Vec<(u32, u32)>,
+    /// Input count of the last enumerated graph.
+    prev_num_inputs: usize,
+    /// Clamped `(k, max_cuts)` of the last enumeration.
+    prev_cfg: (usize, usize),
+    /// Generation stamp per node: which [`CutArena::enumerate`] call last
+    /// (re)computed the node's cut set. Reused prefix nodes keep their old
+    /// stamp.
+    node_gen: Vec<u32>,
+    /// Monotone enumeration counter (the current generation).
+    generation: u32,
+    /// Nodes (constant and inputs included) whose cut sets survived from
+    /// the previous call in the latest enumeration.
+    reused_prefix: usize,
 }
 
 impl CutArena {
@@ -380,21 +397,66 @@ impl CutArena {
 
     /// Enumerates up to `cfg.max_cuts` cuts per node (the trivial cut
     /// included) for every node of the graph. Constants and primary inputs
-    /// carry only their trivial cut. Previous contents are discarded;
-    /// buffers are reused.
+    /// carry only their trivial cut. Buffers are reused.
+    ///
+    /// Enumeration is **incremental across calls**: a node's cut set
+    /// depends only on its own fanins, the cut sets of lower-indexed nodes
+    /// and the (clamped) configuration, so when the new graph shares a node
+    /// prefix with the previously enumerated one — the common case when a
+    /// candidate is a delta over the last compiled cone, or across rewrite
+    /// iterations that only touch the top of the graph — the shared
+    /// prefix's cut sets are kept verbatim (validated fanin pair by fanin
+    /// pair against a stored snapshot) and enumeration restarts at the
+    /// first divergence. Results are always identical to a from-scratch
+    /// enumeration; reused nodes keep their [`CutArena::node_generation`]
+    /// stamp.
     pub fn enumerate(&mut self, aig: &Aig, cfg: &CutConfig) {
         let cfg = cfg.clamped();
         let n_nodes = aig.num_nodes();
-        self.leaf_buf.clear();
-        self.tts.clear();
-        self.starts.clear();
-        self.lens.clear();
-        self.node_off.clear();
-        self.node_off.reserve(n_nodes + 1);
-        self.node_off.push(0);
+        self.generation = self.generation.wrapping_add(1);
+
+        // Longest common node prefix with the previous enumeration.
+        let mut start = 0usize;
+        if self.prev_num_inputs == aig.num_inputs() && self.prev_cfg == (cfg.k, cfg.max_cuts) {
+            let lim = self.prev_fanins.len().min(n_nodes);
+            while start < lim && self.prev_fanins[start] == fanin_snapshot(aig, start as u32) {
+                start += 1;
+            }
+        }
+        self.reused_prefix = start;
+        if start == 0 {
+            self.leaf_buf.clear();
+            self.tts.clear();
+            self.starts.clear();
+            self.lens.clear();
+            self.node_off.clear();
+            self.node_gen.clear();
+            self.node_off.reserve(n_nodes + 1);
+            self.node_off.push(0);
+        } else {
+            // Truncate the CSR buffers to the reused prefix.
+            let keep_cuts = self.node_off[start] as usize;
+            let keep_leaves = if keep_cuts == self.starts.len() {
+                self.leaf_buf.len()
+            } else {
+                self.starts[keep_cuts] as usize
+            };
+            self.leaf_buf.truncate(keep_leaves);
+            self.tts.truncate(keep_cuts);
+            self.starts.truncate(keep_cuts);
+            self.lens.truncate(keep_cuts);
+            self.node_off.truncate(start + 1);
+            self.node_gen.truncate(start);
+        }
+        self.prev_fanins.truncate(start);
+        self.prev_fanins
+            .extend((start..n_nodes).map(|n| fanin_snapshot(aig, n as u32)));
+        self.prev_num_inputs = aig.num_inputs();
+        self.prev_cfg = (cfg.k, cfg.max_cuts);
+        self.node_gen.resize(n_nodes, self.generation);
 
         let mut cand = std::mem::take(&mut self.cand);
-        for n in 0..n_nodes as u32 {
+        for n in start as u32..n_nodes as u32 {
             if !aig.is_and(n) {
                 self.push_cut(&Cut::trivial(n));
                 self.node_off.push(self.tts.len() as u32);
@@ -477,6 +539,40 @@ impl CutArena {
     /// Number of nodes enumerated.
     pub fn num_nodes(&self) -> usize {
         self.node_off.len().saturating_sub(1)
+    }
+
+    /// The enumeration generation that last computed node `n`'s cut set
+    /// (nodes reused across calls keep the stamp of the call that actually
+    /// built them).
+    #[inline]
+    pub fn node_generation(&self, n: u32) -> u32 {
+        self.node_gen[n as usize]
+    }
+
+    /// The current enumeration generation (increments per
+    /// [`CutArena::enumerate`] call).
+    #[inline]
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// How many leading nodes of the latest [`CutArena::enumerate`] call
+    /// reused the previous call's cut sets (constant and inputs included).
+    #[inline]
+    pub fn reused_prefix(&self) -> usize {
+        self.reused_prefix
+    }
+}
+
+/// The per-node fanin snapshot used by the incremental prefix check: raw
+/// fanin literals for an AND, a sentinel for the constant and the inputs.
+#[inline]
+fn fanin_snapshot(aig: &Aig, n: u32) -> (u32, u32) {
+    if aig.is_and(n) {
+        let (f0, f1) = aig.fanins(n);
+        (f0.raw(), f1.raw())
+    } else {
+        (u32::MAX, u32::MAX)
     }
 }
 
@@ -577,6 +673,63 @@ mod tests {
         for n in 0..g.num_nodes() as u32 {
             let got: Vec<Cut> = arena.cuts(n).map(|v| v.to_cut()).collect();
             assert_eq!(got, reference[n as usize], "node {n} (k={k})");
+        }
+    }
+
+    /// Re-enumerating a mutated graph on a warm arena must match a cold
+    /// arena cut for cut, while actually reusing the untouched prefix.
+    #[test]
+    fn incremental_reenumeration_matches_cold_arena() {
+        let mut g = Aig::new(5);
+        let ins = g.inputs();
+        let x = g.xor(ins[0], ins[1]);
+        let y = g.mux(ins[2], x, ins[3]);
+        g.add_output(y);
+
+        let cfg = CutConfig { k: 4, max_cuts: 8 };
+        let mut warm = CutArena::new();
+        warm.enumerate(&g, &cfg);
+        let gen1 = warm.generation();
+        let prefix_nodes = g.num_nodes();
+
+        // Delta: extend the graph (prefix untouched).
+        let z = g.and(y, ins[4]);
+        let w = g.xor(z, !x);
+        g.add_output(w);
+        warm.enumerate(&g, &cfg);
+        assert_eq!(warm.reused_prefix(), prefix_nodes);
+        assert!(warm.node_generation(y.node()) == gen1);
+        assert!(warm.node_generation(w.node()) == warm.generation());
+        let mut cold = CutArena::new();
+        cold.enumerate(&g, &cfg);
+        assert_arenas_equal(&warm, &cold, g.num_nodes());
+
+        // A changed config invalidates everything.
+        let k6 = CutConfig { k: 6, max_cuts: 8 };
+        warm.enumerate(&g, &k6);
+        assert_eq!(warm.reused_prefix(), 0);
+        let mut cold6 = CutArena::new();
+        cold6.enumerate(&g, &k6);
+        assert_arenas_equal(&warm, &cold6, g.num_nodes());
+
+        // Shrinking to an unrelated graph still matches cold enumeration.
+        let mut h = Aig::new(5);
+        let hins = h.inputs();
+        let ho = h.or(hins[1], hins[3]);
+        h.add_output(ho);
+        warm.enumerate(&h, &cfg);
+        let mut coldh = CutArena::new();
+        coldh.enumerate(&h, &cfg);
+        assert_arenas_equal(&warm, &coldh, h.num_nodes());
+    }
+
+    fn assert_arenas_equal(a: &CutArena, b: &CutArena, n_nodes: usize) {
+        assert_eq!(a.num_nodes(), n_nodes);
+        assert_eq!(b.num_nodes(), n_nodes);
+        for n in 0..n_nodes as u32 {
+            let ca: Vec<Cut> = a.cuts(n).map(|v| v.to_cut()).collect();
+            let cb: Vec<Cut> = b.cuts(n).map(|v| v.to_cut()).collect();
+            assert_eq!(ca, cb, "node {n}");
         }
     }
 

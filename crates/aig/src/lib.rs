@@ -56,7 +56,7 @@ pub mod sim;
 pub mod sweep;
 
 pub use aig::Aig;
-pub use approx::{approximate, reduce, ApproxConfig};
+pub use approx::{reduce, ApproxConfig};
 pub use lit::Lit;
 pub use opt::{Pass, Pipeline};
 

@@ -59,7 +59,7 @@
 //! assert_eq!(custom.describe(), "balance | rewrite | sweep | cleanup");
 //! ```
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
 use crate::aig::Aig;
@@ -204,15 +204,89 @@ impl Pass for CleanupPass {
     }
 }
 
-/// Process-wide set of (graph fingerprint, pipeline fingerprint) pairs known
-/// to be at a fixpoint. Bounded: cleared wholesale when it outgrows the cap
-/// (entries are one hash probe to recompute).
-fn fixpoint_cache() -> &'static Mutex<HashSet<(u128, u64)>> {
-    static CACHE: OnceLock<Mutex<HashSet<(u128, u64)>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashSet::new()))
+/// Process-wide map of (graph fingerprint, pipeline fingerprint) pairs known
+/// to be at a fixpoint, LRU-stamped. Byte-budgeted: when the estimated
+/// footprint exceeds [`fixpoint_cache_budget`], the least-recently-touched
+/// quarter is evicted (never the whole cache), so long portfolio sweeps keep
+/// their hot entries while cold ones age out.
+struct FixpointCache {
+    /// Value = last-touch tick.
+    map: HashMap<(u128, u64), u64>,
+    tick: u64,
+    evictions: u64,
 }
 
-const FIXPOINT_CACHE_CAP: usize = 1 << 16;
+fn fixpoint_cache() -> &'static Mutex<FixpointCache> {
+    static CACHE: OnceLock<Mutex<FixpointCache>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(FixpointCache {
+            map: HashMap::new(),
+            tick: 0,
+            evictions: 0,
+        })
+    })
+}
+
+/// Estimated bytes per fixpoint-cache entry (key + tick + table overhead).
+const FIXPOINT_ENTRY_BYTES: usize = 64;
+
+/// The fixpoint cache's byte budget: `LSML_FIXPOINT_CACHE_BYTES` when set to
+/// a positive integer, otherwise a generous 8 MiB (~128k entries).
+fn fixpoint_cache_budget() -> usize {
+    static BUDGET: OnceLock<usize> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("LSML_FIXPOINT_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(8 << 20)
+    })
+}
+
+/// Drops every fixpoint-cache entry (benchmark hygiene: lets cold-vs-cold
+/// comparisons start from the same state).
+pub fn fixpoint_cache_clear() {
+    let mut cache = fixpoint_cache().lock().expect("fixpoint cache lock");
+    cache.map.clear();
+}
+
+/// `(live entries, LRU evictions so far)` of the process-wide fixpoint
+/// cache.
+pub fn fixpoint_cache_stats() -> (usize, u64) {
+    let cache = fixpoint_cache().lock().expect("fixpoint cache lock");
+    (cache.map.len(), cache.evictions)
+}
+
+impl FixpointCache {
+    fn probe(&mut self, key: (u128, u64)) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&key) {
+            Some(t) => {
+                *t = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, key: (u128, u64)) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(key, tick);
+        let cap = (fixpoint_cache_budget() / FIXPOINT_ENTRY_BYTES).max(16);
+        if self.map.len() > cap {
+            // Evict the least-recently-touched quarter in one pass.
+            let mut ticks: Vec<u64> = self.map.values().copied().collect();
+            let cut = ticks.len() / 4;
+            ticks.select_nth_unstable(cut);
+            let threshold = ticks[cut];
+            let before = self.map.len();
+            self.map.retain(|_, t| *t > threshold);
+            self.evictions += (before - self.map.len()) as u64;
+        }
+    }
+}
 
 /// A sequence of passes applied in order.
 #[derive(Default)]
@@ -326,7 +400,7 @@ impl Pipeline {
         if fixpoint_cache()
             .lock()
             .expect("fixpoint cache lock")
-            .contains(&(best.structural_fingerprint(), pipe_fp))
+            .probe((best.structural_fingerprint(), pipe_fp))
         {
             return best;
         }
@@ -343,11 +417,10 @@ impl Pipeline {
             best = next;
         }
         if converged {
-            let mut cache = fixpoint_cache().lock().expect("fixpoint cache lock");
-            if cache.len() >= FIXPOINT_CACHE_CAP {
-                cache.clear();
-            }
-            cache.insert((best.structural_fingerprint(), pipe_fp));
+            fixpoint_cache()
+                .lock()
+                .expect("fixpoint cache lock")
+                .insert((best.structural_fingerprint(), pipe_fp));
         }
         best
     }

@@ -163,6 +163,48 @@ pub fn accuracy_columns(aig: &Aig, cols: &BitColumns) -> f64 {
     cols.accuracy_of_packed(&preds)
 }
 
+/// Accuracy of arbitrary output cones of one shared graph against a column
+/// view's labels: the graph is simulated **once** per stimulus word and every
+/// cone's packed prediction column is scored by popcount. This is the batched
+/// candidate scorer — for a single-output AIG whose output equals `cones[c]`,
+/// entry `c` is exactly [`accuracy_columns`] of that AIG (same packed words,
+/// same division), so selection decisions made on shared-graph scores match
+/// per-candidate scoring bit for bit.
+///
+/// # Panics
+///
+/// Panics if the column view's input count differs from the AIG's.
+pub fn cone_accuracies(aig: &Aig, cones: &[crate::lit::Lit], cols: &BitColumns) -> Vec<f64> {
+    assert_eq!(
+        cols.num_inputs(),
+        aig.num_inputs(),
+        "column/input count mismatch"
+    );
+    let stride = cols.words_per_column();
+    let mut preds = vec![vec![0u64; stride]; cones.len()];
+    if cols.num_examples() > 0 {
+        let mut input_words = vec![0u64; aig.num_inputs()];
+        #[allow(clippy::needless_range_loop)] // `w` indexes every column in lockstep
+        for w in 0..stride {
+            for (i, word) in input_words.iter_mut().enumerate() {
+                *word = cols.column(i)[w];
+            }
+            let mask = if w + 1 == stride {
+                cols.tail_mask()
+            } else {
+                u64::MAX
+            };
+            let values = node_values_words(aig, &input_words);
+            for (c, lit) in cones.iter().enumerate() {
+                let v =
+                    values[lit.node() as usize] ^ if lit.is_complemented() { u64::MAX } else { 0 };
+                preds[c][w] = v & mask;
+            }
+        }
+    }
+    preds.iter().map(|p| cols.accuracy_of_packed(p)).collect()
+}
+
 /// Counts, for every node, how many of the given patterns drive it to one.
 /// Returns `(counts, total_patterns)`.
 ///

@@ -27,6 +27,7 @@
 //!
 //! The result never has more AND nodes than the (cleaned-up) input.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use lsml_pla::{kernels, BitColumns};
@@ -36,6 +37,48 @@ use rand::{Rng, SeedableRng};
 use crate::aig::Aig;
 use crate::fxhash::{fnv1a_mix, FxHashMap, FNV_OFFSET};
 use crate::lit::Lit;
+
+/// Thread-local signature memo: the previous sweep's cleaned-graph fanin
+/// snapshot and its full signature buffer. When the next sweep sees the
+/// same input region (identical stimulus + seeded random words) and a
+/// common node prefix, the prefix's AND signature blocks are copied instead
+/// of re-simulated — node `n`'s block depends only on lower-indexed blocks
+/// and `n`'s fanins, so the copy is bitwise identical to recomputation.
+/// Per-node generation stamps record which call produced each block.
+struct SigCache {
+    /// `(f0.raw, f1.raw)` per AND node, sentinel for constant/inputs.
+    fanins: Vec<(u32, u32)>,
+    num_inputs: usize,
+    /// Words per node in `sig`.
+    t: usize,
+    sig: Vec<u64>,
+    /// Generation stamp per node (the call that computed its block).
+    gen: Vec<u32>,
+    generation: u32,
+}
+
+thread_local! {
+    static SIG_CACHE: RefCell<SigCache> = const {
+        RefCell::new(SigCache {
+            fanins: Vec::new(),
+            num_inputs: 0,
+            t: 0,
+            sig: Vec::new(),
+            gen: Vec::new(),
+            generation: 0,
+        })
+    };
+}
+
+#[inline]
+fn fanin_snapshot(g: &Aig, n: u32) -> (u32, u32) {
+    if g.is_and(n) {
+        let (f0, f1) = g.fanins(n);
+        (f0.raw(), f1.raw())
+    } else {
+        (u32::MAX, u32::MAX)
+    }
+}
 
 /// Configuration for [`sweep`].
 #[derive(Clone, Debug, Default)]
@@ -127,7 +170,26 @@ pub fn sweep(aig: &Aig, cfg: &SweepConfig) -> Aig {
             *w = rng.gen();
         }
     }
-    for n in (ni + 1)..n_nodes {
+    // Reuse the previous sweep's AND blocks for the longest common node
+    // prefix (input region and fanins validated above each reused block).
+    let first_new = SIG_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        cache.generation = cache.generation.wrapping_add(1);
+        let mut first = ni + 1;
+        if cache.t == t
+            && cache.num_inputs == ni
+            && cache.sig.len() >= (ni + 1) * t
+            && cache.sig[..(ni + 1) * t] == sig[..(ni + 1) * t]
+        {
+            let lim = cache.fanins.len().min(n_nodes);
+            while first < lim && cache.fanins[first] == fanin_snapshot(&g, first as u32) {
+                first += 1;
+            }
+            sig[(ni + 1) * t..first * t].copy_from_slice(&cache.sig[(ni + 1) * t..first * t]);
+        }
+        first
+    });
+    for n in first_new..n_nodes {
         let (f0, f1) = g.fanins(n as u32);
         let (head, rest) = sig.split_at_mut(n * t);
         let a = &head[f0.node() as usize * t..f0.node() as usize * t + t];
@@ -140,6 +202,22 @@ pub fn sweep(aig: &Aig, cfg: &SweepConfig) -> Aig {
             &mut rest[..t],
         );
     }
+    SIG_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        let generation = cache.generation;
+        cache.fanins.truncate(first_new);
+        for n in cache.fanins.len()..n_nodes {
+            let snap = fanin_snapshot(&g, n as u32);
+            cache.fanins.push(snap);
+        }
+        cache.fanins.truncate(n_nodes);
+        cache.gen.truncate(first_new);
+        cache.gen.resize(n_nodes, generation);
+        cache.num_inputs = ni;
+        cache.t = t;
+        cache.sig.clear();
+        cache.sig.extend_from_slice(&sig);
+    });
 
     // --- candidate classes + verified merging ---------------------------
     // Representative nodes per canonical-signature hash; AND nodes that
@@ -423,6 +501,38 @@ mod tests {
         let h = sweep_with_columns(&g, ds.bit_columns(), &SweepConfig::default());
         equivalent_exhaustive(&g, &h);
         assert!(h.num_ands() <= g.num_ands());
+    }
+
+    /// A warm signature cache (previous sweep of a related graph) must not
+    /// change results: compare against a cold sweep in a fresh thread.
+    #[test]
+    fn warm_signature_cache_matches_cold_sweep() {
+        let build = |extra: bool| {
+            let mut g = Aig::new(4);
+            let ins = g.inputs();
+            let x = g.xor(ins[0], ins[1]);
+            let y = g.mux(ins[2], x, ins[3]);
+            let mut f = g.or(y, !x);
+            if extra {
+                let z = g.and(f, ins[3]);
+                f = g.xor(z, ins[0]);
+            }
+            g.add_output(f);
+            g
+        };
+        let cfg = SweepConfig::default();
+        // Warm the thread-local cache on the base graph, then sweep the
+        // delta graph on the same thread.
+        let _ = sweep(&build(false), &cfg);
+        let warm = sweep(&build(true), &cfg);
+        let cold = std::thread::spawn({
+            let cfg = cfg.clone();
+            move || sweep(&build(true), &cfg)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(warm.structural_fingerprint(), cold.structural_fingerprint());
+        equivalent_exhaustive(&build(true), &warm);
     }
 
     #[test]

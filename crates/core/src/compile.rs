@@ -29,7 +29,24 @@
 //! map probe instead of a full resyn/approx run; the caller's method label
 //! is applied after the fact, so heterogeneous teams share entries.
 //! [`compile_cache_stats`] exposes hit/miss counters (the `rewrite` bench
-//! records cached-vs-uncached compile timings from them).
+//! records cached-vs-uncached compile timings from them). The cache is a
+//! byte-budgeted LRU (`LSML_COMPILE_CACHE_BYTES`, default 256 MiB): when the
+//! estimated footprint outgrows the budget, the least-recently-touched
+//! quarter of the entries is evicted, so unbounded sweeps stay bounded while
+//! the live working set survives.
+//!
+//! # Batched compilation
+//!
+//! [`CompileBatch`] is the batched entry point: all candidates of one
+//! portfolio/boosting run build into **one shared strashed graph**, so the
+//! near-identical candidates that dominate real runs (boosting round `t+1`
+//! extends round `t`; team sweeps flip one hyperparameter) share their common
+//! logic structurally instead of re-building it per candidate. Candidates
+//! are output cones of the shared graph; compilation extracts a cone in
+//! *canonical creation order* ([`lsml_aig::Aig::extract_cone`]) and feeds it
+//! through the very same [`compile_through`] tail as the per-candidate path,
+//! which keeps batched results bit-identical to from-scratch compiles and
+//! lets both paths share cache entries.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,8 +55,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 use lsml_aig::approx::{reduce_traced_with, ApproxConfig};
 use lsml_aig::opt::Pipeline;
 use lsml_aig::sweep::SweepConfig;
-use lsml_aig::Aig;
-use lsml_pla::Pattern;
+use lsml_aig::{Aig, Lit};
+use lsml_pla::{BitColumns, Dataset, Pattern};
+use rayon::prelude::*;
 
 use crate::problem::{LearnedCircuit, Problem};
 
@@ -134,22 +152,106 @@ struct CachedCompile {
     approximated: bool,
 }
 
+/// One LRU slot: the memoized result, its estimated footprint, and the
+/// logical clock of its last touch.
+struct CacheEntry {
+    value: Arc<CachedCompile>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// The LRU-managed interior of the compile cache.
+#[derive(Default)]
+struct CacheState {
+    map: HashMap<(u128, u64), CacheEntry>,
+    bytes: usize,
+    tick: u64,
+    evictions: u64,
+}
+
 /// The process-wide compile cache (see the module docs).
 struct CompileCache {
-    map: Mutex<HashMap<(u128, u64), Arc<CachedCompile>>>,
+    state: Mutex<CacheState>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-/// Entry-count bound: the map is cleared wholesale when it outgrows this
-/// (entries re-fill in one compile each; portfolio workloads re-probe the
-/// live set within a round).
-const COMPILE_CACHE_CAP: usize = 512;
+/// Estimated resident footprint of one cached compile: per-node storage plus
+/// the strash-map and outputs overhead of the stored graph, plus fixed map
+/// and `Arc` bookkeeping.
+fn entry_bytes(aig: &Aig) -> usize {
+    aig.num_nodes() * 48 + 160
+}
+
+/// Byte budget for the compile cache, read once from
+/// `LSML_COMPILE_CACHE_BYTES` (generous 256 MiB default — enough for
+/// thousands of contest-sized graphs; long unattended sweeps can dial it
+/// down, servers can raise it).
+fn compile_cache_budget() -> usize {
+    static BUDGET: OnceLock<usize> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("LSML_COMPILE_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&b| b > 0)
+            .unwrap_or(256 << 20)
+    })
+}
+
+impl CacheState {
+    /// Looks up `key`, refreshing its LRU tick on a hit.
+    fn probe(&mut self, key: (u128, u64)) -> Option<Arc<CachedCompile>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|e| {
+            e.tick = tick;
+            Arc::clone(&e.value)
+        })
+    }
+
+    /// Inserts an entry and, when the estimated footprint exceeds the byte
+    /// budget, evicts the least-recently-touched quarter of the map in one
+    /// O(n) sweep (a selection, not a sort — eviction stays cheap even when
+    /// a sweep floods the cache).
+    fn insert(&mut self, key: (u128, u64), value: Arc<CachedCompile>) {
+        self.tick += 1;
+        let bytes = entry_bytes(&value.aig);
+        if let Some(old) = self.map.insert(
+            key,
+            CacheEntry {
+                value,
+                bytes,
+                tick: self.tick,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        if self.bytes <= compile_cache_budget() || self.map.len() <= 1 {
+            return;
+        }
+        let mut ticks: Vec<u64> = self.map.values().map(|e| e.tick).collect();
+        let cut = ticks.len() / 4;
+        let (_, &mut threshold, _) = ticks.select_nth_unstable(cut);
+        let before = self.map.len();
+        let mut freed = 0usize;
+        self.map.retain(|_, e| {
+            if e.tick > threshold {
+                true
+            } else {
+                freed += e.bytes;
+                false
+            }
+        });
+        self.bytes -= freed;
+        self.evictions += (before - self.map.len()) as u64;
+    }
+}
 
 fn cache() -> &'static CompileCache {
     static CACHE: OnceLock<CompileCache> = OnceLock::new();
     CACHE.get_or_init(|| CompileCache {
-        map: Mutex::new(HashMap::new()),
+        state: Mutex::new(CacheState::default()),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
     })
@@ -162,6 +264,46 @@ pub fn compile_cache_stats() -> (u64, u64) {
         c.hits.load(Ordering::Relaxed),
         c.misses.load(Ordering::Relaxed),
     )
+}
+
+/// Detailed compile-cache statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct CompileCacheDetail {
+    /// Lifetime cache hits.
+    pub hits: u64,
+    /// Lifetime cache misses.
+    pub misses: u64,
+    /// Lifetime entries evicted by the LRU byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Estimated resident bytes.
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub budget_bytes: usize,
+}
+
+/// A full snapshot of the compile cache: counters, resident footprint, and
+/// the configured byte budget.
+pub fn compile_cache_detail() -> CompileCacheDetail {
+    let c = cache();
+    let state = c.state.lock().expect("compile cache lock");
+    CompileCacheDetail {
+        hits: c.hits.load(Ordering::Relaxed),
+        misses: c.misses.load(Ordering::Relaxed),
+        evictions: state.evictions,
+        entries: state.map.len(),
+        bytes: state.bytes,
+        budget_bytes: compile_cache_budget(),
+    }
+}
+
+/// Empties the compile cache (counters keep running). Benchmarks call this
+/// between cold/warm phases so timings measure compilation, not memoization.
+pub fn compile_cache_clear() {
+    let mut state = cache().state.lock().expect("compile cache lock");
+    state.map.clear();
+    state.bytes = 0;
 }
 
 impl LearnedCircuit {
@@ -205,22 +347,25 @@ impl LearnedCircuit {
     }
 }
 
-/// The shared compile tail: probe the cache, else run the pipeline to a
-/// fixpoint, approximate only if the budget both requires and allows it,
-/// and memoize the outcome.
+/// The shared compile tail: canonicalize, probe the cache, else run the
+/// pipeline to a fixpoint, approximate only if the budget both requires and
+/// allows it, and memoize the outcome.
+///
+/// Canonicalization re-extracts the output cones in creation-order canonical
+/// form ([`Aig::extract_cone`]), which (a) drops dead logic before it costs
+/// pipeline time and (b) makes the cache key independent of *how* the graph
+/// was built — a candidate emitted standalone and the same candidate carved
+/// out of a [`CompileBatch`]'s shared graph hash identically and share one
+/// cache entry.
 fn compile_through(
     pipeline: Pipeline,
     aig: Aig,
     method: impl Into<String>,
     budget: &SizeBudget,
 ) -> LearnedCircuit {
+    let aig = aig.extract_cone(aig.outputs());
     let key = (aig.structural_fingerprint(), budget.fingerprint(&pipeline));
-    let cached = cache()
-        .map
-        .lock()
-        .expect("compile cache lock")
-        .get(&key)
-        .cloned();
+    let cached = cache().state.lock().expect("compile cache lock").probe(key);
     if let Some(hit) = cached {
         cache().hits.fetch_add(1, Ordering::Relaxed);
         return labeled(hit.aig.clone(), hit.approximated, method);
@@ -250,13 +395,11 @@ fn compile_through(
         aig: result.clone(),
         approximated,
     });
-    {
-        let mut map = cache().map.lock().expect("compile cache lock");
-        if map.len() >= COMPILE_CACHE_CAP {
-            map.clear();
-        }
-        map.insert(key, entry);
-    }
+    cache()
+        .state
+        .lock()
+        .expect("compile cache lock")
+        .insert(key, entry);
     labeled(result, approximated, method)
 }
 
@@ -267,6 +410,364 @@ fn labeled(aig: Aig, approximated: bool, method: impl Into<String>) -> LearnedCi
     } else {
         LearnedCircuit::new(aig, method)
     }
+}
+
+/// One candidate of a [`CompileBatch`]: output cone(s) of the shared graph,
+/// the method label, and the memoized compile result.
+struct BatchCandidate {
+    outputs: Vec<Lit>,
+    method: String,
+    compiled: Option<LearnedCircuit>,
+}
+
+/// Shared-logic volume accounting for one [`CompileBatch`]: how many AND
+/// gates candidates *offered* (the sum of their standalone cone sizes —
+/// what per-candidate building would have constructed) versus how many the
+/// shared strashed graph actually *holds*. `shared / offered < 1` measures
+/// structural reuse across the batch.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchReuseStats {
+    /// Sum of the candidates' standalone AND counts.
+    pub offered_ands: usize,
+    /// AND nodes resident in the shared graph.
+    pub shared_ands: usize,
+}
+
+impl BatchReuseStats {
+    /// `shared / offered`: 1.0 means no cross-candidate sharing, 0.1 means
+    /// the batch stored one gate for every ten offered.
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.offered_ands == 0 {
+            1.0
+        } else {
+            self.shared_ands as f64 / self.offered_ands as f64
+        }
+    }
+}
+
+/// The batched compile entry point: every candidate of a portfolio or
+/// boosting run builds into **one shared strashed graph**, candidates are
+/// output cones of it, and compilation/scoring exploit the sharing.
+///
+/// Three mechanisms make the batch cheaper than per-candidate compilation
+/// while staying **bit-identical** to it:
+///
+/// 1. *Shared construction* — producers emit into [`CompileBatch::shared`]
+///    (or [`CompileBatch::add_aig`] re-strashes a standalone graph in), so a
+///    subcircuit shared by many candidates is built and stored once.
+/// 2. *Canonical extraction* — [`CompileBatch::compile`] carves the
+///    candidate's cone back out in creation-order canonical form, so the
+///    optimization pipeline sees exactly the graph the standalone path
+///    would have produced, and both paths share compile-cache entries.
+///    Downstream, the incremental cut arenas and sweep signature caches in
+///    `lsml-aig` turn the resulting near-identical pipeline runs into
+///    prefix-reuse hits.
+/// 3. *Shared scoring* — [`CompileBatch::accuracies`] simulates the shared
+///    graph **once** per stimulus word and reads every candidate's
+///    prediction column out of the same node-value table, so scoring 125
+///    boosting prefixes costs barely more than scoring one.
+///    [`CompileBatch::select_best`] uses those scores to compile only the
+///    potential winners instead of every candidate.
+///
+/// # Worked example: boosting rounds
+///
+/// The boosting-team driver wants the best round-prefix of a 125-round
+/// gradient-boost model. Per-candidate compilation would emit and optimize
+/// 125 overlapping forests (round `t+1` contains all of round `t`); the
+/// batch emits each tree once and compiles only the selected prefix:
+///
+/// ```
+/// use lsml_core::compile::{CompileBatch, SizeBudget};
+/// use lsml_dtree::boost::{GradientBoost, GradientBoostConfig};
+/// use lsml_pla::{Dataset, Pattern};
+///
+/// // A toy training set: majority-of-3.
+/// let mut train = Dataset::new(3);
+/// for m in 0..8u64 {
+///     let p = Pattern::from_index(m, 3);
+///     let label = (0..3).filter(|&i| p.get(i)).count() >= 2;
+///     train.push(p, label);
+/// }
+/// let cfg = GradientBoostConfig { n_rounds: 5, ..GradientBoostConfig::default() };
+/// let gb = GradientBoost::train(&train, &cfg);
+///
+/// // Emit every round prefix into ONE shared builder: round t+1 reuses all
+/// // of round t's tree cones through structural hashing.
+/// let mut batch = CompileBatch::new(3, &SizeBudget::exact(5000));
+/// let ids: Vec<usize> = (1..=gb.n_trees())
+///     .map(|t| {
+///         let lit = gb.emit_into(batch.shared(), t);
+///         batch.add_cone(lit, format!("xgb-r{t}"))
+///     })
+///     .collect();
+///
+/// // Score ALL prefixes with one shared simulation, then compile only the
+/// // winner — the per-round compile loop collapses to a single compile.
+/// let accs = batch.accuracies(&train);
+/// let best = (0..ids.len()).max_by(|&a, &b| accs[a].total_cmp(&accs[b])).unwrap();
+/// let circuit = batch.compile(ids[best]);
+/// assert!(circuit.and_gates() <= 5000);
+/// assert!(batch.reuse_stats().reuse_ratio() <= 1.0);
+/// ```
+pub struct CompileBatch {
+    shared: Aig,
+    budget: SizeBudget,
+    sweep_columns: Option<Arc<BitColumns>>,
+    k6: bool,
+    cands: Vec<BatchCandidate>,
+    offered_ands: usize,
+}
+
+impl CompileBatch {
+    /// An empty batch over `num_inputs` primary inputs, compiling under
+    /// `budget` with the plain [`Pipeline::resyn`] script.
+    pub fn new(num_inputs: usize, budget: &SizeBudget) -> CompileBatch {
+        CompileBatch {
+            shared: Aig::new(num_inputs),
+            budget: budget.clone(),
+            sweep_columns: None,
+            k6: false,
+            cands: Vec::new(),
+            offered_ands: 0,
+        }
+    }
+
+    /// The batch a contest problem implies: the problem's inputs and
+    /// [`SizeBudget::for_problem`] budget, with the training columns feeding
+    /// the sweep signatures (the batched analogue of
+    /// [`LearnedCircuit::compile_with_columns`]).
+    pub fn for_problem(problem: &Problem) -> CompileBatch {
+        CompileBatch::new(
+            problem.train.num_inputs(),
+            &SizeBudget::for_problem(problem),
+        )
+        .with_sweep_columns(problem.train.bit_columns())
+    }
+
+    /// Feeds `columns` into the sweep's signature stimulus, exactly like
+    /// [`LearnedCircuit::compile_with_columns`] does for the per-candidate
+    /// path.
+    pub fn with_sweep_columns(mut self, columns: Arc<BitColumns>) -> CompileBatch {
+        self.sweep_columns = Some(columns);
+        self
+    }
+
+    /// Switches the batch to the k = 6 rewrite script
+    /// ([`Pipeline::resyn_k6`]-shaped, layered over the classic k = 4
+    /// rounds).
+    pub fn with_k6(mut self) -> CompileBatch {
+        self.k6 = true;
+        self
+    }
+
+    /// The shared builder, for producers that emit logic directly
+    /// ([`lsml_dtree`'s `emit_into`](lsml_dtree::boost::GradientBoost::emit_into)
+    /// and friends). The input count must not change; registered outputs on
+    /// the shared graph are ignored — candidates are declared through
+    /// [`CompileBatch::add_cone`].
+    pub fn shared(&mut self) -> &mut Aig {
+        &mut self.shared
+    }
+
+    /// Declares the cone rooted at `output` (a literal of the shared graph)
+    /// as a candidate; returns its id.
+    pub fn add_cone(&mut self, output: Lit, method: impl Into<String>) -> usize {
+        self.offered_ands += self.shared.extract_cone(&[output]).num_ands();
+        self.push_candidate(vec![output], method)
+    }
+
+    /// Re-strashes a standalone candidate graph into the shared graph
+    /// (common subcircuits land on existing nodes) and declares its outputs
+    /// as a candidate; returns its id.
+    pub fn add_aig(&mut self, aig: &Aig, method: impl Into<String>) -> usize {
+        assert_eq!(
+            aig.num_inputs(),
+            self.shared.num_inputs(),
+            "candidate input count differs from the batch"
+        );
+        let inputs = self.shared.inputs();
+        let outputs = self.shared.append(aig, &inputs);
+        self.offered_ands += aig.num_ands();
+        self.push_candidate(outputs, method)
+    }
+
+    fn push_candidate(&mut self, outputs: Vec<Lit>, method: impl Into<String>) -> usize {
+        self.cands.push(BatchCandidate {
+            outputs,
+            method: method.into(),
+            compiled: None,
+        });
+        self.cands.len() - 1
+    }
+
+    /// Number of declared candidates.
+    pub fn len(&self) -> usize {
+        self.cands.len()
+    }
+
+    /// Whether the batch has no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.cands.is_empty()
+    }
+
+    /// Shared-logic reuse accounting (see [`BatchReuseStats`]).
+    pub fn reuse_stats(&self) -> BatchReuseStats {
+        BatchReuseStats {
+            offered_ands: self.offered_ands,
+            shared_ands: self.shared.num_ands(),
+        }
+    }
+
+    /// The candidate's standalone graph, carved out of the shared graph in
+    /// creation-order canonical form — bit-identical to what the producer
+    /// would have built standalone.
+    pub fn cone(&self, id: usize) -> Aig {
+        self.shared.extract_cone(&self.cands[id].outputs)
+    }
+
+    /// The pipeline every candidate of this batch compiles under — the same
+    /// script the per-candidate path would pick for this budget and
+    /// stimulus.
+    fn pipeline(&self) -> Pipeline {
+        let sweep = SweepConfig {
+            seed: self.budget.seed,
+            stimulus: self.sweep_columns.clone(),
+            ..SweepConfig::default()
+        };
+        if self.k6 {
+            Pipeline::resyn_with(sweep, 6)
+        } else {
+            Pipeline::resyn_with_sweep(sweep)
+        }
+    }
+
+    /// Compiles one candidate (memoized): canonical cone extraction plus the
+    /// shared [`compile_through`] tail, so the result — graph, label, cache
+    /// key — is identical to compiling the standalone candidate.
+    pub fn compile(&mut self, id: usize) -> LearnedCircuit {
+        if self.cands[id].compiled.is_none() {
+            let cone = self.cone(id);
+            let method = self.cands[id].method.clone();
+            let compiled = compile_through(self.pipeline(), cone, method, &self.budget);
+            self.cands[id].compiled = Some(compiled);
+        }
+        self.cands[id].compiled.clone().expect("just compiled")
+    }
+
+    /// Compiles every candidate (parallel over the work-stealing pool,
+    /// memoized) and returns them in declaration order.
+    pub fn compile_all(&mut self) -> Vec<LearnedCircuit> {
+        let todo: Vec<(usize, Aig, String)> = self
+            .cands
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.compiled.is_none())
+            .map(|(i, c)| (i, self.shared.extract_cone(&c.outputs), c.method.clone()))
+            .collect();
+        let batch = &*self;
+        let done: Vec<(usize, LearnedCircuit)> = todo
+            .par_iter()
+            .map(|(i, cone, method)| {
+                let compiled = compile_through(
+                    batch.pipeline(),
+                    cone.clone(),
+                    method.clone(),
+                    &batch.budget,
+                );
+                (*i, compiled)
+            })
+            .collect();
+        for (i, c) in done {
+            self.cands[i].compiled = Some(c);
+        }
+        self.cands
+            .iter()
+            .map(|c| c.compiled.clone().expect("all compiled"))
+            .collect()
+    }
+
+    /// Validation accuracy of every (single-output) candidate from **one**
+    /// shared simulation of the batch graph
+    /// ([`lsml_aig::sim::cone_accuracies`]). Because the exact pipeline
+    /// preserves semantics, these raw-cone scores equal the compiled
+    /// candidates' [`LearnedCircuit::accuracy`] bit for bit.
+    pub fn accuracies(&self, ds: &Dataset) -> Vec<f64> {
+        let outputs: Vec<Lit> = self
+            .cands
+            .iter()
+            .map(|c| {
+                assert_eq!(c.outputs.len(), 1, "accuracies needs 1-output candidates");
+                c.outputs[0]
+            })
+            .collect();
+        lsml_aig::sim::cone_accuracies(&self.shared, &outputs, &ds.bit_columns())
+    }
+
+    /// Picks the best candidate by validation accuracy under `node_limit`,
+    /// with the exact semantics of [`crate::portfolio::select_best`]
+    /// (accuracy within 1e-12 ties break to fewer gates, then declaration
+    /// order; nothing fits → constant majority fallback) — but compiling
+    /// **lazily**: candidates are scored on their raw cones via the shared
+    /// simulation and visited best-first, so typically only the winner (plus
+    /// any candidates tied with it, or better-scoring ones that turn out
+    /// over budget) is ever compiled.
+    ///
+    /// Approximating budgets (`allow_approx`) can trade accuracy for size,
+    /// which breaks the raw-score-equals-compiled-score shortcut; those
+    /// batches transparently fall back to [`CompileBatch::compile_all`] plus
+    /// the classic selector.
+    pub fn select_best(&mut self, valid: &Dataset, node_limit: usize) -> LearnedCircuit {
+        if self.cands.is_empty() {
+            return constant_fallback(valid);
+        }
+        if self.budget.allow_approx {
+            let candidates = self.compile_all();
+            return crate::portfolio::select_best(candidates, valid, node_limit);
+        }
+        let accs = self.accuracies(valid);
+        let mut order: Vec<usize> = (0..accs.len()).collect();
+        // Best accuracy first; declaration order inside a tie, matching the
+        // sequential scan of `portfolio::select_best`.
+        order.sort_by(|&a, &b| accs[b].total_cmp(&accs[a]).then(a.cmp(&b)));
+        let mut best: Option<(f64, usize, usize)> = None;
+        for &i in &order {
+            if let Some((bacc, _, _)) = best {
+                // Everything from here on scores strictly worse than the
+                // best *fitting* candidate: it can't win, so don't compile.
+                if accs[i] < bacc - 1e-12 {
+                    break;
+                }
+            }
+            let c = self.compile(i);
+            if !c.fits(node_limit) {
+                continue;
+            }
+            let (acc, size) = (accs[i], c.and_gates());
+            let better = match &best {
+                None => true,
+                Some((bacc, bsize, _)) => {
+                    acc > *bacc + 1e-12 || ((acc - *bacc).abs() <= 1e-12 && size < *bsize)
+                }
+            };
+            if better {
+                best = Some((acc, size, i));
+            }
+        }
+        match best {
+            Some((_, _, i)) => self.compile(i),
+            None => constant_fallback(valid),
+        }
+    }
+}
+
+/// The constant circuit matching the validation majority — the safe
+/// fallback every team kept in its pocket (same semantics as the one in
+/// [`crate::portfolio::select_best`]).
+fn constant_fallback(valid: &Dataset) -> LearnedCircuit {
+    LearnedCircuit::new(
+        Aig::constant(valid.num_inputs(), valid.majority()),
+        "constant-fallback",
+    )
 }
 
 #[cfg(test)]

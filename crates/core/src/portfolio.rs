@@ -25,14 +25,31 @@ pub type CandidateTask<'a> = Box<dyn FnOnce() -> Option<LearnedCircuit> + Send +
 /// back in task order with `None`s dropped, which keeps every downstream
 /// tie-break identical to the old sequential construction.
 pub fn construct_candidates(tasks: Vec<CandidateTask<'_>>) -> Vec<LearnedCircuit> {
-    let mut slots: Vec<Option<CandidateTask<'_>>> = tasks.into_iter().map(Some).collect();
-    let mut out: Vec<Option<LearnedCircuit>> =
-        std::iter::repeat_with(|| None).take(slots.len()).collect();
+    fan_out_all(tasks)
+}
+
+/// One deferred *raw* candidate construction for the batched compile path:
+/// the builder returns an uncompiled graph plus its method label, and the
+/// caller feeds the results into a [`crate::compile::CompileBatch`] so every
+/// candidate lands in one shared strashed graph before optimization.
+pub type RawCandidateTask<'a> = Box<dyn FnOnce() -> Option<(lsml_aig::Aig, String)> + Send + 'a>;
+
+/// [`construct_candidates`] for raw (uncompiled) candidates: same recursive
+/// `join` fan-out, same order-preserving `None` dropping.
+pub fn construct_raw(tasks: Vec<RawCandidateTask<'_>>) -> Vec<(lsml_aig::Aig, String)> {
+    fan_out_all(tasks)
+}
+
+type Task<'a, T> = Box<dyn FnOnce() -> Option<T> + Send + 'a>;
+
+fn fan_out_all<'a, T: Send>(tasks: Vec<Task<'a, T>>) -> Vec<T> {
+    let mut slots: Vec<Option<Task<'a, T>>> = tasks.into_iter().map(Some).collect();
+    let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(slots.len()).collect();
     fan_out(&mut slots, &mut out);
     out.into_iter().flatten().collect()
 }
 
-fn fan_out<'a>(tasks: &mut [Option<CandidateTask<'a>>], out: &mut [Option<LearnedCircuit>]) {
+fn fan_out<'a, T: Send>(tasks: &mut [Option<Task<'a, T>>], out: &mut [Option<T>]) {
     match tasks.len() {
         0 => {}
         1 => out[0] = (tasks[0].take().expect("task present"))(),

@@ -17,8 +17,8 @@ use lsml_espresso::{cover_to_aig, minimize_dataset, EspressoConfig};
 use lsml_lutnet::{beam_search, LutNetConfig};
 use lsml_matching::match_function;
 
-use crate::compile::SizeBudget;
-use crate::portfolio::{construct_candidates, select_best, CandidateTask};
+use crate::compile::{CompileBatch, SizeBudget};
+use crate::portfolio::{construct_raw, RawCandidateTask};
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
 
@@ -59,19 +59,17 @@ impl Learner for Team1 {
             seed: stage_seed(problem, 7),
             ..SizeBudget::for_problem(problem)
         };
-        let compile =
-            |aig, method: &str| LearnedCircuit::compile_with_columns(aig, method, &budget, problem);
-        let compile = &compile;
         // Candidate *construction* fans out over the work-stealing pool:
-        // each technique below is an independent boxed task, and the result
-        // order matches the old sequential push order exactly.
-        let mut tasks: Vec<CandidateTask<'_>> = Vec::new();
+        // each technique below is an independent boxed task producing a raw
+        // graph, and the result order matches the old sequential push order
+        // exactly. Compilation happens afterwards through one shared batch.
+        let mut tasks: Vec<RawCandidateTask<'_>> = Vec::new();
 
         // (a) Standard-function matching — "the most important method in
         // the contest".
         let merged_ref = &merged;
         tasks.push(Box::new(move || {
-            match_function(merged_ref).map(|m| compile(m.aig, "match"))
+            match_function(merged_ref).map(|m| (m.aig, "match".to_string()))
         }));
 
         // (b) ESPRESSO in first-irredundant mode.
@@ -82,7 +80,7 @@ impl Learner for Team1 {
                     ..EspressoConfig::default()
                 };
                 let cover = minimize_dataset(&problem.train, &cfg);
-                Some(compile(cover_to_aig(&cover), "espresso"))
+                Some((cover_to_aig(&cover), "espresso".to_string()))
             }));
         }
 
@@ -96,7 +94,7 @@ impl Learner for Team1 {
                 ..LutNetConfig::default()
             };
             let beam = beam_search(&problem.train, &problem.valid, &seed_cfg, beam_rounds);
-            Some(compile(beam.network.to_aig(), "lutnet"))
+            Some((beam.network.to_aig(), "lutnet".to_string()))
         }));
 
         // (d) Random forests, estimator count explored 4..16.
@@ -114,15 +112,20 @@ impl Learner for Team1 {
                         ..RandomForestConfig::default()
                     },
                 );
-                Some(compile(rf.to_aig(), &format!("rf{n}")))
+                Some((rf.to_aig(), format!("rf{n}")))
             }));
         }
 
-        select_best(
-            construct_candidates(tasks),
-            &problem.valid,
-            problem.node_limit,
-        )
+        // All candidates land in one shared strashed graph (the forests in
+        // particular overlap heavily across estimator counts), compile
+        // under the training-columns sweep stimulus, and the batch selector
+        // keeps `portfolio::select_best`'s exact semantics.
+        let mut batch = CompileBatch::new(problem.train.num_inputs(), &budget)
+            .with_sweep_columns(problem.train.bit_columns());
+        for (aig, method) in construct_raw(tasks) {
+            batch.add_aig(&aig, method);
+        }
+        batch.select_best(&problem.valid, problem.node_limit)
     }
 }
 

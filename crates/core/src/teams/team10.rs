@@ -11,7 +11,7 @@
 
 use lsml_dtree::{DecisionTree, TreeConfig};
 
-use crate::compile::SizeBudget;
+use crate::compile::{CompileBatch, SizeBudget};
 use crate::problem::{LearnedCircuit, Learner, Problem};
 
 /// Team 10's learner.
@@ -51,9 +51,12 @@ impl Learner for Team10 {
             tree
         };
         // "the tree is then annotated as a MUX netlist and optimized" —
-        // the optimization is the shared compile path.
+        // the optimization is the shared compile path, routed through the
+        // batched entry point like every other driver.
         let budget = SizeBudget::exact(problem.node_limit);
-        LearnedCircuit::compile(tree.to_aig(), "dt-depth8", &budget)
+        let mut batch = CompileBatch::new(problem.num_inputs(), &budget);
+        let id = batch.add_aig(&tree.to_aig(), "dt-depth8");
+        batch.compile(id)
     }
 }
 

@@ -15,7 +15,7 @@ use lsml_pla::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::compile::SizeBudget;
+use crate::compile::{CompileBatch, SizeBudget};
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
 
@@ -121,8 +121,12 @@ impl Learner for Team2 {
         };
         // Team 2 never approximated — an over-budget model means harder
         // pruning (a modeling decision), so the compile budget is exact.
+        // Winner and (rarely) the hard-pruned retrain share one batch, so
+        // the retrained tree strashes against the winner's cones.
         let budget = SizeBudget::exact(problem.node_limit);
-        let compiled = LearnedCircuit::compile(aig, method, &budget);
+        let mut batch = CompileBatch::new(merged.num_inputs(), &budget);
+        let id = batch.add_aig(&aig, method);
+        let compiled = batch.compile(id);
         if compiled.fits(problem.node_limit) {
             return compiled;
         }
@@ -130,7 +134,8 @@ impl Learner for Team2 {
         // optimization; retrain with hard pruning.
         let mut tree = self.j48(&merged, 0.001, 10, problem.seed);
         prune_c45(&mut tree, 0.001);
-        LearnedCircuit::compile(tree.to_aig(), "j48-hard-pruned", &budget)
+        let id = batch.add_aig(&tree.to_aig(), "j48-hard-pruned");
+        batch.compile(id)
     }
 }
 

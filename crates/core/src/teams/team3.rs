@@ -6,14 +6,14 @@
 //! ensemble. Oversized ensembles drop their largest member, exactly as the
 //! paper describes.
 
-use lsml_aig::{circuits, Aig};
+use lsml_aig::{circuits, Aig, Lit};
 use lsml_dtree::{train_fringe_tree, Criterion, DecisionTree, FringeConfig, TreeConfig};
 use lsml_neural::{prune_to_fanin, Mlp, MlpConfig};
 use lsml_pla::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::compile::SizeBudget;
+use crate::compile::{CompileBatch, SizeBudget};
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
 
@@ -118,13 +118,34 @@ impl Learner for Team3 {
         // that the pipeline could plausibly bridge the gap (its median
         // reduction is ~16%; see BENCH_rewrite.json), so hopeless
         // iterations stay as cheap as the old num_ands() comparison.
+        //
+        // Every member is appended into one shared batch graph exactly
+        // once; each iteration's ensemble is just a fresh majority literal
+        // over the surviving member literals, and a single member passes
+        // through as its own literal — no per-iteration graph rebuilds, no
+        // full-`Aig` clone on the single-member path.
         let budget = SizeBudget::exact(problem.node_limit);
+        let mut batch = CompileBatch::new(problem.num_inputs(), &budget);
+        let shared_inputs = batch.shared().inputs();
+        let mut members: Vec<(Lit, &'static str, usize)> = members
+            .iter()
+            .map(|(aig, tag, _)| {
+                let lit = batch.shared().append(aig, &shared_inputs)[0];
+                (lit, *tag, aig.num_ands())
+            })
+            .collect();
         loop {
-            let aig = ensemble_aig(problem.num_inputs(), &members);
-            if aig.num_ands() <= problem.node_limit * 2 || members.len() == 1 {
+            let votes: Vec<Lit> = members.iter().map(|m| m.0).collect();
+            let ens = if members.len() == 1 {
+                votes[0]
+            } else {
+                circuits::majority(batch.shared(), &votes)
+            };
+            let raw_ands = batch.shared().extract_cone(&[ens]).num_ands();
+            if raw_ands <= problem.node_limit * 2 || members.len() == 1 {
                 let tags: Vec<&str> = members.iter().map(|m| m.1).collect();
-                let compiled =
-                    LearnedCircuit::compile(aig, format!("ensemble[{}]", tags.join("+")), &budget);
+                let id = batch.add_cone(ens, format!("ensemble[{}]", tags.join("+")));
+                let compiled = batch.compile(id);
                 if compiled.fits(problem.node_limit) {
                     return compiled;
                 }
@@ -139,34 +160,18 @@ impl Learner for Team3 {
                         ..TreeConfig::default()
                     },
                 );
-                return LearnedCircuit::compile(tree.to_aig(), "dt-fallback", &budget);
+                let id = batch.add_aig(&tree.to_aig(), "dt-fallback");
+                return batch.compile(id);
             }
             let largest = members
                 .iter()
                 .enumerate()
-                .max_by_key(|(_, m)| m.0.num_ands())
+                .max_by_key(|(_, m)| m.2)
                 .map(|(i, _)| i)
                 .expect("non-empty members");
             members.remove(largest);
         }
     }
-}
-
-/// Majority vote over member AIGs (a single member passes through).
-fn ensemble_aig(num_inputs: usize, members: &[(Aig, &'static str, f64)]) -> Aig {
-    if members.len() == 1 {
-        return members[0].0.clone();
-    }
-    let mut aig = Aig::new(num_inputs);
-    let inputs = aig.inputs();
-    let votes: Vec<_> = members
-        .iter()
-        .map(|(m, _, _)| aig.append(m, &inputs)[0])
-        .collect();
-    let out = circuits::majority(&mut aig, &votes);
-    aig.add_output(out);
-    aig.cleanup();
-    aig
 }
 
 #[cfg(test)]

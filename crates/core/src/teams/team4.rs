@@ -14,8 +14,7 @@ use lsml_dtree::select::{chi2_scores, forest_importance, select_k_best};
 use lsml_neural::{Mlp, MlpConfig};
 use lsml_pla::{Pattern, TruthTable};
 
-use crate::compile::SizeBudget;
-use crate::portfolio::select_best;
+use crate::compile::{CompileBatch, SizeBudget};
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
 
@@ -59,30 +58,37 @@ impl Learner for Team4 {
             })
             .collect();
 
-        let mut candidates = Vec::new();
+        // Team 4 kept "the best PLA that synthesizes under the node budget"
+        // — oversized candidates are discarded, not approximated, so the
+        // compile budget is exact. Truth-table cones over overlapping
+        // variable selections share heavily, so all candidates build into
+        // one shared batch and only the potential winners compile.
+        let budget = SizeBudget::exact(problem.node_limit);
+        let mut batch = CompileBatch::new(n, &budget);
         for &k in &self.ks {
             if k >= n {
                 // No reduction needed/possible; a single full-space model.
                 if n <= 16 {
-                    candidates.push(self.model_on(problem, &(0..n).collect::<Vec<_>>()));
+                    let aig = self.model_on(problem, &(0..n).collect::<Vec<_>>());
+                    batch.add_aig(&aig, "afn-sub");
                 }
                 break;
             }
             for (level, scores) in [(1usize, &importance), (2usize, &blend)] {
                 let vars = select_k_best(scores, k);
-                let mut c = self.model_on(problem, &vars);
-                c.method = format!("afn-sub(k={k},L{level})");
-                candidates.push(c);
+                let aig = self.model_on(problem, &vars);
+                batch.add_aig(&aig, format!("afn-sub(k={k},L{level})"));
             }
         }
-        select_best(candidates, &problem.valid, problem.node_limit)
+        batch.select_best(&problem.valid, problem.node_limit)
     }
 }
 
 impl Team4 {
     /// Trains the approximator on the projected inputs and expands the full
-    /// 2^k subspace into a truth-table cone over the selected variables.
-    fn model_on(&self, problem: &Problem, vars: &[usize]) -> LearnedCircuit {
+    /// 2^k subspace into a raw truth-table cone over the selected variables
+    /// (compilation happens in the caller's shared batch).
+    fn model_on(&self, problem: &Problem, vars: &[usize]) -> Aig {
         let projected = problem.train.project(vars);
         let cfg = MlpConfig {
             hidden: vec![32, 16],
@@ -118,11 +124,7 @@ impl Team4 {
         let srcs: Vec<_> = vars.iter().map(|&v| aig.input(v)).collect();
         let out = truth_table_cone(&mut aig, &table, &srcs);
         aig.add_output(out);
-        // Team 4 kept "the best PLA that synthesizes under the node budget"
-        // — oversized candidates are discarded, not approximated, so the
-        // compile budget is exact.
-        let budget = SizeBudget::exact(problem.node_limit);
-        LearnedCircuit::compile(aig, "afn-sub", &budget)
+        aig
     }
 }
 

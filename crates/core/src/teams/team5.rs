@@ -20,8 +20,7 @@ use lsml_pla::{Dataset, TruthTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::compile::SizeBudget;
-use crate::portfolio::select_best;
+use crate::compile::{CompileBatch, SizeBudget};
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
 
@@ -60,8 +59,11 @@ impl Learner for Team5 {
         let (train40, _) = train80.stratified_split(0.5, &mut rng);
 
         // Team 5 discarded oversized candidates rather than approximating.
+        // The depth/selection/ratio sweep varies one knob at a time, so
+        // neighboring trees overlap heavily — every raw candidate lands in
+        // one shared batch and only potential winners are compiled.
         let budget = SizeBudget::exact(problem.node_limit);
-        let mut candidates = Vec::new();
+        let mut batch = CompileBatch::new(problem.num_inputs(), &budget);
         for (ratio_tag, train) in [("80", &train80), ("40", &train40)] {
             let selections = feature_selections(train);
             for &depth in &self.depths {
@@ -78,11 +80,7 @@ impl Learner for Team5 {
                             lift_aig(&tree.to_aig(), vs, problem.num_inputs())
                         }
                     };
-                    candidates.push(LearnedCircuit::compile(
-                        aig,
-                        format!("dt(d={depth},{sel_tag},r={ratio_tag})"),
-                        &budget,
-                    ));
+                    batch.add_aig(&aig, format!("dt(d={depth},{sel_tag},r={ratio_tag})"));
                 }
             }
             // The 3-tree forest.
@@ -98,33 +96,22 @@ impl Learner for Team5 {
                     ..RandomForestConfig::default()
                 },
             );
-            candidates.push(LearnedCircuit::compile(
-                rf.to_aig(),
-                format!("rf3(r={ratio_tag})"),
-                &budget,
-            ));
+            batch.add_aig(&rf.to_aig(), format!("rf3(r={ratio_tag})"));
         }
 
         // NN-guided four-feature exhaustive search.
-        candidates.push(self.nn_feature_search(problem, &train80, &budget));
+        let nn = self.nn_feature_search(problem, &train80);
+        batch.add_aig(&nn, "nn-4feature-search");
 
-        let candidates = candidates
-            .into_iter()
-            .filter(|c| c.fits(problem.node_limit))
-            .collect();
-        select_best(candidates, &valid20, problem.node_limit)
+        batch.select_best(&valid20, problem.node_limit)
     }
 }
 
 impl Team5 {
     /// Trains an MLP, takes its four highest-importance inputs, and finds
     /// the best four-input Boolean function on the training histogram.
-    fn nn_feature_search(
-        &self,
-        problem: &Problem,
-        train: &Dataset,
-        budget: &SizeBudget,
-    ) -> LearnedCircuit {
+    /// Returns the raw cone; the caller's shared batch compiles it.
+    fn nn_feature_search(&self, problem: &Problem, train: &Dataset) -> Aig {
         let cfg = MlpConfig {
             hidden: vec![16],
             epochs: self.nn_epochs,
@@ -154,7 +141,7 @@ impl Team5 {
         let srcs: Vec<_> = vars.iter().map(|&v| aig.input(v)).collect();
         let out = truth_table_cone(&mut aig, &table, &srcs);
         aig.add_output(out);
-        LearnedCircuit::compile(aig, "nn-4feature-search", budget)
+        aig
     }
 }
 

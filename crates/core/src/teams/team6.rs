@@ -8,8 +8,7 @@
 
 use lsml_lutnet::{LutNetConfig, LutNetwork, Wiring};
 
-use crate::compile::SizeBudget;
-use crate::portfolio::select_best;
+use crate::compile::{CompileBatch, SizeBudget};
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
 
@@ -45,7 +44,7 @@ impl Learner for Team6 {
         // selection. Oversized candidates were discarded, so the compile
         // budget is exact; the discard check runs on the compiled size.
         let budget = SizeBudget::exact(problem.node_limit);
-        let mut candidates = Vec::new();
+        let mut batch = CompileBatch::new(problem.num_inputs(), &budget);
         for &width in &self.widths {
             for &depth in &self.depths {
                 for wiring in [Wiring::Random, Wiring::UniqueRandom] {
@@ -57,18 +56,16 @@ impl Learner for Team6 {
                         seed: stage_seed(problem, 6 + width as u64 * 31 + depth as u64),
                     };
                     let net = LutNetwork::train(&problem.train, &cfg);
-                    let c = LearnedCircuit::compile(
-                        net.to_aig(),
+                    batch.add_aig(
+                        &net.to_aig(),
                         format!("lutnet(w={width},d={depth},{wiring:?})"),
-                        &budget,
                     );
-                    if c.fits(problem.node_limit) {
-                        candidates.push(c);
-                    }
                 }
             }
         }
-        select_best(candidates, &problem.valid, problem.node_limit)
+        // The batch selector compiles lazily and applies the same
+        // over-budget discard the eager loop did.
+        batch.select_best(&problem.valid, problem.node_limit)
     }
 }
 

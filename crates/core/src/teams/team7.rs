@@ -10,7 +10,7 @@
 use lsml_dtree::{DecisionTree, GradientBoost, GradientBoostConfig, TreeConfig};
 use lsml_matching::match_function;
 
-use crate::compile::SizeBudget;
+use crate::compile::{CompileBatch, SizeBudget};
 use crate::problem::{LearnedCircuit, Learner, Problem};
 
 /// Team 7's learner.
@@ -39,14 +39,18 @@ impl Learner for Team7 {
     fn learn(&self, problem: &Problem) -> LearnedCircuit {
         let merged = problem.merged();
         // Team 7's over-budget remedy is retraining shallower, not
-        // approximating, so the compile budget is exact.
+        // approximating, so the compile budget is exact. Every candidate
+        // this driver might compile — matcher circuit, both tree models,
+        // the shallow fallback — goes through one shared batch so common
+        // cones are built and strashed once.
         let budget = SizeBudget::exact(problem.node_limit);
+        let mut batch = CompileBatch::new(problem.train.num_inputs(), &budget);
         // Standard-function matching comes first: symmetric functions,
         // adders, comparators, XOR patterns. The budget check runs on the
         // *compiled* circuit, so a match the pipeline can fit still wins.
         if let Some(m) = match_function(&merged) {
-            let c =
-                LearnedCircuit::compile(m.aig, format!("match:{:?}", kind_tag(&m.kind)), &budget);
+            let id = batch.add_aig(&m.aig, format!("match:{:?}", kind_tag(&m.kind)));
+            let c = batch.compile(id);
             if c.fits(problem.node_limit) {
                 return c;
             }
@@ -72,12 +76,15 @@ impl Learner for Team7 {
         );
         let gb_acc = problem.valid.accuracy_of(|p| gb.predict_quantized(p));
 
-        let (aig, method) = if gb_acc > tree_acc {
-            (gb.to_aig(), "xgboost-maj5")
+        let winner = if gb_acc > tree_acc {
+            // The boosted ensemble emits straight into the shared builder;
+            // its tree cones strash against anything already there.
+            let lit = gb.emit_into(batch.shared(), gb.n_trees());
+            batch.add_cone(lit, "xgboost-maj5")
         } else {
-            (tree.to_aig(), "decision-tree")
+            batch.add_aig(&tree.to_aig(), "decision-tree")
         };
-        let compiled = LearnedCircuit::compile(aig, method, &budget);
+        let compiled = batch.compile(winner);
         if !compiled.fits(problem.node_limit) {
             // "the maximum depth ... can be reduced at the cost of potential
             // loss of accuracy".
@@ -89,7 +96,8 @@ impl Learner for Team7 {
                     ..TreeConfig::default()
                 },
             );
-            return LearnedCircuit::compile(shallow.to_aig(), "decision-tree-capped", &budget);
+            let id = batch.add_aig(&shallow.to_aig(), "decision-tree-capped");
+            return batch.compile(id);
         }
         compiled
     }

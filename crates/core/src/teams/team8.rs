@@ -13,8 +13,8 @@ use lsml_aig::Aig;
 use lsml_dtree::{Criterion, DecisionTree, RandomForest, RandomForestConfig, TreeConfig};
 use lsml_neural::{Activation, Mlp, MlpConfig};
 
-use crate::compile::SizeBudget;
-use crate::portfolio::{construct_candidates, select_best, CandidateTask};
+use crate::compile::{CompileBatch, SizeBudget};
+use crate::portfolio::{construct_raw, RawCandidateTask};
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
 
@@ -51,10 +51,10 @@ impl Learner for Team8 {
     fn learn(&self, problem: &Problem) -> LearnedCircuit {
         // Team 8 discarded over-budget models, so the budget is exact.
         let budget = SizeBudget::exact(problem.node_limit);
-        let budget = &budget;
         // Every bucket model is independent; construction fans out over the
-        // pool, keeping the original push order.
-        let mut tasks: Vec<CandidateTask<'_>> = Vec::new();
+        // pool, keeping the original push order. Compilation then runs
+        // through one shared batch (the τ/N grid trees overlap heavily).
+        let mut tasks: Vec<RawCandidateTask<'_>> = Vec::new();
 
         // Bucket 1: BDT with functional decomposition (grid over τ and N).
         for &tau in &self.taus {
@@ -68,11 +68,7 @@ impl Learner for Team8 {
                         ..TreeConfig::default()
                     };
                     let tree = DecisionTree::train(&problem.train, &cfg);
-                    Some(LearnedCircuit::compile(
-                        tree.to_aig(),
-                        format!("bdt-funcdec(tau={tau},N={n})"),
-                        budget,
-                    ))
+                    Some((tree.to_aig(), format!("bdt-funcdec(tau={tau},N={n})")))
                 }));
             }
         }
@@ -91,7 +87,7 @@ impl Learner for Team8 {
                     ..RandomForestConfig::default()
                 },
             );
-            Some(LearnedCircuit::compile(rf.to_aig(), "rf17", budget))
+            Some((rf.to_aig(), "rf17".to_string()))
         }));
 
         // Bucket 3: sine MLP, enumerated when the input count permits.
@@ -112,15 +108,15 @@ impl Learner for Team8 {
                 let srcs = aig.inputs();
                 let out = truth_table_cone(&mut aig, &table, &srcs);
                 aig.add_output(out);
-                Some(LearnedCircuit::compile(aig, "mlp-sine-enum", budget))
+                Some((aig, "mlp-sine-enum".to_string()))
             }));
         }
 
-        let candidates = construct_candidates(tasks)
-            .into_iter()
-            .filter(|c| c.fits(problem.node_limit))
-            .collect();
-        select_best(candidates, &problem.valid, problem.node_limit)
+        let mut batch = CompileBatch::new(problem.num_inputs(), &budget);
+        for (aig, method) in construct_raw(tasks) {
+            batch.add_aig(&aig, method);
+        }
+        batch.select_best(&problem.valid, problem.node_limit)
     }
 }
 

@@ -12,7 +12,7 @@ use lsml_espresso::{cover_to_aig, minimize_dataset, EspressoConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::compile::SizeBudget;
+use crate::compile::{CompileBatch, SizeBudget};
 use crate::eval::aig_accuracy;
 use crate::problem::{LearnedCircuit, Learner, Problem};
 use crate::teams::stage_seed;
@@ -97,12 +97,18 @@ impl Learner for Team9 {
 
         let evolved = result.to_aig();
         // Keep whichever of {seed, evolved} validates better within budget;
-        // both compile through the shared exact pipeline first.
+        // both compile through one shared batch (the bootstrapped evolution
+        // keeps most of the seed's structure, so the two candidates strash
+        // against each other) under the shared exact pipeline.
         let budget = SizeBudget::exact(problem.node_limit);
-        let candidates = [(evolved, method), (seed_aig, format!("seed-{seed_tag}"))];
+        let mut batch = CompileBatch::new(problem.num_inputs(), &budget);
+        let ids = [
+            batch.add_aig(&evolved, method),
+            batch.add_aig(&seed_aig, format!("seed-{seed_tag}")),
+        ];
         let mut best: Option<(f64, LearnedCircuit)> = None;
-        for (aig, m) in candidates {
-            let c = LearnedCircuit::compile(aig, m, &budget);
+        for id in ids {
+            let c = batch.compile(id);
             if !c.fits(problem.node_limit) {
                 continue;
             }

@@ -250,27 +250,45 @@ impl GradientBoost {
         ds.accuracy_of(|p| self.predict(p))
     }
 
-    /// Compiles to an AIG: per-tree MUX trees with one-bit quantized leaves,
-    /// aggregated through layers of 5-input majority gates.
-    pub fn to_aig(&self) -> Aig {
-        let mut aig = Aig::new(self.num_inputs);
-        let mut bits: Vec<Lit> = self
-            .trees
+    /// Emits the vote circuit of the first `rounds` trees into a
+    /// caller-supplied builder and returns the aggregated majority literal.
+    ///
+    /// Consecutive round prefixes share every per-tree MUX cone through the
+    /// builder's structural hashing, so emitting rounds 1..=T into one
+    /// builder costs O(T) tree cones instead of the O(T²) a fresh
+    /// [`GradientBoost::to_aig`] per prefix would pay. The builder must have
+    /// at least `self.num_inputs` inputs; no output is registered and no
+    /// cleanup runs — the caller owns the graph.
+    pub fn emit_into(&self, aig: &mut Aig, rounds: usize) -> Lit {
+        let rounds = rounds.min(self.trees.len());
+        let mut bits: Vec<Lit> = self.trees[..rounds]
             .iter()
-            .map(|t| t.quantized_lit(&mut aig))
+            .map(|t| t.quantized_lit(aig))
             .collect();
         if bits.is_empty() {
             bits.push(Lit::constant(self.base_score > 0.0));
         }
         while bits.len() > 1 {
-            bits = bits
-                .chunks(5)
-                .map(|c| circuits::majority(&mut aig, c))
-                .collect();
+            bits = bits.chunks(5).map(|c| circuits::majority(aig, c)).collect();
         }
-        aig.add_output(bits[0]);
+        bits[0]
+    }
+
+    /// Compiles the first `rounds` trees to a standalone AIG (per-tree MUX
+    /// trees with one-bit quantized leaves, aggregated through layers of
+    /// 5-input majority gates).
+    pub fn to_aig_rounds(&self, rounds: usize) -> Aig {
+        let mut aig = Aig::new(self.num_inputs);
+        let out = self.emit_into(&mut aig, rounds);
+        aig.add_output(out);
         aig.cleanup();
         aig
+    }
+
+    /// Compiles to an AIG: per-tree MUX trees with one-bit quantized leaves,
+    /// aggregated through layers of 5-input majority gates.
+    pub fn to_aig(&self) -> Aig {
+        self.to_aig_rounds(self.trees.len())
     }
 }
 

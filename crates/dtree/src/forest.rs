@@ -168,20 +168,29 @@ impl RandomForest {
         total
     }
 
-    /// Compiles the forest: every tree becomes a MUX tree and a majority
-    /// gate (popcount + threshold) combines the votes.
-    pub fn to_aig(&self) -> Aig {
-        let mut aig = Aig::new(self.num_inputs);
-        let inputs = aig.inputs();
+    /// Emits the forest's vote circuit into a caller-supplied builder,
+    /// mapping each tree's inputs through `inputs`, and returns the
+    /// majority literal. Shared subtrees across forests emitted into the
+    /// same builder are deduplicated by structural hashing; no output is
+    /// registered and no cleanup runs — the caller owns the graph.
+    pub fn emit_into(&self, aig: &mut Aig, inputs: &[lsml_aig::Lit]) -> lsml_aig::Lit {
         let votes: Vec<_> = self
             .trees
             .iter()
             .map(|t| {
                 let sub = t.to_aig();
-                aig.append(&sub, &inputs)[0]
+                aig.append(&sub, inputs)[0]
             })
             .collect();
-        let out = circuits::majority(&mut aig, &votes);
+        circuits::majority(aig, &votes)
+    }
+
+    /// Compiles the forest: every tree becomes a MUX tree and a majority
+    /// gate (popcount + threshold) combines the votes.
+    pub fn to_aig(&self) -> Aig {
+        let mut aig = Aig::new(self.num_inputs);
+        let inputs = aig.inputs();
+        let out = self.emit_into(&mut aig, &inputs);
         aig.add_output(out);
         aig.cleanup();
         aig

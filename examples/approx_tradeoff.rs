@@ -11,7 +11,7 @@
 //! cargo run -p lsml-core --example approx_tradeoff --release
 //! ```
 
-use lsml_aig::{approximate, Aig, ApproxConfig};
+use lsml_aig::{reduce, Aig, ApproxConfig};
 use lsml_benchgen::{suite, BenchData, SampleConfig};
 use lsml_dtree::{RandomForest, RandomForestConfig, TreeConfig};
 use lsml_lutnet::{LutNetConfig, LutNetwork};
@@ -28,7 +28,7 @@ fn sweep(name: &str, full: &Aig, data: &BenchData) {
     let mut budget = full.num_ands();
     while budget > 64 {
         budget /= 2;
-        let small = approximate(
+        let small = reduce(
             full,
             &ApproxConfig {
                 node_limit: budget,

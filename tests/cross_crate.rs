@@ -2,7 +2,7 @@
 //! agreement, approximation under the budget, BDD-vs-tree comparisons.
 
 use lsml_aig::aiger::{read_aag, write_aag};
-use lsml_aig::{approximate, ApproxConfig};
+use lsml_aig::{reduce, ApproxConfig};
 use lsml_bdd::{BddManager, MinimizeStyle};
 use lsml_benchgen::{suite, SampleConfig};
 use lsml_core::{eval, Problem};
@@ -113,7 +113,7 @@ fn approximation_enforces_contest_limit() {
     if big.num_ands() <= limit {
         return; // already small; nothing to approximate
     }
-    let small = approximate(
+    let small = reduce(
         &big,
         &ApproxConfig {
             node_limit: limit,
