@@ -505,6 +505,114 @@ impl Aig {
         aig
     }
 
+    /// Debug-mode structural verifier: checks every representation
+    /// invariant the optimization passes rely on and returns the first
+    /// violation as a message. `Ok` on a well-formed graph.
+    ///
+    /// Checked invariants:
+    ///
+    /// * **Node layout** — node 0 is the constant, nodes `1..=num_inputs`
+    ///   are inputs, all carry the `(FALSE, FALSE)` sentinel;
+    /// * **Acyclicity** — every AND's fanins point at strictly smaller node
+    ///   indices (append-only construction makes index order topological);
+    /// * **Folding** — no AND has a constant fanin or two fanins on the same
+    ///   node (`x∧x`, `x∧¬x` and constant cases fold in [`Aig::and`]);
+    /// * **Canonical child order** — `f0.raw() < f1.raw()`;
+    /// * **Strash consistency** — every AND resolves to itself through
+    ///   [`Aig::lookup_and`], every strash entry points at a live AND with
+    ///   exactly the entry's fanins, and the table records each AND once
+    ///   (no dangling entries beyond the recorded nodes);
+    /// * **Outputs** — every output literal points inside the node table.
+    ///
+    /// Runs in `O(nodes + outputs)`. The optimization pipeline calls this
+    /// after every pass in debug builds and when `LSML_CHECK=1`
+    /// (see [`crate::opt`]).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n_nodes = self.nodes.len();
+        if n_nodes < self.num_inputs + 1 {
+            return Err(format!(
+                "node table holds {n_nodes} nodes, need {} for constant + inputs",
+                self.num_inputs + 1
+            ));
+        }
+        let sentinel = Node {
+            f0: Lit::FALSE,
+            f1: Lit::FALSE,
+        };
+        for n in 0..=self.num_inputs {
+            if self.nodes[n] != sentinel {
+                return Err(format!(
+                    "non-AND node {n} lost its sentinel fanins: {:?}",
+                    self.nodes[n]
+                ));
+            }
+        }
+        for n in (self.num_inputs + 1)..n_nodes {
+            let Node { f0, f1 } = self.nodes[n];
+            for f in [f0, f1] {
+                if f.node() as usize >= n {
+                    return Err(format!(
+                        "AND {n} fanin {f:?} is not topologically earlier (cycle or forward edge)"
+                    ));
+                }
+            }
+            if f0.node() == 0 || f1.node() == 0 {
+                return Err(format!(
+                    "AND {n} has an unfolded constant fanin ({f0:?}, {f1:?})"
+                ));
+            }
+            if f0.node() == f1.node() {
+                return Err(format!(
+                    "AND {n} has both fanins on node {} (x∧x / x∧¬x must fold)",
+                    f0.node()
+                ));
+            }
+            if f0.raw() >= f1.raw() {
+                return Err(format!(
+                    "AND {n} fanins not in canonical order: {} !< {}",
+                    f0.raw(),
+                    f1.raw()
+                ));
+            }
+            match self.lookup_and(f0, f1) {
+                Some(l) if l == Lit::new(n as u32, false) => {}
+                other => {
+                    return Err(format!(
+                        "strash inconsistency: AND {n} ({f0:?}, {f1:?}) resolves to {other:?}"
+                    ));
+                }
+            }
+        }
+        if self.strash.len() != self.num_ands() {
+            return Err(format!(
+                "strash records {} entries for {} AND nodes (dangling or missing entries)",
+                self.strash.len(),
+                self.num_ands()
+            ));
+        }
+        for (&(a, b), &n) in &self.strash {
+            if !self.is_and(n) {
+                return Err(format!(
+                    "strash entry ({a:?}, {b:?}) -> {n} points at a non-AND node"
+                ));
+            }
+            let node = self.nodes[n as usize];
+            if (node.f0, node.f1) != (a, b) {
+                return Err(format!(
+                    "strash entry ({a:?}, {b:?}) -> {n} mismatches node fanins {node:?}"
+                ));
+            }
+        }
+        for (i, o) in self.outputs.iter().enumerate() {
+            if o.node() as usize >= n_nodes {
+                return Err(format!(
+                    "output {i} ({o:?}) points past the node table ({n_nodes} nodes)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// A 128-bit structural fingerprint: two independent multiply-xor
     /// streams over the input count, every AND node's fanin literals (in
     /// index order), and the output literals. Graphs with equal

@@ -562,6 +562,130 @@ impl CutArena {
     pub fn reused_prefix(&self) -> usize {
         self.reused_prefix
     }
+
+    /// Debug-mode verifier for the arena's CSR layout (see the module docs
+    /// for the layout itself). Returns the first violation as a message.
+    ///
+    /// Checked invariants:
+    ///
+    /// * the cut arrays (`starts`/`lens`/`tts`) are parallel and the leaf
+    ///   slices tile `leaf_buf` exactly (contiguous, in order, no gaps);
+    /// * `node_off` is a well-formed CSR index: starts at 0, nondecreasing,
+    ///   ends at the cut count, one nonempty range per node;
+    /// * every node's last cut is its trivial cut `{n}` with table `x₀`;
+    /// * every cut respects the clamped `k` of the last enumeration, has
+    ///   strictly sorted in-range leaves, and its truth table is
+    ///   vacuous-extended (no dependence on variables at or above the leaf
+    ///   count);
+    /// * the per-node generation stamps cover exactly the enumerated nodes.
+    ///
+    /// Runs in `O(cuts × k)`. The rewrite pass calls this after enumeration
+    /// in debug builds and when `LSML_CHECK=1`.
+    pub fn check_csr(&self) -> Result<(), String> {
+        let n_cuts = self.tts.len();
+        if self.starts.len() != n_cuts || self.lens.len() != n_cuts {
+            return Err(format!(
+                "cut arrays disagree: {} starts, {} lens, {n_cuts} tts",
+                self.starts.len(),
+                self.lens.len()
+            ));
+        }
+        if self.node_off.is_empty() {
+            return if n_cuts == 0 && self.leaf_buf.is_empty() && self.node_gen.is_empty() {
+                Ok(())
+            } else {
+                Err("empty CSR index over non-empty cut arrays".to_string())
+            };
+        }
+        let n_nodes = self.node_off.len() - 1;
+        if self.node_off[0] != 0 {
+            return Err(format!("node_off[0] = {}, want 0", self.node_off[0]));
+        }
+        if *self.node_off.last().unwrap() as usize != n_cuts {
+            return Err(format!(
+                "node_off ends at {} but {n_cuts} cuts are stored",
+                self.node_off.last().unwrap()
+            ));
+        }
+        if self.node_gen.len() != n_nodes {
+            return Err(format!(
+                "{} generation stamps for {n_nodes} nodes",
+                self.node_gen.len()
+            ));
+        }
+        // Leaf slices must tile `leaf_buf` back to back.
+        let mut expect_start = 0usize;
+        for c in 0..n_cuts {
+            if self.starts[c] as usize != expect_start {
+                return Err(format!(
+                    "cut {c} starts at {} but the previous cut ends at {expect_start}",
+                    self.starts[c]
+                ));
+            }
+            expect_start += self.lens[c] as usize;
+        }
+        if expect_start != self.leaf_buf.len() {
+            return Err(format!(
+                "cuts cover {expect_start} leaf slots of {}",
+                self.leaf_buf.len()
+            ));
+        }
+        let k = if self.prev_cfg.0 == 0 {
+            MAX_LEAVES
+        } else {
+            self.prev_cfg.0
+        };
+        for n in 0..n_nodes {
+            let range = self.range(n as u32);
+            if range.is_empty() {
+                return Err(format!("node {n} has no cuts (not even trivial)"));
+            }
+            if range.end < range.start || range.end > n_cuts {
+                return Err(format!(
+                    "node {n} cut range {}..{} is malformed",
+                    range.start, range.end
+                ));
+            }
+            let last = self.view(range.end - 1);
+            if last.leaves != [n as u32] || last.tt != VAR_TT[0] {
+                return Err(format!(
+                    "node {n}'s last cut is {:?}/{:#x}, want the trivial cut",
+                    last.leaves, last.tt
+                ));
+            }
+            for c in range {
+                let v = self.view(c);
+                if v.len() > k {
+                    return Err(format!(
+                        "cut {c} of node {n} has {} leaves, clamped k is {k}",
+                        v.len()
+                    ));
+                }
+                if !v.leaves.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!(
+                        "cut {c} of node {n} leaves not strictly sorted: {:?}",
+                        v.leaves
+                    ));
+                }
+                if let Some(&l) = v.leaves.iter().find(|&&l| l as usize >= n_nodes) {
+                    return Err(format!(
+                        "cut {c} of node {n} has out-of-range leaf {l} (of {n_nodes} nodes)"
+                    ));
+                }
+                for var in v.len()..MAX_LEAVES {
+                    if cofactor0(v.tt, var) != v.tt {
+                        return Err(format!(
+                            "cut {c} of node {n} ({} leaves) depends on variable {var}: \
+                             table {:#x} is not vacuous-extended",
+                            v.len(),
+                            v.tt
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The per-node fanin snapshot used by the incremental prefix check: raw

@@ -59,8 +59,9 @@
 //! assert_eq!(custom.describe(), "balance | rewrite | sweep | cleanup");
 //! ```
 
+use loom::sync::Mutex;
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 use crate::aig::Aig;
 use crate::fxhash::{fnv1a_mix, FNV_OFFSET};
@@ -70,6 +71,18 @@ use crate::sweep::{sweep, SweepConfig};
 
 fn fnv_str(h: u64, s: &str) -> u64 {
     s.bytes().fold(h, |h, b| fnv1a_mix(h, u64::from(b)))
+}
+
+/// Whether the structural verifiers run after every pass: **`LSML_CHECK=1`**
+/// in the environment (read once per process). Independent of build profile
+/// — release binaries can be checked too; debug builds additionally verify
+/// once per [`Pipeline::run_fixpoint`] round regardless of the variable.
+/// Sits alongside the other env knobs (`LSML_NUM_THREADS`,
+/// `LSML_FORCE_SCALAR`, `LSML_COMPILE_CACHE_BYTES`,
+/// `LSML_FIXPOINT_CACHE_BYTES`).
+pub fn check_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("LSML_CHECK").as_deref() == Ok("1"))
 }
 
 /// One semantics-preserving AIG transformation.
@@ -257,6 +270,21 @@ pub fn fixpoint_cache_stats() -> (usize, u64) {
     (cache.map.len(), cache.evictions)
 }
 
+/// Checks the fixpoint cache's budget invariant: the resident entry count
+/// never exceeds the configured capacity after an insert has completed.
+/// Concurrency stress tests call this between hammer rounds.
+pub fn fixpoint_cache_verify() -> Result<(), String> {
+    let cache = fixpoint_cache().lock().expect("fixpoint cache lock");
+    let cap = (fixpoint_cache_budget() / FIXPOINT_ENTRY_BYTES).max(16);
+    if cache.map.len() > cap {
+        return Err(format!(
+            "fixpoint cache holds {} entries, budget caps it at {cap}",
+            cache.map.len()
+        ));
+    }
+    Ok(())
+}
+
 impl FixpointCache {
     fn probe(&mut self, key: (u128, u64)) -> bool {
         self.tick += 1;
@@ -374,11 +402,19 @@ impl Pipeline {
             .fold(FNV_OFFSET, |h, p| fnv1a_mix(h, p.fingerprint()))
     }
 
-    /// Runs every pass once, in order.
+    /// Runs every pass once, in order. With `LSML_CHECK=1` (see
+    /// [`check_enabled`]) the full structural verifier
+    /// ([`Aig::check_invariants`]) runs after every pass and panics naming
+    /// the offending pass on the first violation.
     pub fn run(&self, aig: &Aig) -> Aig {
         let mut current = aig.clone();
         for pass in &self.passes {
             current = pass.run(&current);
+            if check_enabled() {
+                if let Err(e) = current.check_invariants() {
+                    panic!("AIG invariants violated after pass `{}`: {e}", pass.name());
+                }
+            }
         }
         current
     }
@@ -407,6 +443,16 @@ impl Pipeline {
         let mut converged = false;
         for _ in 0..max_rounds {
             let next = self.run(&best);
+            // Debug builds verify every round even without `LSML_CHECK=1`
+            // (the per-pass checks inside `run` stay opt-in: they multiply
+            // the verifier cost by the pass count).
+            #[cfg(debug_assertions)]
+            if let Err(e) = next.check_invariants() {
+                panic!(
+                    "AIG invariants violated by pipeline `{}`: {e}",
+                    self.describe()
+                );
+            }
             let smaller = next.num_ands() < best.num_ands();
             let same_but_shallower =
                 next.num_ands() == best.num_ands() && next.depth() < best.depth();

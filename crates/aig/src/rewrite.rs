@@ -192,6 +192,11 @@ pub fn rewrite(aig: &Aig, cfg: &RewriteConfig) -> Aig {
             max_cuts: cfg.max_cuts,
         },
     );
+    if cfg!(debug_assertions) || crate::opt::check_enabled() {
+        if let Err(e) = arena.check_csr() {
+            panic!("cut arena CSR invariants violated after enumeration: {e}");
+        }
+    }
 
     claimed.clear();
     claimed.resize(n_nodes, false);

@@ -183,6 +183,37 @@ proptest! {
         }
     }
 
+    /// The arena's CSR layout verifier holds after cold, warm-incremental
+    /// and shrunken re-enumerations at k ∈ {4, 6}, and the rewritten graph
+    /// itself satisfies the full structural verifier (including after the
+    /// zero-gain reshaping variant).
+    #[test]
+    fn arena_csr_and_graph_invariants_hold(ops in arb_ops(40)) {
+        let g = build(&ops, NARROW);
+        let mut arena = CutArena::new();
+        for k in [4usize, 6] {
+            arena.enumerate(&g, &CutConfig { k, max_cuts: 8 });
+            prop_assert!(arena.check_csr().is_ok(),
+                "cold enumeration (k={}): {:?}", k, arena.check_csr());
+            // Warm re-enumeration of an extended graph reuses the prefix;
+            // the CSR must stay coherent across the truncate-and-extend.
+            let mut ext = g.clone();
+            let exti = ext.inputs();
+            let extra = ext.xor(exti[0], *ext.outputs().first().expect("output"));
+            ext.add_output(extra);
+            arena.enumerate(&ext, &CutConfig { k, max_cuts: 8 });
+            prop_assert!(arena.check_csr().is_ok(),
+                "warm extension (k={}): {:?}", k, arena.check_csr());
+            // Rewritten graphs satisfy the full structural verifier.
+            for zero_gain in [false, true] {
+                let cfg = RewriteConfig { zero_gain, cut_size: k, ..RewriteConfig::default() };
+                let h = rewrite(&g, &cfg);
+                prop_assert!(h.check_invariants().is_ok(),
+                    "rewrite k={} zero_gain={}: {:?}", k, zero_gain, h.check_invariants());
+            }
+        }
+    }
+
     /// k = 6 rewriting preserves semantics exactly and never grows the
     /// graph (the k = 4 variant is covered by the pipeline property suite).
     #[test]

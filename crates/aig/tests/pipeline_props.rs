@@ -9,7 +9,7 @@
 //!   dataset), so the two simulation front ends cross-validate each other.
 
 use lsml_aig::aig::Aig;
-use lsml_aig::opt::Pipeline;
+use lsml_aig::opt::{BalancePass, CleanupPass, Pass, Pipeline, RewritePass, SweepPass};
 use lsml_aig::rewrite::{rewrite, RewriteConfig};
 use lsml_aig::sim::{eval_columns, eval_patterns_multi};
 use lsml_aig::sweep::{sweep, SweepConfig};
@@ -151,6 +151,32 @@ proptest! {
         let h = Pipeline::resyn(11).run_fixpoint(&g, 3);
         prop_assert!(h.num_ands() <= cleaned_ands(&g));
         prop_assert_eq!(truth_vectors(&h), before);
+    }
+
+    #[test]
+    fn every_pass_preserves_structural_invariants(ops in arb_ops(30)) {
+        // The structural verifier must hold after *every* pass state the
+        // pipeline can produce, at both rewrite cut sizes — including the
+        // zero-gain reshaping pass and the post-sweep merge state, which
+        // exercise node replacement and strash rebuilds hardest.
+        let g = build(&ops, NARROW);
+        prop_assert!(g.check_invariants().is_ok(), "freshly built graph invalid");
+        for k in [4usize, 6] {
+            let passes: Vec<Box<dyn Pass>> = vec![
+                Box::new(BalancePass),
+                Box::new(RewritePass::default().with_cut_size(k)),
+                Box::new(RewritePass::zero_gain().with_cut_size(k)),
+                Box::new(SweepPass::seeded(17)),
+                Box::new(CleanupPass),
+            ];
+            let mut current = g.clone();
+            for pass in &passes {
+                current = pass.run(&current);
+                let check = current.check_invariants();
+                prop_assert!(check.is_ok(),
+                    "invariants violated after `{}` (k={}): {:?}", pass.name(), k, check);
+            }
+        }
     }
 
     #[test]

@@ -48,9 +48,10 @@
 //! which keeps batched results bit-identical to from-scratch compiles and
 //! lets both paths share cache entries.
 
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 use lsml_aig::approx::{reduce_traced_with, ApproxConfig};
 use lsml_aig::opt::Pipeline;
@@ -213,7 +214,7 @@ impl CacheState {
     /// budget, evicts the least-recently-touched quarter of the map in one
     /// O(n) sweep (a selection, not a sort — eviction stays cheap even when
     /// a sweep floods the cache).
-    fn insert(&mut self, key: (u128, u64), value: Arc<CachedCompile>) {
+    fn insert(&mut self, key: (u128, u64), value: Arc<CachedCompile>, budget: usize) {
         self.tick += 1;
         let bytes = entry_bytes(&value.aig);
         if let Some(old) = self.map.insert(
@@ -227,7 +228,7 @@ impl CacheState {
             self.bytes -= old.bytes;
         }
         self.bytes += bytes;
-        if self.bytes <= compile_cache_budget() || self.map.len() <= 1 {
+        if self.bytes <= budget || self.map.len() <= 1 {
             return;
         }
         let mut ticks: Vec<u64> = self.map.values().map(|e| e.tick).collect();
@@ -245,6 +246,30 @@ impl CacheState {
         });
         self.bytes -= freed;
         self.evictions += (before - self.map.len()) as u64;
+    }
+
+    /// Checks that the byte accounting has not drifted: every entry's
+    /// recorded size must match its graph, and `bytes` must equal their sum.
+    fn verify(&self) -> Result<(), String> {
+        let mut sum = 0usize;
+        for (key, e) in &self.map {
+            let expect = entry_bytes(&e.value.aig);
+            if e.bytes != expect {
+                return Err(format!(
+                    "compile cache entry {key:?} records {} bytes, graph is {expect}",
+                    e.bytes
+                ));
+            }
+            sum += e.bytes;
+        }
+        if sum != self.bytes {
+            return Err(format!(
+                "compile cache bytes drifted: accounted {} != resident sum {sum} ({} entries)",
+                self.bytes,
+                self.map.len()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -304,6 +329,66 @@ pub fn compile_cache_clear() {
     let mut state = cache().state.lock().expect("compile cache lock");
     state.map.clear();
     state.bytes = 0;
+}
+
+/// Checks the process-wide compile cache's byte accounting: `bytes` must
+/// equal the sum of the resident entries' recorded sizes, and each recorded
+/// size must match its graph. Concurrency stress tests call this between
+/// hammer rounds to pin accounting drift.
+pub fn compile_cache_verify() -> Result<(), String> {
+    cache().state.lock().expect("compile cache lock").verify()
+}
+
+/// Model-check surface (`--cfg lsml_loom` only): a *fresh*, non-global
+/// compile-cache state with an explicit byte budget, so `loom::model`
+/// bodies can explore insert/evict/lookup races from a known initial state
+/// (the process-wide cache behind a `OnceLock` is deliberately not modeled —
+/// see the `loom` crate docs on globals).
+#[cfg(lsml_loom)]
+pub mod loom_api {
+    use super::*;
+
+    /// A private compile cache over the same `CacheState` machinery (and the
+    /// same shadow `Mutex`) the process-wide cache uses.
+    pub struct LoomCompileCache {
+        state: Mutex<CacheState>,
+        budget: usize,
+    }
+
+    impl LoomCompileCache {
+        /// A fresh cache with the given byte budget.
+        pub fn with_budget(budget: usize) -> Self {
+            LoomCompileCache {
+                state: Mutex::new(CacheState::default()),
+                budget,
+            }
+        }
+
+        /// LRU-refreshing lookup; true on hit.
+        pub fn probe(&self, key: (u128, u64)) -> bool {
+            self.state.lock().unwrap().probe(key).is_some()
+        }
+
+        /// Insert `aig` under `key`, evicting per the byte budget.
+        pub fn insert(&self, key: (u128, u64), aig: &Aig) {
+            let entry = Arc::new(CachedCompile {
+                aig: aig.clone(),
+                approximated: false,
+            });
+            self.state.lock().unwrap().insert(key, entry, self.budget);
+        }
+
+        /// Byte-accounting check (see [`compile_cache_verify`]).
+        pub fn verify(&self) -> Result<(), String> {
+            self.state.lock().unwrap().verify()
+        }
+
+        /// `(resident entries, accounted bytes, evictions)`.
+        pub fn stats(&self) -> (usize, usize, u64) {
+            let st = self.state.lock().unwrap();
+            (st.map.len(), st.bytes, st.evictions)
+        }
+    }
 }
 
 impl LearnedCircuit {
@@ -399,7 +484,7 @@ fn compile_through(
         .state
         .lock()
         .expect("compile cache lock")
-        .insert(key, entry);
+        .insert(key, entry, compile_cache_budget());
     labeled(result, approximated, method)
 }
 

@@ -1,0 +1,119 @@
+//! Model-checked races on the byte-budgeted compile-cache LRU.
+//!
+//! Only built under `RUSTFLAGS="--cfg lsml_loom"` — the CI `model-check`
+//! leg. Uses the `loom_api` surface: a *fresh* cache per model body (the
+//! process-wide `OnceLock` cache is not modeled; see the `loom` crate docs)
+//! over the exact same `CacheState` machinery and shadow `Mutex` the global
+//! cache runs on.
+#![cfg(lsml_loom)]
+
+use loom::{model, thread};
+use lsml_aig::Aig;
+use lsml_core::compile::loom_api::LoomCompileCache;
+use std::sync::Arc;
+
+/// A tiny graph with `ands` AND gates (distinct sizes → distinct entry
+/// footprints, so byte accounting is actually exercised).
+fn tiny_aig(ands: usize) -> Aig {
+    let mut g = Aig::new(2);
+    let (a, b) = (g.input(0), g.input(1));
+    let mut cur = a;
+    for i in 0..ands {
+        let rhs = if i % 2 == 0 { b } else { a };
+        cur = g.and(cur, !rhs);
+    }
+    g.add_output(cur);
+    g
+}
+
+/// Two threads insert different-size entries under a budget that forces
+/// eviction, racing a reader. Across every interleaving the byte accounting
+/// must equal the sum of resident entries.
+#[test]
+fn concurrent_insert_evict_accounting() {
+    // Budget fits ~2 tiny entries: the third insert must evict.
+    let budget = 900;
+    let report = model(move || {
+        let cache = Arc::new(LoomCompileCache::with_budget(budget));
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    let g = tiny_aig(2 + w * 3);
+                    cache.insert((w as u128, 0), &g);
+                    cache.verify().unwrap();
+                })
+            })
+            .collect();
+        let g = tiny_aig(8);
+        cache.insert((99, 0), &g);
+        cache.verify().unwrap();
+        let _ = cache.probe((0, 0));
+        for t in writers {
+            t.join().unwrap();
+        }
+        cache.verify().unwrap();
+        let (entries, bytes, _evictions) = cache.stats();
+        assert!(
+            entries >= 1,
+            "everything evicted: {entries} entries, {bytes} bytes"
+        );
+    });
+    println!(
+        "concurrent_insert_evict_accounting: {} interleavings explored (max depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(report.iterations > 1);
+}
+
+/// Insert/lookup race on one key: a probe concurrent with the insert either
+/// misses or hits, but a hit must never corrupt accounting, and the entry
+/// must be resident afterwards.
+#[test]
+fn insert_lookup_race() {
+    let report = model(|| {
+        let cache = Arc::new(LoomCompileCache::with_budget(1 << 20));
+        let reader = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || cache.probe((7, 7)))
+        };
+        let g = tiny_aig(3);
+        cache.insert((7, 7), &g);
+        let _hit_before = reader.join().unwrap();
+        assert!(cache.probe((7, 7)), "inserted entry must be resident");
+        cache.verify().unwrap();
+    });
+    println!(
+        "insert_lookup_race: {} interleavings explored",
+        report.iterations
+    );
+}
+
+/// Same-key double insert (two threads compile the same candidate): the
+/// replacement path must refund the old entry's bytes exactly once.
+#[test]
+fn same_key_double_insert_refunds_bytes() {
+    let report = model(|| {
+        let cache = Arc::new(LoomCompileCache::with_budget(1 << 20));
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    // Different graph sizes under the SAME key.
+                    let g = tiny_aig(1 + w * 4);
+                    cache.insert((1, 1), &g);
+                })
+            })
+            .collect();
+        for t in writers {
+            t.join().unwrap();
+        }
+        cache.verify().unwrap();
+        let (entries, _bytes, _) = cache.stats();
+        assert_eq!(entries, 1);
+    });
+    println!(
+        "same_key_double_insert: {} interleavings explored",
+        report.iterations
+    );
+}

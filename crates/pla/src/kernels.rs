@@ -22,7 +22,9 @@
 //! Setting **`LSML_FORCE_SCALAR=1`** in the environment pins the active
 //! backend to [`Backend::Scalar`] regardless of what the CPU supports (read
 //! once, at selection time) — CI runs a whole test leg this way to separate
-//! kernel bugs from dispatch bugs.
+//! kernel bugs from dispatch bugs. It sits alongside the other runtime
+//! knobs: `LSML_NUM_THREADS` (pool size) and `LSML_CHECK=1` (structural
+//! verifiers after every optimization pass; see `lsml_aig::opt`).
 //!
 //! Every accelerated variant is **bit-identical** to the scalar reference:
 //! the kernels return integer counts or exact bitwise transforms, so there
@@ -168,7 +170,7 @@ fn assert_available(backend: Backend) {
 /// Number of set bits in a packed vector.
 #[inline]
 pub fn popcount(words: &[u64]) -> u64 {
-    // Safety: active_backend() only returns entries of available_backends().
+    // SAFETY: active_backend() only returns entries of available_backends().
     unsafe { popcount_unchecked(active_backend(), words) }
 }
 
@@ -180,7 +182,7 @@ pub fn popcount(words: &[u64]) -> u64 {
 #[inline]
 pub fn popcount_and(a: &[u64], b: &[u64]) -> u64 {
     assert_eq!(a.len(), b.len(), "packed length mismatch");
-    // Safety: active_backend() only returns entries of available_backends().
+    // SAFETY: active_backend() only returns entries of available_backends().
     unsafe { popcount_and_unchecked(active_backend(), a, b) }
 }
 
@@ -193,7 +195,7 @@ pub fn popcount_and(a: &[u64], b: &[u64]) -> u64 {
 pub fn popcount_and3(a: &[u64], b: &[u64], c: &[u64]) -> u64 {
     assert_eq!(a.len(), b.len(), "packed length mismatch");
     assert_eq!(a.len(), c.len(), "packed length mismatch");
-    // Safety: active_backend() only returns entries of available_backends().
+    // SAFETY: active_backend() only returns entries of available_backends().
     unsafe { popcount_and3_unchecked(active_backend(), a, b, c) }
 }
 
@@ -205,7 +207,7 @@ pub fn popcount_and3(a: &[u64], b: &[u64], c: &[u64]) -> u64 {
 #[inline]
 pub fn popcount_xor(a: &[u64], b: &[u64]) -> u64 {
     assert_eq!(a.len(), b.len(), "packed length mismatch");
-    // Safety: active_backend() only returns entries of available_backends().
+    // SAFETY: active_backend() only returns entries of available_backends().
     unsafe { popcount_xor_unchecked(active_backend(), a, b) }
 }
 
@@ -216,7 +218,7 @@ pub fn popcount_xor(a: &[u64], b: &[u64]) -> u64 {
 /// Panics if `backend` is not in [`available_backends`].
 pub fn popcount_with(backend: Backend, words: &[u64]) -> u64 {
     assert_available(backend);
-    // Safety: availability just checked.
+    // SAFETY: availability just checked.
     unsafe { popcount_unchecked(backend, words) }
 }
 
@@ -228,7 +230,7 @@ pub fn popcount_with(backend: Backend, words: &[u64]) -> u64 {
 pub fn popcount_and_with(backend: Backend, a: &[u64], b: &[u64]) -> u64 {
     assert_eq!(a.len(), b.len(), "packed length mismatch");
     assert_available(backend);
-    // Safety: availability just checked.
+    // SAFETY: availability just checked.
     unsafe { popcount_and_unchecked(backend, a, b) }
 }
 
@@ -241,7 +243,7 @@ pub fn popcount_and3_with(backend: Backend, a: &[u64], b: &[u64], c: &[u64]) -> 
     assert_eq!(a.len(), b.len(), "packed length mismatch");
     assert_eq!(a.len(), c.len(), "packed length mismatch");
     assert_available(backend);
-    // Safety: availability just checked.
+    // SAFETY: availability just checked.
     unsafe { popcount_and3_unchecked(backend, a, b, c) }
 }
 
@@ -253,7 +255,7 @@ pub fn popcount_and3_with(backend: Backend, a: &[u64], b: &[u64], c: &[u64]) -> 
 pub fn popcount_xor_with(backend: Backend, a: &[u64], b: &[u64]) -> u64 {
     assert_eq!(a.len(), b.len(), "packed length mismatch");
     assert_available(backend);
-    // Safety: availability just checked.
+    // SAFETY: availability just checked.
     unsafe { popcount_xor_unchecked(backend, a, b) }
 }
 
@@ -341,7 +343,7 @@ pub fn accumulate_and_counts(values: &[u64], mask: u64, counts: &mut [u64]) {
     match active_backend() {
         Backend::Scalar => accumulate_and_counts_scalar(values, mask, counts),
         #[cfg(target_arch = "x86_64")]
-        // Safety: the active backend was feature-checked at selection time.
+        // SAFETY: the active backend was feature-checked at selection time.
         _ => unsafe { x86::accumulate_and_counts_popcnt(values, mask, counts) },
         #[cfg(target_arch = "aarch64")]
         // NEON has no per-64-bit-lane win over the scalar loop here.
@@ -561,26 +563,41 @@ mod x86 {
     // The hardware-popcount wrappers reuse the scalar bodies: inlined under
     // `target_feature(enable = "popcnt")`, `count_ones` compiles to POPCNT.
 
+    /// # Safety
+    ///
+    /// Caller must ensure POPCNT is available.
     #[target_feature(enable = "popcnt")]
     pub(super) unsafe fn popcount_popcnt(words: &[u64]) -> u64 {
         super::popcount_scalar(words)
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure POPCNT is available.
     #[target_feature(enable = "popcnt")]
     pub(super) unsafe fn popcount_and_popcnt(a: &[u64], b: &[u64]) -> u64 {
         super::popcount_and_scalar(a, b)
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure POPCNT is available.
     #[target_feature(enable = "popcnt")]
     pub(super) unsafe fn popcount_and3_popcnt(a: &[u64], b: &[u64], c: &[u64]) -> u64 {
         super::popcount_and3_scalar(a, b, c)
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure POPCNT is available.
     #[target_feature(enable = "popcnt")]
     pub(super) unsafe fn popcount_xor_popcnt(a: &[u64], b: &[u64]) -> u64 {
         super::popcount_xor_scalar(a, b)
     }
 
+    /// # Safety
+    ///
+    /// Caller must ensure POPCNT is available.
     #[target_feature(enable = "popcnt")]
     pub(super) unsafe fn accumulate_and_counts_popcnt(
         values: &[u64],
@@ -627,6 +644,8 @@ mod x86 {
     macro_rules! avx2_popcount_kernel {
         ($name:ident, ($($arg:ident),+), $combine:expr, $scalar_combine:expr) => {
             #[target_feature(enable = "avx2,popcnt")]
+            // SAFETY contract of every generated kernel: caller must ensure the
+            // enabled target features are available on the running CPU.
             pub(super) unsafe fn $name($($arg: &[u64]),+) -> u64 {
                 let n = first!($($arg),+).len();
                 let vec_end = n - n % 4;
@@ -675,6 +694,8 @@ mod x86 {
     macro_rules! avx512_popcount_kernel {
         ($name:ident, ($($arg:ident),+), $combine:expr, $scalar_combine:expr) => {
             #[target_feature(enable = "avx512f,avx512vpopcntdq,popcnt")]
+            // SAFETY contract of every generated kernel: caller must ensure the
+            // enabled target features are available on the running CPU.
             pub(super) unsafe fn $name($($arg: &[u64]),+) -> u64 {
                 let n = first!($($arg),+).len();
                 let vec_end = n - n % 8;
@@ -727,6 +748,8 @@ mod neon {
     macro_rules! neon_popcount_kernel {
         ($name:ident, ($($arg:ident),+), $combine:expr, $scalar_combine:expr) => {
             #[target_feature(enable = "neon")]
+            // SAFETY contract of every generated kernel: caller must ensure the
+            // enabled target features are available on the running CPU.
             pub(super) unsafe fn $name($($arg: &[u64]),+) -> u64 {
                 let n = first!($($arg),+).len();
                 let vec_end = n - n % 2;

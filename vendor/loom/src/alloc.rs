@@ -1,0 +1,58 @@
+//! Shadow allocation tracking: use-after-free / double-free / leak detection.
+//!
+//! Instrumented code reports ownership transitions of raw allocations by
+//! address: [`trace_alloc`] when a `Box` is leaked to a raw pointer,
+//! [`trace_access`] before dereferencing it, and [`trace_free`] when it is
+//! reconstituted and dropped. Violations fail the current execution with a
+//! replay seed; any address still live when an execution finishes is reported
+//! as a leak by the driver. Outside a `loom::model` body every call is a
+//! no-op, so instrumentation costs nothing in normal builds.
+
+use crate::rt::{self, AllocState};
+
+/// Record `addr` as a live tracked allocation.
+pub fn trace_alloc(addr: usize) {
+    if let Some((sched, _)) = rt::current() {
+        let mut ex = sched.ex.lock().unwrap();
+        if ex.allocs.insert(addr, AllocState::Live) == Some(AllocState::Live) {
+            drop(ex);
+            sched.fail(format!("double-alloc of tracked address {addr:#x}"));
+        }
+    }
+}
+
+/// Record that `addr` is being freed; flags double-free.
+pub fn trace_free(addr: usize) {
+    if let Some((sched, _)) = rt::current() {
+        let mut ex = sched.ex.lock().unwrap();
+        match ex.allocs.insert(addr, AllocState::Freed) {
+            Some(AllocState::Live) => {}
+            Some(AllocState::Freed) => {
+                drop(ex);
+                sched.fail(format!("double-free of tracked address {addr:#x}"));
+            }
+            None => {
+                drop(ex);
+                sched.fail(format!("free of untracked address {addr:#x}"));
+            }
+        }
+    }
+}
+
+/// Record a dereference of `addr`; flags use-after-free.
+pub fn trace_access(addr: usize) {
+    if let Some((sched, _)) = rt::current() {
+        let ex = sched.ex.lock().unwrap();
+        match ex.allocs.get(&addr) {
+            Some(AllocState::Live) => {}
+            Some(AllocState::Freed) => {
+                drop(ex);
+                sched.fail(format!("use-after-free of tracked address {addr:#x}"));
+            }
+            None => {
+                drop(ex);
+                sched.fail(format!("access to untracked address {addr:#x}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Vendored, dependency-free loom-style deterministic concurrency model
+//! checker.
+//!
+//! # What this is
+//!
+//! [`model`] runs a closure under a cooperative scheduler that *exhaustively*
+//! explores thread interleavings: every shadow-memory operation (atomic
+//! load/store/RMW, mutex lock/unlock, fence, spawn, yield) is a decision
+//! point where the scheduler may switch to any runnable thread. Exploration
+//! is a DFS over the decision tree with a CHESS-style **preemption bound**
+//! (default 2, configurable via [`Builder`]): schedules requiring more
+//! involuntary context switches are pruned, which keeps exploration tractable
+//! while still catching the vast majority of real ordering bugs.
+//!
+//! On top of the scheduler sit three checkers:
+//!
+//! - **`Ordering`-aware shadow atomics** ([`shadow`], re-exported as
+//!   [`sync::atomic`] under `cfg(lsml_loom)`): store histories + vector
+//!   clocks make stale reads of `Relaxed`/`Acquire` loads and missing
+//!   `SeqCst` fences observable. See the [`shadow`] module docs for the
+//!   precise (simplified) memory model and its documented conservatisms.
+//! - **Shadow ownership tracking** ([`alloc`]): raw-pointer lifecycles
+//!   reported via `trace_alloc`/`trace_access`/`trace_free` flag
+//!   use-after-free, double-free, and leaks.
+//! - **Deadlock / livelock detection**: no-runnable-thread states and
+//!   step-limit overruns fail the execution.
+//!
+//! # Replay seeds
+//!
+//! Every failure message carries a *seed* — the dot-joined list of decision
+//! indices that reached it. Re-running the same test with
+//! `LSML_LOOM_REPLAY=<seed>` deterministically replays exactly that
+//! interleaving (one execution, no exploration), which makes shrinking and
+//! debugging a failing schedule trivial.
+//!
+//! # The `sync` facade
+//!
+//! [`sync`] re-exports `std::sync` primitives normally and the shadow
+//! primitives when built with `RUSTFLAGS="--cfg lsml_loom"`. Code written
+//! against `loom::sync::{atomic::*, Mutex}` therefore runs at full speed in
+//! production and under the model checker in the `model-check` CI leg with
+//! zero source changes. `Ordering` is always the real
+//! `std::sync::atomic::Ordering`. Globals (`OnceLock`, statics) are *not*
+//! modeled: model bodies must create the state they exercise fresh inside
+//! the closure, so each explored execution starts from a known state.
+//!
+//! # Limits
+//!
+//! At most 8 modeled threads; `compare_exchange_weak` never fails spuriously;
+//! all stores carry release semantics (conservative — may hide relaxed-store
+//! bugs, never reports false positives); condition variables are not modeled
+//! (code using them must be cfg-gated out under `lsml_loom`).
+
+pub mod alloc;
+pub(crate) mod rt;
+pub mod shadow;
+pub mod thread;
+
+pub use rt::{Builder, Report};
+
+/// `std` primitives normally; shadow (model-checked) primitives under
+/// `cfg(lsml_loom)`. See the crate docs for the facade contract.
+pub mod sync {
+    #[cfg(not(lsml_loom))]
+    pub use std::sync::{Mutex, MutexGuard};
+
+    #[cfg(lsml_loom)]
+    pub use crate::shadow::{Mutex, MutexGuard};
+
+    // Not modeled: always the `std` types, exported unconditionally so the
+    // facade's surface does not depend on the cfg (rustdoc compiles doctest
+    // hosts without `RUSTFLAGS`, against rlibs that were built with it).
+    // Code holding one of these across shadow schedule points is simply not
+    // explored by the model checker.
+    pub use std::sync::{Condvar, OnceLock};
+
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        #[cfg(not(lsml_loom))]
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize,
+        };
+
+        #[cfg(lsml_loom)]
+        pub use crate::shadow::{
+            fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize,
+        };
+    }
+}
+
+/// Exhaustively explore every interleaving of `f` with the default
+/// [`Builder`] (preemption bound 2), panicking with a replayable seed on the
+/// first failing schedule. Returns a [`Report`] with the number of explored
+/// interleavings.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}
+
+/// Negative-test helper: explore `f` expecting *some* schedule to fail, and
+/// return that failure's message. Panics if every interleaving passes.
+pub fn model_expect_failure<F>(f: F) -> String
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check_expect_failure(f)
+}

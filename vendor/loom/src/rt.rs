@@ -1,0 +1,514 @@
+//! Cooperative scheduler + DFS interleaving explorer.
+//!
+//! One real OS thread is spawned per modeled thread, but only one runs at a
+//! time: every thread parks on a single `Condvar` and proceeds only while
+//! `Execution::current` names it. Every shadow-memory operation calls
+//! [`schedule`], which is a *decision point*: the set of runnable threads is
+//! computed and one is chosen. Choices are recorded on a decision stack
+//! (`path`); after an execution finishes, the deepest decision with an
+//! unexplored alternative is advanced and the prefix replayed — classic DFS
+//! over the interleaving tree, bounded by [`Builder::preemption_bound`]
+//! (CHESS-style: a *preemption* is switching away from a runnable thread;
+//! switches away from blocked/finished threads are free).
+//!
+//! A failing schedule prints a *seed*: the dot-joined list of decision
+//! indices. Re-running the same `loom::model` body with
+//! `LSML_LOOM_REPLAY=<seed>` replays exactly that interleaving.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+pub(crate) const MAX_THREADS: usize = 8;
+const STEP_LIMIT: u64 = 1_000_000;
+
+/// Vector clock over modeled threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(pub [u32; MAX_THREADS]);
+
+impl VClock {
+    pub fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+}
+
+/// Marker payload used to unwind modeled threads during abort teardown.
+/// Wrappers downcast on this to distinguish teardown from a user panic.
+pub(crate) struct Abort;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum BlockReason {
+    /// Waiting to acquire the shadow mutex with this id.
+    Mutex(usize),
+    /// Waiting for thread `tid` to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(BlockReason),
+    Finished,
+}
+
+/// One entry on the DFS decision stack.
+struct Decision {
+    /// Index chosen among `options` candidates at this point.
+    chosen: usize,
+    /// Number of candidates that were available.
+    options: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum AllocState {
+    Live,
+    Freed,
+}
+
+pub(crate) struct Failure {
+    pub message: String,
+    pub seed: String,
+}
+
+pub(crate) struct Execution {
+    pub clocks: Vec<VClock>,
+    /// Global sequential-consistency clock: joined both ways by every SeqCst
+    /// operation and SeqCst fence.
+    pub sc_clock: VClock,
+    pub status: Vec<Status>,
+    pub current: usize,
+    preemptions: usize,
+    bound: usize,
+    path: Vec<Decision>,
+    /// Depth of the next decision to take (index into `path` during replay).
+    depth: usize,
+    /// Forced schedule from `LSML_LOOM_REPLAY` (if any).
+    replay: Option<Vec<usize>>,
+    pub failure: Option<Failure>,
+    pub abort: bool,
+    pub done: bool,
+    steps: u64,
+    /// Shadow allocation table: address -> state.
+    pub allocs: HashMap<usize, AllocState>,
+    /// Monotonic execution id; shadow atomics use it to invalidate history
+    /// left over from a previous iteration.
+    pub exec_id: u64,
+}
+
+impl Execution {
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.status.len())
+            .filter(|&t| self.status[t] == Status::Runnable)
+            .collect()
+    }
+
+    pub fn seed(&self) -> String {
+        self.path
+            .iter()
+            .take(self.depth)
+            .map(|d| d.chosen.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+
+    /// Record a failure (first one wins) and begin abort teardown.
+    pub fn fail_locked(&mut self, message: String) {
+        if self.failure.is_none() {
+            let seed = self.seed();
+            self.failure = Some(Failure { message, seed });
+        }
+        self.abort = true;
+    }
+
+    /// Pick index among `n` candidates: replay prefix, then DFS stack, then 0.
+    /// `n == 0` is a caller bug; `n == 1` short-circuits without recording.
+    pub fn choose_locked(&mut self, n: usize) -> usize {
+        assert!(n > 0, "choose_locked with no candidates");
+        if n == 1 {
+            return 0;
+        }
+        let d = self.depth;
+        let chosen = if let Some(replay) = &self.replay {
+            *replay.get(d).unwrap_or(&0)
+        } else if d < self.path.len() {
+            self.path[d].chosen
+        } else {
+            0
+        };
+        let chosen = chosen.min(n - 1);
+        if d < self.path.len() {
+            self.path[d].options = n;
+            self.path[d].chosen = chosen;
+        } else {
+            self.path.push(Decision { chosen, options: n });
+        }
+        self.depth += 1;
+        chosen
+    }
+
+    /// Advance to the next unexplored schedule. Returns false when the DFS
+    /// tree is exhausted.
+    fn advance(&mut self) -> bool {
+        if self.replay.is_some() {
+            return false; // replay mode runs exactly one schedule
+        }
+        while let Some(last) = self.path.last_mut() {
+            if last.chosen + 1 < last.options {
+                last.chosen += 1;
+                last.options = 0; // re-learned on replay
+                return true;
+            }
+            self.path.pop();
+        }
+        false
+    }
+}
+
+pub(crate) struct Scheduler {
+    pub ex: Mutex<Execution>,
+    pub cv: Condvar,
+    /// OS join handles for every modeled thread spawned in the current
+    /// iteration; drained by the driver after each execution.
+    pub os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Scheduler>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The scheduler + tid of the calling modeled thread, or None when the
+/// calling thread is not running under `loom::model`.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn install(v: Option<(Arc<Scheduler>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+impl Scheduler {
+    fn new(bound: usize, replay: Option<Vec<usize>>) -> Self {
+        Scheduler {
+            ex: Mutex::new(Execution {
+                clocks: Vec::new(),
+                sc_clock: VClock::default(),
+                status: Vec::new(),
+                current: 0,
+                preemptions: 0,
+                bound,
+                path: Vec::new(),
+                depth: 0,
+                replay,
+                failure: None,
+                abort: false,
+                done: false,
+                steps: 0,
+                allocs: HashMap::new(),
+                exec_id: 0,
+            }),
+            cv: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Register a new modeled thread; returns its tid.
+    pub fn add_thread(&self) -> usize {
+        let mut ex = self.ex.lock().unwrap();
+        let tid = ex.status.len();
+        assert!(
+            tid < MAX_THREADS,
+            "loom model supports at most {MAX_THREADS} threads"
+        );
+        ex.status.push(Status::Runnable);
+        // Spawn happens-before the child's first step: child inherits a copy
+        // of the parent's clock (parent clock join done by thread::spawn).
+        ex.clocks.push(VClock::default());
+        tid
+    }
+
+    /// Decision point: possibly switch to another runnable thread, then wait
+    /// until it is `my` turn again. Called before every shadow operation.
+    pub fn schedule(&self, my: usize) {
+        // Shadow ops reached from destructors during unwinding (e.g. a
+        // teardown Abort dropping an Arc'd structure) must not re-panic —
+        // that would be a fatal panic-in-destructor. The execution has
+        // already resolved; just stop scheduling.
+        if std::thread::panicking() {
+            return;
+        }
+        let mut ex = self.ex.lock().unwrap();
+        if ex.abort {
+            drop(ex);
+            std::panic::panic_any(Abort);
+        }
+        ex.steps += 1;
+        if ex.steps > STEP_LIMIT {
+            ex.fail_locked(format!(
+                "step limit {STEP_LIMIT} exceeded (livelock? unbounded retry loop?)"
+            ));
+            self.cv.notify_all();
+            drop(ex);
+            std::panic::panic_any(Abort);
+        }
+        ex.clocks[my].0[my] += 1;
+        let runnable = ex.runnable();
+        debug_assert!(runnable.contains(&my));
+        // Preemption bounding: once the budget is spent, stay on `my`.
+        let candidates: Vec<usize> = if runnable.len() > 1 && ex.preemptions >= ex.bound {
+            vec![my]
+        } else {
+            runnable
+        };
+        let my_pos = candidates.iter().position(|&t| t == my);
+        let idx = ex.choose_locked(candidates.len());
+        let next = candidates[idx];
+        if next != my && my_pos.is_some() {
+            ex.preemptions += 1;
+        }
+        ex.current = next;
+        if next != my {
+            self.cv.notify_all();
+            self.wait_for_turn(ex, my);
+        }
+    }
+
+    /// Block `my` on `reason`, hand the token to some runnable thread, and
+    /// return once `my` is runnable and scheduled again.
+    pub fn block(&self, my: usize, reason: BlockReason) {
+        let mut ex = self.ex.lock().unwrap();
+        if ex.abort {
+            drop(ex);
+            std::panic::panic_any(Abort);
+        }
+        ex.status[my] = Status::Blocked(reason);
+        self.pass_to_next_locked(&mut ex);
+        self.wait_for_turn(ex, my);
+    }
+
+    /// Hand the token to any runnable thread (caller is blocked or finished).
+    /// Reports deadlock if nothing is runnable and the execution isn't done.
+    pub fn pass_to_next_locked(&self, ex: &mut Execution) {
+        let runnable = ex.runnable();
+        if runnable.is_empty() {
+            if !ex.status.iter().all(|&s| s == Status::Finished) {
+                let stuck: Vec<String> = ex
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, s)| match s {
+                        Status::Blocked(r) => Some(format!("thread {t} blocked on {r:?}")),
+                        _ => None,
+                    })
+                    .collect();
+                ex.fail_locked(format!("deadlock: {}", stuck.join(", ")));
+            } else {
+                ex.done = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let idx = ex.choose_locked(runnable.len());
+        ex.current = runnable[idx];
+        self.cv.notify_all();
+    }
+
+    fn wait_for_turn(&self, mut ex: std::sync::MutexGuard<'_, Execution>, my: usize) {
+        while ex.current != my && !ex.abort {
+            ex = self.cv.wait(ex).unwrap();
+        }
+        if ex.abort {
+            drop(ex);
+            std::panic::panic_any(Abort);
+        }
+    }
+
+    /// Park until it is `my` turn to run (used by freshly spawned threads
+    /// before they execute any user code).
+    pub fn wait_initial(&self, my: usize) {
+        let ex = self.ex.lock().unwrap();
+        self.wait_for_turn(ex, my);
+    }
+
+    /// Mark `my` finished, wake joiners, hand the token on.
+    pub fn finish(&self, my: usize) {
+        let mut ex = self.ex.lock().unwrap();
+        ex.status[my] = Status::Finished;
+        ex.clocks[my].0[my] += 1;
+        for t in 0..ex.status.len() {
+            if ex.status[t] == Status::Blocked(BlockReason::Join(my)) {
+                ex.status[t] = Status::Runnable;
+            }
+        }
+        if !ex.abort {
+            self.pass_to_next_locked(&mut ex);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    pub fn fail(&self, message: String) -> ! {
+        let mut ex = self.ex.lock().unwrap();
+        ex.fail_locked(message);
+        self.cv.notify_all();
+        drop(ex);
+        std::panic::panic_any(Abort);
+    }
+}
+
+/// Outcome of a full exploration.
+pub struct Report {
+    /// Number of distinct interleavings executed.
+    pub iterations: u64,
+    /// Maximum decision-stack depth seen.
+    pub max_depth: usize,
+}
+
+/// Exploration configuration. See the crate docs for the model semantics.
+pub struct Builder {
+    /// CHESS-style preemption bound (default 2). Schedules needing more
+    /// preemptions than this are not explored.
+    pub preemption_bound: usize,
+    /// Safety valve on the number of interleavings (default 100 000).
+    pub max_iterations: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: 2,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// Serializes concurrent `model()` calls (the test harness runs tests on
+/// many threads; explorations must not interleave). A panicking exploration
+/// poisons the lock harmlessly — the next caller just takes it over.
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+impl Builder {
+    /// Explore every interleaving of `f` (up to the preemption bound),
+    /// panicking with a replay seed on the first failing schedule.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.run(f) {
+            Ok(report) => report,
+            Err(failure) => panic!(
+                "loom model failure: {}\n  replay with LSML_LOOM_REPLAY={}",
+                failure.message,
+                if failure.seed.is_empty() {
+                    "0"
+                } else {
+                    &failure.seed
+                }
+            ),
+        }
+    }
+
+    /// Like [`check`](Self::check) but returns the failure message of the
+    /// first failing schedule; panics if exploration completes cleanly.
+    /// Used by negative tests (intentionally-seeded bugs).
+    pub fn check_expect_failure<F>(&self, f: F) -> String
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.run(f) {
+            Ok(report) => panic!(
+                "expected the model to fail, but {} interleavings passed",
+                report.iterations
+            ),
+            Err(failure) => failure.message,
+        }
+    }
+
+    fn run<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let _serialize = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+        let replay = std::env::var("LSML_LOOM_REPLAY").ok().map(|s| {
+            s.split('.')
+                .filter(|p| !p.is_empty())
+                .map(|p| p.parse::<usize>().unwrap_or(0))
+                .collect::<Vec<_>>()
+        });
+        let sched = Arc::new(Scheduler::new(self.preemption_bound, replay));
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut iterations: u64 = 0;
+        let mut max_depth: usize = 0;
+        let mut exec_id: u64 = 0;
+
+        loop {
+            iterations += 1;
+            exec_id += 1;
+            {
+                let mut ex = sched.ex.lock().unwrap();
+                ex.clocks.clear();
+                ex.sc_clock = VClock::default();
+                ex.status.clear();
+                ex.current = 0;
+                ex.preemptions = 0;
+                ex.depth = 0;
+                ex.failure = None;
+                ex.abort = false;
+                ex.done = false;
+                ex.steps = 0;
+                ex.allocs.clear();
+                ex.exec_id = exec_id;
+            }
+            let root_tid = sched.add_thread();
+            debug_assert_eq!(root_tid, 0);
+            let handle = crate::thread::spawn_root(Arc::clone(&sched), Arc::clone(&f));
+            // The root wrapper + children run the body; wait for the run to
+            // resolve one way or the other.
+            {
+                let mut ex = sched.ex.lock().unwrap();
+                while !ex.done && !ex.abort {
+                    ex = sched.cv.wait(ex).unwrap();
+                }
+            }
+            // Join every OS thread of this iteration (children handles are
+            // collected by thread::spawn into the scheduler-global list).
+            crate::thread::join_all(&sched, handle);
+            let mut ex = sched.ex.lock().unwrap();
+            if ex.failure.is_none() {
+                let leaked: Vec<usize> = ex
+                    .allocs
+                    .iter()
+                    .filter(|&(_, &st)| st == AllocState::Live)
+                    .map(|(&a, _)| a)
+                    .collect();
+                if !leaked.is_empty() {
+                    ex.fail_locked(format!(
+                        "leak: {} tracked allocation(s) never freed (e.g. {:#x})",
+                        leaked.len(),
+                        leaked[0]
+                    ));
+                }
+            }
+            max_depth = max_depth.max(ex.depth);
+            if let Some(failure) = ex.failure.take() {
+                return Err(failure);
+            }
+            if iterations >= self.max_iterations {
+                eprintln!(
+                    "loom: iteration budget {} reached; exploration truncated",
+                    self.max_iterations
+                );
+                break;
+            }
+            if !ex.advance() {
+                break;
+            }
+        }
+        Ok(Report {
+            iterations,
+            max_depth,
+        })
+    }
+}

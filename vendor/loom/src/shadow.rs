@@ -1,0 +1,541 @@
+//! Shadow synchronization primitives: `Ordering`-aware atomics and a modeled
+//! `Mutex`.
+//!
+//! # Memory model (simplified, documented)
+//!
+//! Each shadow atomic keeps the full *store history* of the current
+//! execution. Every store is recorded with the storing thread's vector clock
+//! — i.e. every store behaves *as if* Release (a conservative
+//! over-approximation: it can hide relaxed-store bugs, never invent false
+//! failures). Visibility rules for a load by thread `R`:
+//!
+//! - **Coherence**: `R` can never read a store older than one it (or its own
+//!   last store) already observed on this atomic (per-thread *floor*).
+//! - **Happens-before**: `R` cannot read store `i` if some later store `j > i`
+//!   happened-before `R` (`R`'s clock already covers `j`).
+//! - Among the remaining candidates the *choice of which store to read is a
+//!   scheduler decision point*, so stale-read interleavings are explored
+//!   exhaustively.
+//! - `Acquire`/`SeqCst` loads join the read store's clock into the reader;
+//!   `Relaxed` loads do not (so a relaxed load does not synchronize).
+//! - RMW / `compare_exchange` always read the *latest* store (atomicity) and
+//!   hold the scheduler lock for the whole read-modify-write.
+//! - `SeqCst` operations and `fence(SeqCst)` join a global SC clock both
+//!   ways, which makes e.g. removal of the Chase–Lev SeqCst fences observable
+//!   as a double-take. `fence(Acquire)`/`fence(Release)` are schedule points
+//!   only — their edges are subsumed by the conservative store clocks.
+//! - `compare_exchange_weak` never fails spuriously (== strong).
+
+use crate::rt::{self, BlockReason, Scheduler, VClock, MAX_THREADS};
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+pub use std::sync::atomic::Ordering;
+
+struct Record {
+    value: u64,
+    tid: usize,
+    /// The storing thread's own clock component at store time.
+    stamp: u32,
+    clock: VClock,
+}
+
+struct History {
+    recs: Vec<Record>,
+    /// Per-thread coherence floor: lowest record index each thread may read.
+    floors: [usize; MAX_THREADS],
+    exec_id: u64,
+}
+
+fn initial_record(value: u64) -> Record {
+    Record {
+        value,
+        tid: 0,
+        stamp: 0,
+        clock: VClock::default(),
+    }
+}
+
+/// Core of every shadow atomic: a mutex-protected store history.
+struct ShadowCell {
+    hist: std::sync::Mutex<History>,
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_seqcst(o: Ordering) -> bool {
+    matches!(o, Ordering::SeqCst)
+}
+
+impl ShadowCell {
+    fn new(value: u64) -> Self {
+        ShadowCell {
+            hist: std::sync::Mutex::new(History {
+                recs: vec![initial_record(value)],
+                floors: [0; MAX_THREADS],
+                exec_id: 0,
+            }),
+        }
+    }
+
+    /// Discard history left over from a previous execution (an atomic that
+    /// outlived its iteration — e.g. a global — keeps only its final value,
+    /// treated as pre-existing initial state).
+    fn normalize(h: &mut History, exec_id: u64) {
+        if h.exec_id != exec_id {
+            let last = h.recs.last().map(|r| r.value).unwrap_or(0);
+            h.recs = vec![initial_record(last)];
+            h.floors = [0; MAX_THREADS];
+            h.exec_id = exec_id;
+        }
+    }
+
+    fn load(&self, order: Ordering) -> u64 {
+        match rt::current() {
+            None => self.hist.lock().unwrap().recs.last().unwrap().value,
+            Some((sched, my)) => {
+                sched.schedule(my);
+                let mut ex = sched.ex.lock().unwrap();
+                let mut h = self.hist.lock().unwrap();
+                Self::normalize(&mut h, ex.exec_id);
+                if is_seqcst(order) {
+                    // A SeqCst load is aware of every prior SeqCst store.
+                    let sc = ex.sc_clock;
+                    ex.clocks[my].join(&sc);
+                }
+                // Lowest readable index: coherence floor, raised past every
+                // store that already happened-before this thread.
+                let mut lo = h.floors[my];
+                for (i, r) in h.recs.iter().enumerate().skip(lo) {
+                    if ex.clocks[my].0[r.tid] >= r.stamp {
+                        lo = i;
+                    }
+                }
+                let n = h.recs.len() - lo;
+                // Which of the visible stores we read is itself explored.
+                let idx = lo + ex.choose_locked(n);
+                h.floors[my] = idx;
+                let rec = &h.recs[idx];
+                let value = rec.value;
+                if is_acquire(order) {
+                    let c = rec.clock;
+                    ex.clocks[my].join(&c);
+                }
+                if is_seqcst(order) {
+                    let mine = ex.clocks[my];
+                    ex.sc_clock.join(&mine);
+                }
+                value
+            }
+        }
+    }
+
+    fn store(&self, value: u64, order: Ordering) {
+        match rt::current() {
+            None => {
+                let mut h = self.hist.lock().unwrap();
+                h.recs = vec![initial_record(value)];
+                h.floors = [0; MAX_THREADS];
+            }
+            Some((sched, my)) => {
+                sched.schedule(my);
+                let mut ex = sched.ex.lock().unwrap();
+                let mut h = self.hist.lock().unwrap();
+                Self::normalize(&mut h, ex.exec_id);
+                if is_seqcst(order) {
+                    let sc = ex.sc_clock;
+                    ex.clocks[my].join(&sc);
+                }
+                let clock = ex.clocks[my];
+                h.recs.push(Record {
+                    value,
+                    tid: my,
+                    stamp: clock.0[my],
+                    clock,
+                });
+                h.floors[my] = h.recs.len() - 1;
+                if is_seqcst(order) {
+                    ex.sc_clock.join(&clock);
+                }
+            }
+        }
+    }
+
+    /// Atomic read-modify-write: reads the latest store, writes `f(old)` if
+    /// `f` returns `Some`, all under the scheduler lock (true atomicity).
+    /// Returns the old value.
+    fn rmw(&self, order: Ordering, f: impl FnOnce(u64) -> Option<u64>) -> u64 {
+        match rt::current() {
+            None => {
+                let mut h = self.hist.lock().unwrap();
+                let old = h.recs.last().unwrap().value;
+                if let Some(new) = f(old) {
+                    h.recs = vec![initial_record(new)];
+                    h.floors = [0; MAX_THREADS];
+                }
+                old
+            }
+            Some((sched, my)) => {
+                sched.schedule(my);
+                let mut ex = sched.ex.lock().unwrap();
+                let mut h = self.hist.lock().unwrap();
+                Self::normalize(&mut h, ex.exec_id);
+                if is_seqcst(order) {
+                    let sc = ex.sc_clock;
+                    ex.clocks[my].join(&sc);
+                }
+                let idx = h.recs.len() - 1;
+                let rec = &h.recs[idx];
+                let old = rec.value;
+                // RMW reads always synchronize conservatively (every store
+                // carries a full clock; see module docs).
+                if is_acquire(order) || matches!(order, Ordering::Release) {
+                    let c = rec.clock;
+                    ex.clocks[my].join(&c);
+                }
+                h.floors[my] = idx;
+                if let Some(new) = f(old) {
+                    let clock = ex.clocks[my];
+                    h.recs.push(Record {
+                        value: new,
+                        tid: my,
+                        stamp: clock.0[my],
+                        clock,
+                    });
+                    h.floors[my] = idx + 1;
+                }
+                if is_seqcst(order) {
+                    let mine = ex.clocks[my];
+                    ex.sc_clock.join(&mine);
+                }
+                old
+            }
+        }
+    }
+}
+
+/// `fence(SeqCst)` joins the global SC clock both ways; weaker fences are
+/// schedule points only (their edges are subsumed by conservative stores).
+pub fn fence(order: Ordering) {
+    if let Some((sched, my)) = rt::current() {
+        sched.schedule(my);
+        if is_seqcst(order) {
+            let mut ex = sched.ex.lock().unwrap();
+            let sc = ex.sc_clock;
+            ex.clocks[my].join(&sc);
+            let mine = ex.clocks[my];
+            ex.sc_clock.join(&mine);
+        }
+    } else {
+        std::sync::atomic::fence(order);
+    }
+}
+
+macro_rules! shadow_int_atomic {
+    ($name:ident, $ty:ty) => {
+        /// Shadow counterpart of the `std::sync::atomic` type of the same
+        /// name; see the module docs for the model semantics.
+        pub struct $name {
+            cell: ShadowCell,
+        }
+
+        #[allow(clippy::unnecessary_cast)] // u64<->u64 casts appear for some instantiations
+        impl $name {
+            pub fn new(v: $ty) -> Self {
+                $name {
+                    cell: ShadowCell::new(v as u64),
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $ty {
+                self.cell.load(order) as $ty
+            }
+
+            pub fn store(&self, v: $ty, order: Ordering) {
+                self.cell.store(v as u64, order)
+            }
+
+            pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                self.cell.rmw(order, |_| Some(v as u64)) as $ty
+            }
+
+            pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                self.cell
+                    .rmw(order, |old| Some((old as $ty).wrapping_add(v) as u64)) as $ty
+            }
+
+            pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                self.cell
+                    .rmw(order, |old| Some((old as $ty).wrapping_sub(v) as u64)) as $ty
+            }
+
+            pub fn fetch_or(&self, v: $ty, order: Ordering) -> $ty {
+                self.cell.rmw(order, |old| Some(((old as $ty) | v) as u64)) as $ty
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                let old = self.cell.rmw(success, |old| {
+                    if old as $ty == current {
+                        Some(new as u64)
+                    } else {
+                        None
+                    }
+                }) as $ty;
+                if old == current {
+                    Ok(old)
+                } else {
+                    Err(old)
+                }
+            }
+
+            /// Never fails spuriously (== `compare_exchange`); documented
+            /// simplification.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+shadow_int_atomic!(AtomicUsize, usize);
+shadow_int_atomic!(AtomicIsize, isize);
+shadow_int_atomic!(AtomicU64, u64);
+
+/// Shadow `AtomicBool` (stored as 0/1 in the common cell).
+pub struct AtomicBool {
+    cell: ShadowCell,
+}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        AtomicBool {
+            cell: ShadowCell::new(v as u64),
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        self.cell.load(order) != 0
+    }
+
+    pub fn store(&self, v: bool, order: Ordering) {
+        self.cell.store(v as u64, order)
+    }
+
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        self.cell.rmw(order, |_| Some(v as u64)) != 0
+    }
+}
+
+/// Shadow `AtomicPtr<T>`: the pointer is modeled as a plain address in the
+/// common cell.
+pub struct AtomicPtr<T> {
+    cell: ShadowCell,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: the shadow AtomicPtr only stores the raw address as an integer in
+// a mutex-protected history; it never dereferences it, so sharing across
+// threads is as safe as sharing the corresponding std::sync::atomic::AtomicPtr.
+unsafe impl<T> Send for AtomicPtr<T> {}
+// SAFETY: as above — all interior mutability is behind a std Mutex.
+unsafe impl<T> Sync for AtomicPtr<T> {}
+
+impl<T> AtomicPtr<T> {
+    pub fn new(p: *mut T) -> Self {
+        AtomicPtr {
+            cell: ShadowCell::new(p as usize as u64),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> *mut T {
+        self.cell.load(order) as usize as *mut T
+    }
+
+    pub fn store(&self, p: *mut T, order: Ordering) {
+        self.cell.store(p as usize as u64, order)
+    }
+
+    pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+        self.cell.rmw(order, |_| Some(p as usize as u64)) as usize as *mut T
+    }
+}
+
+/// A modeled mutex. Lock acquisition order is explored by the scheduler;
+/// self-deadlock (re-entrant lock) and cross-thread deadlock are reported
+/// with a replay seed. `lock()` always returns `Ok` (no poisoning), so call
+/// sites written against `std::sync::Mutex` compile unchanged.
+pub struct Mutex<T> {
+    st: std::sync::Mutex<MState>,
+    cell: UnsafeCell<T>,
+}
+
+struct MState {
+    /// Owning modeled tid, `NON_MODEL_OWNER` outside a model, or None.
+    owner: Option<usize>,
+    /// Clock released by the last unlock; joined by the next lock.
+    clock: VClock,
+    exec_id: u64,
+}
+
+const NON_MODEL_OWNER: usize = usize::MAX;
+
+// SAFETY: the shadow Mutex provides the same exclusion guarantee as
+// std::sync::Mutex — `cell` is only reachable through a guard that is handed
+// out to exactly one owner at a time (enforced by `st`).
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above; `&Mutex<T>` only exposes `cell` through exclusive guards.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            st: std::sync::Mutex::new(MState {
+                owner: None,
+                clock: VClock::default(),
+                exec_id: 0,
+            }),
+            cell: UnsafeCell::new(value),
+        }
+    }
+
+    /// Stable identity for block/wake bookkeeping.
+    fn id(&self) -> usize {
+        &self.st as *const _ as usize
+    }
+
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        // During unwinding the scheduler is out of the picture (see
+        // `Scheduler::schedule`); fall back to real spin-exclusion so locks
+        // taken in destructors can't re-panic.
+        let modeled = if std::thread::panicking() {
+            None
+        } else {
+            rt::current()
+        };
+        match modeled {
+            None => {
+                // Outside a model: spin-yield exclusion with a sentinel owner
+                // (std::sync::Mutex on `st` provides the memory ordering).
+                loop {
+                    {
+                        let mut st = self.st.lock().unwrap();
+                        if st.owner.is_none() {
+                            st.owner = Some(NON_MODEL_OWNER);
+                            return Ok(MutexGuard { mx: self, my: None });
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            Some((sched, my)) => loop {
+                sched.schedule(my);
+                let mut ex = sched.ex.lock().unwrap();
+                let mut st = self.st.lock().unwrap();
+                if st.exec_id != ex.exec_id {
+                    st.owner = None;
+                    st.clock = VClock::default();
+                    st.exec_id = ex.exec_id;
+                }
+                match st.owner {
+                    None => {
+                        st.owner = Some(my);
+                        let c = st.clock;
+                        ex.clocks[my].join(&c);
+                        return Ok(MutexGuard {
+                            mx: self,
+                            my: Some((Arc::clone(&sched), my)),
+                        });
+                    }
+                    Some(owner) if owner == my => {
+                        drop(st);
+                        drop(ex);
+                        sched.fail(format!(
+                            "re-entrant lock: thread {my} already owns this mutex"
+                        ));
+                    }
+                    Some(_) => {
+                        let id = self.id();
+                        drop(st);
+                        drop(ex);
+                        sched.block(my, BlockReason::Mutex(id));
+                        // Re-contend once scheduled again.
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// RAII guard for the shadow [`Mutex`]; releasing is a schedule point.
+pub struct MutexGuard<'a, T> {
+    mx: &'a Mutex<T>,
+    my: Option<(Arc<Scheduler>, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard exists only while `st.owner` names this holder,
+        // so no other reference to `cell` is live.
+        unsafe { &*self.mx.cell.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive ownership for the guard lifetime.
+        unsafe { &mut *self.mx.cell.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        match &self.my {
+            None => {
+                let mut st = self.mx.st.lock().unwrap();
+                st.owner = None;
+            }
+            Some((sched, my)) => {
+                let my = *my;
+                {
+                    let ex = sched.ex.lock().unwrap();
+                    let mut st = self.mx.st.lock().unwrap();
+                    // Unlock releases this thread's clock to the next owner.
+                    let mine = ex.clocks[my];
+                    st.clock.join(&mine);
+                    st.owner = None;
+                }
+                // Wake lock waiters; handing them the token (or not) is the
+                // scheduler's next decision.
+                let id = self.mx.id();
+                {
+                    let mut ex = sched.ex.lock().unwrap();
+                    for t in 0..ex.status.len() {
+                        if ex.status[t] == rt::Status::Blocked(BlockReason::Mutex(id)) {
+                            ex.status[t] = rt::Status::Runnable;
+                        }
+                    }
+                }
+                if !std::thread::panicking() {
+                    sched.schedule(my);
+                }
+            }
+        }
+    }
+}

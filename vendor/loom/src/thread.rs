@@ -1,0 +1,155 @@
+//! Modeled threads: `loom::thread::{spawn, yield_now, JoinHandle}`.
+//!
+//! Each modeled thread is a real OS thread, but only the one holding the
+//! scheduler token executes; all others are parked. `spawn` outside a
+//! `loom::model` body panics — the shadow runtime has no meaning there.
+
+use crate::rt::{self, Abort, BlockReason, Scheduler, Status};
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `body` as modeled thread `tid`: set TLS, wait for the token, execute,
+/// translate panics into model failures, and hand the token on.
+fn run_modeled<T: Send + 'static>(
+    sched: Arc<Scheduler>,
+    tid: usize,
+    body: impl FnOnce() -> T,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+) {
+    rt::install(Some((Arc::clone(&sched), tid)));
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sched.wait_initial(tid);
+        body()
+    }));
+    rt::install(None);
+    match out {
+        Ok(v) => {
+            *result.lock().unwrap() = Some(Ok(v));
+            sched.finish(tid);
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<Abort>().is_some() {
+                // Teardown of an already-failed execution: exit quietly.
+                let mut ex = sched.ex.lock().unwrap();
+                ex.status[tid] = Status::Finished;
+                sched.cv.notify_all();
+            } else {
+                let msg = panic_message(payload.as_ref());
+                *result.lock().unwrap() = Some(Err(payload));
+                let mut ex = sched.ex.lock().unwrap();
+                ex.fail_locked(format!("thread {tid} panicked: {msg}"));
+                ex.status[tid] = Status::Finished;
+                sched.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Spawn the root modeled thread (tid 0). Driver-internal.
+pub(crate) fn spawn_root(
+    sched: Arc<Scheduler>,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> std::thread::JoinHandle<()> {
+    let result = Arc::new(Mutex::new(None));
+    std::thread::spawn(move || run_modeled(sched, 0, move || f(), result))
+}
+
+/// Join every OS thread of the finished iteration.
+pub(crate) fn join_all(sched: &Arc<Scheduler>, root: std::thread::JoinHandle<()>) {
+    let _ = root.join();
+    let handles: Vec<_> = std::mem::take(&mut *sched.os_handles.lock().unwrap());
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Handle to a modeled thread, analogous to `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    sched: Arc<Scheduler>,
+    tid: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result. Blocking here is
+    /// modeled: the scheduler explores interleavings where other threads run
+    /// while this one waits.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (sched, my) = rt::current().expect("JoinHandle::join outside loom::model");
+        let finished = {
+            let ex = sched.ex.lock().unwrap();
+            ex.status[self.tid] == Status::Finished
+        };
+        if !finished {
+            sched.block(my, BlockReason::Join(self.tid));
+        }
+        {
+            // Join synchronizes-with thread exit: inherit its final clock.
+            let mut ex = sched.ex.lock().unwrap();
+            let child = ex.clocks[self.tid];
+            ex.clocks[my].join(&child);
+        }
+        self.result
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or_else(|| panic!("thread {} produced no result", self.tid))
+    }
+}
+
+/// Spawn a modeled thread. Panics outside a `loom::model` body.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, my) = rt::current().expect("loom::thread::spawn outside loom::model");
+    let tid = sched.add_thread();
+    {
+        // Spawn happens-before the child's first step.
+        let mut ex = sched.ex.lock().unwrap();
+        let parent = ex.clocks[my];
+        ex.clocks[tid].join(&parent);
+    }
+    let result = Arc::new(Mutex::new(None));
+    let handle = {
+        let sched = Arc::clone(&sched);
+        let result = Arc::clone(&result);
+        std::thread::Builder::new()
+            .name(format!("loom-{tid}"))
+            .spawn(move || run_modeled(sched, tid, f, result))
+            .expect("failed to spawn loom worker thread")
+    };
+    sched.os_handles.lock().unwrap().push(handle);
+    // Schedule point: the child may be chosen to run right away.
+    sched.schedule(my);
+    JoinHandle { sched, tid, result }
+}
+
+/// Voluntary schedule point.
+pub fn yield_now() {
+    if let Some((sched, my)) = rt::current() {
+        sched.schedule(my);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+impl<T> Drop for JoinHandle<T> {
+    fn drop(&mut self) {
+        // Detached threads are fine: the driver still joins the OS handle at
+        // end of iteration, and `done` requires every modeled thread to
+        // finish, so no special handling is needed here.
+        let _ = &self.sched;
+    }
+}

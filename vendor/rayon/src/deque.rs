@@ -8,6 +8,10 @@
 //! Pop, Cohen & Zappa Nardelli, "Correct and Efficient Work-Stealing for
 //! Weak Memory Models" (PPoPP '13).
 //!
+//! All atomics come from [`crate::sync`], so the exact orderings below are
+//! model-checked by `tests/loom_deque.rs` under `--cfg lsml_loom` (size-1
+//! take-vs-steal, concurrent stealers, growth + retired-buffer reclamation).
+//!
 //! Two Rust-specific points:
 //!
 //! * Slots store the two words of a [`JobRef`] as relaxed atomics. The
@@ -22,11 +26,18 @@
 //!   when the deque drops; total retired memory is bounded by twice the
 //!   final capacity.
 
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::sync::{
+    fence, trace_access, trace_alloc, trace_free, AtomicIsize, AtomicPtr, AtomicUsize, Mutex,
+    Ordering,
+};
 
 use crate::job::JobRef;
 
+// Tiny under the model checker so buffer growth (and retired-buffer
+// reclamation) is reachable within a tractable interleaving space.
+#[cfg(lsml_loom)]
+const MIN_CAPACITY: usize = 2;
+#[cfg(not(lsml_loom))]
 const MIN_CAPACITY: usize = 32;
 
 /// One deque slot: the two words of a `JobRef`, individually atomic.
@@ -81,7 +92,7 @@ impl Buffer {
 }
 
 /// Result of a steal attempt.
-pub(crate) enum Steal {
+pub enum Steal {
     /// The deque looked empty.
     Empty,
     /// Lost a race; the thief may retry.
@@ -93,7 +104,7 @@ pub(crate) enum Steal {
 /// The work-stealing deque. `push`/`pop` must only be called by the owning
 /// worker thread (the registry upholds this); `steal` is safe from any
 /// thread.
-pub(crate) struct Deque {
+pub struct Deque {
     /// Next index the owner pushes at. Only the owner writes it.
     bottom: AtomicIsize,
     /// Next index thieves steal from. Monotonically increasing.
@@ -107,16 +118,22 @@ pub(crate) struct Deque {
     retired: Mutex<Vec<Box<Buffer>>>,
 }
 
-// The raw buffer pointer is managed entirely inside this module.
+// SAFETY: the raw buffer pointer is managed entirely inside this module —
+// it always points at a `Buffer` kept alive by `buffer`/`retired` until
+// drop, and `Slot` contents are atomics, so cross-thread access is defined.
 unsafe impl Send for Deque {}
+// SAFETY: as above; shared access only touches atomics and the retired
+// Mutex.
 unsafe impl Sync for Deque {}
 
 impl Deque {
-    pub(crate) fn new() -> Deque {
+    pub fn new() -> Deque {
+        let buffer = Box::into_raw(Buffer::new(MIN_CAPACITY));
+        trace_alloc(buffer as usize);
         Deque {
             bottom: AtomicIsize::new(0),
             top: AtomicIsize::new(0),
-            buffer: AtomicPtr::new(Box::into_raw(Buffer::new(MIN_CAPACITY))),
+            buffer: AtomicPtr::new(buffer),
             retired: Mutex::new(Vec::new()),
         }
     }
@@ -124,20 +141,25 @@ impl Deque {
     /// Cheap emptiness probe for sleep/wake decisions (racy by nature; a
     /// false "non-empty" just costs a failed steal).
     #[inline]
-    pub(crate) fn looks_empty(&self) -> bool {
+    pub fn looks_empty(&self) -> bool {
         let t = self.top.load(Ordering::Relaxed);
         let b = self.bottom.load(Ordering::Relaxed);
         t >= b
     }
 
     /// Pushes a job at the bottom. Owner only.
-    pub(crate) fn push(&self, job: JobRef) {
+    pub fn push(&self, job: JobRef) {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
         let mut buffer = self.buffer.load(Ordering::Relaxed);
+        trace_access(buffer as usize);
+        // SAFETY: `buffer` came from `Box::into_raw` in `new`/`grow` and is
+        // only freed in `drop`, which requires `&mut self` — it is live here.
         if b - t >= unsafe { (*buffer).capacity() } as isize {
             buffer = self.grow(t, b, buffer);
         }
+        // SAFETY: live as above (or freshly grown); the owner is the only
+        // thread writing slots, and slot words are atomics.
         unsafe { (*buffer).write(b, job.to_words()) };
         // Publish the slot before the new bottom becomes visible to thieves.
         fence(Ordering::Release);
@@ -146,12 +168,16 @@ impl Deque {
 
     /// Doubles the buffer, copying the live range `top..bottom`. Owner only.
     fn grow(&self, top: isize, bottom: isize, old: *mut Buffer) -> *mut Buffer {
+        trace_access(old as usize);
+        // SAFETY: `old` is the current buffer pointer, live until retired
+        // below; only the owner calls `grow`, so no concurrent owner writes.
         let old_ref = unsafe { &*old };
         let new = Buffer::new(old_ref.capacity() * 2);
         for i in top..bottom {
             new.write(i, old_ref.read(i));
         }
         let new_ptr = Box::into_raw(new);
+        trace_alloc(new_ptr as usize);
         self.buffer.store(new_ptr, Ordering::Release);
         // A thief holding the stale pointer may still read from `old`; its
         // CAS on `top` decides ownership, so the memory just has to stay
@@ -159,12 +185,15 @@ impl Deque {
         self.retired
             .lock()
             .unwrap_or_else(|e| e.into_inner())
+            // SAFETY: `old` came from `Box::into_raw` and is relinquished
+            // here exactly once — `self.buffer` now points at `new_ptr`, so
+            // nothing else will reconstitute it.
             .push(unsafe { Box::from_raw(old) });
         new_ptr
     }
 
     /// Pops the most recently pushed job. Owner only.
-    pub(crate) fn pop(&self) -> Option<JobRef> {
+    pub fn pop(&self) -> Option<JobRef> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
         let buffer = self.buffer.load(Ordering::Relaxed);
         self.bottom.store(b, Ordering::Relaxed);
@@ -173,6 +202,11 @@ impl Deque {
         fence(Ordering::SeqCst);
         let t = self.top.load(Ordering::Relaxed);
         if t <= b {
+            trace_access(buffer as usize);
+            // SAFETY: the owner's `buffer` load above is the current (or a
+            // just-replaced-by-self) buffer; buffers are only freed in
+            // `drop`. Slot words are atomics, so the read is defined even if
+            // it races a thief.
             let words = unsafe { (*buffer).read(b) };
             if t == b {
                 // Last element: race the thieves for it via `top`.
@@ -185,6 +219,9 @@ impl Deque {
                     return None;
                 }
             }
+            // SAFETY: `words` was written by `push` from a real `JobRef`,
+            // and winning the size-1 CAS (or `t < b`) means the owner has
+            // exclusive claim to this element — no thief can also return it.
             Some(unsafe { JobRef::from_words(words.0, words.1) })
         } else {
             // Already empty; undo the reservation.
@@ -194,22 +231,31 @@ impl Deque {
     }
 
     /// Attempts to steal the oldest job. Any thread.
-    pub(crate) fn steal(&self) -> Steal {
+    pub fn steal(&self) -> Steal {
         let t = self.top.load(Ordering::Acquire);
         fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
         if t < b {
             let buffer = self.buffer.load(Ordering::Acquire);
+            trace_access(buffer as usize);
             // Read before the CAS: after a successful CAS the owner may
             // reuse the slot. The read value is only used if the CAS wins
             // (a concurrent overwrite implies the CAS loses — see module
             // docs).
+            // SAFETY: `buffer` may be stale (the owner can grow
+            // concurrently), but stale buffers are retired, not freed, until
+            // the deque drops — the allocation is guaranteed live. Slot
+            // words are atomics, so racing reads are defined.
             let words = unsafe { (*buffer).read(t) };
             if self
                 .top
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok()
             {
+                // SAFETY: the CAS on `top` won, so this thief owns element
+                // `t` exclusively and `words` is the intact pair written by
+                // `push` (an owner overwrite would have advanced `top` first
+                // and failed this CAS).
                 Steal::Success(unsafe { JobRef::from_words(words.0, words.1) })
             } else {
                 Steal::Retry
@@ -222,8 +268,19 @@ impl Deque {
 
 impl Drop for Deque {
     fn drop(&mut self) {
-        let buffer = *self.buffer.get_mut();
+        let buffer = self.buffer.load(Ordering::Relaxed);
+        trace_free(buffer as usize);
+        // SAFETY: `&mut self` means no owner or thief is active; `buffer`
+        // came from `Box::into_raw` and is reconstituted exactly once here.
         drop(unsafe { Box::from_raw(buffer) });
-        // `retired` boxes drop with the Mutex.
+        // `retired` boxes drop with the Mutex; tell the shadow tracker.
+        for b in self
+            .retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            trace_free(&**b as *const Buffer as usize);
+        }
     }
 }

@@ -7,15 +7,19 @@
 //! outlives its execution by waiting on the job's [`Latch`] before
 //! returning (this is the same contract real rayon uses).
 
+use crate::sync::{AtomicBool, Ordering};
+#[cfg(not(lsml_loom))]
 use std::any::Any;
+#[cfg(not(lsml_loom))]
 use std::cell::UnsafeCell;
+#[cfg(not(lsml_loom))]
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
 
+#[cfg(not(lsml_loom))]
 use crate::registry::Registry;
 
 /// Something a worker can execute exactly once through a raw pointer.
-pub(crate) trait Job {
+pub trait Job {
     /// Runs the job.
     ///
     /// # Safety
@@ -28,12 +32,12 @@ pub(crate) trait Job {
 /// A type-erased pointer to a pending job. `Copy` so it can sit in the
 /// lock-free deques as two machine words.
 #[derive(Copy, Clone)]
-pub(crate) struct JobRef {
+pub struct JobRef {
     data: *const (),
     execute: unsafe fn(*const ()),
 }
 
-// A JobRef crosses threads by design; the `Job::execute` safety contract
+// SAFETY: a JobRef crosses threads by design; the `Job::execute` contract
 // (execute exactly once, before the owner's stack frame dies) is upheld by
 // `join`, which waits on the latch before returning.
 unsafe impl Send for JobRef {}
@@ -44,7 +48,7 @@ impl JobRef {
     /// # Safety
     ///
     /// `data` must stay valid until the job has been executed.
-    pub(crate) unsafe fn new<T: Job>(data: *const T) -> JobRef {
+    pub unsafe fn new<T: Job>(data: *const T) -> JobRef {
         unsafe fn execute_erased<T: Job>(ptr: *const ()) {
             T::execute(ptr as *const T)
         }
@@ -60,12 +64,12 @@ impl JobRef {
     ///
     /// See [`Job::execute`]; additionally every `JobRef` must be executed
     /// at most once across all of its copies.
-    pub(crate) unsafe fn execute(self) {
+    pub unsafe fn execute(self) {
         (self.execute)(self.data)
     }
 
     /// The two words a deque slot stores.
-    pub(crate) fn to_words(self) -> (usize, usize) {
+    pub fn to_words(self) -> (usize, usize) {
         (self.data as usize, self.execute as usize)
     }
 
@@ -74,7 +78,7 @@ impl JobRef {
     /// # Safety
     ///
     /// The words must come from [`JobRef::to_words`] on a still-pending job.
-    pub(crate) unsafe fn from_words(data: usize, execute: usize) -> JobRef {
+    pub unsafe fn from_words(data: usize, execute: usize) -> JobRef {
         JobRef {
             data: data as *const (),
             execute: std::mem::transmute::<usize, unsafe fn(*const ())>(execute),
@@ -95,12 +99,12 @@ impl JobRef {
 /// `set` happens-after the result write in [`Job::execute`] (release
 /// store), so a waiter that observes `probe()` (acquire load) may read the
 /// result without further synchronization.
-pub(crate) struct Latch {
+pub struct Latch {
     set: AtomicBool,
 }
 
 impl Latch {
-    pub(crate) fn new() -> Latch {
+    pub fn new() -> Latch {
         Latch {
             set: AtomicBool::new(false),
         }
@@ -108,18 +112,19 @@ impl Latch {
 
     /// Whether the latch has been set.
     #[inline]
-    pub(crate) fn probe(&self) -> bool {
+    pub fn probe(&self) -> bool {
         self.set.load(Ordering::Acquire)
     }
 
     /// Sets the latch. After this store returns, `self` may already be
     /// freed by the waiter — the caller must not dereference the job again.
-    pub(crate) fn set(&self) {
+    pub fn set(&self) {
         self.set.store(true, Ordering::Release);
     }
 }
 
 /// Outcome of a job: the closure's value or its panic payload.
+#[cfg(not(lsml_loom))]
 pub(crate) enum JobResult<R> {
     Pending,
     Ok(R),
@@ -130,6 +135,7 @@ pub(crate) enum JobResult<R> {
 /// a reference to its registry so the executor can wake parked waiters
 /// through registry-owned state (which outlives the job) after the latch
 /// flips.
+#[cfg(not(lsml_loom))]
 pub(crate) struct StackJob<'r, F, R> {
     func: UnsafeCell<Option<F>>,
     result: UnsafeCell<JobResult<R>>,
@@ -137,11 +143,13 @@ pub(crate) struct StackJob<'r, F, R> {
     registry: &'r Registry,
 }
 
-// The job is handed to at most one executor at a time (enforced by the
-// deque/injector: a JobRef is popped or stolen exactly once), so the
+// SAFETY: the job is handed to at most one executor at a time (enforced by
+// the deque/injector: a JobRef is popped or stolen exactly once), so the
 // UnsafeCell accesses never overlap; the latch orders the result hand-off.
+#[cfg(not(lsml_loom))]
 unsafe impl<F: Send, R: Send> Sync for StackJob<'_, F, R> {}
 
+#[cfg(not(lsml_loom))]
 impl<'r, F, R> StackJob<'r, F, R>
 where
     F: FnOnce() -> R + Send,
@@ -175,12 +183,16 @@ where
     }
 }
 
+#[cfg(not(lsml_loom))]
 impl<F, R> Job for StackJob<'_, F, R>
 where
     F: FnOnce() -> R + Send,
     R: Send,
 {
     unsafe fn execute(this: *const Self) {
+        // SAFETY (trait contract): `this` points at a live StackJob, executed
+        // at most once; the owner keeps the stack frame alive until the
+        // latch below is set.
         let this = &*this;
         let func = (*this.func.get())
             .take()

@@ -71,15 +71,36 @@
 //! starting grain stays a fraction of a worker's fair share: pathological
 //! per-item skew inside one chunk is bounded by that fraction.)
 
+// Under `--cfg lsml_loom` (the model-check build) the deque/job layer is
+// public so `tests/loom_deque.rs` can drive it directly, and the registry —
+// which parks on an unmodeled condvar — is compiled out. The public API
+// below stays available with strictly sequential fallbacks (equivalent to
+// `LSML_NUM_THREADS=1`), so downstream crates compile unchanged in the
+// model-check leg. See `sync.rs` for the facade contract.
+#[cfg(lsml_loom)]
+pub mod deque;
+#[cfg(not(lsml_loom))]
 mod deque;
+#[cfg(lsml_loom)]
+pub mod job;
+#[cfg(not(lsml_loom))]
 mod job;
+#[cfg(not(lsml_loom))]
 mod registry;
+pub(crate) mod sync;
 
 /// Number of worker threads the pool runs (`LSML_NUM_THREADS` or
 /// `available_parallelism`; see the crate docs). Starts the pool if it is
 /// not yet running.
 pub fn current_num_threads() -> usize {
-    registry::Registry::global().num_threads()
+    #[cfg(not(lsml_loom))]
+    {
+        registry::Registry::global().num_threads()
+    }
+    #[cfg(lsml_loom)]
+    {
+        1
+    }
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
@@ -95,7 +116,27 @@ where
     RA: Send,
     RB: Send,
 {
-    registry::Registry::global().join(a, b)
+    #[cfg(not(lsml_loom))]
+    {
+        registry::Registry::global().join(a, b)
+    }
+    #[cfg(lsml_loom)]
+    {
+        (a(), b())
+    }
+}
+
+/// Evaluates every index of `source`, in order. The pool path fans out via
+/// the adaptive splitter; the model-check build runs strictly inline.
+fn drive<S: ParallelSource>(source: S) -> Vec<S::Item> {
+    #[cfg(not(lsml_loom))]
+    {
+        registry::drive(source)
+    }
+    #[cfg(lsml_loom)]
+    {
+        (0..source.len()).map(|i| source.eval(i)).collect()
+    }
 }
 
 /// An indexable source of parallel work: adapters compose by wrapping the
@@ -131,12 +172,12 @@ pub trait ParallelIterator: ParallelSource {
     /// Materializes all items in order, fanning evaluation out over the
     /// work-stealing pool.
     fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
-        C::from_ordered_vec(registry::drive(self))
+        C::from_ordered_vec(drive(self))
     }
 
     /// Runs `f` on every item (parallel, no result).
     fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
-        registry::drive(Map {
+        drive(Map {
             base: self,
             f: |x| f(x),
         });

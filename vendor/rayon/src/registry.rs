@@ -18,12 +18,12 @@
 //!   other jobs while it waits for the thief's latch. Callers outside the
 //!   pool inject `b` and help drain pool work while they wait.
 
+use crate::sync::{AtomicUsize, Condvar, Mutex, OnceLock, Ordering};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::deque::{Deque, Steal};
@@ -286,7 +286,7 @@ impl Registry {
             };
         }
         let job_b = StackJob::new(b, self);
-        // Safety: we wait on `job_b.latch` below before returning, so the
+        // SAFETY: we wait on `job_b.latch` below before returning, so the
         // stack job outlives every JobRef pointing at it.
         let job_ref = unsafe { job_b.as_job_ref() };
         let ra = match self.current_worker() {
@@ -301,13 +301,13 @@ impl Registry {
                 // threads. Only when our deque is dry do we steal.
                 while !job_b.latch.probe() {
                     if let Some(job) = self.deques[index].pop() {
-                        // Safety: popped jobs are pending and exclusively
+                        // SAFETY: popped jobs are pending and exclusively
                         // ours; own-deque work adds at most our own join
                         // nesting to the stack.
                         unsafe { job.execute() };
                     } else if may_steal_deeper() {
                         if let Some(job) = self.find_work(index) {
-                            // Safety: stolen jobs are pending and exclusively
+                            // SAFETY: stolen jobs are pending and exclusively
                             // ours once the steal CAS succeeds.
                             unsafe { execute_stolen(job) };
                         } else {
@@ -327,7 +327,7 @@ impl Registry {
                 while !job_b.latch.probe() {
                     if may_steal_deeper() {
                         if let Some(job) = self.find_work(usize::MAX) {
-                            // Safety: as above.
+                            // SAFETY: as above.
                             unsafe { execute_stolen(job) };
                         } else {
                             self.wait_latch(&job_b.latch);
@@ -339,7 +339,7 @@ impl Registry {
                 ra
             }
         };
-        // Safety: the latch is set; the result is published.
+        // SAFETY: the latch is set; the result is published.
         let rb = unsafe { job_b.take_result() };
         // `b` has fully completed, so unwinding `a`'s panic can no longer
         // leave a worker reading our dead stack frame.
@@ -367,7 +367,7 @@ fn worker_main(registry: &Arc<Registry>, index: usize) {
         {
             Some(job) => {
                 idle = 0;
-                // Safety: popped/stolen jobs are pending and exclusively ours.
+                // SAFETY: popped/stolen jobs are pending and exclusively ours.
                 unsafe { job.execute() };
             }
             None => {
@@ -392,7 +392,10 @@ impl<T> Clone for OutPtr<T> {
     }
 }
 impl<T> Copy for OutPtr<T> {}
+// SAFETY: see the type docs — every task writes a disjoint index range, and
+// `drive` only reads the buffer after all tasks complete.
 unsafe impl<T: Send> Send for OutPtr<T> {}
+// SAFETY: as above; shared access never writes overlapping indices.
 unsafe impl<T: Send> Sync for OutPtr<T> {}
 
 /// The adaptive splitting state threaded through `split_eval`, rayon-style.
@@ -449,7 +452,7 @@ pub(crate) fn drive<S: ParallelSource>(src: S) -> Vec<S::Item> {
         return (0..n).map(|i| src.eval(i)).collect();
     }
     let mut out: Vec<MaybeUninit<S::Item>> = Vec::with_capacity(n);
-    // Safety: MaybeUninit needs no initialization; length tracks capacity.
+    // SAFETY: MaybeUninit needs no initialization; length tracks capacity.
     unsafe { out.set_len(n) };
     let ptr = OutPtr(out.as_mut_ptr());
     // Four chunks per worker uncontended: coarse enough to keep deque
@@ -462,7 +465,7 @@ pub(crate) fn drive<S: ParallelSource>(src: S) -> Vec<S::Item> {
         owner: registry.current_worker(),
     };
     split_eval(registry, &src, 0, n, splitter, ptr);
-    // Safety: split_eval wrote every index exactly once.
+    // SAFETY: split_eval wrote every index exactly once.
     let mut out = std::mem::ManuallyDrop::new(out);
     unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut S::Item, n, out.capacity()) }
 }
@@ -478,7 +481,7 @@ fn split_eval<S: ParallelSource>(
     splitter.adapt(registry);
     if hi - lo <= splitter.grain {
         for i in lo..hi {
-            // Safety: disjoint indices, each written exactly once.
+            // SAFETY: disjoint indices, each written exactly once.
             unsafe { (*out.0.add(i)).write(src.eval(i)) };
         }
         return;
@@ -493,7 +496,7 @@ fn split_eval<S: ParallelSource>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use loom::sync::atomic::AtomicU64;
 
     /// Recursive parallel sum over a private registry, to exercise pushes,
     /// inline pops, and steals at a controlled pool size regardless of the

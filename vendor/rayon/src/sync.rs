@@ -1,0 +1,56 @@
+//! The synchronization facade for the pool.
+//!
+//! # Contract
+//!
+//! Every atomic and lock in `vendor/rayon/src` is imported from this module
+//! (never directly from `std::sync`) — a rule enforced by the repo's source
+//! lint (`cargo run -p lsml-bench --bin lint`). The facade compiles to the
+//! real `std::sync` primitives in normal builds and to the model-checked
+//! shadow primitives of the vendored `loom` crate under
+//! `RUSTFLAGS="--cfg lsml_loom"` (the CI `model-check` leg), so the exact
+//! code that ships is the code the model checker explores.
+//!
+//! `Ordering` is always the real `std::sync::atomic::Ordering`, so call
+//! sites are byte-identical under both configurations. `Condvar`/`OnceLock`
+//! are not modeled; the registry (which parks on a condvar) is compiled out
+//! under `lsml_loom` and only the deque/job layer is model-checked.
+//!
+//! The `trace_*` functions report raw-pointer ownership transitions to the
+//! model's shadow allocation tracker (use-after-free / double-free / leak
+//! detection). In normal builds they are empty `#[inline(always)]` stubs the
+//! optimizer deletes.
+
+pub(crate) use loom::sync::atomic::{
+    fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicUsize, Ordering,
+};
+pub(crate) use loom::sync::Mutex;
+
+#[cfg(not(lsml_loom))]
+pub(crate) use loom::sync::{Condvar, OnceLock};
+
+/// Report a heap allocation handed to a raw pointer (e.g. `Box::into_raw`).
+#[inline(always)]
+pub(crate) fn trace_alloc(addr: usize) {
+    #[cfg(lsml_loom)]
+    loom::alloc::trace_alloc(addr);
+    #[cfg(not(lsml_loom))]
+    let _ = addr;
+}
+
+/// Report that a raw-pointer allocation is being freed.
+#[inline(always)]
+pub(crate) fn trace_free(addr: usize) {
+    #[cfg(lsml_loom)]
+    loom::alloc::trace_free(addr);
+    #[cfg(not(lsml_loom))]
+    let _ = addr;
+}
+
+/// Report a dereference of a raw-pointer allocation.
+#[inline(always)]
+pub(crate) fn trace_access(addr: usize) {
+    #[cfg(lsml_loom)]
+    loom::alloc::trace_access(addr);
+    #[cfg(not(lsml_loom))]
+    let _ = addr;
+}

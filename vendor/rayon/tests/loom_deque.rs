@@ -1,0 +1,310 @@
+//! Model-checked races on the Chase–Lev deque (and the injector shape).
+//!
+//! Only built under `RUSTFLAGS="--cfg lsml_loom"` — the CI `model-check`
+//! leg. Each test explores every interleaving (up to the preemption bound)
+//! of a classic work-stealing race and prints the explored-interleaving
+//! count. Failures print a seed replayable via `LSML_LOOM_REPLAY`.
+#![cfg(lsml_loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::{model, model_expect_failure, thread};
+use rayon::deque::{Deque, Steal};
+use rayon::job::{Job, JobRef};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A job that counts how many times it has been executed (shadow atomic, so
+/// double-execution is caught across any interleaving).
+struct CounterJob {
+    hits: AtomicUsize,
+}
+
+impl CounterJob {
+    fn new() -> Self {
+        CounterJob {
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// # Safety
+    ///
+    /// The returned `JobRef` must be executed at most once while `self` is
+    /// still alive (the `Arc`s in these tests outlive every thread).
+    unsafe fn job_ref(&self) -> JobRef {
+        JobRef::new(self)
+    }
+}
+
+impl Job for CounterJob {
+    unsafe fn execute(this: *const Self) {
+        // SAFETY (caller contract): `this` is live for the whole model body.
+        (*this).hits.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Execute a steal result; returns 1 if a job was taken.
+fn run_steal(s: Steal) -> usize {
+    match s {
+        // SAFETY: a successful steal transfers exclusive ownership of the
+        // (still-live) job to this thief.
+        Steal::Success(job) => {
+            unsafe { job.execute() };
+            1
+        }
+        _ => 0,
+    }
+}
+
+/// The classic size-1 race: the owner's `pop` and a thief's `steal` contend
+/// for the last element via the CAS on `top`. Exactly one must win, across
+/// every explored interleaving.
+#[test]
+fn size1_take_vs_steal() {
+    let report = model(|| {
+        let deque = Arc::new(Deque::new());
+        let job = Arc::new(CounterJob::new());
+        // SAFETY: `job` is kept alive by the Arc until after both threads join.
+        deque.push(unsafe { job.job_ref() });
+
+        let thief = {
+            let deque = Arc::clone(&deque);
+            thread::spawn(move || run_steal(deque.steal()))
+        };
+        let popped = match deque.pop() {
+            // SAFETY: a successful pop transfers exclusive ownership.
+            Some(j) => {
+                unsafe { j.execute() };
+                1
+            }
+            None => 0,
+        };
+        let stolen = thief.join().unwrap();
+        assert_eq!(
+            popped + stolen,
+            1,
+            "size-1 element taken {}x",
+            popped + stolen
+        );
+        assert_eq!(job.hits(), 1);
+    });
+    println!(
+        "size1_take_vs_steal: {} interleavings explored (max depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(report.iterations > 1);
+}
+
+/// Two concurrent stealers (bounded retries) against an owner that drains
+/// the rest: every job executes exactly once, no job is lost.
+#[test]
+fn two_concurrent_stealers() {
+    let report = model(|| {
+        let deque = Arc::new(Deque::new());
+        let jobs: Vec<Arc<CounterJob>> = (0..2).map(|_| Arc::new(CounterJob::new())).collect();
+        for j in &jobs {
+            // SAFETY: the Arcs outlive every thread in this model body.
+            deque.push(unsafe { j.job_ref() });
+        }
+        let thieves: Vec<_> = (0..2)
+            .map(|_| {
+                let deque = Arc::clone(&deque);
+                thread::spawn(move || {
+                    // Bounded retry: exhaustive scheduling would otherwise
+                    // explore unbounded Retry loops.
+                    for _ in 0..3 {
+                        match deque.steal() {
+                            Steal::Success(job) => {
+                                // SAFETY: successful steal = exclusive ownership.
+                                unsafe { job.execute() };
+                                return 1;
+                            }
+                            Steal::Retry => continue,
+                            Steal::Empty => break,
+                        }
+                    }
+                    0
+                })
+            })
+            .collect();
+        let mut taken: usize = thieves.into_iter().map(|t| t.join().unwrap()).sum();
+        // Owner drains whatever the thieves gave up on.
+        while let Some(j) = deque.pop() {
+            // SAFETY: successful pop = exclusive ownership.
+            unsafe { j.execute() };
+            taken += 1;
+        }
+        assert_eq!(taken, 2, "expected both jobs taken exactly once");
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.hits(), 1, "job {i} executed {}x", j.hits());
+        }
+    });
+    println!(
+        "two_concurrent_stealers: {} interleavings explored (max depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(report.iterations > 1);
+}
+
+/// The owner pops *concurrently* with two stealers over two elements. This
+/// is the schedule the SeqCst fence in `pop` exists for: without it the
+/// owner can read a doubly-stale `top`, conclude `t < b`, and fast-path
+/// (CAS-free) take an element a second thief already stole — a double
+/// execution. Weakening that fence to Acquire makes this test fail.
+#[test]
+fn owner_pop_races_two_stealers() {
+    let report = model(|| {
+        let deque = Arc::new(Deque::new());
+        let jobs: Vec<Arc<CounterJob>> = (0..2).map(|_| Arc::new(CounterJob::new())).collect();
+        for j in &jobs {
+            // SAFETY: the Arcs outlive every thread in this model body.
+            deque.push(unsafe { j.job_ref() });
+        }
+        let thieves: Vec<_> = (0..2)
+            .map(|_| {
+                let deque = Arc::clone(&deque);
+                thread::spawn(move || run_steal(deque.steal()))
+            })
+            .collect();
+        // Owner pops while the thieves run — no join barrier first.
+        let mut taken = 0;
+        while let Some(j) = deque.pop() {
+            // SAFETY: successful pop = exclusive ownership.
+            unsafe { j.execute() };
+            taken += 1;
+        }
+        for t in thieves {
+            taken += t.join().unwrap();
+        }
+        // Thieves never retry here, so a lost race can leave an element
+        // behind — but nothing may ever be taken twice.
+        while let Some(j) = deque.pop() {
+            // SAFETY: successful pop = exclusive ownership.
+            unsafe { j.execute() };
+            taken += 1;
+        }
+        assert_eq!(taken, 2);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.hits(), 1, "job {i} executed {}x", j.hits());
+        }
+    });
+    println!(
+        "owner_pop_races_two_stealers: {} interleavings explored (max depth {})",
+        report.iterations, report.max_depth
+    );
+    assert!(report.iterations > 1);
+}
+
+/// Buffer growth + retired-buffer reclamation: the owner overflows the
+/// (model-tiny) initial buffer while a thief holds the stale buffer
+/// pointer. The stale read must stay valid — the shadow ownership tracker
+/// flags a use-after-free if growth ever frees instead of retiring — and
+/// the final drop must free every buffer exactly once (leak check).
+#[test]
+fn growth_retires_old_buffer_for_stale_thief() {
+    let report = model(|| {
+        let deque = Arc::new(Deque::new());
+        let jobs: Vec<Arc<CounterJob>> = (0..3).map(|_| Arc::new(CounterJob::new())).collect();
+        // Fill the capacity-2 model buffer.
+        for j in &jobs[..2] {
+            // SAFETY: the Arcs outlive every thread in this model body.
+            deque.push(unsafe { j.job_ref() });
+        }
+        let thief = {
+            let deque = Arc::clone(&deque);
+            thread::spawn(move || {
+                let mut got = 0;
+                for _ in 0..3 {
+                    match deque.steal() {
+                        Steal::Success(job) => {
+                            // SAFETY: successful steal = exclusive ownership.
+                            unsafe { job.execute() };
+                            got += 1;
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                }
+                got
+            })
+        };
+        // Third push overflows capacity: grow() replaces the buffer while
+        // the thief may be mid-steal on the old pointer.
+        // SAFETY: as above — Arc-held job.
+        deque.push(unsafe { jobs[2].job_ref() });
+        let mut taken = thief.join().unwrap();
+        while let Some(j) = deque.pop() {
+            // SAFETY: successful pop = exclusive ownership.
+            unsafe { j.execute() };
+            taken += 1;
+        }
+        assert_eq!(taken, 3);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.hits(), 1, "job {i} executed {}x", j.hits());
+        }
+    });
+    println!(
+        "growth_retires_old_buffer: {} interleavings explored (max depth {})",
+        report.iterations, report.max_depth
+    );
+}
+
+/// The injector shape (a mutex-guarded FIFO, as in the registry): items
+/// from one producer drain in order, across all interleavings with a
+/// concurrent producer.
+#[test]
+fn injector_fifo_order() {
+    let report = model(|| {
+        let q = Arc::new(loom::sync::Mutex::new(VecDeque::new()));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                q.lock().unwrap().push_back(1u32);
+                q.lock().unwrap().push_back(2u32);
+            })
+        };
+        q.lock().unwrap().push_back(100u32);
+        producer.join().unwrap();
+        let drained: Vec<u32> = q.lock().unwrap().drain(..).collect();
+        assert_eq!(drained.len(), 3);
+        let pos1 = drained.iter().position(|&x| x == 1).unwrap();
+        let pos2 = drained.iter().position(|&x| x == 2).unwrap();
+        assert!(pos1 < pos2, "per-producer FIFO violated: {drained:?}");
+    });
+    println!(
+        "injector_fifo_order: {} interleavings explored",
+        report.iterations
+    );
+}
+
+/// A panicking job on a stealing thread fails the model with the panic
+/// message (the pool's panic-propagation contract at the deque layer).
+#[test]
+fn stolen_job_panic_is_reported() {
+    struct PanicJob;
+    impl Job for PanicJob {
+        // SAFETY contract is vacuous: the pointer is never dereferenced.
+        unsafe fn execute(_this: *const Self) {
+            panic!("stolen job exploded");
+        }
+    }
+    let msg = model_expect_failure(|| {
+        let deque = Arc::new(Deque::new());
+        let job = Arc::new(PanicJob);
+        // SAFETY: the Arc keeps the job alive; executed at most once.
+        deque.push(unsafe { JobRef::new(&*job as *const PanicJob) });
+        let thief = {
+            let deque = Arc::clone(&deque);
+            thread::spawn(move || run_steal(deque.steal()))
+        };
+        let _ = deque.pop().map(|j| {
+            // SAFETY: successful pop = exclusive ownership.
+            unsafe { j.execute() };
+        });
+        let _ = thief.join();
+    });
+    assert!(msg.contains("stolen job exploded"), "got: {msg}");
+}
