@@ -51,6 +51,9 @@ pub mod fxhash;
 pub mod lit;
 pub mod npn;
 pub mod opt;
+pub mod par;
+#[cfg(test)]
+mod par_props;
 pub mod rewrite;
 pub mod sim;
 pub mod sweep;

@@ -38,10 +38,11 @@
 //! behind [`NpnLibrary::global`].
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+
+use loom::sync::{Arc, Mutex, OnceLock};
 
 use crate::aig::Aig;
-use crate::cut::{cofactor0, cofactor1, flip_var, swap_down, swap_vars, MAX_LEAVES, VAR_TT};
+use crate::cut::{cofactor0, cofactor1, flip_var, swap_down, MAX_LEAVES, VAR_TT};
 use crate::lit::Lit;
 
 /// Broadcasts a 4-variable table through the 64-bit vacuous-extended layout.
@@ -325,51 +326,143 @@ fn semi_canonize_wide(tt: u64) -> SemiNpn {
 }
 
 /// Exact 6-variable NPN canonization: the minimum table over all 92 160
-/// transforms. The permutation walk is Heap's algorithm, so consecutive
-/// candidates differ by one variable transposition (a single delta swap on
-/// the table); input negations step through a Gray code (one variable flip
-/// per step). Used only on structure-library misses, memoized by
+/// transforms. Used only on structure-library misses, memoized by
 /// [`NpnLibrary`].
+///
+/// The search walks Heap's algorithm over the 720 variable orders **once**,
+/// advancing all 64 input-negation *lanes* in lockstep: consecutive
+/// permutations differ by one transposition, so each step is a single
+/// delta-swap (identical masks and shift for every lane) plus a branch-free
+/// `min(t, !t) <= best` filter per lane — a loop the compiler vectorizes.
+/// A full candidate scan runs only when some lane passes the filter.
+///
+/// Candidates are totally ordered by `(table, lane, permutation, phase)`
+/// and the winner is the global minimum of that key — exactly the
+/// first-minimum the classic (negation-outer, permutation-inner,
+/// phase-innermost) serial scan keeps. Because the key is a strict total
+/// order, *any* partition of lanes into chunks merges to the same winner,
+/// which is what makes the multi-worker split bit-identical to the serial
+/// walk (`LSML_PAR_PASSES`; see [`crate::par`]). Lanes whose starting table
+/// duplicates an earlier lane's (a vacuous or negation-symmetric variable)
+/// only ever produce higher-ranked copies of the earlier lane's candidates,
+/// so they are dropped up front.
 pub fn canonize6(tt: u64) -> (u64, NpnTransform6) {
-    let mut best = u64::MAX;
-    let mut best_t = NpnTransform6::IDENTITY;
+    // The negation lanes in Gray-code step order, deduplicated by starting
+    // table (the dedup scan is quadratic in the worst case, but 64*64
+    // word compares are noise next to the 720-permutation walk).
+    let mut ids = [0u8; 64];
+    let mut negs = [0u8; 64];
+    let mut tables = [0u64; 64];
     let mut flipped = tt;
     let mut neg = 0u8;
+    let mut n = 0usize;
     for step in 0..64u32 {
         if step > 0 {
             let v = step.trailing_zeros() as usize;
             flipped = flip_var(flipped, v);
             neg ^= 1 << v;
         }
-        heap_walk(flipped, neg, &mut best, &mut best_t);
+        // A lane starting at a table seen earlier produces rank-for-rank
+        // copies of the earlier lane's candidates; one starting at the
+        // *complement* of an earlier table produces the earlier lane's
+        // candidates with the phases swapped — in both cases at strictly
+        // higher ranks, so the lane can never hold the winner.
+        if !tables[..n].iter().any(|&x| x == flipped || x == !flipped) {
+            ids[n] = step as u8;
+            negs[n] = neg;
+            tables[n] = flipped;
+            n += 1;
+        }
     }
+
+    let chunk = crate::par::chunk_len(n, 16);
+    let (best, _rank, best_t) = if chunk >= n {
+        canonize6_lanes(&ids[..n], &negs[..n], &tables[..n])
+    } else {
+        use rayon::prelude::*;
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(n)))
+            .collect();
+        ranges
+            .par_iter()
+            .map(|&(s, e)| canonize6_lanes(&ids[s..e], &negs[s..e], &tables[s..e]))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .reduce(|a, b| if (b.0, b.1) < (a.0, a.1) { b } else { a })
+            .expect("at least one lane chunk")
+    };
     debug_assert_eq!(apply6(tt, &best_t), best);
     (best, best_t)
 }
 
-/// Enumerates all 720 variable orders of `table` via Heap's algorithm,
-/// updating `best` with the minimum over both output phases. `neg` is the
-/// per-variable input negation already applied to `table`.
-fn heap_walk(table: u64, neg: u8, best: &mut u64, best_t: &mut NpnTransform6) {
-    let mut t = table;
+/// One chunk of negation lanes walked through all 720 variable orders in
+/// lockstep (see [`canonize6`]). Returns the chunk minimum of
+/// `(table, rank)` and the transform achieving it, where
+/// `rank = lane << 11 | permutation << 1 | phase` (11 bits cover
+/// `719 << 1 | 1`).
+fn canonize6_lanes(ids: &[u8], negs: &[u8], start: &[u64]) -> (u64, u32, NpnTransform6) {
+    /// Scans the lanes named by `mask` at the current permutation,
+    /// refining the winner. Called only for lanes the branch-free filter
+    /// flagged (a strict improvement, or a tie a lower rank must resolve);
+    /// ascending bit order keeps the rank tie-break exact.
+    #[allow(clippy::too_many_arguments)] // hot inner loop: the winner triple must stay flat &muts
+    fn scan(
+        mut mask: u64,
+        perm_idx: u32,
+        ids: &[u8],
+        negs: &[u8],
+        tables: &[u64],
+        loc: &[u8; 6],
+        best: &mut u64,
+        best_rank: &mut u32,
+        best_t: &mut NpnTransform6,
+    ) {
+        while mask != 0 {
+            let j = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let t = tables[j];
+            for (cand, phase) in [(t, 0u32), (!t, 1u32)] {
+                let rank = (u32::from(ids[j]) << 11) | (perm_idx << 1) | phase;
+                if cand < *best || (cand == *best && rank < *best_rank) {
+                    *best = cand;
+                    *best_rank = rank;
+                    *best_t = NpnTransform6 {
+                        perm: *loc,
+                        input_neg: negs[j],
+                        output_neg: phase == 1,
+                    };
+                }
+            }
+        }
+    }
+
+    let mut lane_buf = [0u64; 64];
+    let k = start.len();
+    lane_buf[..k].copy_from_slice(start);
+    let tables = &mut lane_buf[..k];
+
+    let mut best = u64::MAX;
+    let mut best_rank = u32::MAX;
+    let mut best_t = NpnTransform6::IDENTITY;
     // arr[p] = which variable currently sits at position p; loc = inverse.
     let mut arr: [u8; 6] = [0, 1, 2, 3, 4, 5];
     let mut loc: [u8; 6] = [0, 1, 2, 3, 4, 5];
-    let mut consider = |t: u64, loc: &[u8; 6]| {
-        for (cand, out) in [(t, false), (!t, true)] {
-            if cand < *best {
-                *best = cand;
-                *best_t = NpnTransform6 {
-                    perm: *loc,
-                    input_neg: neg,
-                    output_neg: out,
-                };
-            }
-        }
-    };
-    consider(t, &loc);
+    let full = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+    scan(
+        full,
+        0,
+        ids,
+        negs,
+        tables,
+        &loc,
+        &mut best,
+        &mut best_rank,
+        &mut best_t,
+    );
     let mut c = [0usize; 6];
     let mut i = 0usize;
+    let mut perm_idx = 0u32;
     while i < 6 {
         if c[i] < i {
             let (a, b) = if i.is_multiple_of(2) {
@@ -377,12 +470,35 @@ fn heap_walk(table: u64, neg: u8, best: &mut u64, best_t: &mut NpnTransform6) {
             } else {
                 (c[i], i)
             };
-            t = swap_vars(t, a.min(b), a.max(b));
+            let (a, b) = (a.min(b), a.max(b));
+            let shift = (1u32 << b) - (1u32 << a);
+            let up = VAR_TT[a] & !VAR_TT[b]; // a=1, b=0 moves up
+            let down = !VAR_TT[a] & VAR_TT[b]; // a=0, b=1 moves down
+            let keep = !(up | down);
+            let mut mask = 0u64;
+            for (j, t) in tables.iter_mut().enumerate() {
+                let nt = (*t & keep) | ((*t & up) << shift) | ((*t & down) >> shift);
+                *t = nt;
+                mask |= u64::from(nt.min(!nt) <= best) << j;
+            }
             let (va, vb) = (arr[a], arr[b]);
             arr.swap(a, b);
             loc[va as usize] = b as u8;
             loc[vb as usize] = a as u8;
-            consider(t, &loc);
+            perm_idx += 1;
+            if mask != 0 {
+                scan(
+                    mask,
+                    perm_idx,
+                    ids,
+                    negs,
+                    tables,
+                    &loc,
+                    &mut best,
+                    &mut best_rank,
+                    &mut best_t,
+                );
+            }
             c[i] += 1;
             i = 0;
         } else {
@@ -390,6 +506,7 @@ fn heap_walk(table: u64, neg: u8, best: &mut u64, best_t: &mut NpnTransform6) {
             i += 1;
         }
     }
+    (best, best_rank, best_t)
 }
 
 // ---------------------------------------------------------------------------
@@ -566,23 +683,100 @@ impl LibEntry6 {
 // The process-wide library.
 // ---------------------------------------------------------------------------
 
+/// Number of stripes in each library map. A fixed power of two: the shard
+/// index is the top bits of a multiplicative hash of the key.
+const NPN_SHARDS: usize = 16;
+
+/// Keys a [`Striped`] map can shard on.
+trait ShardKey: std::hash::Hash + Eq + Copy {
+    /// A well-mixed 64-bit hash of the key (only the top bits select the
+    /// shard, so the finalizer must mix into the high bits).
+    fn shard_hash(&self) -> u64;
+}
+
+impl ShardKey for u16 {
+    fn shard_hash(&self) -> u64 {
+        u64::from(*self).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+impl ShardKey for u64 {
+    fn shard_hash(&self) -> u64 {
+        self.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// A lock-striped memo map: keys hash onto one of [`NPN_SHARDS`] stripes,
+/// each behind its own facade `Mutex`, so concurrent rewriting workers
+/// probing different keys almost never contend. All synchronization routes
+/// through `loom::sync`, so the model-check build swaps in shadow
+/// primitives here like everywhere else.
+struct Striped<K, V> {
+    shards: [Mutex<HashMap<K, V>>; NPN_SHARDS],
+}
+
+impl<K: ShardKey, V: Clone> Striped<K, V> {
+    fn new() -> Striped<K, V> {
+        Striped {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, k: &K) -> &Mutex<HashMap<K, V>> {
+        &self.shards[(k.shard_hash() >> 60) as usize & (NPN_SHARDS - 1)]
+    }
+
+    /// Probe, holding only the key's stripe.
+    fn get(&self, k: &K) -> Option<V> {
+        self.shard(k).lock().expect("library lock").get(k).cloned()
+    }
+
+    /// First-insert-wins publish: a racing duplicate computation is
+    /// discarded and the resident value returned, so results are
+    /// deterministic no matter which worker finishes first.
+    fn publish(&self, k: K, v: V) -> V {
+        self.shard(&k)
+            .lock()
+            .expect("library lock")
+            .entry(k)
+            .or_insert(v)
+            .clone()
+    }
+
+    /// Total entries across every stripe (takes each stripe lock in turn).
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("library lock").len())
+            .sum()
+    }
+}
+
+impl<K: ShardKey, V: Clone> Default for Striped<K, V> {
+    fn default() -> Self {
+        Striped::new()
+    }
+}
+
 /// The process-wide structure library: canonization results and class
 /// structures are computed once and memoized. Every rewriting call shares
-/// the same instance via [`NpnLibrary::global`].
+/// the same instance via [`NpnLibrary::global`]. Each map is lock-striped
+/// ([`Striped`]): the old single-`Mutex`-per-map design serialized every
+/// worker of a batched compile behind one lock per probe.
 #[derive(Default)]
 pub struct NpnLibrary {
     /// 16-bit exact canonization memo.
-    canon_memo: Mutex<HashMap<u16, NpnClass>>,
+    canon_memo: Striped<u16, NpnClass>,
     /// 4-variable class structures, keyed by class representative.
-    structures: Mutex<HashMap<u16, Arc<Aig>>>,
+    structures: Striped<u16, Arc<Aig>>,
     /// The hot-path map: semi-canonical key → (key-to-representative
     /// transform, representative structure).
-    semi_entries: Mutex<HashMap<u64, (NpnTransform6, Arc<Aig>)>>,
+    semi_entries: Striped<u64, (NpnTransform6, Arc<Aig>)>,
     /// Exact 6-variable canonization memo (keyed by semi-canonical key;
     /// consulted only on `semi_entries` misses).
-    canon6_memo: Mutex<HashMap<u64, (u64, NpnTransform6)>>,
+    canon6_memo: Striped<u64, (u64, NpnTransform6)>,
     /// 5–6-variable class structures, keyed by exact class representative.
-    structures6: Mutex<HashMap<u64, Arc<Aig>>>,
+    structures6: Striped<u64, Arc<Aig>>,
 }
 
 impl NpnLibrary {
@@ -594,50 +788,31 @@ impl NpnLibrary {
 
     /// Number of distinct 4-variable NPN classes materialized so far.
     pub fn num_classes(&self) -> usize {
-        self.structures.lock().expect("library lock").len()
+        self.structures.len()
     }
 
     /// Number of semi-canonical keys with a cached entry.
     pub fn num_semi_entries(&self) -> usize {
-        self.semi_entries.lock().expect("library lock").len()
+        self.semi_entries.len()
     }
 
     /// Memoized exact 16-bit canonization.
     fn canon4(&self, tt: u16) -> NpnClass {
-        let cached = self
-            .canon_memo
-            .lock()
-            .expect("library lock")
+        self.canon_memo
             .get(&tt)
-            .copied();
-        cached.unwrap_or_else(|| {
-            let c = canonize(tt);
-            self.canon_memo.lock().expect("library lock").insert(tt, c);
-            c
-        })
+            .unwrap_or_else(|| self.canon_memo.publish(tt, canonize(tt)))
     }
 
     /// The shared 4-variable class structure for representative `canon`.
     fn structure4(&self, canon: u16) -> Arc<Aig> {
-        let cached = self
-            .structures
-            .lock()
-            .expect("library lock")
-            .get(&canon)
-            .cloned();
-        cached.unwrap_or_else(|| {
+        self.structures.get(&canon).unwrap_or_else(|| {
             let s = Arc::new(synthesize(canon));
-            self.structures
-                .lock()
-                .expect("library lock")
-                .entry(canon)
-                .or_insert(s)
-                .clone()
+            self.structures.publish(canon, s)
         })
     }
 
     /// Canonizes `tt` (memoized) and returns the 4-variable class structure
-    /// (synthesized on first encounter of the class). Both locks are held
+    /// (synthesized on first encounter of the class). Stripe locks are held
     /// only for the map probe/insert — canonization and synthesis run
     /// unlocked, so concurrent rewriting passes never serialize behind a
     /// 48-attempt synthesis (a racing thread may compute a duplicate, which
@@ -655,13 +830,7 @@ impl NpnLibrary {
     /// keyed by raw table to avoid repeated lock traffic.
     pub fn entry6(&self, tt: u64) -> LibEntry6 {
         let semi = semi_canonize(tt);
-        let cached = self
-            .semi_entries
-            .lock()
-            .expect("library lock")
-            .get(&semi.key)
-            .cloned();
-        let (to_rep, structure) = cached.unwrap_or_else(|| {
+        let (to_rep, structure) = self.semi_entries.get(&semi.key).unwrap_or_else(|| {
             let fresh = if support_size(semi.key) <= 4 {
                 // The key is already the lifted exact 4-variable class
                 // representative; share the 4-variable class structure.
@@ -670,12 +839,7 @@ impl NpnLibrary {
                 let (canon, t2) = self.canon6(semi.key);
                 (t2, self.structure6(canon))
             };
-            self.semi_entries
-                .lock()
-                .expect("library lock")
-                .entry(semi.key)
-                .or_insert(fresh)
-                .clone()
+            self.semi_entries.publish(semi.key, fresh)
         });
         LibEntry6 {
             transform: semi.transform.then(&to_rep),
@@ -685,38 +849,16 @@ impl NpnLibrary {
 
     /// Memoized exact 6-variable canonization (library misses only).
     fn canon6(&self, key: u64) -> (u64, NpnTransform6) {
-        let cached = self
-            .canon6_memo
-            .lock()
-            .expect("library lock")
+        self.canon6_memo
             .get(&key)
-            .copied();
-        cached.unwrap_or_else(|| {
-            let c = canonize6(key);
-            self.canon6_memo
-                .lock()
-                .expect("library lock")
-                .insert(key, c);
-            c
-        })
+            .unwrap_or_else(|| self.canon6_memo.publish(key, canonize6(key)))
     }
 
     /// The shared 5–6-variable class structure for representative `canon`.
     fn structure6(&self, canon: u64) -> Arc<Aig> {
-        let cached = self
-            .structures6
-            .lock()
-            .expect("library lock")
-            .get(&canon)
-            .cloned();
-        cached.unwrap_or_else(|| {
+        self.structures6.get(&canon).unwrap_or_else(|| {
             let s = Arc::new(synthesize6(canon));
-            self.structures6
-                .lock()
-                .expect("library lock")
-                .entry(canon)
-                .or_insert(s)
-                .clone()
+            self.structures6.publish(canon, s)
         })
     }
 }

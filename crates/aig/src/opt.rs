@@ -59,6 +59,7 @@
 //! assert_eq!(custom.describe(), "balance | rewrite | sweep | cleanup");
 //! ```
 
+use loom::sync::atomic::{AtomicU64, Ordering};
 use loom::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -77,9 +78,8 @@ fn fnv_str(h: u64, s: &str) -> u64 {
 /// in the environment (read once per process). Independent of build profile
 /// — release binaries can be checked too; debug builds additionally verify
 /// once per [`Pipeline::run_fixpoint`] round regardless of the variable.
-/// Sits alongside the other env knobs (`LSML_NUM_THREADS`,
-/// `LSML_FORCE_SCALAR`, `LSML_COMPILE_CACHE_BYTES`,
-/// `LSML_FIXPOINT_CACHE_BYTES`).
+/// Listed with every other `LSML_*` runtime knob in the [`crate::par`]
+/// module docs.
 pub fn check_enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
     *ENABLED.get_or_init(|| std::env::var("LSML_CHECK").as_deref() == Ok("1"))
@@ -217,26 +217,149 @@ impl Pass for CleanupPass {
     }
 }
 
-/// Process-wide map of (graph fingerprint, pipeline fingerprint) pairs known
-/// to be at a fixpoint, LRU-stamped. Byte-budgeted: when the estimated
-/// footprint exceeds [`fixpoint_cache_budget`], the least-recently-touched
-/// quarter is evicted (never the whole cache), so long portfolio sweeps keep
-/// their hot entries while cold ones age out.
-struct FixpointCache {
+/// Lock stripes of the sharded fixpoint cache (a power of two: the shard
+/// index is the top bits of the multiplicatively mixed key hash).
+const FIXPOINT_SHARDS: usize = 16;
+
+/// The shard a key lives in: both key halves are folded together and
+/// Fibonacci-mixed so structurally close fingerprints spread evenly.
+fn fixpoint_shard_of(key: &(u128, u64)) -> usize {
+    let folded = (key.0 as u64) ^ ((key.0 >> 64) as u64) ^ key.1;
+    (folded.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize & (FIXPOINT_SHARDS - 1)
+}
+
+/// One lock stripe of the fixpoint cache: an LRU-stamped map of (graph
+/// fingerprint, pipeline fingerprint) pairs known to be at a fixpoint.
+/// Entry accounting against the shared byte budget lives in the owning
+/// [`ShardedFixpointCache`]'s atomic, not here.
+#[derive(Default)]
+struct FixpointShard {
     /// Value = last-touch tick.
     map: HashMap<(u128, u64), u64>,
     tick: u64,
     evictions: u64,
 }
 
-fn fixpoint_cache() -> &'static Mutex<FixpointCache> {
-    static CACHE: OnceLock<Mutex<FixpointCache>> = OnceLock::new();
-    CACHE.get_or_init(|| {
-        Mutex::new(FixpointCache {
-            map: HashMap::new(),
-            tick: 0,
-            evictions: 0,
-        })
+/// The lock-striped, byte-budgeted fixpoint cache: [`FIXPOINT_SHARDS`]
+/// independently locked LRU maps sharing one atomic entry count. Probes
+/// and inserts on different shards never contend. The budget (entry
+/// capacity derived from `LSML_FIXPOINT_CACHE_BYTES`) is global: when the
+/// shared count exceeds it, the inserting shard evicts its
+/// least-recently-touched quarter (never the whole cache), so long
+/// portfolio sweeps keep their hot entries while cold ones age out.
+struct ShardedFixpointCache {
+    shards: [Mutex<FixpointShard>; FIXPOINT_SHARDS],
+    /// Resident entries across all shards.
+    entries: AtomicU64,
+}
+
+impl ShardedFixpointCache {
+    /// LRU-refreshing membership probe in the key's shard.
+    fn probe(&self, key: (u128, u64)) -> bool {
+        self.shards[fixpoint_shard_of(&key)]
+            .lock()
+            .expect("fixpoint cache lock")
+            .probe(key)
+    }
+
+    /// Records `key` as a known fixpoint, then enforces the shared entry
+    /// budget: while the global count exceeds the capacity, the inserting
+    /// shard drops its least-recently-touched quarter, and remaining
+    /// pressure is relieved by sweeping the other shards one lock at a
+    /// time (never holding two shard locks at once).
+    fn insert(&self, key: (u128, u64)) {
+        let cap = (fixpoint_cache_budget() / FIXPOINT_ENTRY_BYTES).max(16) as u64;
+        self.insert_with_cap(key, cap);
+    }
+
+    /// [`ShardedFixpointCache::insert`] with an explicit entry capacity
+    /// (shared with the loom model surface, which pins tiny capacities).
+    fn insert_with_cap(&self, key: (u128, u64), cap: u64) {
+        let idx = fixpoint_shard_of(&key);
+        {
+            let mut st = self.shards[idx].lock().expect("fixpoint cache lock");
+            if st.insert(key) {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+            }
+            while self.entries.load(Ordering::Relaxed) > cap && st.map.len() > 1 {
+                let dropped = st.evict_quarter();
+                self.entries.fetch_sub(dropped as u64, Ordering::Relaxed);
+            }
+        }
+        // Remaining pressure sits in other stripes: sweep them one lock at
+        // a time (never two at once), draining a stripe entirely if need
+        // be — only the inserting shard is guaranteed to keep its newest
+        // entry.
+        let mut i = (idx + 1) % FIXPOINT_SHARDS;
+        while self.entries.load(Ordering::Relaxed) > cap && i != idx {
+            let mut st = self.shards[i].lock().expect("fixpoint cache lock");
+            while self.entries.load(Ordering::Relaxed) > cap && !st.map.is_empty() {
+                let dropped = st.evict_quarter();
+                self.entries.fetch_sub(dropped as u64, Ordering::Relaxed);
+            }
+            drop(st);
+            i = (i + 1) % FIXPOINT_SHARDS;
+        }
+    }
+
+    /// Empties every shard (eviction counters keep running).
+    fn clear(&self) {
+        for shard in &self.shards {
+            let mut st = shard.lock().expect("fixpoint cache lock");
+            let dropped = st.map.len();
+            st.map.clear();
+            self.entries.fetch_sub(dropped as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// `(resident entries, evictions)` summed over shards.
+    fn totals(&self) -> (usize, u64) {
+        let mut evictions = 0u64;
+        for shard in &self.shards {
+            evictions += shard.lock().expect("fixpoint cache lock").evictions;
+        }
+        (self.entries.load(Ordering::Relaxed) as usize, evictions)
+    }
+
+    /// Checks the accounting invariant against an explicit capacity: the
+    /// shared atomic must equal the per-shard map sizes' sum, and the
+    /// resident count must not exceed `cap`. Holds **every** shard lock
+    /// while reading — mutations only ever happen under some shard lock
+    /// (one at a time), so this observes a consistent snapshot even while
+    /// inserts race on other threads, and cannot deadlock.
+    fn verify_with_cap(&self, cap: usize) -> Result<(), String> {
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("fixpoint cache lock"))
+            .collect();
+        let sum: usize = guards.iter().map(|st| st.map.len()).sum();
+        let accounted = self.entries.load(Ordering::Relaxed) as usize;
+        if sum != accounted {
+            return Err(format!(
+                "fixpoint cache entry count drifted: accounted {accounted} != resident {sum}"
+            ));
+        }
+        if sum > cap {
+            return Err(format!(
+                "fixpoint cache holds {sum} entries, budget caps it at {cap}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// [`ShardedFixpointCache::verify_with_cap`] against the env-derived
+    /// budget.
+    fn verify(&self) -> Result<(), String> {
+        self.verify_with_cap((fixpoint_cache_budget() / FIXPOINT_ENTRY_BYTES).max(16))
+    }
+}
+
+fn fixpoint_cache() -> &'static ShardedFixpointCache {
+    static CACHE: OnceLock<ShardedFixpointCache> = OnceLock::new();
+    CACHE.get_or_init(|| ShardedFixpointCache {
+        shards: std::array::from_fn(|_| Mutex::new(FixpointShard::default())),
+        entries: AtomicU64::new(0),
     })
 }
 
@@ -244,7 +367,9 @@ fn fixpoint_cache() -> &'static Mutex<FixpointCache> {
 const FIXPOINT_ENTRY_BYTES: usize = 64;
 
 /// The fixpoint cache's byte budget: `LSML_FIXPOINT_CACHE_BYTES` when set to
-/// a positive integer, otherwise a generous 8 MiB (~128k entries).
+/// a positive integer, otherwise a generous 8 MiB (~128k entries). Listed
+/// with every other `LSML_*` runtime knob in the [`crate::par`] module
+/// docs.
 fn fixpoint_cache_budget() -> usize {
     static BUDGET: OnceLock<usize> = OnceLock::new();
     *BUDGET.get_or_init(|| {
@@ -259,33 +384,92 @@ fn fixpoint_cache_budget() -> usize {
 /// Drops every fixpoint-cache entry (benchmark hygiene: lets cold-vs-cold
 /// comparisons start from the same state).
 pub fn fixpoint_cache_clear() {
-    let mut cache = fixpoint_cache().lock().expect("fixpoint cache lock");
-    cache.map.clear();
+    fixpoint_cache().clear();
 }
 
 /// `(live entries, LRU evictions so far)` of the process-wide fixpoint
-/// cache.
+/// cache, summed over its lock stripes.
 pub fn fixpoint_cache_stats() -> (usize, u64) {
-    let cache = fixpoint_cache().lock().expect("fixpoint cache lock");
-    (cache.map.len(), cache.evictions)
+    fixpoint_cache().totals()
 }
 
-/// Checks the fixpoint cache's budget invariant: the resident entry count
-/// never exceeds the configured capacity after an insert has completed.
-/// Concurrency stress tests call this between hammer rounds.
+/// Checks the fixpoint cache's budget and accounting invariants: the
+/// shared entry count must match the per-shard maps, and never exceed the
+/// configured capacity after an insert has completed. Concurrency stress
+/// tests call this between hammer rounds.
 pub fn fixpoint_cache_verify() -> Result<(), String> {
-    let cache = fixpoint_cache().lock().expect("fixpoint cache lock");
-    let cap = (fixpoint_cache_budget() / FIXPOINT_ENTRY_BYTES).max(16);
-    if cache.map.len() > cap {
-        return Err(format!(
-            "fixpoint cache holds {} entries, budget caps it at {cap}",
-            cache.map.len()
-        ));
-    }
-    Ok(())
+    fixpoint_cache().verify()
 }
 
-impl FixpointCache {
+/// Model-check surface (`--cfg lsml_loom` only): a *fresh*, non-global
+/// fixpoint cache with an explicit entry capacity, so `loom::model` bodies
+/// can explore probe/insert/evict races on the sharded design from a known
+/// initial state (the process-wide cache behind a `OnceLock` is
+/// deliberately not modeled).
+#[cfg(lsml_loom)]
+pub mod loom_api {
+    use super::*;
+
+    /// A private fixpoint cache over the same [`ShardedFixpointCache`]
+    /// machinery (same stripes, same shadow `Mutex`es, same shared atomic
+    /// entry count) the process-wide cache uses — but with its own
+    /// capacity instead of the env-derived budget.
+    pub struct LoomFixpointCache {
+        state: ShardedFixpointCache,
+        cap: u64,
+    }
+
+    /// The shard a key maps to — lets models pick keys that land on the
+    /// same stripe (lock contention) or distinct stripes (cross-shard
+    /// accounting).
+    pub fn shard_index(key: (u128, u64)) -> usize {
+        fixpoint_shard_of(&key)
+    }
+
+    /// Number of lock stripes.
+    pub const SHARDS: usize = FIXPOINT_SHARDS;
+
+    impl LoomFixpointCache {
+        /// A fresh cache capped at `cap` entries.
+        pub fn with_capacity(cap: usize) -> Self {
+            LoomFixpointCache {
+                state: ShardedFixpointCache {
+                    shards: std::array::from_fn(|_| Mutex::new(FixpointShard::default())),
+                    entries: AtomicU64::new(0),
+                },
+                cap: cap as u64,
+            }
+        }
+
+        /// LRU-refreshing membership probe.
+        pub fn probe(&self, key: (u128, u64)) -> bool {
+            self.state.probe(key)
+        }
+
+        /// Records `key`, enforcing the entry capacity through the very
+        /// code path the process-wide cache uses (own-shard quarter
+        /// eviction first, then a one-lock-at-a-time sweep of the other
+        /// stripes).
+        pub fn insert(&self, key: (u128, u64)) {
+            self.state.insert_with_cap(key, self.cap);
+        }
+
+        /// `(resident entries, evictions)` over all shards.
+        pub fn stats(&self) -> (usize, u64) {
+            self.state.totals()
+        }
+
+        /// Accounting check: the shared atomic equals the per-shard sum
+        /// and respects the capacity. Takes a consistent all-locks
+        /// snapshot, so it is sound even while inserts race.
+        pub fn verify(&self) -> Result<(), String> {
+            self.state.verify_with_cap(self.cap as usize)
+        }
+    }
+}
+
+impl FixpointShard {
+    /// LRU-refreshing membership probe.
     fn probe(&mut self, key: (u128, u64)) -> bool {
         self.tick += 1;
         let tick = self.tick;
@@ -298,21 +482,26 @@ impl FixpointCache {
         }
     }
 
-    fn insert(&mut self, key: (u128, u64)) {
+    /// Inserts `key`; true when it was not already resident (the caller
+    /// bumps the shared entry count by exactly the net growth).
+    fn insert(&mut self, key: (u128, u64)) -> bool {
         self.tick += 1;
         let tick = self.tick;
-        self.map.insert(key, tick);
-        let cap = (fixpoint_cache_budget() / FIXPOINT_ENTRY_BYTES).max(16);
-        if self.map.len() > cap {
-            // Evict the least-recently-touched quarter in one pass.
-            let mut ticks: Vec<u64> = self.map.values().copied().collect();
-            let cut = ticks.len() / 4;
-            ticks.select_nth_unstable(cut);
-            let threshold = ticks[cut];
-            let before = self.map.len();
-            self.map.retain(|_, t| *t > threshold);
-            self.evictions += (before - self.map.len()) as u64;
-        }
+        self.map.insert(key, tick).is_none()
+    }
+
+    /// Evicts the least-recently-touched quarter of this shard in one
+    /// pass; returns how many entries were dropped.
+    fn evict_quarter(&mut self) -> usize {
+        let mut ticks: Vec<u64> = self.map.values().copied().collect();
+        let cut = ticks.len() / 4;
+        ticks.select_nth_unstable(cut);
+        let threshold = ticks[cut];
+        let before = self.map.len();
+        self.map.retain(|_, t| *t > threshold);
+        let dropped = before - self.map.len();
+        self.evictions += dropped as u64;
+        dropped
     }
 }
 
@@ -433,11 +622,7 @@ impl Pipeline {
             return best;
         }
         let pipe_fp = self.fingerprint();
-        if fixpoint_cache()
-            .lock()
-            .expect("fixpoint cache lock")
-            .probe((best.structural_fingerprint(), pipe_fp))
-        {
+        if fixpoint_cache().probe((best.structural_fingerprint(), pipe_fp)) {
             return best;
         }
         let mut converged = false;
@@ -463,10 +648,7 @@ impl Pipeline {
             best = next;
         }
         if converged {
-            fixpoint_cache()
-                .lock()
-                .expect("fixpoint cache lock")
-                .insert((best.structural_fingerprint(), pipe_fp));
+            fixpoint_cache().insert((best.structural_fingerprint(), pipe_fp));
         }
         best
     }

@@ -1,0 +1,109 @@
+//! In-pass parallelism gate and the runtime environment-knob reference.
+//!
+//! The synthesis hot paths (wavefront cut enumeration in [`crate::cut`],
+//! block simulation and candidate verification in [`crate::sweep`], the
+//! exact-canonizer lane walk in [`crate::npn`]) fan work out over the
+//! vendored work-stealing pool. Every such fan-out is **bit-identical** to
+//! the serial path by construction — work is partitioned into fixed chunks
+//! whose results merge by a deterministic, schedule-independent rule — so
+//! parallelism is a pure throughput knob, never a semantics knob. This
+//! module decides *whether* a pass may fan out at all.
+//!
+//! # Runtime environment knobs
+//!
+//! The consolidated reference for every `LSML_*` variable the engine reads
+//! (each is read **once**, at first use, and latched for the process):
+//!
+//! | Knob | Default | Effect |
+//! |------|---------|--------|
+//! | `LSML_NUM_THREADS` | `available_parallelism()` | Worker count of the process-wide pool (vendored `rayon`). `1` disables the pool: every operation runs strictly inline on the caller. |
+//! | `LSML_PAR_PASSES` | `1` (enabled) | Escape hatch for in-pass parallelism. `0`/`false`/`off` forces cut enumeration, sweep and the NPN lane walk to run serially even when the pool has workers. Output is bit-identical either way. |
+//! | `LSML_FORCE_SCALAR` | unset | Forces the scalar fallback kernels in `lsml-pla` (`kernels` module), bypassing the SIMD dispatch. |
+//! | `LSML_CHECK` | unset | `1` enables the expensive debug verifiers in release builds: AIG invariant sweeps between pipeline passes (`crate::opt`) and CSR audits after cut enumeration (`crate::cut`). |
+//! | `LSML_COMPILE_CACHE_BYTES` | 256 MiB | Byte budget of the process-wide sharded compile cache (`lsml-core`, `compile` module). `0` disables caching. |
+//! | `LSML_FIXPOINT_CACHE_BYTES` | 8 MiB | Byte budget of the sharded pipeline fixpoint cache ([`crate::opt`]). |
+//! | `LSML_LOOM_REPLAY` | unset | In `--cfg lsml_loom` builds: replays a single recorded interleaving (the failure trace printed by the `loom` runtime) instead of exploring. |
+//!
+//! Modules reading a knob link back here; this table is the single place
+//! where defaults are documented.
+
+use loom::sync::OnceLock;
+
+/// Whether in-pass parallel fan-out is allowed (`LSML_PAR_PASSES`, latched
+/// at first call; see the [module docs](self) for the full knob table).
+///
+/// `false` means every pass runs its serial path. `true` means passes *may*
+/// fan out — they still run inline when the pool has a single worker.
+pub fn par_passes_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("LSML_PAR_PASSES") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !(v == "0" || v == "false" || v == "off")
+        }
+        Err(_) => true,
+    })
+}
+
+#[cfg(test)]
+thread_local! {
+    /// Test-only override of [`effective_workers`] (`0` = no override).
+    /// The pool's width is latched process-wide at first use, so tests
+    /// that need to drive both the serial and the parallel gates within
+    /// one process (the `crate::par_props` identity proptests) set this
+    /// instead of `LSML_NUM_THREADS`. Thread-local on purpose: every gate
+    /// is consulted on the calling thread before any fan-out, and
+    /// concurrently running tests must not perturb each other's gate.
+    pub(crate) static TEST_FORCE_WORKERS: std::cell::Cell<usize> =
+        const { std::cell::Cell::new(0) };
+}
+
+/// Number of workers a pass may fan out over: `1` when
+/// [`par_passes_enabled`] is off, otherwise the pool width
+/// (`LSML_NUM_THREADS`; starts the pool on first call).
+pub fn effective_workers() -> usize {
+    #[cfg(test)]
+    {
+        let forced = TEST_FORCE_WORKERS.with(|c| c.get());
+        if forced != 0 {
+            return forced;
+        }
+    }
+    if !par_passes_enabled() {
+        return 1;
+    }
+    rayon::current_num_threads().max(1)
+}
+
+/// Splits `items` into at most `effective_workers()` chunks of at least
+/// `min_per_chunk` items. Returns the chunk size to use (callers partition
+/// `0..items` into consecutive ranges of this size — a *fixed* partition,
+/// so results are independent of which worker runs which chunk).
+pub fn chunk_len(items: usize, min_per_chunk: usize) -> usize {
+    let workers = effective_workers();
+    if workers <= 1 || items <= min_per_chunk {
+        return items.max(1);
+    }
+    items.div_ceil(workers).max(min_per_chunk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_len_covers_all_items_in_at_most_worker_chunks() {
+        for items in [1usize, 2, 5, 63, 64, 100, 1000] {
+            let len = chunk_len(items, 8);
+            assert!(len >= 1);
+            let chunks = items.div_ceil(len);
+            assert!(chunks <= effective_workers().max(1));
+        }
+    }
+
+    #[test]
+    fn single_item_never_panics() {
+        assert_eq!(chunk_len(0, 4), 1);
+        assert_eq!(chunk_len(1, 4), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests pinning every parallel in-pass path to its serial
+//! counterpart (see [`crate::par`] for the gates and the knob table).
+//!
+//! The pool's width is latched process-wide, so these tests drive the
+//! serial/parallel decision through the thread-local
+//! [`crate::par::TEST_FORCE_WORKERS`] override — workers `1` versus `4`
+//! within one process — plus the crate-internal force hooks
+//! (`enumerate_with`, `sweep_with_mode`) that bypass the size thresholds.
+//! Identity must hold whether or not a graph clears those thresholds, so
+//! the generated graphs straddle them.
+//!
+//! Each leg runs on a fresh `std::thread` so the sweep's thread-local
+//! signature cache starts cold on both sides of every comparison.
+
+use crate::aig::Aig;
+use crate::cut::{CutArena, CutConfig};
+use crate::lit::Lit;
+use crate::opt::{BalancePass, CleanupPass, Pipeline, RewritePass, SweepPass};
+use crate::par::TEST_FORCE_WORKERS;
+use crate::sweep::{sweep_with_mode, SweepConfig};
+use proptest::prelude::*;
+
+const NUM_INPUTS: usize = 6;
+
+/// Deterministically folds a generated op list into an AIG over
+/// [`NUM_INPUTS`] inputs. XOR ops make the graph multi-level quickly, OR
+/// and inverted-AND ops seed complement edges, and the last four literals
+/// become outputs so cleanup cannot erase the whole graph.
+fn build(ops: &[(u8, u16, u16)]) -> Aig {
+    let mut g = Aig::new(NUM_INPUTS);
+    let mut pool: Vec<Lit> = g.inputs();
+    for &(kind, a, b) in ops {
+        let x = pool[a as usize % pool.len()];
+        let y = pool[b as usize % pool.len()];
+        let lit = match kind % 4 {
+            0 => g.and(x, y),
+            1 => g.and(x, !y),
+            2 => g.xor(x, y),
+            _ => !g.and(!x, !y),
+        };
+        pool.push(lit);
+    }
+    for &l in pool.iter().rev().take(4) {
+        g.add_output(l);
+    }
+    g
+}
+
+fn arb_ops(max: usize) -> impl Strategy<Value = Vec<(u8, u16, u16)>> {
+    proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..max)
+}
+
+/// Runs `f` on a fresh thread with the worker-gate override set to `n`.
+fn on_thread_with_workers<T: Send + 'static>(
+    n: usize,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    std::thread::spawn(move || {
+        TEST_FORCE_WORKERS.with(|c| c.set(n));
+        f()
+    })
+    .join()
+    .expect("worker-gated leg panicked")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Wavefront cut enumeration reproduces the serial CSR buffers
+    /// byte for byte at k = 4 and k = 6, on arbitrary graphs.
+    #[test]
+    fn cut_arena_bytes_identical_serial_vs_wavefront(ops in arb_ops(300)) {
+        let g = build(&ops);
+        for k in [4usize, 6] {
+            let cfg = CutConfig { k, ..CutConfig::default() };
+            let g2 = g.clone();
+            let serial = on_thread_with_workers(1, move || {
+                let mut a = CutArena::new();
+                a.enumerate_with(&g2, &cfg, false);
+                a.csr_bytes()
+            });
+            let g2 = g.clone();
+            let wave = on_thread_with_workers(4, move || {
+                let mut a = CutArena::new();
+                a.enumerate_with(&g2, &cfg, true);
+                a.csr_bytes()
+            });
+            prop_assert_eq!(&serial, &wave, "CSR bytes diverged at k={}", k);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Parallel sweep (wavefront simulation + per-bucket verification
+    /// fan-out) returns a node-identical graph to the serial sweep.
+    #[test]
+    fn sweep_identical_serial_vs_parallel(ops in arb_ops(260), seed in 0u64..16) {
+        let g = build(&ops);
+        let cfg = SweepConfig { seed, ..SweepConfig::default() };
+        let (g2, c2) = (g.clone(), cfg.clone());
+        let serial = on_thread_with_workers(1, move || {
+            sweep_with_mode(&g2, &c2, false).structural_fingerprint()
+        });
+        let (g2, c2) = (g.clone(), cfg.clone());
+        let par = on_thread_with_workers(4, move || {
+            sweep_with_mode(&g2, &c2, true).structural_fingerprint()
+        });
+        prop_assert_eq!(serial, par);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Full-pipeline identity under worker gates 1 versus 4: balance,
+    /// rewrite (`-z` included), sweep and cleanup produce node-identical
+    /// output at k = 4 and k = 6, and the result stays equivalent to the
+    /// input graph.
+    #[test]
+    fn pipeline_identical_across_worker_gate(
+        ops in arb_ops(200),
+        k in (0usize..2).prop_map(|i| if i == 0 { 4 } else { 6 }),
+        zero_gain in any::<bool>(),
+        seed in 0u64..8,
+    ) {
+        let g = build(&ops);
+        let run = move |g: &Aig| {
+            let rewrite = if zero_gain {
+                RewritePass::zero_gain()
+            } else {
+                RewritePass::default()
+            };
+            Pipeline::new()
+                .then(BalancePass)
+                .then(rewrite.with_cut_size(k))
+                .then(SweepPass::seeded(seed))
+                .then(CleanupPass)
+                .run(g)
+        };
+        let g2 = g.clone();
+        let one = on_thread_with_workers(1, move || run(&g2));
+        let g2 = g.clone();
+        let four = on_thread_with_workers(4, move || run(&g2));
+        prop_assert_eq!(
+            one.structural_fingerprint(),
+            four.structural_fingerprint(),
+            "pipeline output diverged at k={} zero_gain={}", k, zero_gain
+        );
+        crate::testutil::equivalent_exhaustive(&g, &one);
+    }
+}

@@ -9,11 +9,17 @@
 //!    (`unsafe fn(...)`) are exempt: they declare a contract, they don't
 //!    discharge one.
 //!
-//! 2. **Sync facade** — files under `vendor/rayon/src` must not import
-//!    `std::sync::atomic` or `std::sync::Mutex` directly; all
-//!    synchronization routes through `sync.rs` (the `loom::sync` facade),
-//!    so the model-check build swaps in shadow primitives everywhere at
-//!    once. Only `sync.rs` itself may name the std types.
+//! 2. **Sync facade** — files under `vendor/rayon/src`, plus the sharded
+//!    cache and NPN-library modules (`crates/core/src/compile.rs`,
+//!    `crates/aig/src/opt.rs`, `crates/aig/src/npn.rs`), must not import
+//!    `std::sync::atomic` or `std::sync::Mutex` directly — neither as a
+//!    full path nor tucked inside a brace import
+//!    (`use std::sync::{Arc, Mutex}`); all synchronization routes through
+//!    the `loom::sync` facade, so the model-check build swaps in shadow
+//!    primitives everywhere at once. Only the facade module itself may
+//!    name the std types. `std::sync::{Arc, OnceLock}` stay allowed: they
+//!    are not interleaving-sensitive, so the shadow build does not need
+//!    to intercept them.
 //!
 //! Exit status is nonzero if any finding is reported, so CI fails closed.
 
@@ -112,8 +118,41 @@ fn audit_unsafe(label: &str, contents: &str) -> Vec<String> {
     findings
 }
 
+/// True if `item` occurs as a word token inside `list` (the contents of a
+/// `use std::sync::{...}` brace group), e.g. `Mutex` in `Arc, Mutex` or
+/// `atomic` in `atomic::{AtomicU64, Ordering}`.
+fn brace_list_names(list: &str, item: &str) -> bool {
+    let bytes = list.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = list[from..].find(item) {
+        let start = from + rel;
+        let end = start + item.len();
+        let before_ok = start == 0 || !is_word_byte(bytes[start - 1]);
+        let after_ok = end == bytes.len() || !is_word_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// The banned item named by a brace-form `use std::sync::{...}` on this
+/// line, if any. Line-based on purpose: rustfmt keeps these imports on one
+/// line at the widths in this workspace, and a conservative miss on a
+/// hand-wrapped import is caught by the full-path arm on the lines below.
+fn banned_sync_in_braces(code: &str) -> Option<&'static str> {
+    let start = code.find("std::sync::{")?;
+    let list = &code[start + "std::sync::{".len()..];
+    let list = &list[..list.find('}').unwrap_or(list.len())];
+    ["Mutex", "atomic"]
+        .into_iter()
+        .find(|item| brace_list_names(list, item))
+}
+
 /// Rule 2 over one file's contents (caller decides whether the path is in
-/// scope). Flags any mention of the std types the facade wraps.
+/// scope). Flags any mention of the std types the facade wraps, whether
+/// spelled as a full path or smuggled through a brace import.
 fn audit_facade(label: &str, contents: &str) -> Vec<String> {
     let banned = ["std::sync::atomic", "std::sync::Mutex"];
     let mut findings = Vec::new();
@@ -122,20 +161,32 @@ fn audit_facade(label: &str, contents: &str) -> Vec<String> {
         for b in banned {
             if code.contains(b) {
                 findings.push(format!(
-                    "{label}:{}: direct `{b}` in vendor/rayon/src — route through sync.rs (the loom facade)",
+                    "{label}:{}: direct `{b}` — route through the loom::sync facade",
                     i + 1
                 ));
             }
+        }
+        if let Some(item) = banned_sync_in_braces(code) {
+            findings.push(format!(
+                "{label}:{}: `{item}` imported via `use std::sync::{{...}}` — route through the loom::sync facade",
+                i + 1
+            ));
         }
     }
     findings
 }
 
-/// Whether rule 2 applies to this path: under `vendor/rayon/src`, and not
-/// the facade module itself.
+/// Whether rule 2 applies to this path: under `vendor/rayon/src` (minus
+/// the facade module itself), or one of the facade-routed cache / NPN
+/// modules whose locks and atomics the loom models check.
 fn facade_rule_applies(rel: &Path) -> bool {
     let s = rel.to_string_lossy().replace('\\', "/");
-    s.contains("vendor/rayon/src/") && !s.ends_with("/sync.rs")
+    if s.contains("vendor/rayon/src/") {
+        return !s.ends_with("/sync.rs");
+    }
+    s.ends_with("crates/core/src/compile.rs")
+        || s.ends_with("crates/aig/src/opt.rs")
+        || s.ends_with("crates/aig/src/npn.rs")
 }
 
 fn collect_rust_files(root: &Path, out: &mut Vec<PathBuf>) {
@@ -283,6 +334,38 @@ mod tests {
         assert!(!facade_rule_applies(Path::new("vendor/rayon/src/sync.rs")));
         assert!(!facade_rule_applies(Path::new("crates/aig/src/aig.rs")));
         assert!(!facade_rule_applies(Path::new("vendor/loom/src/sync.rs")));
+    }
+
+    #[test]
+    fn facade_scope_includes_the_sharded_cache_modules() {
+        assert!(facade_rule_applies(Path::new("crates/core/src/compile.rs")));
+        assert!(facade_rule_applies(Path::new("crates/aig/src/opt.rs")));
+        assert!(facade_rule_applies(Path::new("crates/aig/src/npn.rs")));
+        assert!(!facade_rule_applies(Path::new("crates/aig/src/cut.rs")));
+        assert!(!facade_rule_applies(Path::new("crates/core/src/lib.rs")));
+    }
+
+    #[test]
+    fn seeded_brace_form_mutex_import_is_flagged() {
+        let src = "use std::sync::{Arc, Mutex};\n";
+        let findings = audit_facade("crates/core/src/compile.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("Mutex"), "{findings:?}");
+        let src = "use std::sync::{atomic::{AtomicU64, Ordering}, OnceLock};\n";
+        let findings = audit_facade("crates/aig/src/opt.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("atomic"), "{findings:?}");
+    }
+
+    #[test]
+    fn brace_import_of_allowed_sync_items_is_not_flagged() {
+        // Arc and OnceLock are not interleaving-sensitive; the facade does
+        // not wrap them, so the real imports in compile.rs must stay legal.
+        let src = "use std::sync::{Arc, OnceLock};\nuse loom::sync::Mutex;\nuse loom::sync::atomic::{AtomicU64, Ordering};\n";
+        assert!(audit_facade("crates/core/src/compile.rs", src).is_empty());
+        // `MutexGuard` must not word-match `Mutex`.
+        let src = "use std::sync::{MutexGuardless};\n";
+        assert!(audit_facade("x.rs", src).is_empty());
     }
 
     #[test]

@@ -161,18 +161,153 @@ struct CacheEntry {
     tick: u64,
 }
 
-/// The LRU-managed interior of the compile cache.
+/// Lock stripes of the sharded compile cache. A power of two: the shard
+/// index is the top bits of the multiplicatively mixed key hash.
+const COMPILE_SHARDS: usize = 16;
+
+/// The shard a key lives in: both key halves are folded together and
+/// Fibonacci-mixed so structurally close fingerprints spread evenly.
+fn shard_of(key: &(u128, u64)) -> usize {
+    let folded = (key.0 as u64) ^ ((key.0 >> 64) as u64) ^ key.1;
+    (folded.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize & (COMPILE_SHARDS - 1)
+}
+
+/// The LRU-managed interior of one compile-cache shard. Byte accounting
+/// lives in the owning [`ShardedCompileCache`]'s shared atomic, not here:
+/// shard methods report the byte deltas they caused and the wrapper applies
+/// them, so the budget is enforced across all stripes together.
 #[derive(Default)]
 struct CacheState {
     map: HashMap<(u128, u64), CacheEntry>,
-    bytes: usize,
     tick: u64,
     evictions: u64,
 }
 
+/// A lock-striped, byte-budgeted compile cache: [`COMPILE_SHARDS`]
+/// independently locked LRU maps sharing one atomic byte total. Lookups
+/// and inserts for different shards never contend; the byte budget is
+/// global, enforced first against the inserting shard's own LRU tail and —
+/// if the cache is still over budget — by sweeping the other stripes one
+/// lock at a time (never holding two shard locks at once, so lock order
+/// cannot deadlock).
+struct ShardedCompileCache {
+    shards: [Mutex<CacheState>; COMPILE_SHARDS],
+    /// Estimated resident bytes across all shards.
+    bytes: AtomicU64,
+}
+
+impl ShardedCompileCache {
+    fn new() -> ShardedCompileCache {
+        ShardedCompileCache {
+            shards: std::array::from_fn(|_| Mutex::new(CacheState::default())),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// LRU-refreshing lookup in the key's shard.
+    fn probe(&self, key: (u128, u64)) -> Option<Arc<CachedCompile>> {
+        self.shards[shard_of(&key)]
+            .lock()
+            .expect("compile cache shard lock")
+            .probe(key)
+    }
+
+    /// Inserts into the key's shard, then enforces the shared byte budget:
+    /// the inserting shard evicts its least-recently-touched quarter while
+    /// the *global* total exceeds `budget`, and remaining pressure is
+    /// relieved by sweeping the other shards one at a time.
+    fn insert(&self, key: (u128, u64), value: Arc<CachedCompile>, budget: usize) {
+        let idx = shard_of(&key);
+        {
+            let mut st = self.shards[idx].lock().expect("compile cache shard lock");
+            let (added, removed) = st.insert(key, value);
+            self.bytes.fetch_add(added as u64, Ordering::Relaxed);
+            self.bytes.fetch_sub(removed as u64, Ordering::Relaxed);
+            while self.bytes.load(Ordering::Relaxed) > budget as u64 && st.map.len() > 1 {
+                let freed = st.evict_quarter();
+                self.bytes.fetch_sub(freed as u64, Ordering::Relaxed);
+            }
+        }
+        // Still over budget: the pressure sits in other stripes. Sweep them
+        // one lock at a time (never two at once), draining a stripe
+        // entirely if need be — only the inserting shard is guaranteed to
+        // keep its newest entry.
+        let mut i = (idx + 1) % COMPILE_SHARDS;
+        while self.bytes.load(Ordering::Relaxed) > budget as u64 && i != idx {
+            let mut st = self.shards[i].lock().expect("compile cache shard lock");
+            while self.bytes.load(Ordering::Relaxed) > budget as u64 && !st.map.is_empty() {
+                let freed = st.evict_quarter();
+                self.bytes.fetch_sub(freed as u64, Ordering::Relaxed);
+            }
+            drop(st);
+            i = (i + 1) % COMPILE_SHARDS;
+        }
+    }
+
+    /// Empties every shard (counters keep running).
+    fn clear(&self) {
+        for shard in &self.shards {
+            let mut st = shard.lock().expect("compile cache shard lock");
+            let freed: usize = st.map.values().map(|e| e.bytes).sum();
+            st.map.clear();
+            self.bytes.fetch_sub(freed as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// `(resident entries, accounted bytes, evictions)` summed over shards.
+    fn totals(&self) -> (usize, usize, u64) {
+        let mut entries = 0usize;
+        let mut evictions = 0u64;
+        for shard in &self.shards {
+            let st = shard.lock().expect("compile cache shard lock");
+            entries += st.map.len();
+            evictions += st.evictions;
+        }
+        (
+            entries,
+            self.bytes.load(Ordering::Relaxed) as usize,
+            evictions,
+        )
+    }
+
+    /// Checks that the byte accounting has not drifted: every entry's
+    /// recorded size must match its graph, and the shared atomic must equal
+    /// the sum over all resident entries. Holds **every** shard lock while
+    /// reading — mutations only ever happen under some shard lock (one at
+    /// a time), so this observes a consistent snapshot even while inserts
+    /// race on other threads, and cannot deadlock.
+    fn verify(&self) -> Result<(), String> {
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("compile cache shard lock"))
+            .collect();
+        let mut sum = 0usize;
+        for st in &guards {
+            for (key, e) in &st.map {
+                let expect = entry_bytes(&e.value.aig);
+                if e.bytes != expect {
+                    return Err(format!(
+                        "compile cache entry {key:?} records {} bytes, graph is {expect}",
+                        e.bytes
+                    ));
+                }
+                sum += e.bytes;
+            }
+        }
+        let accounted = self.bytes.load(Ordering::Relaxed) as usize;
+        if sum != accounted {
+            return Err(format!(
+                "compile cache bytes drifted: accounted {accounted} != resident sum {sum}"
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The process-wide compile cache (see the module docs).
 struct CompileCache {
-    state: Mutex<CacheState>,
+    state: ShardedCompileCache,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -187,7 +322,8 @@ fn entry_bytes(aig: &Aig) -> usize {
 /// Byte budget for the compile cache, read once from
 /// `LSML_COMPILE_CACHE_BYTES` (generous 256 MiB default — enough for
 /// thousands of contest-sized graphs; long unattended sweeps can dial it
-/// down, servers can raise it).
+/// down, servers can raise it). Listed with every other `LSML_*` runtime
+/// knob in the [`lsml_aig::par`] module docs.
 fn compile_cache_budget() -> usize {
     static BUDGET: OnceLock<usize> = OnceLock::new();
     *BUDGET.get_or_init(|| {
@@ -210,27 +346,30 @@ impl CacheState {
         })
     }
 
-    /// Inserts an entry and, when the estimated footprint exceeds the byte
-    /// budget, evicts the least-recently-touched quarter of the map in one
-    /// O(n) sweep (a selection, not a sort — eviction stays cheap even when
-    /// a sweep floods the cache).
-    fn insert(&mut self, key: (u128, u64), value: Arc<CachedCompile>, budget: usize) {
+    /// Inserts an entry; returns `(added, replaced)` byte deltas for the
+    /// caller's shared accounting. Never evicts — budget enforcement is the
+    /// wrapper's job (it owns the cross-shard byte total).
+    fn insert(&mut self, key: (u128, u64), value: Arc<CachedCompile>) -> (usize, usize) {
         self.tick += 1;
         let bytes = entry_bytes(&value.aig);
-        if let Some(old) = self.map.insert(
-            key,
-            CacheEntry {
-                value,
-                bytes,
-                tick: self.tick,
-            },
-        ) {
-            self.bytes -= old.bytes;
-        }
-        self.bytes += bytes;
-        if self.bytes <= budget || self.map.len() <= 1 {
-            return;
-        }
+        let replaced = self
+            .map
+            .insert(
+                key,
+                CacheEntry {
+                    value,
+                    bytes,
+                    tick: self.tick,
+                },
+            )
+            .map_or(0, |old| old.bytes);
+        (bytes, replaced)
+    }
+
+    /// Evicts the least-recently-touched quarter of this shard in one O(n)
+    /// sweep (a selection, not a sort — eviction stays cheap even when a
+    /// sweep floods the cache); returns the bytes freed.
+    fn evict_quarter(&mut self) -> usize {
         let mut ticks: Vec<u64> = self.map.values().map(|e| e.tick).collect();
         let cut = ticks.len() / 4;
         let (_, &mut threshold, _) = ticks.select_nth_unstable(cut);
@@ -244,39 +383,15 @@ impl CacheState {
                 false
             }
         });
-        self.bytes -= freed;
         self.evictions += (before - self.map.len()) as u64;
-    }
-
-    /// Checks that the byte accounting has not drifted: every entry's
-    /// recorded size must match its graph, and `bytes` must equal their sum.
-    fn verify(&self) -> Result<(), String> {
-        let mut sum = 0usize;
-        for (key, e) in &self.map {
-            let expect = entry_bytes(&e.value.aig);
-            if e.bytes != expect {
-                return Err(format!(
-                    "compile cache entry {key:?} records {} bytes, graph is {expect}",
-                    e.bytes
-                ));
-            }
-            sum += e.bytes;
-        }
-        if sum != self.bytes {
-            return Err(format!(
-                "compile cache bytes drifted: accounted {} != resident sum {sum} ({} entries)",
-                self.bytes,
-                self.map.len()
-            ));
-        }
-        Ok(())
+        freed
     }
 }
 
 fn cache() -> &'static CompileCache {
     static CACHE: OnceLock<CompileCache> = OnceLock::new();
     CACHE.get_or_init(|| CompileCache {
-        state: Mutex::new(CacheState::default()),
+        state: ShardedCompileCache::new(),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
     })
@@ -312,13 +427,13 @@ pub struct CompileCacheDetail {
 /// the configured byte budget.
 pub fn compile_cache_detail() -> CompileCacheDetail {
     let c = cache();
-    let state = c.state.lock().expect("compile cache lock");
+    let (entries, bytes, evictions) = c.state.totals();
     CompileCacheDetail {
         hits: c.hits.load(Ordering::Relaxed),
         misses: c.misses.load(Ordering::Relaxed),
-        evictions: state.evictions,
-        entries: state.map.len(),
-        bytes: state.bytes,
+        evictions,
+        entries,
+        bytes,
         budget_bytes: compile_cache_budget(),
     }
 }
@@ -326,17 +441,15 @@ pub fn compile_cache_detail() -> CompileCacheDetail {
 /// Empties the compile cache (counters keep running). Benchmarks call this
 /// between cold/warm phases so timings measure compilation, not memoization.
 pub fn compile_cache_clear() {
-    let mut state = cache().state.lock().expect("compile cache lock");
-    state.map.clear();
-    state.bytes = 0;
+    cache().state.clear();
 }
 
-/// Checks the process-wide compile cache's byte accounting: `bytes` must
-/// equal the sum of the resident entries' recorded sizes, and each recorded
-/// size must match its graph. Concurrency stress tests call this between
-/// hammer rounds to pin accounting drift.
+/// Checks the process-wide compile cache's byte accounting: the shared
+/// atomic must equal the sum of the resident entries' recorded sizes over
+/// all shards, and each recorded size must match its graph. Concurrency
+/// stress tests call this between hammer rounds to pin accounting drift.
 pub fn compile_cache_verify() -> Result<(), String> {
-    cache().state.lock().expect("compile cache lock").verify()
+    cache().state.verify()
 }
 
 /// Model-check surface (`--cfg lsml_loom` only): a *fresh*, non-global
@@ -348,45 +461,55 @@ pub fn compile_cache_verify() -> Result<(), String> {
 pub mod loom_api {
     use super::*;
 
-    /// A private compile cache over the same `CacheState` machinery (and the
-    /// same shadow `Mutex`) the process-wide cache uses.
+    /// A private compile cache over the same [`ShardedCompileCache`]
+    /// machinery (same stripes, same shadow `Mutex`es, same shared atomic
+    /// byte total) the process-wide cache uses.
     pub struct LoomCompileCache {
-        state: Mutex<CacheState>,
+        state: ShardedCompileCache,
         budget: usize,
     }
+
+    /// The shard a key maps to — lets models pick keys that land on the
+    /// same stripe (lock contention) or distinct stripes (cross-shard
+    /// accounting).
+    pub fn shard_index(key: (u128, u64)) -> usize {
+        shard_of(&key)
+    }
+
+    /// Number of lock stripes.
+    pub const SHARDS: usize = COMPILE_SHARDS;
 
     impl LoomCompileCache {
         /// A fresh cache with the given byte budget.
         pub fn with_budget(budget: usize) -> Self {
             LoomCompileCache {
-                state: Mutex::new(CacheState::default()),
+                state: ShardedCompileCache::new(),
                 budget,
             }
         }
 
         /// LRU-refreshing lookup; true on hit.
         pub fn probe(&self, key: (u128, u64)) -> bool {
-            self.state.lock().unwrap().probe(key).is_some()
+            self.state.probe(key).is_some()
         }
 
-        /// Insert `aig` under `key`, evicting per the byte budget.
+        /// Insert `aig` under `key`, evicting per the shared byte budget.
         pub fn insert(&self, key: (u128, u64), aig: &Aig) {
             let entry = Arc::new(CachedCompile {
                 aig: aig.clone(),
                 approximated: false,
             });
-            self.state.lock().unwrap().insert(key, entry, self.budget);
+            self.state.insert(key, entry, self.budget);
         }
 
         /// Byte-accounting check (see [`compile_cache_verify`]).
         pub fn verify(&self) -> Result<(), String> {
-            self.state.lock().unwrap().verify()
+            self.state.verify()
         }
 
-        /// `(resident entries, accounted bytes, evictions)`.
+        /// `(resident entries, accounted bytes, evictions)` over all shards.
         pub fn stats(&self) -> (usize, usize, u64) {
-            let st = self.state.lock().unwrap();
-            (st.map.len(), st.bytes, st.evictions)
+            self.state.totals()
         }
     }
 }
@@ -450,7 +573,7 @@ fn compile_through(
 ) -> LearnedCircuit {
     let aig = aig.extract_cone(aig.outputs());
     let key = (aig.structural_fingerprint(), budget.fingerprint(&pipeline));
-    let cached = cache().state.lock().expect("compile cache lock").probe(key);
+    let cached = cache().state.probe(key);
     if let Some(hit) = cached {
         cache().hits.fetch_add(1, Ordering::Relaxed);
         return labeled(hit.aig.clone(), hit.approximated, method);
@@ -480,11 +603,7 @@ fn compile_through(
         aig: result.clone(),
         approximated,
     });
-    cache()
-        .state
-        .lock()
-        .expect("compile cache lock")
-        .insert(key, entry, compile_cache_budget());
+    cache().state.insert(key, entry, compile_cache_budget());
     labeled(result, approximated, method)
 }
 

@@ -1,16 +1,42 @@
-//! Model-checked races on the byte-budgeted compile-cache LRU.
+//! Model-checked races on the lock-striped, byte-budgeted compile and
+//! fixpoint caches.
 //!
 //! Only built under `RUSTFLAGS="--cfg lsml_loom"` — the CI `model-check`
-//! leg. Uses the `loom_api` surface: a *fresh* cache per model body (the
-//! process-wide `OnceLock` cache is not modeled; see the `loom` crate docs)
-//! over the exact same `CacheState` machinery and shadow `Mutex` the global
-//! cache runs on.
+//! leg. Uses the `loom_api` surfaces: a *fresh* cache per model body (the
+//! process-wide `OnceLock` caches are not modeled; see the `loom` crate
+//! docs) over the exact same sharded machinery and shadow `Mutex`es the
+//! global caches run on.
 #![cfg(lsml_loom)]
 
 use loom::{model, thread};
+use lsml_aig::opt::loom_api::{shard_index as fixpoint_shard_index, LoomFixpointCache};
 use lsml_aig::Aig;
-use lsml_core::compile::loom_api::LoomCompileCache;
+use lsml_core::compile::loom_api::{shard_index, LoomCompileCache};
 use std::sync::Arc;
+
+/// A pair of keys that land on **distinct** shards (panics if the stripe
+/// hash ever degenerates to a single stripe for small keys).
+fn cross_shard_keys() -> ((u128, u64), (u128, u64)) {
+    let a = (0u128, 0u64);
+    for raw in 1..1024u128 {
+        let b = (raw, 0u64);
+        if shard_index(b) != shard_index(a) {
+            return (a, b);
+        }
+    }
+    panic!("no second shard reachable");
+}
+
+/// A key colliding with `a`'s shard but under a different map key.
+fn same_shard_other_key(a: (u128, u64)) -> (u128, u64) {
+    for raw in 1..4096u128 {
+        let b = (raw, 1u64);
+        if b != a && shard_index(b) == shard_index(a) {
+            return b;
+        }
+    }
+    panic!("no same-shard sibling found");
+}
 
 /// A tiny graph with `ands` AND gates (distinct sizes → distinct entry
 /// footprints, so byte accounting is actually exercised).
@@ -53,10 +79,16 @@ fn concurrent_insert_evict_accounting() {
             t.join().unwrap();
         }
         cache.verify().unwrap();
-        let (entries, bytes, _evictions) = cache.stats();
-        assert!(
-            entries >= 1,
-            "everything evicted: {entries} entries, {bytes} bytes"
+        // Conservation, not liveness: concurrent cross-stripe sweeps can
+        // each observe the combined over-budget total and drain the other
+        // thread's stripe, so `entries == 0` is a legal quiescent state.
+        // What must hold is that all 3 distinct inserts are either
+        // resident or counted as evicted — never silently lost.
+        let (entries, bytes, evictions) = cache.stats();
+        assert_eq!(
+            entries as u64 + evictions,
+            3,
+            "lost entries: {entries} resident + {evictions} evicted ({bytes} bytes)"
         );
     });
     println!(
@@ -116,4 +148,136 @@ fn same_key_double_insert_refunds_bytes() {
         "same_key_double_insert: {} interleavings explored",
         report.iterations
     );
+}
+
+/// Cross-shard byte-budget accounting race: two threads insert into
+/// **distinct stripes** under a budget that forces eviction, so the shared
+/// atomic byte total is mutated from both stripes concurrently (including
+/// the cross-stripe pressure sweep). Accounting must stay exact across
+/// every interleaving — the all-locks `verify` snapshot is sound even
+/// mid-race.
+#[test]
+fn cross_shard_budget_accounting_race() {
+    let (ka, kb) = cross_shard_keys();
+    // Roomy enough for one entry, tight enough that two force the sweep.
+    let budget = 500;
+    let report = model(move || {
+        let cache = Arc::new(LoomCompileCache::with_budget(budget));
+        let writer = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                cache.insert(kb, &tiny_aig(5));
+                cache.verify().unwrap();
+            })
+        };
+        cache.insert(ka, &tiny_aig(2));
+        cache.verify().unwrap();
+        writer.join().unwrap();
+        cache.verify().unwrap();
+        // Dueling sweeps may legally drain both stripes (each observed the
+        // combined total while over budget); conservation must still hold.
+        let (entries, bytes, evictions) = cache.stats();
+        assert_eq!(
+            entries as u64 + evictions,
+            2,
+            "lost entries: {entries} resident + {evictions} evicted"
+        );
+        assert!(entries > 0 || bytes == 0, "empty cache with residual bytes");
+    });
+    println!(
+        "cross_shard_budget_accounting_race: {} interleavings explored",
+        report.iterations
+    );
+    assert!(report.iterations > 1);
+}
+
+/// Concurrent insert and evict on distinct shards: one stripe inserts
+/// within budget while the other is forced over budget and sweeps —
+/// the sweep drains *other* stripes one lock at a time, racing the
+/// first stripe's insert. No deadlock, no lost or double-counted bytes.
+#[test]
+fn concurrent_insert_evict_on_distinct_shards() {
+    let (ka, kb) = cross_shard_keys();
+    let ka2 = same_shard_other_key(ka);
+    let budget = 700;
+    let report = model(move || {
+        let cache = Arc::new(LoomCompileCache::with_budget(budget));
+        let writer = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                // Two same-stripe inserts: the second one's budget check
+                // can trigger the cross-stripe sweep into ka's shard while
+                // the main thread is inserting there.
+                cache.insert(kb, &tiny_aig(4));
+                cache.insert(same_shard_other_key(kb), &tiny_aig(6));
+            })
+        };
+        cache.insert(ka, &tiny_aig(2));
+        cache.insert(ka2, &tiny_aig(3));
+        writer.join().unwrap();
+        cache.verify().unwrap();
+        let (entries, _bytes, evictions) = cache.stats();
+        assert_eq!(
+            entries as u64 + evictions,
+            4,
+            "lost entries: {entries} resident + {evictions} evicted"
+        );
+    });
+    println!(
+        "concurrent_insert_evict_on_distinct_shards: {} interleavings explored",
+        report.iterations
+    );
+    assert!(report.iterations > 1);
+}
+
+/// The sharded fixpoint cache under concurrent over-capacity inserts:
+/// the shared entry count must track the per-stripe maps exactly and
+/// never exceed the capacity once quiescent.
+#[test]
+fn fixpoint_cache_concurrent_inserts_respect_capacity() {
+    // Keys on at least two stripes.
+    let mut keys: Vec<(u128, u64)> = Vec::new();
+    let first = (0u128, 0u64);
+    keys.push(first);
+    for raw in 1..1024u128 {
+        let k = (raw, 0u64);
+        if fixpoint_shard_index(k) != fixpoint_shard_index(first) {
+            keys.push(k);
+            break;
+        }
+    }
+    assert_eq!(keys.len(), 2, "need two stripes");
+    let report = model(move || {
+        let cache = Arc::new(LoomFixpointCache::with_capacity(2));
+        let writer = {
+            let cache = Arc::clone(&cache);
+            let k = keys[1];
+            // No mid-race verify here: capacity is a *quiescent* guarantee
+            // (the lock is dropped between a stripe's own-phase and the
+            // cross-stripe sweep, so the count can transiently exceed the
+            // cap while another thread races). Byte/count drift is checked
+            // mid-race in the compile-cache models; the cap only after join.
+            thread::spawn(move || {
+                cache.insert(k);
+                cache.insert((k.0 + 4096, 0));
+            })
+        };
+        cache.insert(keys[0]);
+        assert!(
+            cache.probe(keys[0]) || {
+                // The racing writer's capacity sweep may have evicted us.
+                let (entries, _) = cache.stats();
+                entries <= 2
+            }
+        );
+        writer.join().unwrap();
+        cache.verify().unwrap();
+        let (entries, _evictions) = cache.stats();
+        assert!(entries >= 1 && entries <= 2, "resident {entries}");
+    });
+    println!(
+        "fixpoint_cache_concurrent_inserts_respect_capacity: {} interleavings explored",
+        report.iterations
+    );
+    assert!(report.iterations > 1);
 }

@@ -22,9 +22,9 @@
 //! Setting **`LSML_FORCE_SCALAR=1`** in the environment pins the active
 //! backend to [`Backend::Scalar`] regardless of what the CPU supports (read
 //! once, at selection time) — CI runs a whole test leg this way to separate
-//! kernel bugs from dispatch bugs. It sits alongside the other runtime
-//! knobs: `LSML_NUM_THREADS` (pool size) and `LSML_CHECK=1` (structural
-//! verifiers after every optimization pass; see `lsml_aig::opt`).
+//! kernel bugs from dispatch bugs. The consolidated table of every
+//! `LSML_*` runtime knob (pool width, in-pass parallelism, verifiers,
+//! cache budgets) lives in the `lsml_aig::par` module docs.
 //!
 //! Every accelerated variant is **bit-identical** to the scalar reference:
 //! the kernels return integer counts or exact bitwise transforms, so there

@@ -31,7 +31,8 @@
 //! indices that reached it. Re-running the same test with
 //! `LSML_LOOM_REPLAY=<seed>` deterministically replays exactly that
 //! interleaving (one execution, no exploration), which makes shrinking and
-//! debugging a failing schedule trivial.
+//! debugging a failing schedule trivial. (The variable is listed with
+//! every other `LSML_*` runtime knob in the `lsml_aig::par` module docs.)
 //!
 //! # The `sync` facade
 //!
