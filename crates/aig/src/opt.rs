@@ -401,6 +401,31 @@ pub fn fixpoint_cache_verify() -> Result<(), String> {
     fixpoint_cache().verify()
 }
 
+/// Every (graph fingerprint, pipeline fingerprint) pair currently known to
+/// be at a fixpoint, across all shards, in sorted order (so identical cache
+/// contents export identical snapshots). Warm-start persistence
+/// (`lsml-serve`) serializes this; pair with [`fixpoint_cache_import`].
+pub fn fixpoint_cache_export() -> Vec<(u128, u64)> {
+    let cache = fixpoint_cache();
+    let mut keys = Vec::new();
+    for shard in &cache.shards {
+        let st = shard.lock().expect("fixpoint cache lock");
+        keys.extend(st.map.keys().copied());
+    }
+    keys.sort_unstable();
+    keys
+}
+
+/// Re-seeds the fixpoint cache with previously exported keys (a warm boot
+/// from a snapshot). Inserts run through the ordinary budget-enforcing
+/// path, so an oversized snapshot is trimmed exactly like live pressure.
+pub fn fixpoint_cache_import(keys: &[(u128, u64)]) {
+    let cache = fixpoint_cache();
+    for &key in keys {
+        cache.insert(key);
+    }
+}
+
 /// Model-check surface (`--cfg lsml_loom` only): a *fresh*, non-global
 /// fixpoint cache with an explicit entry capacity, so `loom::model` bodies
 /// can explore probe/insert/evict races on the sharded design from a known
@@ -595,9 +620,16 @@ impl Pipeline {
     /// [`check_enabled`]) the full structural verifier
     /// ([`Aig::check_invariants`]) runs after every pass and panics naming
     /// the offending pass on the first violation.
+    ///
+    /// Stops between passes once the calling thread's cancellation token
+    /// ([`crate::cancel`]) fires. Every pass is semantics-preserving, so the
+    /// early return is a valid (just less optimized) graph.
     pub fn run(&self, aig: &Aig) -> Aig {
         let mut current = aig.clone();
         for pass in &self.passes {
+            if crate::cancel::cancelled() {
+                return current;
+            }
             current = pass.run(&current);
             if check_enabled() {
                 if let Err(e) = current.check_invariants() {
@@ -641,11 +673,20 @@ impl Pipeline {
             let smaller = next.num_ands() < best.num_ands();
             let same_but_shallower =
                 next.num_ands() == best.num_ands() && next.depth() < best.depth();
-            if !(smaller || same_but_shallower) {
+            let improved = smaller || same_but_shallower;
+            if improved {
+                best = next;
+            }
+            if crate::cancel::cancelled() {
+                // A cancelled round may have skipped passes, so "no
+                // improvement" proves nothing about convergence: return the
+                // best graph so far and never memoize it as a fixpoint.
+                return best;
+            }
+            if !improved {
                 converged = true;
                 break;
             }
-            best = next;
         }
         if converged {
             fixpoint_cache().insert((best.structural_fingerprint(), pipe_fp));
@@ -936,6 +977,58 @@ mod tests {
         let h = Pipeline::resyn(3).run_fixpoint(&g, 4);
         assert!(h.num_ands() <= cleaned.num_ands());
         equivalent_exhaustive(&g, &h);
+    }
+
+    #[test]
+    fn cancelled_run_returns_valid_partial_result() {
+        use crate::cancel::{with_token, CancelToken};
+        let mut g = Aig::new(4);
+        let (a, b, c, d) = (g.input(0), g.input(1), g.input(2), g.input(3));
+        let x1 = g.xor(a, b);
+        let o = g.or(a, b);
+        let n = g.and(a, b);
+        let x2 = g.and(o, !n);
+        let m1 = g.mux(c, x1, x2);
+        let f = g.mux(d, m1, x1);
+        g.add_output(f);
+        let token = CancelToken::new();
+        token.cancel();
+        let h = with_token(&token, || Pipeline::resyn(0).run(&g));
+        // Cancelled before the first pass: the identity graph comes back,
+        // still semantically equal.
+        assert_eq!(h.num_ands(), g.num_ands());
+        equivalent_exhaustive(&g, &h);
+    }
+
+    #[test]
+    fn cancelled_fixpoint_never_memoizes() {
+        use crate::cancel::{with_token, CancelToken};
+        let mut g = Aig::new(5);
+        let ins = g.inputs();
+        let x = g.xor_many(&ins[..4]);
+        let y = g.and_many(&ins[1..]);
+        let f = g.mux(ins[0], x, y);
+        g.add_output(f);
+        // A unique seed gives this pipeline a fingerprint no other test
+        // shares, so global-cache assertions are race-free.
+        let p = Pipeline::resyn(0x00C0_FFEE_CA11);
+        let pipe_fp = p.fingerprint();
+        let token = CancelToken::new();
+        token.cancel();
+        let h = with_token(&token, || p.run_fixpoint(&g, 4));
+        equivalent_exhaustive(&g, &h);
+        let key = (h.structural_fingerprint(), pipe_fp);
+        assert!(
+            !fixpoint_cache_export().contains(&key),
+            "a cancelled run must not be recorded as a fixpoint"
+        );
+        // The same run without the token converges and IS recorded.
+        let done = p.run_fixpoint(&g, 8);
+        let key = (done.structural_fingerprint(), pipe_fp);
+        assert!(fixpoint_cache_export().contains(&key));
+        // Import of an export is idempotent: the key stays resident.
+        fixpoint_cache_import(&[key]);
+        assert!(fixpoint_cache_export().contains(&key));
     }
 
     #[test]

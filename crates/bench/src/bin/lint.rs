@@ -9,9 +9,11 @@
 //!    (`unsafe fn(...)`) are exempt: they declare a contract, they don't
 //!    discharge one.
 //!
-//! 2. **Sync facade** — files under `vendor/rayon/src`, plus the sharded
+//! 2. **Sync facade** — files under `vendor/rayon/src`, the sharded
 //!    cache and NPN-library modules (`crates/core/src/compile.rs`,
-//!    `crates/aig/src/opt.rs`, `crates/aig/src/npn.rs`), must not import
+//!    `crates/aig/src/opt.rs`, `crates/aig/src/npn.rs`), and the whole
+//!    serve daemon (`crates/serve/src`, whose request queue is
+//!    model-checked), must not import
 //!    `std::sync::atomic` or `std::sync::Mutex` directly — neither as a
 //!    full path nor tucked inside a brace import
 //!    (`use std::sync::{Arc, Mutex}`); all synchronization routes through
@@ -177,12 +179,18 @@ fn audit_facade(label: &str, contents: &str) -> Vec<String> {
 }
 
 /// Whether rule 2 applies to this path: under `vendor/rayon/src` (minus
-/// the facade module itself), or one of the facade-routed cache / NPN
-/// modules whose locks and atomics the loom models check.
+/// the facade module itself), one of the facade-routed cache / NPN
+/// modules whose locks and atomics the loom models check, or the serve
+/// daemon sources. `crates/serve/src/signal.rs` is carved out: a signal
+/// handler needs a genuinely async-signal-safe std atomic, and the shadow
+/// scheduler must never be entered from a signal context.
 fn facade_rule_applies(rel: &Path) -> bool {
     let s = rel.to_string_lossy().replace('\\', "/");
     if s.contains("vendor/rayon/src/") {
         return !s.ends_with("/sync.rs");
+    }
+    if s.contains("crates/serve/src/") {
+        return !s.ends_with("/signal.rs");
     }
     s.ends_with("crates/core/src/compile.rs")
         || s.ends_with("crates/aig/src/opt.rs")
@@ -343,6 +351,29 @@ mod tests {
         assert!(facade_rule_applies(Path::new("crates/aig/src/npn.rs")));
         assert!(!facade_rule_applies(Path::new("crates/aig/src/cut.rs")));
         assert!(!facade_rule_applies(Path::new("crates/core/src/lib.rs")));
+    }
+
+    #[test]
+    fn facade_scope_includes_serve_but_not_its_signal_handler() {
+        assert!(facade_rule_applies(Path::new("crates/serve/src/queue.rs")));
+        assert!(facade_rule_applies(Path::new("crates/serve/src/server.rs")));
+        assert!(facade_rule_applies(Path::new("crates/serve/src/fault.rs")));
+        assert!(!facade_rule_applies(Path::new(
+            "crates/serve/src/signal.rs"
+        )));
+        // Integration tests are out of scope; only src/ is facade-routed.
+        assert!(!facade_rule_applies(Path::new(
+            "crates/serve/tests/loom_queue.rs"
+        )));
+    }
+
+    #[test]
+    fn seeded_std_mutex_in_serve_queue_is_flagged() {
+        let src = "use std::sync::Mutex;\nuse std::sync::{Arc, atomic::AtomicU64};\n";
+        let findings = audit_facade("crates/serve/src/queue.rs", src);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].contains("std::sync::Mutex"), "{findings:?}");
+        assert!(findings[1].contains("atomic"), "{findings:?}");
     }
 
     #[test]

@@ -452,6 +452,54 @@ pub fn compile_cache_verify() -> Result<(), String> {
     cache().state.verify()
 }
 
+/// One exported compile-cache entry: the cache key plus the memoized result
+/// (warm-start persistence; see [`compile_cache_export`]).
+pub struct CompileCacheEntry {
+    /// [`Aig::structural_fingerprint`] of the canonicalized input cone.
+    pub graph_fingerprint: u128,
+    /// Fingerprint of the budget knobs + pipeline configuration.
+    pub budget_fingerprint: u64,
+    /// The optimized graph the key memoizes.
+    pub aig: Aig,
+    /// Whether approximation actually traded accuracy away.
+    pub approximated: bool,
+}
+
+/// Every resident compile-cache entry, sorted by key (so identical cache
+/// contents export identical snapshots). `lsml-serve` serializes this on
+/// shutdown; pair with [`compile_cache_import`]. Holds one shard lock at a
+/// time, so live traffic keeps flowing while a snapshot is cut.
+pub fn compile_cache_export() -> Vec<CompileCacheEntry> {
+    let mut out = Vec::new();
+    for shard in &cache().state.shards {
+        let st = shard.lock().expect("compile cache shard lock");
+        out.extend(st.map.iter().map(|(key, e)| CompileCacheEntry {
+            graph_fingerprint: key.0,
+            budget_fingerprint: key.1,
+            aig: e.value.aig.clone(),
+            approximated: e.value.approximated,
+        }));
+    }
+    out.sort_unstable_by_key(|e| (e.graph_fingerprint, e.budget_fingerprint));
+    out
+}
+
+/// Re-seeds the compile cache from previously exported entries (a warm boot
+/// from a snapshot). Inserts run through the ordinary byte-budget-enforcing
+/// path, so an oversized snapshot is trimmed exactly like live pressure.
+pub fn compile_cache_import(entries: impl IntoIterator<Item = CompileCacheEntry>) {
+    let budget = compile_cache_budget();
+    for e in entries {
+        let value = Arc::new(CachedCompile {
+            aig: e.aig,
+            approximated: e.approximated,
+        });
+        cache()
+            .state
+            .insert((e.graph_fingerprint, e.budget_fingerprint), value, budget);
+    }
+}
+
 /// Model-check surface (`--cfg lsml_loom` only): a *fresh*, non-global
 /// compile-cache state with an explicit byte budget, so `loom::model`
 /// bodies can explore insert/evict/lookup races from a known initial state
@@ -599,11 +647,17 @@ fn compile_through(
             reduce_traced_with(&optimized, &cfg, &pipeline)
         };
 
-    let entry = Arc::new(CachedCompile {
-        aig: result.clone(),
-        approximated,
-    });
-    cache().state.insert(key, entry, compile_cache_budget());
+    // A compile cut short by the caller's cancellation token returned a
+    // valid but *partial* optimization — memoizing it would serve the
+    // half-optimized graph to every future compile of this key. The token
+    // is sticky, so one check after the run covers the whole pipeline.
+    if !lsml_aig::cancel::cancelled() {
+        let entry = Arc::new(CachedCompile {
+            aig: result.clone(),
+            approximated,
+        });
+        cache().state.insert(key, entry, compile_cache_budget());
+    }
     labeled(result, approximated, method)
 }
 
@@ -869,15 +923,24 @@ impl CompileBatch {
             .map(|(i, c)| (i, self.shared.extract_cone(&c.outputs), c.method.clone()))
             .collect();
         let batch = &*self;
+        // Cancellation rides a thread-local; carry the caller's token across
+        // the pool fan-out so a fired deadline stops in-flight candidates.
+        let token = lsml_aig::cancel::current();
         let done: Vec<(usize, LearnedCircuit)> = todo
             .par_iter()
             .map(|(i, cone, method)| {
-                let compiled = compile_through(
-                    batch.pipeline(),
-                    cone.clone(),
-                    method.clone(),
-                    &batch.budget,
-                );
+                let run = || {
+                    compile_through(
+                        batch.pipeline(),
+                        cone.clone(),
+                        method.clone(),
+                        &batch.budget,
+                    )
+                };
+                let compiled = match &token {
+                    Some(t) => lsml_aig::cancel::with_token(t, run),
+                    None => run(),
+                };
                 (*i, compiled)
             })
             .collect();
@@ -935,6 +998,12 @@ impl CompileBatch {
         order.sort_by(|&a, &b| accs[b].total_cmp(&accs[a]).then(a.cmp(&b)));
         let mut best: Option<(f64, usize, usize)> = None;
         for &i in &order {
+            // Deadline hit: stop compiling further candidates and return the
+            // best one finished so far (partial-best-so-far semantics — the
+            // serving path answers a timed-out SelectBest with this).
+            if best.is_some() && lsml_aig::cancel::cancelled() {
+                break;
+            }
             if let Some((bacc, _, _)) = best {
                 // Everything from here on scores strictly worse than the
                 // best *fitting* candidate: it can't win, so don't compile.
@@ -1077,6 +1146,79 @@ mod tests {
             assert_eq!(c.aig.eval(&bits), g.eval(&bits));
         }
         assert!(c.and_gates() <= g.num_ands());
+    }
+
+    #[test]
+    fn cancelled_compile_returns_valid_graph_and_never_caches() {
+        use lsml_aig::cancel::{with_token, CancelToken};
+        // A structure no other test builds, so global-cache scans are
+        // race-free: 11-input XOR chain guarded by a 3-wide AND.
+        let mut g = Aig::new(11);
+        let ins = g.inputs();
+        let x = g.xor_many(&ins);
+        let a = g.and_many(&ins[..3]);
+        let f = g.or(x, a);
+        g.add_output(f);
+        let cone_fp = g.extract_cone(g.outputs()).structural_fingerprint();
+        let in_cache = || {
+            compile_cache_export()
+                .iter()
+                .any(|e| e.graph_fingerprint == cone_fp)
+        };
+        assert!(!in_cache());
+        let budget = SizeBudget::exact(5000);
+        let token = CancelToken::new();
+        token.cancel();
+        let c = with_token(&token, || {
+            LearnedCircuit::compile(g.clone(), "timed-out", &budget)
+        });
+        // Semantics hold even though optimization was cut short...
+        for m in [0u64, 1, 0x2A5, 0x7FF] {
+            let bits: Vec<bool> = (0..11).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(c.aig.eval(&bits), g.eval(&bits));
+        }
+        // ...and the partial result was NOT memoized.
+        assert!(!in_cache(), "cancelled compile must not be cached");
+        // The uncancelled compile is cached, exports, and re-imports.
+        let full = LearnedCircuit::compile(g.clone(), "full", &budget);
+        assert!(in_cache());
+        let entries: Vec<CompileCacheEntry> = compile_cache_export()
+            .into_iter()
+            .filter(|e| e.graph_fingerprint == cone_fp)
+            .collect();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].aig.structural_fingerprint(),
+            full.aig.structural_fingerprint()
+        );
+        compile_cache_import(entries);
+        assert!(in_cache());
+    }
+
+    #[test]
+    fn cancelled_select_best_returns_some_candidate() {
+        use lsml_aig::cancel::{with_token, CancelToken};
+        use lsml_pla::Pattern;
+        let mut valid = Dataset::new(6);
+        for m in 0..64u64 {
+            let p = Pattern::from_index(m, 6);
+            let label = (0..6).filter(|&i| p.get(i)).count() % 2 == 1;
+            valid.push(p, label);
+        }
+        let mut batch = CompileBatch::new(6, &SizeBudget::exact(5000).without_approx());
+        for k in 2..=6usize {
+            let mut g = Aig::new(6);
+            let ins = g.inputs();
+            let f = g.xor_many(&ins[..k]);
+            g.add_output(f);
+            batch.add_aig(&g, format!("xor{k}"));
+        }
+        let token = CancelToken::new();
+        token.cancel();
+        let picked = with_token(&token, || batch.select_best(&valid, 5000));
+        // The full-parity candidate scores 1.0 and sorts first; even with a
+        // fired deadline the partial-best path compiles and returns it.
+        assert_eq!(picked.accuracy(&valid), 1.0);
     }
 
     #[test]

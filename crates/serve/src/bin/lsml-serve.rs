@@ -1,0 +1,48 @@
+//! The `lsml-serve` daemon binary.
+//!
+//! Boots the server from the `LSML_SERVE_*` environment (see the knob table
+//! in `lsml_aig::par`), then sits in a poll loop until either a SIGTERM /
+//! SIGINT arrives or a client sends the Shutdown op — both run the same
+//! graceful sequence: stop admitting, drain (bounded by the watchdog),
+//! snapshot the caches, stop.
+
+use lsml_serve::server::{Server, ServerConfig};
+use std::time::Duration;
+
+fn main() {
+    let cfg = ServerConfig::from_env();
+    #[cfg(unix)]
+    lsml_serve::signal::install();
+    let server = match Server::start(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lsml-serve: cannot bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "lsml-serve: listening on {} ({} workers, queue {}, faults {})",
+        server.local_addr(),
+        cfg.workers,
+        cfg.queue_capacity,
+        if cfg.fault.armed() {
+            format!("seed {}", cfg.fault.seed)
+        } else {
+            "off".into()
+        }
+    );
+    loop {
+        #[cfg(unix)]
+        if lsml_serve::signal::termination_requested() {
+            eprintln!("lsml-serve: signal received, draining");
+            server.begin_shutdown();
+        }
+        if server.is_stopped() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let stats = server.counters().json(0);
+    server.shutdown_and_join();
+    eprintln!("lsml-serve: stopped; {stats}");
+}

@@ -1,0 +1,288 @@
+//! Bounded, fairness-aware request queue feeding the worker threads.
+//!
+//! This is the admission-control heart of the daemon:
+//!
+//! * **Bounded** — at most `capacity` queued requests; a full queue sheds
+//!   ([`ShedReason::QueueFull`]) instead of growing without bound. Admission
+//!   never blocks, so the accept path cannot be wedged by slow workers.
+//! * **Fair** — each client gets its own FIFO sub-queue and workers pop
+//!   round-robin across clients, so one chatty client cannot starve the
+//!   rest. On top of that, each client has a token budget
+//!   ([`ShedReason::ClientBudget`]): outstanding work is charged by op cost
+//!   and a client over budget is shed until its work completes.
+//! * **Drainable** — [`RequestQueue::drain`] flips the queue into a
+//!   non-admitting state and blocks until every queued *and in-flight*
+//!   request has completed; [`RequestQueue::shutdown`] then releases the
+//!   blocked workers. This is the graceful-SIGTERM path.
+//!
+//! All synchronization goes through the `loom::sync` facade, so the
+//! sleep/wake protocol (two condvars: `cv_work` for workers, `cv_idle` for
+//! drainers) is exhaustively model-checked under `--cfg lsml_loom` — see
+//! `tests/loom_queue.rs` for the no-lost-wakeup and no-shutdown-hang models.
+
+use loom::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Why a request was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The global queue is at capacity.
+    QueueFull,
+    /// This client already has a full token budget of work outstanding.
+    ClientBudget,
+    /// The server is draining (or stopped) and admits nothing new.
+    Draining,
+}
+
+/// What a worker got from [`RequestQueue::pop_blocking`].
+pub enum Popped<T> {
+    /// A unit of work. The worker must call
+    /// [`RequestQueue::complete`]`(client, cost)` when done — success,
+    /// panic-caught, or shed-late — or drain will hang.
+    Job {
+        /// Admitting client, for the completion call.
+        client: u64,
+        /// Token cost charged at admission, refunded by `complete`.
+        cost: u64,
+        /// The request itself.
+        item: T,
+    },
+    /// The queue is shut down; the worker thread should exit.
+    Shutdown,
+}
+
+struct Inner<T> {
+    /// Per-client FIFO sub-queues, in first-seen order. Empty sub-queues are
+    /// removed so the round-robin cursor only visits live clients.
+    queues: Vec<(u64, VecDeque<(u64, T)>)>,
+    /// Round-robin position over `queues`.
+    cursor: usize,
+    /// Total queued items (sum of sub-queue lengths).
+    queued: usize,
+    /// Popped but not yet completed.
+    in_flight: usize,
+    /// Outstanding token cost per client (admitted + in-flight).
+    spent: Vec<(u64, u64)>,
+    /// No new admissions; workers keep draining what is queued.
+    draining: bool,
+    /// Workers should exit once the queue is empty.
+    shutdown: bool,
+}
+
+impl<T> Inner<T> {
+    fn spent_mut(&mut self, client: u64) -> &mut u64 {
+        if let Some(i) = self.spent.iter().position(|&(c, _)| c == client) {
+            return &mut self.spent[i].1;
+        }
+        self.spent.push((client, 0));
+        &mut self.spent.last_mut().expect("just pushed").1
+    }
+}
+
+/// The bounded multi-client queue. See the module docs for the contract.
+pub struct RequestQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Workers park here waiting for work (or shutdown).
+    cv_work: Condvar,
+    /// Drainers park here waiting for quiescence (queued == in_flight == 0).
+    cv_idle: Condvar,
+    capacity: usize,
+    client_tokens: u64,
+}
+
+impl<T> RequestQueue<T> {
+    /// A queue admitting at most `capacity` requests, with `client_tokens`
+    /// of outstanding cost allowed per client.
+    pub fn new(capacity: usize, client_tokens: u64) -> RequestQueue<T> {
+        RequestQueue {
+            inner: Mutex::new(Inner {
+                queues: Vec::new(),
+                cursor: 0,
+                queued: 0,
+                in_flight: 0,
+                spent: Vec::new(),
+                draining: false,
+                shutdown: false,
+            }),
+            cv_work: Condvar::new(),
+            cv_idle: Condvar::new(),
+            capacity,
+            client_tokens,
+        }
+    }
+
+    /// Admits a request or says why not — never blocks. A client with
+    /// nothing outstanding may exceed the token budget with a single big
+    /// request (otherwise an expensive op could never be admitted at all);
+    /// with anything outstanding, the budget is a hard line.
+    pub fn try_push(&self, client: u64, cost: u64, item: T) -> Result<(), ShedReason> {
+        let mut st = self.inner.lock().expect("queue lock");
+        if st.draining || st.shutdown {
+            return Err(ShedReason::Draining);
+        }
+        if st.queued >= self.capacity {
+            return Err(ShedReason::QueueFull);
+        }
+        let budget = self.client_tokens;
+        let spent = st.spent_mut(client);
+        if *spent > 0 && *spent + cost > budget {
+            return Err(ShedReason::ClientBudget);
+        }
+        *spent += cost;
+        match st.queues.iter_mut().find(|(c, _)| *c == client) {
+            Some((_, q)) => q.push_back((cost, item)),
+            None => {
+                let mut q = VecDeque::new();
+                q.push_back((cost, item));
+                st.queues.push((client, q));
+            }
+        }
+        st.queued += 1;
+        drop(st);
+        self.cv_work.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available (round-robin across clients) or the
+    /// queue shuts down. Draining does **not** wake idle workers — they keep
+    /// sleeping until `shutdown` releases them, while busy workers finish
+    /// the backlog.
+    pub fn pop_blocking(&self) -> Popped<T> {
+        let mut st = self.inner.lock().expect("queue lock");
+        loop {
+            if st.queued > 0 {
+                let slot = st.cursor % st.queues.len();
+                let (client, cost, item, now_empty) = {
+                    let (c, q) = &mut st.queues[slot];
+                    let (cost, item) = q.pop_front().expect("non-empty sub-queue");
+                    (*c, cost, item, q.is_empty())
+                };
+                if now_empty {
+                    // The cursor stays at `slot`, which now names the next
+                    // client — removal itself advances the round-robin.
+                    st.queues.remove(slot);
+                } else {
+                    st.cursor = slot + 1;
+                }
+                st.queued -= 1;
+                st.in_flight += 1;
+                return Popped::Job { client, cost, item };
+            }
+            if st.shutdown {
+                return Popped::Shutdown;
+            }
+            st = self.cv_work.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Refunds a completed (or abandoned) request's tokens and, at
+    /// quiescence, wakes drainers. Must be called exactly once per popped
+    /// job, on every exit path — the server wraps request execution in
+    /// `catch_unwind` precisely so a panicking request still completes.
+    pub fn complete(&self, client: u64, cost: u64) {
+        let mut st = self.inner.lock().expect("queue lock");
+        st.in_flight -= 1;
+        if let Some(i) = st.spent.iter().position(|&(c, _)| c == client) {
+            st.spent[i].1 = st.spent[i].1.saturating_sub(cost);
+            if st.spent[i].1 == 0 {
+                st.spent.remove(i);
+            }
+        }
+        let quiescent = st.queued == 0 && st.in_flight == 0;
+        drop(st);
+        if quiescent {
+            self.cv_idle.notify_all();
+        }
+    }
+
+    /// Stops admission and blocks until the queue is quiescent (nothing
+    /// queued, nothing in flight). Call [`RequestQueue::shutdown`] after to
+    /// release the workers. Unbounded by construction — the server bounds it
+    /// by cancelling in-flight tokens from a watchdog instead of using
+    /// timed waits (the loom facade deliberately has no `wait_timeout`).
+    pub fn drain(&self) {
+        let mut st = self.inner.lock().expect("queue lock");
+        st.draining = true;
+        while st.queued > 0 || st.in_flight > 0 {
+            st = self.cv_idle.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Releases every parked worker; each returns [`Popped::Shutdown`] once
+    /// the backlog is gone.
+    pub fn shutdown(&self) {
+        let mut st = self.inner.lock().expect("queue lock");
+        st.shutdown = true;
+        st.draining = true;
+        drop(st);
+        self.cv_work.notify_all();
+    }
+
+    /// Queued (not yet popped) request count.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").queued
+    }
+}
+
+#[cfg(all(test, not(lsml_loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_per_client_round_robin_across() {
+        let q = RequestQueue::new(16, 100);
+        // Client 1 floods first, client 2 adds one; round-robin alternates.
+        q.try_push(1, 1, "a1").unwrap();
+        q.try_push(1, 1, "a2").unwrap();
+        q.try_push(2, 1, "b1").unwrap();
+        let mut order = Vec::new();
+        for _ in 0..3 {
+            match q.pop_blocking() {
+                Popped::Job { client, cost, item } => {
+                    order.push(item);
+                    q.complete(client, cost);
+                }
+                Popped::Shutdown => panic!("not shut down"),
+            }
+        }
+        assert_eq!(order, vec!["a1", "b1", "a2"], "fair interleave");
+    }
+
+    #[test]
+    fn capacity_and_budget_shed() {
+        let q = RequestQueue::new(2, 10);
+        q.try_push(1, 8, ()).unwrap();
+        // Outstanding 8 + 8 > 10: client budget sheds first.
+        assert_eq!(q.try_push(1, 8, ()), Err(ShedReason::ClientBudget));
+        // A different client is fine.
+        q.try_push(2, 8, ()).unwrap();
+        // Now the global capacity sheds everyone.
+        assert_eq!(q.try_push(3, 1, ()), Err(ShedReason::QueueFull));
+        // An idle client may exceed the budget with one oversized request.
+        let q2 = RequestQueue::<()>::new(4, 4);
+        q2.try_push(9, 100, ()).unwrap();
+        assert_eq!(q2.try_push(9, 1, ()), Err(ShedReason::ClientBudget));
+    }
+
+    #[test]
+    fn drain_waits_for_in_flight_then_shutdown_releases() {
+        let q = Arc::new(RequestQueue::new(4, 100));
+        q.try_push(1, 1, ()).unwrap();
+        let (client, cost) = match q.pop_blocking() {
+            Popped::Job { client, cost, .. } => (client, cost),
+            Popped::Shutdown => panic!("not shut down"),
+        };
+        // Drain from another thread; it must not return while the job is in
+        // flight.
+        let qd = Arc::clone(&q);
+        let drainer = std::thread::spawn(move || qd.drain());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!drainer.is_finished(), "drain must wait for in-flight work");
+        assert_eq!(q.try_push(2, 1, ()), Err(ShedReason::Draining));
+        q.complete(client, cost);
+        drainer.join().unwrap();
+        q.shutdown();
+        assert!(matches!(q.pop_blocking(), Popped::Shutdown));
+    }
+}

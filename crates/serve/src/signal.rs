@@ -1,0 +1,67 @@
+//! Minimal SIGTERM/SIGINT handling for the daemon binary.
+//!
+//! No `libc` crate (no registry), so the handler is installed through a
+//! direct `signal(2)` FFI declaration. The handler does the only thing an
+//! async-signal-safe handler may do here: set a flag. The daemon's main
+//! loop polls [`termination_requested`] and runs the graceful
+//! drain-snapshot-stop sequence from ordinary thread context.
+//!
+//! This file is the one deliberate exception to the serve crate's
+//! `loom::sync` facade rule (see the lint's scope list): a signal handler
+//! must be async-signal-safe, which rules out anything but a plain
+//! `std::sync::atomic` static — and a process-level signal flag is not an
+//! interleaving the loom model explores anyway.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGTERM/SIGINT has been received since [`install`].
+pub fn termination_requested() -> bool {
+    TERMINATE.load(Ordering::Relaxed)
+}
+
+/// Test/driver hook: simulate a received signal.
+pub fn request_termination() {
+    TERMINATE.store(true, Ordering::Relaxed);
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    // SAFETY-adjacent note: only the atomic store — no allocation, no
+    // locking, no I/O — may happen in signal context.
+    TERMINATE.store(true, Ordering::Relaxed);
+}
+
+/// Installs the flag-setting handler for SIGTERM and SIGINT.
+pub fn install() {
+    extern "C" {
+        // POSIX `signal(2)`. Declared by hand because the container has no
+        // registry access for the libc crate; the ABI (int, function
+        // pointer) matches every platform this repo targets.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `on_signal` is async-signal-safe (single relaxed atomic
+    // store), and `signal` is the documented POSIX entry point for
+    // installing it. Replacing the default handler for these two signals
+    // is the binary's explicit purpose.
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_latches() {
+        install();
+        // `request_termination` is the in-process stand-in for a delivered
+        // signal; the real handler does the identical store.
+        request_termination();
+        assert!(termination_requested());
+    }
+}

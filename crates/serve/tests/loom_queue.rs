@@ -1,0 +1,135 @@
+//! Model-checked sleep/wake protocol of the serve request queue.
+//!
+//! Only built under `RUSTFLAGS="--cfg lsml_loom"` — the CI `model-check`
+//! leg. The queue routes all its synchronization through the `loom::sync`
+//! facade, so these models run the *production* queue code under the shadow
+//! scheduler: a lost condvar wakeup, a push/shutdown race or a drain that
+//! can hang shows up here as a deadlock report with a replay seed, not as a
+//! CI flake.
+
+#![cfg(lsml_loom)]
+
+use loom::{model, thread};
+use lsml_serve::queue::{Popped, RequestQueue, ShedReason};
+use std::sync::Arc;
+
+/// Producer pushes one job while the worker pops (possibly parking first):
+/// every interleaving must hand the job over — a lost `cv_work` wakeup
+/// parks the worker forever and the explorer reports the deadlock.
+#[test]
+fn push_wakes_parked_worker_no_lost_wakeup() {
+    let report = model(|| {
+        let q = Arc::new(RequestQueue::new(4, 16));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.try_push(7, 1, 42u64).expect("empty queue admits"))
+        };
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || match q.pop_blocking() {
+                Popped::Job { client, cost, item } => {
+                    assert_eq!((client, item), (7, 42));
+                    q.complete(client, cost);
+                }
+                Popped::Shutdown => panic!("nobody shut the queue down"),
+            })
+        };
+        producer.join().unwrap();
+        worker.join().unwrap();
+        assert_eq!(q.depth(), 0);
+    });
+    assert!(report.iterations > 1, "expected multiple interleavings");
+}
+
+/// Shutdown must release a worker no matter how the park and the
+/// `notify_all` interleave — a shutdown that checks the flag outside the
+/// lock, or notifies before the worker parks, hangs here.
+#[test]
+fn shutdown_releases_parked_worker() {
+    model(|| {
+        let q = Arc::new(RequestQueue::<u64>::new(4, 16));
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || match q.pop_blocking() {
+                Popped::Job { .. } => panic!("no jobs were pushed"),
+                Popped::Shutdown => {}
+            })
+        };
+        q.shutdown();
+        worker.join().unwrap();
+    });
+}
+
+/// The graceful-drain protocol: drain must wait for the in-flight job and
+/// wake exactly when the worker completes it (`cv_idle`), then shutdown
+/// releases the worker loop. Covers the quiescence-notify race — a
+/// `complete` that misses the drainer's park would hang the SIGTERM path.
+#[test]
+fn drain_waits_for_in_flight_then_quiesces() {
+    model(|| {
+        let q = Arc::new(RequestQueue::new(2, 16));
+        q.try_push(1, 1, 7u64).expect("empty queue admits");
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = 0u32;
+                loop {
+                    match q.pop_blocking() {
+                        Popped::Job { client, cost, .. } => {
+                            seen += 1;
+                            q.complete(client, cost);
+                        }
+                        Popped::Shutdown => return seen,
+                    }
+                }
+            })
+        };
+        q.drain();
+        // Quiescent now: the one job was popped *and* completed.
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.try_push(2, 1, 8), Err(ShedReason::Draining));
+        q.shutdown();
+        assert_eq!(worker.join().unwrap(), 1, "exactly one job handed over");
+    });
+}
+
+/// Push racing shutdown: either the push is admitted (and the worker must
+/// then receive it before seeing Shutdown) or it is shed as Draining —
+/// never a silently dropped job, never a hang.
+#[test]
+fn push_vs_shutdown_conserves_jobs() {
+    model(|| {
+        let q = Arc::new(RequestQueue::new(4, 16));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.try_push(1, 1, 9u64).is_ok())
+        };
+        let closer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.shutdown())
+        };
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut seen = 0u32;
+                loop {
+                    match q.pop_blocking() {
+                        Popped::Job { client, cost, .. } => {
+                            seen += 1;
+                            q.complete(client, cost);
+                        }
+                        Popped::Shutdown => return seen,
+                    }
+                }
+            })
+        };
+        let admitted = producer.join().unwrap();
+        closer.join().unwrap();
+        let seen = worker.join().unwrap();
+        assert_eq!(
+            seen,
+            u32::from(admitted),
+            "admitted jobs are delivered, shed jobs are not"
+        );
+    });
+}

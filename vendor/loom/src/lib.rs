@@ -49,8 +49,11 @@
 //!
 //! At most 8 modeled threads; `compare_exchange_weak` never fails spuriously;
 //! all stores carry release semantics (conservative — may hide relaxed-store
-//! bugs, never reports false positives); condition variables are not modeled
-//! (code using them must be cfg-gated out under `lsml_loom`).
+//! bugs, never reports false positives); the shadow [`shadow::Condvar`] has
+//! no spurious wakeups inside a model and no `wait_timeout` (facade-routed
+//! code must loop on a predicate and never rely on timeouts — the non-model
+//! fallback wakes spuriously every time, so the predicate loop is always
+//! exercised).
 
 pub mod alloc;
 pub(crate) mod rt;
@@ -63,17 +66,17 @@ pub use rt::{Builder, Report};
 /// `cfg(lsml_loom)`. See the crate docs for the facade contract.
 pub mod sync {
     #[cfg(not(lsml_loom))]
-    pub use std::sync::{Mutex, MutexGuard};
+    pub use std::sync::{Condvar, Mutex, MutexGuard};
 
     #[cfg(lsml_loom)]
-    pub use crate::shadow::{Mutex, MutexGuard};
+    pub use crate::shadow::{Condvar, Mutex, MutexGuard};
 
-    // Not modeled: always the `std` types, exported unconditionally so the
+    // Not modeled: always the `std` type, exported unconditionally so the
     // facade's surface does not depend on the cfg (rustdoc compiles doctest
     // hosts without `RUSTFLAGS`, against rlibs that were built with it).
-    // Code holding one of these across shadow schedule points is simply not
-    // explored by the model checker.
-    pub use std::sync::{Condvar, OnceLock};
+    // Globals latched through one of these are invisible to the model
+    // checker; model bodies create their state fresh inside the closure.
+    pub use std::sync::OnceLock;
 
     pub use std::sync::Arc;
 

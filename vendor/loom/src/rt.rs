@@ -43,6 +43,10 @@ pub(crate) enum BlockReason {
     Mutex(usize),
     /// Waiting for thread `tid` to finish.
     Join(usize),
+    /// Parked on the shadow condvar with this id (woken only by
+    /// `notify_one`/`notify_all`; a forgotten notify is a deadlock the
+    /// explorer reports like any other).
+    Condvar(usize),
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -314,7 +318,9 @@ impl Scheduler {
         self.cv.notify_all();
     }
 
-    fn wait_for_turn(&self, mut ex: std::sync::MutexGuard<'_, Execution>, my: usize) {
+    /// Parks until it is `my` turn to run. `pub(crate)` so the shadow
+    /// condvar can release-and-block atomically under one `ex` lock.
+    pub(crate) fn wait_for_turn(&self, mut ex: std::sync::MutexGuard<'_, Execution>, my: usize) {
         while ex.current != my && !ex.abort {
             ex = self.cv.wait(ex).unwrap();
         }

@@ -482,6 +482,28 @@ impl<T> Mutex<T> {
     }
 }
 
+impl<T> Mutex<T> {
+    /// Releases the lock *without* a schedule point, under an already-held
+    /// `ex` lock: joins the holder's clock into the release clock, clears
+    /// the owner, and wakes lock waiters. The condvar wait path uses this
+    /// so "unlock the mutex + park on the condvar" is one atomic step, as
+    /// POSIX requires — no notify can slip between the two halves.
+    fn release_locked(&self, ex: &mut crate::rt::Execution, my: usize) {
+        {
+            let mut st = self.st.lock().unwrap();
+            let mine = ex.clocks[my];
+            st.clock.join(&mine);
+            st.owner = None;
+        }
+        let id = self.id();
+        for t in 0..ex.status.len() {
+            if ex.status[t] == rt::Status::Blocked(BlockReason::Mutex(id)) {
+                ex.status[t] = rt::Status::Runnable;
+            }
+        }
+    }
+}
+
 /// RAII guard for the shadow [`Mutex`]; releasing is a schedule point.
 pub struct MutexGuard<'a, T> {
     mx: &'a Mutex<T>,
@@ -514,26 +536,121 @@ impl<T> Drop for MutexGuard<'_, T> {
             Some((sched, my)) => {
                 let my = *my;
                 {
-                    let ex = sched.ex.lock().unwrap();
-                    let mut st = self.mx.st.lock().unwrap();
-                    // Unlock releases this thread's clock to the next owner.
-                    let mine = ex.clocks[my];
-                    st.clock.join(&mine);
-                    st.owner = None;
-                }
-                // Wake lock waiters; handing them the token (or not) is the
-                // scheduler's next decision.
-                let id = self.mx.id();
-                {
+                    // Release the clock and wake lock waiters; handing one
+                    // of them the token (or not) is the scheduler's next
+                    // decision.
                     let mut ex = sched.ex.lock().unwrap();
-                    for t in 0..ex.status.len() {
-                        if ex.status[t] == rt::Status::Blocked(BlockReason::Mutex(id)) {
-                            ex.status[t] = rt::Status::Runnable;
-                        }
-                    }
+                    self.mx.release_locked(&mut ex, my);
                 }
                 if !std::thread::panicking() {
                     sched.schedule(my);
+                }
+            }
+        }
+    }
+}
+
+/// A modeled condition variable, the shadow counterpart of
+/// `std::sync::Condvar`.
+///
+/// Under a model, [`Condvar::wait`] releases the guard's mutex and parks the
+/// thread in **one atomic step** (both halves happen under a single
+/// scheduler lock, matching the POSIX atomic-release-and-wait guarantee), so
+/// a notify can never slip between unlock and park. Which parked thread a
+/// [`Condvar::notify_one`] wakes is a scheduler decision point, explored
+/// like any other. A notify with no parked thread is lost — exactly the std
+/// semantics — so predicate-check-outside-the-lock bugs show up as
+/// deadlocks with a replay seed.
+///
+/// Documented simplifications: no spurious wakeups inside a model (callers
+/// must still loop on their predicate — the non-model fallback wakes
+/// spuriously *every* time, so the loop is exercised), and no
+/// `wait_timeout` (facade-routed code must not rely on timeouts; see the
+/// crate docs).
+///
+/// Outside a model the fallback pairs with the shadow [`Mutex`]'s spin
+/// fallback: `wait` unlocks, yields, and relocks (an unconditional spurious
+/// wake), and notifies are no-ops.
+#[derive(Default)]
+pub struct Condvar {
+    /// Gives the condvar a stable, non-zero-sized address for block/wake
+    /// bookkeeping (distinct condvars must never share an id).
+    _addr: u8,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar { _addr: 0 }
+    }
+
+    /// Stable identity for block/wake bookkeeping.
+    fn id(&self) -> usize {
+        &self._addr as *const _ as usize
+    }
+
+    /// Atomically releases `guard`'s mutex and parks until notified, then
+    /// re-acquires the mutex before returning.
+    pub fn wait<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+    ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+        let mx: &'a Mutex<T> = guard.mx;
+        match guard.my.clone() {
+            None => {
+                // Non-model fallback: unlock, yield, relock — a spurious
+                // wakeup every time. Paired with no-op notifies, any
+                // predicate loop written for std terminates the same way.
+                drop(guard);
+                std::thread::yield_now();
+                mx.lock()
+            }
+            Some((sched, my)) => {
+                // The modeled release happens below under the `ex` lock;
+                // running the guard's Drop too would double-release.
+                std::mem::forget(guard);
+                {
+                    let mut ex = sched.ex.lock().unwrap();
+                    if ex.abort {
+                        drop(ex);
+                        std::panic::panic_any(crate::rt::Abort);
+                    }
+                    mx.release_locked(&mut ex, my);
+                    ex.status[my] = rt::Status::Blocked(BlockReason::Condvar(self.id()));
+                    sched.pass_to_next_locked(&mut ex);
+                    sched.wait_for_turn(ex, my);
+                }
+                mx.lock()
+            }
+        }
+    }
+
+    /// Wakes one parked waiter (which one is a scheduler decision point);
+    /// lost if nobody is parked, exactly like std.
+    pub fn notify_one(&self) {
+        if let Some((sched, my)) = rt::current() {
+            sched.schedule(my);
+            let mut ex = sched.ex.lock().unwrap();
+            let id = self.id();
+            let waiters: Vec<usize> = (0..ex.status.len())
+                .filter(|&t| ex.status[t] == rt::Status::Blocked(BlockReason::Condvar(id)))
+                .collect();
+            if !waiters.is_empty() {
+                let idx = ex.choose_locked(waiters.len());
+                ex.status[waiters[idx]] = rt::Status::Runnable;
+            }
+        }
+        // Non-model: a no-op — the fallback `wait` never parks.
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        if let Some((sched, my)) = rt::current() {
+            sched.schedule(my);
+            let mut ex = sched.ex.lock().unwrap();
+            let id = self.id();
+            for t in 0..ex.status.len() {
+                if ex.status[t] == rt::Status::Blocked(BlockReason::Condvar(id)) {
+                    ex.status[t] = rt::Status::Runnable;
                 }
             }
         }

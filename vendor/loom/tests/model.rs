@@ -2,7 +2,7 @@
 //! `cargo test` (no `--cfg lsml_loom` needed): the shadow runtime is always
 //! compiled; only the `loom::sync` facade switches on the cfg.
 
-use loom::shadow::{AtomicUsize, Mutex, Ordering};
+use loom::shadow::{AtomicUsize, Condvar, Mutex, Ordering};
 use loom::{alloc, model, model_expect_failure, thread, Builder};
 use std::sync::Arc;
 
@@ -154,6 +154,106 @@ fn mutex_exclusion() {
         assert_eq!(*m.lock().unwrap(), 2);
     });
     println!("mutex_exclusion: {} interleavings", report.iterations);
+}
+
+/// Condvar handoff: a waiter parked on the condvar is always woken by the
+/// producer's notify — across every interleaving, including the one where
+/// the notify fires before the waiter ever locks (the predicate then short-
+/// circuits the wait). This pins the atomic release-and-park step: a notify
+/// can never fall between the waiter's unlock and its park.
+#[test]
+fn condvar_handoff_no_lost_wakeup() {
+    let report = model(|| {
+        let slot = Arc::new((Mutex::new(None::<u64>), Condvar::new()));
+        let t = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                let (m, cv) = &*slot;
+                let mut g = m.lock().unwrap();
+                *g = Some(7);
+                cv.notify_one();
+            })
+        };
+        {
+            let (m, cv) = &*slot;
+            let mut g = m.lock().unwrap();
+            while g.is_none() {
+                g = cv.wait(g).unwrap();
+            }
+            assert_eq!(*g, Some(7));
+        }
+        t.join().unwrap();
+    });
+    println!(
+        "condvar_handoff: {} interleavings explored",
+        report.iterations
+    );
+    assert!(report.iterations > 1, "expected more than one interleaving");
+}
+
+/// A producer that flips the predicate but *forgets to notify* deadlocks in
+/// the schedule where the waiter parked first — and the explorer reports it
+/// naming the condvar. This is the negative control for the queue models:
+/// a sleep/wake protocol that can lose a wakeup fails loudly here, it does
+/// not hang CI.
+#[test]
+fn condvar_forgotten_notify_deadlocks() {
+    let msg = model_expect_failure(|| {
+        let slot = Arc::new((Mutex::new(false), Condvar::new()));
+        let t = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                *slot.0.lock().unwrap() = true; // seeded bug: no notify
+            })
+        };
+        {
+            let (m, cv) = &*slot;
+            let mut g = m.lock().unwrap();
+            while !*g {
+                g = cv.wait(g).unwrap();
+            }
+        }
+        let _ = t.join();
+    });
+    assert!(
+        msg.contains("deadlock") && msg.contains("Condvar"),
+        "got: {msg}"
+    );
+}
+
+/// `notify_all` releases every parked waiter; all of them make progress.
+#[test]
+fn condvar_notify_all_wakes_every_waiter() {
+    let report = model(|| {
+        let slot = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                thread::spawn(move || {
+                    let (m, cv) = &*slot;
+                    let mut g = m.lock().unwrap();
+                    while *g == 0 {
+                        g = cv.wait(g).unwrap();
+                    }
+                    *g += 1;
+                })
+            })
+            .collect();
+        {
+            let (m, cv) = &*slot;
+            let mut g = m.lock().unwrap();
+            *g = 1;
+            cv.notify_all();
+        }
+        for t in waiters {
+            t.join().unwrap();
+        }
+        assert_eq!(*slot.0.lock().unwrap(), 3);
+    });
+    println!(
+        "condvar_notify_all: {} interleavings explored",
+        report.iterations
+    );
 }
 
 /// Classic ABBA deadlock is detected and reported with a seed.
