@@ -317,17 +317,23 @@ pub fn read_aig<R: Read>(reader: R) -> Result<Aig, ParseError> {
     Ok(aig)
 }
 
-/// Rejects variable counts the `u32` literal encoding cannot represent
-/// *before* any allocation is sized from the header — a hostile header must
-/// yield a [`ParseError`], not an allocation abort.
+/// Hard cap on header-declared variable counts, shared by every untrusted
+/// parser in this crate ([`read_aag`], [`read_aig`], and the `.bench`
+/// reader in [`crate::bench`]).
+///
+/// 2^22 variables is orders of magnitude beyond anything this workspace
+/// produces (the contest caps circuits at 5000 ANDs) while keeping the
+/// header-sized `defs`/`map` tables in [`read_aag`] around 100 MB even for
+/// a maximally lying header — a hostile header yields a [`ParseError`], not
+/// an allocation abort or OOM kill.
+pub const MAX_PARSE_VARS: usize = 1 << 22;
+
+/// Rejects variable counts above [`MAX_PARSE_VARS`] *before* any allocation
+/// is sized from the header.
 fn check_header_bounds(m: usize) -> Result<(), ParseError> {
-    // 2^26 variables is orders of magnitude beyond anything this workspace
-    // produces (the contest caps circuits at 5000 ANDs) while keeping the
-    // header-sized `defs`/`map` tables in read_aag comfortably allocatable.
-    const MAX_VARS: usize = 1 << 26;
-    if m > MAX_VARS {
+    if m > MAX_PARSE_VARS {
         return Err(ParseError::new(format!(
-            "AIGER variable count {m} exceeds the parser limit ({MAX_VARS})"
+            "AIGER variable count {m} exceeds the parser limit ({MAX_PARSE_VARS})"
         )));
     }
     Ok(())
@@ -543,6 +549,10 @@ mod tests {
         // Astronomically large variable counts must yield ParseError before
         // any header-sized allocation happens.
         assert!(read_aag("aag 99999999999999999 0 0 0 0\n".as_bytes()).is_err());
+        // Just over MAX_PARSE_VARS is rejected too, not only usize-breaking
+        // counts: the cap binds before the `vec![None; m + 1]` tables.
+        let over = MAX_PARSE_VARS + 1;
+        assert!(read_aag(format!("aag {over} 0 0 0 0\n").as_bytes()).is_err());
         assert!(read_aig("aig 99999999999999999 0 0 0 99999999999999999\n".as_bytes()).is_err());
         // A lying output count hits truncated-file errors, not an alloc abort.
         assert!(read_aig("aig 0 0 0 99999999999999 0\n".as_bytes()).is_err());

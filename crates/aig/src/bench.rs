@@ -1,0 +1,529 @@
+//! BENCH (`.bench`) serialization — the ISCAS/LGSynth netlist format.
+//!
+//! Real benchmark corpora mix AIGER with `.bench` netlists (named signals,
+//! one gate per line: `f = AND(a, b)`), so external ingestion accepts both
+//! (see `lsml-suite`'s `ingest` module for the `--format auto` detection).
+//! We support the combinational subset: `INPUT`/`OUTPUT` declarations and
+//! `AND`/`NAND`/`OR`/`NOR`/`XOR`/`XNOR`/`NOT`/`BUFF` gates with arbitrary
+//! definition order; `DFF` and other sequential elements are rejected with
+//! a structured error.
+//!
+//! # Hardening contract
+//!
+//! Like the AIGER readers, [`read_bench`] is written against *untrusted*
+//! input and must never panic, abort, or allocate unboundedly, whatever the
+//! bytes (fuzz-proven in `tests/parser_fuzz.rs`):
+//!
+//! * total input is capped at [`MAX_BENCH_BYTES`] before buffering;
+//! * distinct signal names are capped at the shared AIGER variable bound
+//!   ([`crate::aiger`]'s parser limit), gate fan-in at [`MAX_BENCH_FANIN`],
+//!   and name length at [`MAX_NAME_LEN`];
+//! * cyclic definitions, undefined or re-defined signals, and arity
+//!   violations all surface as [`ParseError`] — resolution is an explicit
+//!   worklist, so deeply chained files cannot blow the call stack.
+//!
+//! # Round-trip shape
+//!
+//! [`write_bench`] names input `i` as `i{i}` and AND node `n` as `n{n}`,
+//! materializes complemented edges as `NOT` aliases, and drives each output
+//! through a final `BUFF`/`NOT` gate. Reading that back re-creates the AND
+//! nodes in their original creation order (`NOT`/`BUFF` are pure edge
+//! complements, never nodes), so a write→read round trip reproduces the
+//! graph *structurally* — identical [`Aig::structural_fingerprint`] — not
+//! merely functionally (pinned by proptest in `tests/bench_props.rs`).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use lsml_pla::ParseError;
+
+use crate::aig::Aig;
+use crate::aiger::MAX_PARSE_VARS;
+use crate::lit::Lit;
+
+/// Total bytes [`read_bench`] will consume before erroring: a parser-level
+/// backstop (ingestion layers usually cap file size earlier and tighter).
+pub const MAX_BENCH_BYTES: usize = 64 * 1024 * 1024;
+
+/// Maximum fan-ins of one gate line. Real `.bench` cones keep wide gates
+/// far below this; a hostile line with thousands of fan-ins is rejected
+/// rather than expanded into an unbounded AND tree.
+pub const MAX_BENCH_FANIN: usize = 256;
+
+/// Maximum length of one signal name.
+pub const MAX_NAME_LEN: usize = 512;
+
+/// Gate operators of the combinational subset.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum GateOp {
+    And,
+    Nand,
+    Or,
+    Nor,
+    Xor,
+    Xnor,
+    Not,
+    Buff,
+}
+
+impl GateOp {
+    fn parse(s: &str) -> Option<GateOp> {
+        // Case-insensitive: corpora mix `AND`, `and` and `And`.
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Some(GateOp::And),
+            "NAND" => Some(GateOp::Nand),
+            "OR" => Some(GateOp::Or),
+            "NOR" => Some(GateOp::Nor),
+            "XOR" => Some(GateOp::Xor),
+            "XNOR" => Some(GateOp::Xnor),
+            "NOT" => Some(GateOp::Not),
+            "BUFF" | "BUF" => Some(GateOp::Buff),
+            _ => None,
+        }
+    }
+
+    fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateOp::Not | GateOp::Buff => n == 1,
+            _ => (2..=MAX_BENCH_FANIN).contains(&n),
+        }
+    }
+}
+
+/// One signal's definition: a gate over named fan-ins.
+struct GateDef {
+    op: GateOp,
+    fanins: Vec<u32>,
+    line: usize,
+}
+
+/// Interns `name`, enforcing the name-length and signal-count caps.
+fn intern(names: &mut HashMap<String, u32>, name: &str, line: usize) -> Result<u32, ParseError> {
+    if name.is_empty() || name.len() > MAX_NAME_LEN {
+        return Err(ParseError::new(format!(
+            "signal name of {} bytes (limit {MAX_NAME_LEN})",
+            name.len()
+        ))
+        .at_line(line));
+    }
+    if let Some(&id) = names.get(name) {
+        return Ok(id);
+    }
+    if names.len() >= MAX_PARSE_VARS {
+        return Err(ParseError::new(format!(
+            "more than {MAX_PARSE_VARS} distinct signals (parser limit)"
+        ))
+        .at_line(line));
+    }
+    let id = names.len() as u32;
+    names.insert(name.to_owned(), id);
+    Ok(id)
+}
+
+/// Splits `NAME ( a, b, c )` into the head token and the argument list.
+fn split_call(s: &str, line: usize) -> Result<(&str, Vec<&str>), ParseError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| ParseError::new(format!("expected `(` in `{s}`")).at_line(line))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| ParseError::new(format!("expected `)` in `{s}`")).at_line(line))?;
+    if close < open {
+        return Err(ParseError::new(format!("mismatched parentheses in `{s}`")).at_line(line));
+    }
+    let head = s[..open].trim();
+    let body = s[open + 1..close].trim();
+    let args: Vec<&str> = if body.is_empty() {
+        Vec::new()
+    } else {
+        body.split(',').map(str::trim).collect()
+    };
+    Ok((head, args))
+}
+
+/// Reads a combinational `.bench` netlist. Never panics on arbitrary input;
+/// every defect — sequential elements, cycles, undefined or duplicated
+/// signals, cap violations — is a structured [`ParseError`] carrying the
+/// offending line number.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] as described above; see the
+/// [module docs](self) for the full hardening contract.
+pub fn read_bench<R: Read>(reader: R) -> Result<Aig, ParseError> {
+    let reader = BufReader::new(reader.take(MAX_BENCH_BYTES as u64 + 1));
+    let mut names: HashMap<String, u32> = HashMap::new();
+    let mut inputs: Vec<u32> = Vec::new();
+    let mut outputs: Vec<(u32, usize)> = Vec::new();
+    let mut defs: HashMap<u32, GateDef> = HashMap::new();
+    let mut def_order: Vec<u32> = Vec::new();
+    let mut is_input: Vec<bool> = Vec::new();
+    let mut bytes_seen = 0usize;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.map_err(|e| ParseError::from(e).at_line(lineno))?;
+        bytes_seen += line.len() + 1;
+        if bytes_seen > MAX_BENCH_BYTES {
+            return Err(ParseError::new(format!(
+                "input exceeds {MAX_BENCH_BYTES} bytes (parser limit)"
+            ))
+            .at_line(lineno));
+        }
+        let text = match line.find('#') {
+            Some(pos) => line[..pos].trim(),
+            None => line.trim(),
+        };
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(eq) = text.find('=') {
+            // Gate definition: `name = OP(args)`.
+            let name = text[..eq].trim();
+            let id = intern(&mut names, name, lineno)?;
+            let (op_name, arg_names) = split_call(text[eq + 1..].trim(), lineno)?;
+            let Some(op) = GateOp::parse(op_name) else {
+                if op_name.to_ascii_uppercase().starts_with("DFF") {
+                    return Err(ParseError::new(
+                        "sequential element `DFF` — only combinational BENCH is supported",
+                    )
+                    .at_line(lineno));
+                }
+                return Err(ParseError::new(format!("unknown gate `{op_name}`")).at_line(lineno));
+            };
+            if !op.arity_ok(arg_names.len()) {
+                return Err(ParseError::new(format!(
+                    "gate `{op_name}` with {} fan-in(s) (limit {MAX_BENCH_FANIN})",
+                    arg_names.len()
+                ))
+                .at_line(lineno));
+            }
+            let mut fanins = Vec::with_capacity(arg_names.len());
+            for a in arg_names {
+                fanins.push(intern(&mut names, a, lineno)?);
+            }
+            if defs.contains_key(&id) {
+                return Err(
+                    ParseError::new(format!("signal `{name}` defined twice")).at_line(lineno)
+                );
+            }
+            defs.insert(
+                id,
+                GateDef {
+                    op,
+                    fanins,
+                    line: lineno,
+                },
+            );
+            def_order.push(id);
+        } else {
+            let (head, args) = split_call(text, lineno)?;
+            let decl = head.to_ascii_uppercase();
+            if args.len() != 1 {
+                return Err(ParseError::new(format!(
+                    "`{decl}` wants one signal, got {}",
+                    args.len()
+                ))
+                .at_line(lineno));
+            }
+            let id = intern(&mut names, args[0], lineno)?;
+            match decl.as_str() {
+                "INPUT" => {
+                    if is_input.len() <= id as usize {
+                        is_input.resize(id as usize + 1, false);
+                    }
+                    if is_input[id as usize] {
+                        return Err(
+                            ParseError::new(format!("input `{}` declared twice", args[0]))
+                                .at_line(lineno),
+                        );
+                    }
+                    is_input[id as usize] = true;
+                    inputs.push(id);
+                }
+                "OUTPUT" => outputs.push((id, lineno)),
+                other => {
+                    return Err(
+                        ParseError::new(format!("unknown declaration `{other}`")).at_line(lineno)
+                    )
+                }
+            }
+        }
+    }
+
+    // Map signal ids to literals. Inputs first, then every definition in
+    // file order, resolving out-of-order fan-ins through an explicit
+    // worklist (no recursion: hostile chains must not blow the stack, and
+    // cycles must be a ParseError, not a hang).
+    let n_ids = names.len();
+    let mut map: Vec<Option<Lit>> = vec![None; n_ids];
+    let mut aig = Aig::new(inputs.len());
+    for (k, &id) in inputs.iter().enumerate() {
+        if defs.contains_key(&id) {
+            return Err(ParseError::new(format!(
+                "signal id {id} is both an INPUT and a gate"
+            )));
+        }
+        map[id as usize] = Some(Lit::new(k as u32 + 1, false));
+    }
+    let mut in_progress = vec![false; n_ids];
+    for &root in &def_order {
+        if map[root as usize].is_some() {
+            continue;
+        }
+        let mut stack: Vec<(u32, bool)> = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if map[id as usize].is_some() {
+                continue;
+            }
+            let def = defs
+                .get(&id)
+                .ok_or_else(|| ParseError::new(format!("undefined signal id {id}")))?;
+            if expanded {
+                let fan: Vec<Lit> = def
+                    .fanins
+                    .iter()
+                    .map(|&f| map[f as usize].expect("fanin resolved"))
+                    .collect();
+                let lit = match def.op {
+                    GateOp::And => aig.and_many(&fan),
+                    GateOp::Nand => !aig.and_many(&fan),
+                    GateOp::Or => aig.or_many(&fan),
+                    GateOp::Nor => !aig.or_many(&fan),
+                    GateOp::Xor => aig.xor_many(&fan),
+                    GateOp::Xnor => !aig.xor_many(&fan),
+                    GateOp::Not => !fan[0],
+                    GateOp::Buff => fan[0],
+                };
+                map[id as usize] = Some(lit);
+                in_progress[id as usize] = false;
+                continue;
+            }
+            if in_progress[id as usize] {
+                return Err(
+                    ParseError::new(format!("cyclic definition through signal id {id}"))
+                        .at_line(def.line),
+                );
+            }
+            in_progress[id as usize] = true;
+            stack.push((id, true));
+            for &f in &def.fanins {
+                if map[f as usize].is_none() {
+                    if !defs.contains_key(&f) {
+                        return Err(ParseError::new(format!(
+                            "fan-in id {f} is neither an INPUT nor defined"
+                        ))
+                        .at_line(def.line));
+                    }
+                    stack.push((f, false));
+                }
+            }
+        }
+    }
+
+    for (id, lineno) in outputs {
+        let lit = map[id as usize].ok_or_else(|| {
+            ParseError::new(format!("OUTPUT of undefined signal id {id}")).at_line(lineno)
+        })?;
+        aig.add_output(lit);
+    }
+    Ok(aig)
+}
+
+/// Writes the AIG as a combinational `.bench` netlist. Pass `&mut writer`
+/// to retain ownership. See the [module docs](self) for the name scheme and
+/// the round-trip guarantee.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a constant output on a zero-input graph is
+/// `InvalidInput` (BENCH has no constant literal to express it with).
+pub fn write_bench<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
+    let ni = aig.num_inputs();
+    for i in 0..ni {
+        writeln!(w, "INPUT(i{i})")?;
+    }
+    for j in 0..aig.outputs().len() {
+        writeln!(w, "OUTPUT(po{j})")?;
+    }
+    // Positive-phase name of a node.
+    let name_of = |n: u32| -> String {
+        if n == 0 {
+            unreachable!("constant fanins are folded at construction");
+        } else if (n as usize) <= ni {
+            format!("i{}", n - 1)
+        } else {
+            format!("n{n}")
+        }
+    };
+    // NOT aliases are emitted lazily, once per complemented node.
+    let mut negated: Vec<bool> = vec![false; aig.num_nodes()];
+    let edge = |w: &mut W, l: Lit, negated: &mut Vec<bool>| -> std::io::Result<String> {
+        let base = name_of(l.node());
+        if !l.is_complemented() {
+            return Ok(base);
+        }
+        if !negated[l.node() as usize] {
+            writeln!(w, "{base}_b = NOT({base})")?;
+            negated[l.node() as usize] = true;
+        }
+        Ok(format!("{base}_b"))
+    };
+    for n in (ni + 1)..aig.num_nodes() {
+        let (f0, f1) = aig.fanins(n as u32);
+        let a = edge(&mut w, f0, &mut negated)?;
+        let b = edge(&mut w, f1, &mut negated)?;
+        writeln!(w, "n{n} = AND({a}, {b})")?;
+    }
+    for (j, &o) in aig.outputs().iter().enumerate() {
+        if o.node() == 0 {
+            // Constant outputs: XNOR(x, x) = 1, XOR(x, x) = 0.
+            if ni == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "constant output on a zero-input graph has no BENCH form",
+                ));
+            }
+            let op = if o == Lit::TRUE { "XNOR" } else { "XOR" };
+            writeln!(w, "po{j} = {op}(i0, i0)")?;
+        } else {
+            let base = name_of(o.node());
+            let op = if o.is_complemented() { "NOT" } else { "BUFF" };
+            writeln!(w, "po{j} = {op}({base})")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aig() -> Aig {
+        let mut g = Aig::new(3);
+        let (a, b, c) = (g.input(0), g.input(1), g.input(2));
+        let x = g.xor(a, b);
+        let f = g.mux(c, x, !a);
+        g.add_output(f);
+        g.add_output(!x);
+        g
+    }
+
+    #[test]
+    fn roundtrip_is_structurally_identical() {
+        let g = sample_aig();
+        let mut buf = Vec::new();
+        write_bench(&g, &mut buf).expect("write");
+        let h = read_bench(buf.as_slice()).expect("read");
+        assert_eq!(h.num_inputs(), g.num_inputs());
+        assert_eq!(h.outputs().len(), g.outputs().len());
+        assert_eq!(
+            h.structural_fingerprint(),
+            g.structural_fingerprint(),
+            "round trip must reproduce the graph structurally"
+        );
+    }
+
+    #[test]
+    fn parses_handwritten_netlist_any_definition_order() {
+        // `f` is defined before its fanin `c`; resolution must not care.
+        let src = "\
+# a comment
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+f = NAND(c, a)
+c = OR(a, b)
+";
+        let g = read_bench(src.as_bytes()).expect("parse");
+        assert_eq!(g.num_inputs(), 2);
+        // f = !( (a|b) & a ) = !a.
+        assert_eq!(g.eval(&[false, true]), vec![true]);
+        assert_eq!(g.eval(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn gate_zoo_evaluates_correctly() {
+        let src = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(x)
+OUTPUT(y)
+OUTPUT(z)
+x = XNOR(a, b)
+n = NOT(a)
+y = NOR(n, b)
+z = BUFF(n)
+";
+        let g = read_bench(src.as_bytes()).expect("parse");
+        // x = a XNOR b, y = NOR(!a, b) = a & !b, z = !a.
+        assert_eq!(g.eval(&[false, false]), vec![true, false, true]);
+        assert_eq!(g.eval(&[true, false]), vec![false, true, false]);
+        assert_eq!(g.eval(&[true, true]), vec![true, false, false]);
+    }
+
+    #[test]
+    fn wide_gates_expand_to_and_trees() {
+        let src = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(f)
+f = AND(a, b, c, d)
+";
+        let g = read_bench(src.as_bytes()).expect("parse");
+        assert_eq!(g.eval(&[true, true, true, true]), vec![true]);
+        assert_eq!(g.eval(&[true, true, false, true]), vec![false]);
+    }
+
+    #[test]
+    fn constant_outputs_roundtrip() {
+        let mut g = Aig::new(2);
+        g.add_output(Lit::TRUE);
+        g.add_output(Lit::FALSE);
+        g.add_output(g.input(1));
+        let mut buf = Vec::new();
+        write_bench(&g, &mut buf).expect("write");
+        let h = read_bench(buf.as_slice()).expect("read");
+        assert_eq!(h.eval(&[false, true]), vec![true, false, true]);
+    }
+
+    #[test]
+    fn rejects_sequential_cycles_and_garbage() {
+        let dff = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n";
+        let err = read_bench(dff.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("DFF"), "{err}");
+
+        let cyc = "INPUT(a)\nOUTPUT(x)\nx = AND(y, a)\ny = AND(x, a)\n";
+        let err = read_bench(cyc.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("cyclic"), "{err}");
+
+        assert!(read_bench("x = AND(a\n".as_bytes()).is_err());
+        assert!(read_bench("OUTPUT(f)\n".as_bytes()).is_err());
+        assert!(read_bench("INPUT(a)\nINPUT(a)\n".as_bytes()).is_err());
+        assert!(read_bench("f = WIBBLE(a, b)\n".as_bytes()).is_err());
+        // Garbage without structure parses to an empty graph or errors,
+        // never panics (the fuzz test drives this much harder).
+        let _ = read_bench("%%% total nonsense %%%".as_bytes());
+    }
+
+    #[test]
+    fn arity_violations_are_structured_errors() {
+        assert!(read_bench("INPUT(a)\nf = NOT(a, a)\n".as_bytes()).is_err());
+        assert!(read_bench("INPUT(a)\nf = AND(a)\n".as_bytes()).is_err());
+        let many = (0..MAX_BENCH_FANIN + 1)
+            .map(|_| "a")
+            .collect::<Vec<_>>()
+            .join(", ");
+        let src = format!("INPUT(a)\nf = AND({many})\n");
+        assert!(read_bench(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn undefined_fanin_is_an_error() {
+        let src = "INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n";
+        let err = read_bench(src.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("neither"), "{err}");
+    }
+}

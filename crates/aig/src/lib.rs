@@ -45,6 +45,7 @@
 pub mod aig;
 pub mod aiger;
 pub mod approx;
+pub mod bench;
 pub mod cancel;
 pub mod circuits;
 pub mod cut;

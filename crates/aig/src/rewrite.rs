@@ -207,6 +207,13 @@ pub fn rewrite(aig: &Aig, cfg: &RewriteConfig) -> Aig {
 
     let lib = NpnLibrary::global();
     for n in first_and..n_nodes {
+        // Deadlines must bind inside the node loop, not only at pass
+        // boundaries: one pass over a 200-input external cone can dwarf the
+        // whole budget. Decisions made so far still rebuild to a valid
+        // graph, so a cancelled pass degrades to a partial rewrite.
+        if n & 0x3FF == 0 && crate::cancel::cancelled() {
+            break;
+        }
         let root = n as u32;
         if claimed[n] {
             continue;
@@ -586,6 +593,35 @@ fn rebuild(g: &Aig, decisions: &[Option<Decision>]) -> Aig {
 mod tests {
     use super::*;
     use crate::testutil::equivalent_exhaustive;
+
+    /// A deadline firing inside the node loop stops decision-making early;
+    /// the decisions already made still rebuild to an equivalent graph.
+    #[test]
+    fn tiny_deadline_yields_valid_partial_rewrite() {
+        let mut g = Aig::new(8);
+        let mut lits = g.inputs();
+        let mut state = 0xDEAD_BEEFu64;
+        for _ in 0..2500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = lits[(state >> 16) as usize % lits.len()];
+            let b = lits[(state >> 40) as usize % lits.len()];
+            let l = if state.is_multiple_of(2) {
+                g.and(a, !b)
+            } else {
+                g.xor(a, b)
+            };
+            lits.push(l);
+        }
+        let out = *lits.last().unwrap();
+        g.add_output(out);
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let h = crate::cancel::with_token(&token, || rewrite(&g, &RewriteConfig::default()));
+        equivalent_exhaustive(&g, &h);
+        let token = crate::cancel::CancelToken::with_budget(std::time::Duration::from_nanos(1));
+        let h = crate::cancel::with_token(&token, || rewrite(&g, &RewriteConfig::default()));
+        equivalent_exhaustive(&g, &h);
+    }
 
     #[test]
     fn removes_redundant_mux_of_equal_branches() {

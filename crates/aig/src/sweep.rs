@@ -282,6 +282,12 @@ pub(crate) fn sweep_with_mode(aig: &Aig, cfg: &SweepConfig, force_parallel: bool
         let mut attempts = 0usize;
         let mut scratch = VerifyScratch::sized(n_nodes);
         for n in 0..n_nodes as u32 {
+            // Same contract as the rewrite node loop: a fired deadline
+            // stops candidate verification mid-walk; the substitutions
+            // gathered so far are individually proven and still apply.
+            if n & 0x3FF == 0 && crate::cancel::cancelled() {
+                break;
+            }
             let flip = sig[n as usize * t] & 1 == 1;
             let reps = buckets.entry(hashes[n as usize]).or_default();
             let mut merged = false;
@@ -425,6 +431,9 @@ fn verify_buckets_parallel(
 
     let chunk = crate::par::chunk_len(buckets.len(), 8);
     let chunks: Vec<&[Vec<u32>]> = buckets.chunks(chunk.max(1)).collect();
+    // The cancel token is thread-local and does not cross the pool
+    // fan-out; capture it here so the workers can observe the deadline.
+    let token = crate::cancel::current();
     let results: Vec<(Vec<(u32, Lit)>, usize)> = chunks
         .par_iter()
         .map(|bucket_group| {
@@ -432,6 +441,9 @@ fn verify_buckets_parallel(
             let mut merges: Vec<(u32, Lit)> = Vec::new();
             let mut attempts = 0usize;
             for nodes in *bucket_group {
+                if token.as_ref().is_some_and(|t| t.is_cancelled()) {
+                    break;
+                }
                 let mut reps: Vec<u32> = Vec::new();
                 for &n in nodes {
                     let flip = sig[n as usize * t] & 1 == 1;
@@ -596,6 +608,44 @@ fn verify_pair(
 mod tests {
     use super::*;
     use crate::testutil::equivalent_exhaustive;
+
+    /// A few thousand pseudo-random nodes over 10 inputs: big enough that
+    /// the in-loop cancellation checks (every 1024 nodes) actually fire.
+    fn chunky_graph() -> Aig {
+        let mut g = Aig::new(10);
+        let mut lits = g.inputs();
+        let mut state = 0x9E37_79B9u64;
+        for _ in 0..3000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = lits[(state >> 16) as usize % lits.len()];
+            let b = lits[(state >> 40) as usize % lits.len()];
+            let l = match state % 3 {
+                0 => g.and(a, !b),
+                1 => g.xor(a, b),
+                _ => g.or(!a, b),
+            };
+            lits.push(l);
+        }
+        let out = *lits.last().unwrap();
+        g.add_output(out);
+        g
+    }
+
+    /// A deadline that fires mid-walk stops verification early but the
+    /// result is still a valid (partially swept) graph — the sweep never
+    /// returns garbage or hangs under a tiny deadline.
+    #[test]
+    fn tiny_deadline_yields_valid_partial_sweep() {
+        let g = chunky_graph();
+        let token = crate::cancel::CancelToken::new();
+        token.cancel(); // already fired: the earliest possible deadline
+        let h = crate::cancel::with_token(&token, || sweep(&g, &SweepConfig::default()));
+        equivalent_exhaustive(&g, &h);
+        // Same under a real (just-about-to-fire) deadline.
+        let token = crate::cancel::CancelToken::with_budget(std::time::Duration::from_nanos(1));
+        let h = crate::cancel::with_token(&token, || sweep(&g, &SweepConfig::default()));
+        equivalent_exhaustive(&g, &h);
+    }
 
     /// Two structurally different XORs: strash keeps both, sweep merges.
     #[test]

@@ -1,0 +1,163 @@
+//! Fuzz hardening for the three untrusted circuit readers: `read_aag`,
+//! `read_aig` and `read_bench`.
+//!
+//! External ingestion (the `lsml-suite` sweep engine) feeds arbitrary files
+//! from disk into these parsers, so their contract is *never panic, never
+//! abort, never allocate unboundedly* — every defect is a structured
+//! `ParseError`. This harness drives each parser with thousands of seeded
+//! inputs across the classic fuzz classes (pure garbage, truncations of
+//! valid files, byte mutations of valid files, hostile headers) under
+//! `catch_unwind` and fails on the first panic. The corpus is seeded, so a
+//! CI failure replays locally with the printed seed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lsml_aig::aig::Aig;
+use lsml_aig::aiger::{read_aag, read_aig, write_aag, write_aig, MAX_PARSE_VARS};
+use lsml_aig::bench::{read_bench, write_bench};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One parser under test: name + a closure that must not panic.
+type Parser = (&'static str, fn(&[u8]));
+
+fn parsers() -> Vec<Parser> {
+    vec![
+        ("read_aag", |b| {
+            let _ = read_aag(b);
+        }),
+        ("read_aig", |b| {
+            let _ = read_aig(b);
+        }),
+        ("read_bench", |b| {
+            let _ = read_bench(b);
+        }),
+    ]
+}
+
+/// Runs every parser on `input`; panics (failing the test) naming the
+/// parser and seed if any of them panics.
+fn assert_no_panic(input: &[u8], what: &str) {
+    for (name, parse) in parsers() {
+        let owned = input.to_vec();
+        let result = catch_unwind(AssertUnwindSafe(|| parse(&owned)));
+        assert!(
+            result.is_ok(),
+            "{name} panicked on {what} ({} bytes): {:?}",
+            input.len(),
+            &input[..input.len().min(64)]
+        );
+    }
+}
+
+/// A small valid circuit to derive mutations/truncations from.
+fn sample_aig() -> Aig {
+    let mut g = Aig::new(4);
+    let (a, b, c, d) = (g.input(0), g.input(1), g.input(2), g.input(3));
+    let x = g.xor(a, b);
+    let y = g.mux(c, x, !d);
+    let z = g.and(y, !x);
+    g.add_output(z);
+    g.add_output(!y);
+    g
+}
+
+fn valid_corpora() -> Vec<(&'static str, Vec<u8>)> {
+    let g = sample_aig();
+    let (mut aag, mut aig, mut bench) = (Vec::new(), Vec::new(), Vec::new());
+    write_aag(&g, &mut aag).expect("write aag");
+    write_aig(&g, &mut aig).expect("write aig");
+    write_bench(&g, &mut bench).expect("write bench");
+    vec![("aag", aag), ("aig", aig), ("bench", bench)]
+}
+
+#[test]
+fn pure_garbage_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xF022_5EED);
+    for round in 0..600 {
+        let len = rng.gen_range(0..512);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        assert_no_panic(&bytes, &format!("garbage round {round}"));
+    }
+}
+
+#[test]
+fn garbage_with_plausible_headers_never_panics() {
+    // Garbage is cheap to reject at the header; prefixing a valid-looking
+    // header drives the fuzzer deep into the body parsers.
+    let mut rng = StdRng::seed_from_u64(0xF022_5EED ^ 1);
+    let heads: [&[u8]; 6] = [
+        b"aag 7 4 0 2 3\n",
+        b"aig 7 4 0 2 3\n",
+        b"aag 4194304 4194304 0 0 0\n",
+        b"INPUT(a)\nOUTPUT(f)\n",
+        b"aag 0 0 0 0 0\n",
+        b"aig 1000 2 0 1 998\n",
+    ];
+    for round in 0..400 {
+        let head = heads[rng.gen_range(0..heads.len())];
+        let len = rng.gen_range(0..256);
+        let mut bytes = head.to_vec();
+        bytes.extend((0..len).map(|_| rng.gen::<u8>()));
+        assert_no_panic(&bytes, &format!("headed garbage round {round}"));
+    }
+}
+
+#[test]
+fn truncations_of_valid_files_never_panic() {
+    for (fmt, bytes) in valid_corpora() {
+        for cut in 0..bytes.len() {
+            assert_no_panic(&bytes[..cut], &format!("{fmt} truncated at {cut}"));
+        }
+    }
+}
+
+#[test]
+fn mutations_of_valid_files_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xF022_5EED ^ 2);
+    for (fmt, bytes) in valid_corpora() {
+        for round in 0..400 {
+            let mut m = bytes.clone();
+            // 1–4 random byte edits: flips, overwrites, and splices.
+            for _ in 0..rng.gen_range(1..5) {
+                if m.is_empty() {
+                    break;
+                }
+                let pos = rng.gen_range(0..m.len());
+                match rng.gen_range(0..3) {
+                    0 => m[pos] ^= 1u8 << rng.gen_range(0..8),
+                    1 => m[pos] = rng.gen(),
+                    _ => m.insert(pos, rng.gen()),
+                }
+            }
+            assert_no_panic(&m, &format!("{fmt} mutation round {round}"));
+        }
+    }
+}
+
+#[test]
+fn oversized_headers_error_without_allocating() {
+    // Header-declared counts above MAX_PARSE_VARS must be structured errors
+    // *before* any header-sized table is allocated; counts near usize::MAX
+    // must not overflow the `m + 1` arithmetic either.
+    let over = MAX_PARSE_VARS + 1;
+    let huge = usize::MAX;
+    for header in [
+        format!("aag {over} 0 0 0 0\n"),
+        format!("aag {huge} 0 0 0 0\n"),
+        format!("aag {over} {over} 0 {over} 0\n"),
+        format!("aig {over} 0 0 0 {over}\n"),
+        format!("aig {huge} 1 0 1 {}\n", huge - 1),
+    ] {
+        assert!(read_aag(header.as_bytes()).is_err());
+        assert!(read_aig(header.as_bytes()).is_err());
+        assert_no_panic(header.as_bytes(), "oversized header");
+    }
+    // A .bench file declaring too many distinct signals is cut off by the
+    // signal cap, not by memory pressure; exercise a truncated slice of one.
+    let mut many = String::new();
+    for k in 0..4096 {
+        many.push_str(&format!("INPUT(sig_{k})\n"));
+    }
+    assert_no_panic(many.as_bytes(), "many bench inputs");
+}

@@ -192,6 +192,12 @@ fn facade_rule_applies(rel: &Path) -> bool {
     if s.contains("crates/serve/src/") {
         return !s.ends_with("/signal.rs");
     }
+    // The sweep engine rides the serve crate's fault/checkpoint machinery
+    // and the cancel tokens; any concurrency it grows must stay
+    // loom-checkable from day one.
+    if s.contains("crates/suite/src/") {
+        return true;
+    }
     s.ends_with("crates/core/src/compile.rs")
         || s.ends_with("crates/aig/src/opt.rs")
         || s.ends_with("crates/aig/src/npn.rs")
@@ -364,6 +370,17 @@ mod tests {
         // Integration tests are out of scope; only src/ is facade-routed.
         assert!(!facade_rule_applies(Path::new(
             "crates/serve/tests/loom_queue.rs"
+        )));
+    }
+
+    #[test]
+    fn facade_scope_includes_the_suite_engine() {
+        assert!(facade_rule_applies(Path::new("crates/suite/src/engine.rs")));
+        assert!(facade_rule_applies(Path::new(
+            "crates/suite/src/checkpoint.rs"
+        )));
+        assert!(!facade_rule_applies(Path::new(
+            "crates/suite/tests/sweep_resume.rs"
         )));
     }
 

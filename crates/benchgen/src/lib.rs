@@ -37,4 +37,4 @@ pub mod cones;
 pub mod mlgen;
 mod suite;
 
-pub use suite::{suite, BenchData, Benchmark, Category, Generator, SampleConfig};
+pub use suite::{suite, BenchData, Benchmark, Category, Generator, Oracle, SampleConfig};

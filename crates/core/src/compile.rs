@@ -146,6 +146,26 @@ impl SizeBudget {
     }
 }
 
+/// How a compiled circuit stands relative to its [`SizeBudget`] — the
+/// structured answer sweep drivers need where the `+approx` label suffix is
+/// too lossy (`lsml-suite` classifies every unit of a 100k-circuit run by
+/// this verdict).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetVerdict {
+    /// The exact pipeline alone met the node limit.
+    ExactFit,
+    /// The approximation fallback traded accuracy to meet the limit.
+    Approximated,
+    /// The circuit still exceeds the limit (approximation disabled, or it
+    /// could not drop enough).
+    OverBudget {
+        /// AND gates of the compiled result.
+        ands: usize,
+        /// The budget's node limit it failed to meet.
+        limit: usize,
+    },
+}
+
 /// One memoized compilation: the optimized graph and whether node-dropping
 /// actually traded accuracy away (drives the `+approx` method suffix).
 struct CachedCompile {
@@ -582,6 +602,30 @@ impl LearnedCircuit {
         compile_through(budget.pipeline(), aig, method, budget)
     }
 
+    /// [`LearnedCircuit::compile`] plus a structured [`BudgetVerdict`]:
+    /// whether the exact pipeline fit, the approximation fallback had to
+    /// trade accuracy, or the result is still over budget. Identical
+    /// compilation (same pipeline, same cache entries) — only the reporting
+    /// differs.
+    pub fn compile_with_verdict(
+        aig: Aig,
+        method: impl Into<String>,
+        budget: &SizeBudget,
+    ) -> (LearnedCircuit, BudgetVerdict) {
+        let (circuit, approximated) = compile_through_flag(budget.pipeline(), aig, method, budget);
+        let verdict = if circuit.and_gates() > budget.node_limit {
+            BudgetVerdict::OverBudget {
+                ands: circuit.and_gates(),
+                limit: budget.node_limit,
+            }
+        } else if approximated {
+            BudgetVerdict::Approximated
+        } else {
+            BudgetVerdict::ExactFit
+        };
+        (circuit, verdict)
+    }
+
     /// [`LearnedCircuit::compile`] with the problem's training columns
     /// prepended to the sweep's signature stimulus: the application data
     /// acts as an extra discriminator that separates candidate classes
@@ -619,12 +663,27 @@ fn compile_through(
     method: impl Into<String>,
     budget: &SizeBudget,
 ) -> LearnedCircuit {
+    compile_through_flag(pipeline, aig, method, budget).0
+}
+
+/// [`compile_through`] that also reports whether approximation actually
+/// dropped nodes (the bit [`LearnedCircuit::compile_with_verdict`] turns
+/// into a [`BudgetVerdict`]).
+fn compile_through_flag(
+    pipeline: Pipeline,
+    aig: Aig,
+    method: impl Into<String>,
+    budget: &SizeBudget,
+) -> (LearnedCircuit, bool) {
     let aig = aig.extract_cone(aig.outputs());
     let key = (aig.structural_fingerprint(), budget.fingerprint(&pipeline));
     let cached = cache().state.probe(key);
     if let Some(hit) = cached {
         cache().hits.fetch_add(1, Ordering::Relaxed);
-        return labeled(hit.aig.clone(), hit.approximated, method);
+        return (
+            labeled(hit.aig.clone(), hit.approximated, method),
+            hit.approximated,
+        );
     }
     cache().misses.fetch_add(1, Ordering::Relaxed);
 
@@ -658,7 +717,7 @@ fn compile_through(
         });
         cache().state.insert(key, entry, compile_cache_budget());
     }
-    labeled(result, approximated, method)
+    (labeled(result, approximated, method), approximated)
 }
 
 /// Applies the caller's method label (cache entries are label-agnostic).
@@ -1219,6 +1278,53 @@ mod tests {
         // The full-parity candidate scores 1.0 and sorts first; even with a
         // fired deadline the partial-best path compiles and returns it.
         assert_eq!(picked.accuracy(&valid), 1.0);
+    }
+
+    #[test]
+    fn verdicts_classify_fit_approx_and_over_budget() {
+        // Exact fit: generous limit, no approximation.
+        let g = xor_chain(7);
+        let (c, v) =
+            LearnedCircuit::compile_with_verdict(g.clone(), "fit", &SizeBudget::exact(5000));
+        assert_eq!(v, BudgetVerdict::ExactFit);
+        assert_eq!(c.method, "fit");
+
+        // Over budget: tiny limit with approximation off.
+        let (c, v) = LearnedCircuit::compile_with_verdict(g, "tight", &SizeBudget::exact(1));
+        match v {
+            BudgetVerdict::OverBudget { ands, limit } => {
+                assert_eq!(ands, c.and_gates());
+                assert_eq!(limit, 1);
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+
+        // Approximated: tiny limit with approximation allowed.
+        let mut g = Aig::new(16);
+        let ins = g.inputs();
+        let f = lsml_aig::circuits::at_least(&mut g, &ins, 8);
+        let p = g.xor_many(&ins);
+        let out = g.and(f, p);
+        g.add_output(out);
+        let budget = SizeBudget {
+            node_limit: 30,
+            allow_approx: true,
+            stimulus: None,
+            seed: 1,
+            rounds: 1,
+        };
+        let (c, v) = LearnedCircuit::compile_with_verdict(g, "bulky2", &budget);
+        assert_eq!(v, BudgetVerdict::Approximated);
+        assert!(c.method.ends_with("+approx"));
+        // A cache hit of the same key must report the same verdict.
+        let mut h = Aig::new(16);
+        let ins = h.inputs();
+        let f = lsml_aig::circuits::at_least(&mut h, &ins, 8);
+        let p = h.xor_many(&ins);
+        let out = h.and(f, p);
+        h.add_output(out);
+        let (_, v2) = LearnedCircuit::compile_with_verdict(h, "bulky3", &budget);
+        assert_eq!(v2, BudgetVerdict::Approximated);
     }
 
     #[test]

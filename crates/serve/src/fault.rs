@@ -35,6 +35,14 @@ pub struct FaultPlan {
     pub snapshot_corrupt: bool,
     /// Abandon every snapshot write half-way (no rename).
     pub snapshot_kill_mid_write: bool,
+    /// Every Nth sweep circuit panics inside its isolation boundary
+    /// (0 = never). Consumed by `lsml-suite`, not the daemon.
+    pub circuit_panic_period: u64,
+    /// Every Nth sweep circuit stalls until its deadline fires (0 = never).
+    pub circuit_stall_period: u64,
+    /// Hard-kill the sweep *before* processing this 0-based circuit index
+    /// (0 = never) — the crash the resumable checkpoints exist for.
+    pub circuit_kill_after: u64,
 }
 
 impl FaultPlan {
@@ -48,6 +56,8 @@ impl FaultPlan {
     /// the seed so different seeds explore different schedules.
     pub fn from_seed(seed: u64) -> FaultPlan {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x000F_A017_5EED);
+        // New draws append after the existing ones so a given seed keeps
+        // injecting the same daemon schedule it always has.
         FaultPlan {
             seed,
             panic_period: rng.gen_range(3u64..9),
@@ -55,6 +65,9 @@ impl FaultPlan {
             slow_ms: rng.gen_range(20u64..60),
             snapshot_corrupt: rng.gen::<u64>() % 2 == 0,
             snapshot_kill_mid_write: rng.gen::<u64>() % 2 == 0,
+            circuit_panic_period: rng.gen_range(11u64..31),
+            circuit_stall_period: rng.gen_range(17u64..47),
+            circuit_kill_after: rng.gen_range(40u64..400),
         }
     }
 
@@ -138,6 +151,10 @@ mod tests {
         let b = FaultPlan::from_seed(17);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
         assert!(a.armed());
+        // A fault seed always arms the per-circuit sweep faults too.
+        assert!(a.circuit_panic_period != 0);
+        assert!(a.circuit_stall_period != 0);
+        assert!(a.circuit_kill_after != 0);
         let c = FaultPlan::from_seed(18);
         // Different seeds give different schedules (period ranges overlap,
         // so compare the whole plan).

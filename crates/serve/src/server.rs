@@ -91,7 +91,10 @@ impl ServerConfig {
             workers: num("LSML_SERVE_WORKERS", 4).max(1) as usize,
             queue_capacity: num("LSML_SERVE_QUEUE", 64).max(1) as usize,
             client_tokens: num("LSML_SERVE_CLIENT_TOKENS", 16).max(1),
-            max_frame: num("LSML_SERVE_MAX_FRAME", DEFAULT_MAX_FRAME as u64).max(64) as usize,
+            // Bounded both ways: below 64 bytes no handshake frame fits;
+            // above 1 GiB a hostile knob value defeats the cap's purpose.
+            max_frame: num("LSML_SERVE_MAX_FRAME", DEFAULT_MAX_FRAME as u64).clamp(64, 1 << 30)
+                as usize,
             snapshot_path: std::env::var("LSML_SERVE_SNAPSHOT")
                 .ok()
                 .filter(|s| !s.is_empty())

@@ -118,6 +118,43 @@ fn oversized_frame_is_answered_then_closed() {
 }
 
 #[test]
+fn configured_frame_cap_rejects_over_cap_frames() {
+    // The `LSML_SERVE_MAX_FRAME` knob flows through `ServerConfig::max_frame`;
+    // a daemon dialed down to a small cap must structurally reject frames
+    // that the default 16 MiB cap would have accepted.
+    let cap = 256usize;
+    let server = Server::start(ServerConfig {
+        max_frame: cap,
+        ..ServerConfig::for_tests()
+    })
+    .expect("bind capped server");
+
+    // At the cap: accepted (the body is garbage, so the answer is a
+    // structured non-Ok status, but the *frame* passes).
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    let mut frame = (cap as u32).to_le_bytes().to_vec();
+    frame.extend(std::iter::repeat_n(0xA5u8, cap));
+    c.send_raw(&frame).expect("send");
+    match c.read_response() {
+        Ok(Some((_, status, _))) => assert_ne!(status, Status::Panicked),
+        Ok(None) => panic!("an at-cap frame must be answered, not dropped"),
+        Err(e) => panic!("transport error: {e}"),
+    }
+
+    // One byte over the cap: answered Malformed, then closed.
+    let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+    s.write_all(&((cap as u32) + 1).to_le_bytes())
+        .expect("send");
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("server closes cleanly");
+    assert!(!buf.is_empty(), "over-cap frame must be answered");
+    assert_eq!(buf[8], Status::Malformed as u8);
+    assert_no_panics(&server);
+    assert_alive(&server);
+    server.shutdown_and_join();
+}
+
+#[test]
 fn truncated_frames_and_dead_peers_are_tolerated() {
     let server = test_server();
     for seed in 0..16u64 {

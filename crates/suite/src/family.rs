@@ -1,0 +1,194 @@
+//! Circuit families for generated sweep units.
+//!
+//! A family is a *distribution* over truth functions: unit `i` of a family
+//! derives a unit seed from `(sweep_seed, family, i)` and materializes one
+//! concrete oracle from it. Everything downstream — sampling, training,
+//! compilation — is a pure function of that seed, which is what makes
+//! checkpoint resume exact: the cursor alone reconstructs any unit.
+
+use lsml_aig::fxhash::{fnv1a_mix, FNV_OFFSET};
+use lsml_benchgen::cones::random_cone;
+use lsml_benchgen::Oracle;
+use lsml_pla::Pattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The family distributions of the default sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Arithmetic: sum bits of `k`-bit adders, `k` and the bit varying.
+    Adder,
+    /// Arithmetic: unsigned `a < b` comparators of varying width.
+    Comparator,
+    /// Seeded pseudo-random logic cones (the PicoJava/MCNC stand-in).
+    Cone,
+    /// Fully symmetric functions with random count signatures.
+    Symmetric,
+    /// Random DNF formulas of varying term count and literal width.
+    Dnf,
+}
+
+/// One named family of a sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FamilySpec {
+    /// Stable name (stats key; part of the config fingerprint).
+    pub name: String,
+    /// The distribution units draw from.
+    pub kind: FamilyKind,
+}
+
+/// One materialized truth function: either a `lsml-benchgen` oracle or a
+/// DNF formula evaluated directly.
+pub enum UnitOracle {
+    /// A contest-style oracle.
+    Bench(Oracle),
+    /// `terms` in disjunctive normal form; each term is a conjunction of
+    /// `(variable, phase)` literals.
+    Dnf {
+        /// Input variable count.
+        num_inputs: usize,
+        /// The conjunctive terms.
+        terms: Vec<Vec<(usize, bool)>>,
+    },
+}
+
+impl UnitOracle {
+    /// Input arity of the function.
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            UnitOracle::Bench(o) => o.num_inputs(),
+            UnitOracle::Dnf { num_inputs, .. } => *num_inputs,
+        }
+    }
+
+    /// Evaluates the function on one pattern.
+    pub fn eval(&self, p: &Pattern) -> bool {
+        match self {
+            UnitOracle::Bench(o) => o.eval(p),
+            UnitOracle::Dnf { terms, .. } => terms
+                .iter()
+                .any(|t| t.iter().all(|&(v, phase)| p.get(v) == phase)),
+        }
+    }
+}
+
+impl FamilySpec {
+    /// The unit seed of unit `index` of this family under `sweep_seed`:
+    /// counter-derived, so resuming at a cursor needs no RNG stream state —
+    /// re-deriving the seed *is* the stream state.
+    pub fn unit_seed(&self, sweep_seed: u64, index: u64) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv1a_mix(h, sweep_seed);
+        for b in self.name.bytes() {
+            h = fnv1a_mix(h, b as u64);
+        }
+        fnv1a_mix(h, index)
+    }
+
+    /// Materializes the oracle of unit `index`.
+    pub fn oracle(&self, sweep_seed: u64, index: u64) -> UnitOracle {
+        let seed = self.unit_seed(sweep_seed, index);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self.kind {
+            FamilyKind::Adder => {
+                let k = rng.gen_range(3usize..7);
+                let bit = rng.gen_range(0usize..=k);
+                UnitOracle::Bench(Oracle::AdderBit { k, bit })
+            }
+            FamilyKind::Comparator => {
+                let k = rng.gen_range(3usize..8);
+                UnitOracle::Bench(Oracle::LessThan { k })
+            }
+            FamilyKind::Cone => {
+                let ni = rng.gen_range(6usize..11);
+                UnitOracle::Bench(Oracle::Cone(random_cone(ni, rng.gen())))
+            }
+            FamilyKind::Symmetric => {
+                let ni = rng.gen_range(8usize..13);
+                let signature: Vec<bool> = (0..=ni).map(|_| rng.gen()).collect();
+                UnitOracle::Bench(Oracle::Symmetric { signature })
+            }
+            FamilyKind::Dnf => {
+                let ni = rng.gen_range(8usize..14);
+                let n_terms = rng.gen_range(3usize..9);
+                let terms = (0..n_terms)
+                    .map(|_| {
+                        let width = rng.gen_range(2usize..5.min(ni));
+                        // Distinct variables per term via partial shuffle.
+                        let mut vars: Vec<usize> = (0..ni).collect();
+                        for i in 0..width {
+                            let j = rng.gen_range(i..vars.len());
+                            vars.swap(i, j);
+                        }
+                        vars[..width].iter().map(|&v| (v, rng.gen())).collect()
+                    })
+                    .collect();
+                UnitOracle::Dnf {
+                    num_inputs: ni,
+                    terms,
+                }
+            }
+        }
+    }
+}
+
+/// The default five-family sweep.
+pub fn default_families() -> Vec<FamilySpec> {
+    [
+        ("adder", FamilyKind::Adder),
+        ("comparator", FamilyKind::Comparator),
+        ("cone", FamilyKind::Cone),
+        ("symmetric", FamilyKind::Symmetric),
+        ("dnf", FamilyKind::Dnf),
+    ]
+    .into_iter()
+    .map(|(name, kind)| FamilySpec {
+        name: name.into(),
+        kind,
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_seeds_are_stable_and_distinct() {
+        let fams = default_families();
+        let a = fams[0].unit_seed(7, 0);
+        assert_eq!(a, fams[0].unit_seed(7, 0), "same inputs, same seed");
+        assert_ne!(a, fams[0].unit_seed(7, 1), "index must matter");
+        assert_ne!(a, fams[1].unit_seed(7, 0), "family must matter");
+        assert_ne!(a, fams[0].unit_seed(8, 0), "sweep seed must matter");
+    }
+
+    #[test]
+    fn oracles_are_deterministic_in_the_seed() {
+        for fam in default_families() {
+            let a = fam.oracle(13, 5);
+            let b = fam.oracle(13, 5);
+            assert_eq!(a.num_inputs(), b.num_inputs());
+            let ni = a.num_inputs();
+            assert!((6..=14).contains(&ni), "{}: {ni} inputs", fam.name);
+            for m in 0..64u64 {
+                let p = Pattern::from_index(m, ni);
+                assert_eq!(a.eval(&p), b.eval(&p), "{} diverged at {m}", fam.name);
+            }
+        }
+    }
+
+    #[test]
+    fn dnf_oracle_matches_hand_evaluation() {
+        let o = UnitOracle::Dnf {
+            num_inputs: 4,
+            terms: vec![vec![(0, true), (1, false)], vec![(2, true), (3, true)]],
+        };
+        // (x0 & !x1) | (x2 & x3)
+        for m in 0..16u64 {
+            let p = Pattern::from_index(m, 4);
+            let want = (p.get(0) && !p.get(1)) || (p.get(2) && p.get(3));
+            assert_eq!(o.eval(&p), want, "pattern {m:04b}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Hardened external circuit ingestion.
+//!
+//! # Contract
+//!
+//! [`read_circuit`] is the sweep's trust boundary for files it does not
+//! control. The contract, which the sweep engine and its tests rely on:
+//!
+//! * **Never panics, never aborts** — the underlying parsers
+//!   ([`lsml_aig::aiger::read_aag`], [`lsml_aig::aiger::read_aig`],
+//!   [`lsml_aig::bench::read_bench`]) are fuzz-proven never-panic with
+//!   header-bound allocation caps, and this module adds a file-size cap
+//!   checked *before* any byte is read.
+//! * **Structured failure** — every defect maps to an [`IngestError`]
+//!   variant carrying the reason. The engine records a failing file as
+//!   `Quarantined` with that reason in the sweep stats and moves on; a bad
+//!   file can never abort a sweep.
+//! * **Bounded resources** — files larger than the caller's byte cap
+//!   (`LSML_INGEST_MAX_BYTES`, see the knob table in [`lsml_aig::par`]) are
+//!   rejected as [`IngestError::TooLarge`] without being read; parsed
+//!   graphs are additionally subject to the engine's node/input governor.
+//!
+//! # Format detection
+//!
+//! Matching the `circuitcount --format auto` convention, the format comes
+//! from the file extension (`.aag`, `.aig`, `.bench`) when recognized, and
+//! from content sniffing (the `aag `/`aig ` header magic, else BENCH)
+//! otherwise.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use lsml_aig::aig::Aig;
+use lsml_aig::aiger::{read_aag, read_aig};
+use lsml_aig::bench::read_bench;
+
+/// Why an external file was quarantined instead of swept.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// The file exceeds the ingestion byte cap (checked before reading).
+    TooLarge {
+        /// Size on disk.
+        bytes: u64,
+        /// The configured cap.
+        cap: u64,
+    },
+    /// The file could not be read from disk.
+    Io(String),
+    /// The file's bytes failed its format's parser.
+    Parse {
+        /// The detected format (`aag` / `aig` / `bench`).
+        format: &'static str,
+        /// The parser's structured error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::TooLarge { bytes, cap } => {
+                write!(f, "{bytes} bytes exceeds the {cap}-byte ingest cap")
+            }
+            IngestError::Io(e) => write!(f, "io: {e}"),
+            IngestError::Parse { format, reason } => write!(f, "{format}: {reason}"),
+        }
+    }
+}
+
+/// The format a file will be parsed as.
+fn detect_format(path: &Path, head: &[u8]) -> &'static str {
+    match path
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(|e| e.to_ascii_lowercase())
+        .as_deref()
+    {
+        Some("aag") => "aag",
+        Some("aig") => "aig",
+        Some("bench") => "bench",
+        // Unrecognized extension: sniff the AIGER header magics, else treat
+        // as BENCH (whose parser rejects non-netlists with a ParseError).
+        _ => {
+            if head.starts_with(b"aag ") {
+                "aag"
+            } else if head.starts_with(b"aig ") {
+                "aig"
+            } else {
+                "bench"
+            }
+        }
+    }
+}
+
+/// Reads one external circuit file under the module's
+/// [hardening contract](self): size-capped, format-auto-detected,
+/// never-panicking. `max_bytes` is the file-size cap
+/// (`LSML_INGEST_MAX_BYTES`).
+///
+/// # Errors
+///
+/// Returns the [`IngestError`] the engine quarantines the file with.
+pub fn read_circuit(path: &Path, max_bytes: u64) -> Result<Aig, IngestError> {
+    let meta = fs::metadata(path).map_err(|e| IngestError::Io(e.to_string()))?;
+    if meta.len() > max_bytes {
+        return Err(IngestError::TooLarge {
+            bytes: meta.len(),
+            cap: max_bytes,
+        });
+    }
+    let bytes = fs::read(path).map_err(|e| IngestError::Io(e.to_string()))?;
+    let format = detect_format(path, &bytes);
+    let parsed = match format {
+        "aag" => read_aag(bytes.as_slice()),
+        "aig" => read_aig(bytes.as_slice()),
+        _ => read_bench(bytes.as_slice()),
+    };
+    parsed.map_err(|e| IngestError::Parse {
+        format,
+        reason: e.to_string(),
+    })
+}
+
+/// The default ingestion byte cap, honoring `LSML_INGEST_MAX_BYTES`
+/// (default 8 MiB — generous for AIGER/BENCH text, small enough that a
+/// rogue file cannot stall the sweep on I/O alone).
+pub fn max_bytes_from_env() -> u64 {
+    std::env::var("LSML_INGEST_MAX_BYTES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&b| b > 0)
+        .unwrap_or(8 << 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsml_aig::aiger::write_aag;
+    use lsml_aig::bench::write_bench;
+    use std::io::Write;
+
+    fn tmp_dir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("lsml-ingest-test");
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample() -> Aig {
+        let mut g = Aig::new(3);
+        let (a, b, c) = (g.input(0), g.input(1), g.input(2));
+        let x = g.xor(a, b);
+        let f = g.mux(c, x, !a);
+        g.add_output(f);
+        g
+    }
+
+    #[test]
+    fn reads_all_three_formats_by_extension() {
+        let d = tmp_dir();
+        let g = sample();
+        let (mut aag, mut bench) = (Vec::new(), Vec::new());
+        write_aag(&g, &mut aag).unwrap();
+        write_bench(&g, &mut bench).unwrap();
+        let mut aig_bytes = Vec::new();
+        lsml_aig::aiger::write_aig(&g, &mut aig_bytes).unwrap();
+        for (name, bytes) in [("u.aag", &aag), ("u.aig", &aig_bytes), ("u.bench", &bench)] {
+            let p = d.join(name);
+            fs::File::create(&p).unwrap().write_all(bytes).unwrap();
+            let h = read_circuit(&p, 1 << 20).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(h.num_inputs(), 3, "{name}");
+            for m in 0..8u64 {
+                let bits = [(m & 1) != 0, (m & 2) != 0, (m & 4) != 0];
+                assert_eq!(h.eval(&bits), g.eval(&bits), "{name} at {m:03b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sniffs_format_without_extension() {
+        let d = tmp_dir();
+        let g = sample();
+        let mut aag = Vec::new();
+        write_aag(&g, &mut aag).unwrap();
+        let p = d.join("mystery_circuit");
+        fs::File::create(&p).unwrap().write_all(&aag).unwrap();
+        assert!(read_circuit(&p, 1 << 20).is_ok());
+    }
+
+    #[test]
+    fn caps_quarantine_and_errors_are_structured() {
+        let d = tmp_dir();
+        // Oversized: rejected before reading.
+        let p = d.join("big.aag");
+        fs::File::create(&p)
+            .unwrap()
+            .write_all(&[b'x'; 512])
+            .unwrap();
+        match read_circuit(&p, 100) {
+            Err(IngestError::TooLarge {
+                bytes: 512,
+                cap: 100,
+            }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Missing: Io.
+        assert!(matches!(
+            read_circuit(&d.join("nope.aag"), 100),
+            Err(IngestError::Io(_))
+        ));
+        // Garbage: Parse with the detected format named.
+        let p = d.join("junk.bench");
+        fs::File::create(&p)
+            .unwrap()
+            .write_all(b"f = DFF(a)\n")
+            .unwrap();
+        match read_circuit(&p, 1 << 20) {
+            Err(IngestError::Parse {
+                format: "bench",
+                reason,
+            }) => {
+                assert!(reason.contains("DFF"), "{reason}")
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+}
